@@ -1,0 +1,134 @@
+//! Minimal CSV writing for experiment artifacts.
+//!
+//! The repository deliberately avoids pulling in a serialization format
+//! crate; the experiment harnesses only need to emit simple numeric
+//! tables, which this module covers with RFC-4180-style quoting.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// Writes rows of string-convertible cells as CSV.
+///
+/// # Examples
+///
+/// ```
+/// use ps3_analysis::csv::CsvWriter;
+///
+/// let mut out = Vec::new();
+/// let mut w = CsvWriter::new(&mut out);
+/// w.write_row(["time_s", "power_w"]).unwrap();
+/// w.write_row(["0.05", "96.2"]).unwrap();
+/// assert_eq!(String::from_utf8(out).unwrap(), "time_s,power_w\n0.05,96.2\n");
+/// ```
+#[derive(Debug)]
+pub struct CsvWriter<W> {
+    inner: W,
+}
+
+impl<W: Write> CsvWriter<W> {
+    /// Wraps a writer. A `&mut Vec<u8>` or file handle both work.
+    pub fn new(inner: W) -> Self {
+        Self { inner }
+    }
+
+    /// Writes a single row, quoting cells that contain commas, quotes
+    /// or newlines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_row<I, S>(&mut self, cells: I) -> io::Result<()>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut line = String::new();
+        for (i, cell) in cells.into_iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let c = cell.as_ref();
+            if c.contains([',', '"', '\n']) {
+                line.push('"');
+                for ch in c.chars() {
+                    if ch == '"' {
+                        line.push('"');
+                    }
+                    line.push(ch);
+                }
+                line.push('"');
+            } else {
+                line.push_str(c);
+            }
+        }
+        line.push('\n');
+        self.inner.write_all(line.as_bytes())
+    }
+
+    /// Convenience: writes a row of `f64` values with `precision`
+    /// decimal places.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_f64_row<I>(&mut self, values: I, precision: usize) -> io::Result<()>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let mut line = String::new();
+        for (i, v) in values.into_iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let _ = write!(line, "{v:.precision$}");
+        }
+        line.push('\n');
+        self.inner.write_all(line.as_bytes())
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(rows: &[Vec<&str>]) -> String {
+        let mut buf = Vec::new();
+        let mut w = CsvWriter::new(&mut buf);
+        for r in rows {
+            w.write_row(r.iter().copied()).unwrap();
+        }
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn plain_rows() {
+        assert_eq!(
+            render(&[vec!["a", "b"], vec!["1", "2"]]),
+            "a,b\n1,2\n"
+        );
+    }
+
+    #[test]
+    fn quoting() {
+        assert_eq!(render(&[vec!["a,b", "c\"d", "e\nf"]]), "\"a,b\",\"c\"\"d\",\"e\nf\"\n");
+    }
+
+    #[test]
+    fn f64_rows() {
+        let mut buf = Vec::new();
+        CsvWriter::new(&mut buf)
+            .write_f64_row([1.23456, 2.0], 3)
+            .unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "1.235,2.000\n");
+    }
+
+    #[test]
+    fn empty_row() {
+        assert_eq!(render(&[vec![]]), "\n");
+    }
+}

@@ -1,0 +1,193 @@
+//! Parser for PowerSensor3 continuous-mode dump files.
+//!
+//! The host library's `dump_to` writer produces a line-oriented text
+//! format:
+//!
+//! ```text
+//! # PowerSensor3 dump (times in device µs)
+//! 1025 38.4000 2.1000 40.5000        <- t_us, per-pair W…, total W
+//! M 1075 k                           <- marker at t_us with label 'k'
+//! ```
+//!
+//! [`parse_dump`] reads it back into a [`Trace`] (total power) plus the
+//! per-pair series, closing the capture-to-analysis loop without the
+//! device being attached.
+
+use core::fmt;
+use std::error::Error;
+
+use ps3_units::{SimTime, Watts};
+
+use crate::trace::Trace;
+
+/// A parsed dump: the total-power trace plus per-pair power series.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedDump {
+    /// Total power over time, with markers attached.
+    pub total: Trace,
+    /// Per-pair power series, one trace per enabled pair, in pair
+    /// order.
+    pub pairs: Vec<Trace>,
+}
+
+/// Errors from [`parse_dump`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseDumpError {
+    /// A data line had an unparseable field.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A marker line was malformed.
+    BadMarker {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Data lines disagreed about the number of columns.
+    InconsistentColumns {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for ParseDumpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDumpError::BadNumber { line } => {
+                write!(f, "unparseable number on line {line}")
+            }
+            ParseDumpError::BadMarker { line } => {
+                write!(f, "malformed marker on line {line}")
+            }
+            ParseDumpError::InconsistentColumns { line } => {
+                write!(f, "inconsistent column count on line {line}")
+            }
+        }
+    }
+}
+
+impl Error for ParseDumpError {}
+
+/// Parses a dump file's text.
+///
+/// Comment lines (`#`) are skipped; marker lines attach to the total
+/// trace; blank lines are ignored.
+///
+/// # Errors
+///
+/// Returns a [`ParseDumpError`] naming the offending line.
+pub fn parse_dump(text: &str) -> Result<ParsedDump, ParseDumpError> {
+    let mut out = ParsedDump::default();
+    let mut columns: Option<usize> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("M ") {
+            let mut parts = rest.split_whitespace();
+            let t: u64 = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(ParseDumpError::BadMarker { line })?;
+            let label = parts
+                .next()
+                .and_then(|s| s.chars().next())
+                .ok_or(ParseDumpError::BadMarker { line })?;
+            out.total.mark(SimTime::from_micros(t), label);
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() < 2 {
+            return Err(ParseDumpError::BadNumber { line });
+        }
+        match columns {
+            None => columns = Some(fields.len()),
+            Some(n) if n != fields.len() => {
+                return Err(ParseDumpError::InconsistentColumns { line })
+            }
+            _ => {}
+        }
+        let t: u64 = fields[0]
+            .parse()
+            .map_err(|_| ParseDumpError::BadNumber { line })?;
+        let time = SimTime::from_micros(t);
+        let mut values = Vec::with_capacity(fields.len() - 1);
+        for f in &fields[1..] {
+            let v: f64 = f.parse().map_err(|_| ParseDumpError::BadNumber { line })?;
+            values.push(v);
+        }
+        // Last column is the total; the rest are per-pair.
+        let total = *values.last().expect("len >= 1");
+        out.total.push(time, Watts::new(total));
+        let pair_count = values.len() - 1;
+        while out.pairs.len() < pair_count {
+            out.pairs.push(Trace::new());
+        }
+        for (pair, v) in values[..pair_count].iter().enumerate() {
+            out.pairs[pair].push(time, Watts::new(*v));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# PowerSensor3 dump (times in device µs)
+25 10.5000 2.0000 12.5000
+75 10.6000 2.1000 12.7000
+M 75 k
+125 10.7000 2.2000 12.9000
+";
+
+    #[test]
+    fn parses_data_pairs_and_markers() {
+        let dump = parse_dump(SAMPLE).unwrap();
+        assert_eq!(dump.total.len(), 3);
+        assert_eq!(dump.pairs.len(), 2);
+        assert_eq!(dump.total.samples()[1].power, Watts::new(12.7));
+        assert_eq!(dump.pairs[0].samples()[0].power, Watts::new(10.5));
+        assert_eq!(dump.pairs[1].samples()[2].power, Watts::new(2.2));
+        assert_eq!(dump.total.markers().len(), 1);
+        assert_eq!(dump.total.markers()[0].label, 'k');
+        assert_eq!(dump.total.markers()[0].time, SimTime::from_micros(75));
+    }
+
+    #[test]
+    fn empty_and_comment_only_input() {
+        let dump = parse_dump("# nothing\n\n# else\n").unwrap();
+        assert!(dump.total.is_empty());
+        assert!(dump.pairs.is_empty());
+    }
+
+    #[test]
+    fn bad_number_is_reported_with_line() {
+        let err = parse_dump("25 1.0 2.0\n99 oops 3.0\n").unwrap_err();
+        assert_eq!(err, ParseDumpError::BadNumber { line: 2 });
+    }
+
+    #[test]
+    fn inconsistent_columns_rejected() {
+        let err = parse_dump("25 1.0 2.0\n75 1.0 2.0 3.0\n").unwrap_err();
+        assert_eq!(err, ParseDumpError::InconsistentColumns { line: 2 });
+    }
+
+    #[test]
+    fn malformed_marker_rejected() {
+        let err = parse_dump("M nope\n").unwrap_err();
+        assert_eq!(err, ParseDumpError::BadMarker { line: 1 });
+    }
+
+    #[test]
+    fn single_column_total_only() {
+        // A one-pair dump has two columns: pair0 and total.
+        let dump = parse_dump("25 5.0 5.0\n").unwrap();
+        assert_eq!(dump.pairs.len(), 1);
+        assert_eq!(dump.total.len(), 1);
+    }
+}

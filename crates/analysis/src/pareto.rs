@@ -1,0 +1,160 @@
+//! Pareto-front extraction for the auto-tuning experiments (Fig 8/10).
+//!
+//! Each tuned kernel configuration yields a (performance, efficiency)
+//! point; the paper highlights the Pareto-optimal set where neither
+//! metric can improve without degrading the other. Both objectives are
+//! maximised here.
+
+/// A point in a two-objective maximisation problem.
+///
+/// For the paper's figures, `x` is compute performance (TFLOP/s) and
+/// `y` is energy efficiency (TFLOP/J).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// First objective (maximised).
+    pub x: f64,
+    /// Second objective (maximised).
+    pub y: f64,
+}
+
+impl ParetoPoint {
+    /// Creates a point.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// `true` if `self` dominates `other`: at least as good in both
+    /// objectives and strictly better in one.
+    #[must_use]
+    pub fn dominates(&self, other: &Self) -> bool {
+        self.x >= other.x && self.y >= other.y && (self.x > other.x || self.y > other.y)
+    }
+}
+
+/// Indices of the Pareto-optimal (non-dominated) points, sorted by
+/// descending `x`.
+///
+/// Duplicate points all appear in the front. Runs in `O(n log n)`.
+#[must_use]
+pub fn pareto_front_indices(points: &[ParetoPoint]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    // Sort by x desc, then y desc so the scan below is a single pass.
+    order.sort_by(|&a, &b| {
+        points[b]
+            .x
+            .partial_cmp(&points[a].x)
+            .unwrap_or(core::cmp::Ordering::Equal)
+            .then(
+                points[b]
+                    .y
+                    .partial_cmp(&points[a].y)
+                    .unwrap_or(core::cmp::Ordering::Equal),
+            )
+    });
+    let mut front = Vec::new();
+    let mut best_y = f64::NEG_INFINITY;
+    let mut front_x = f64::NAN;
+    for &i in &order {
+        let p = points[i];
+        if p.y > best_y || (p.y == best_y && p.x == front_x) {
+            front.push(i);
+            if p.y > best_y {
+                best_y = p.y;
+                front_x = p.x;
+            }
+        }
+    }
+    front
+}
+
+/// The Pareto-optimal points themselves, sorted by descending `x`.
+#[must_use]
+pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    pareto_front_indices(points)
+        .into_iter()
+        .map(|i| points[i])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_relation() {
+        let a = ParetoPoint::new(2.0, 2.0);
+        let b = ParetoPoint::new(1.0, 1.0);
+        let c = ParetoPoint::new(3.0, 0.5);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&c));
+        assert!(!c.dominates(&a));
+        assert!(!a.dominates(&a), "point does not dominate itself");
+    }
+
+    #[test]
+    fn front_of_tradeoff_curve() {
+        let pts = vec![
+            ParetoPoint::new(1.0, 4.0),
+            ParetoPoint::new(2.0, 3.0),
+            ParetoPoint::new(3.0, 2.0),
+            ParetoPoint::new(4.0, 1.0),
+            ParetoPoint::new(1.5, 1.5), // dominated by (2,3)
+            ParetoPoint::new(2.5, 0.5), // dominated by (3,2)
+        ];
+        let front = pareto_front(&pts);
+        assert_eq!(front.len(), 4);
+        assert_eq!(front[0], ParetoPoint::new(4.0, 1.0));
+        assert_eq!(front[3], ParetoPoint::new(1.0, 4.0));
+    }
+
+    #[test]
+    fn single_dominant_point() {
+        let pts = vec![
+            ParetoPoint::new(5.0, 5.0),
+            ParetoPoint::new(1.0, 1.0),
+            ParetoPoint::new(4.0, 4.0),
+        ];
+        assert_eq!(pareto_front(&pts), vec![ParetoPoint::new(5.0, 5.0)]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn front_never_contains_dominated_point() {
+        // Brute-force cross-check on a pseudo-random cloud.
+        let pts: Vec<ParetoPoint> = (0..200u32)
+            .map(|i| {
+                let x = f64::from((i.wrapping_mul(2_654_435_761)) % 1000) / 100.0;
+                let y = f64::from((i.wrapping_mul(40_503)) % 1000) / 100.0;
+                ParetoPoint::new(x, y)
+            })
+            .collect();
+        let front = pareto_front_indices(&pts);
+        for &i in &front {
+            for (j, q) in pts.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !q.dominates(&pts[i]),
+                        "front point {i} is dominated by {j}"
+                    );
+                }
+            }
+        }
+        // And every non-front point is dominated by someone.
+        for (j, q) in pts.iter().enumerate() {
+            if !front.contains(&j) {
+                assert!(
+                    pts.iter()
+                        .enumerate()
+                        .any(|(i, p)| i != j && p.dominates(q)),
+                    "non-front point {j} is not dominated"
+                );
+            }
+        }
+    }
+}

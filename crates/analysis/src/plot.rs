@@ -1,0 +1,164 @@
+//! Terminal plotting: render traces as ASCII charts.
+//!
+//! The reproduction harness is a CLI; a quick visual of a power trace
+//! (the Fig 5 square wave, the Fig 7 kernel envelope, the Fig 12b
+//! bandwidth swings) beats a wall of numbers. The renderer is
+//! deliberately simple: column-wise min/max binning into a character
+//! grid, with a y-axis in the left gutter.
+
+use crate::trace::Trace;
+
+/// Renders `values` (uniformly spaced) as an ASCII chart of
+/// `width`×`height` characters plus a y-axis gutter.
+///
+/// Each output column aggregates its slice of samples and draws the
+/// vertical span between the column's minimum and maximum, so both
+/// envelopes and fast transients stay visible at any width.
+///
+/// Returns an empty string for empty input.
+///
+/// # Panics
+///
+/// Panics if `width` or `height` is zero.
+#[must_use]
+pub fn ascii_plot(values: &[f64], width: usize, height: usize) -> String {
+    assert!(width > 0 && height > 0, "plot dimensions must be non-zero");
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+
+    // Column-wise min/max.
+    let mut cols = Vec::with_capacity(width);
+    for c in 0..width {
+        let start = c * values.len() / width;
+        let end = ((c + 1) * values.len() / width).clamp(start + 1, values.len());
+        let slice = &values[start..end];
+        let cmin = slice.iter().copied().fold(f64::INFINITY, f64::min);
+        let cmax = slice.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        cols.push((cmin, cmax));
+    }
+
+    let to_row = |v: f64| -> usize {
+        let frac = (v - lo) / span;
+        ((1.0 - frac) * (height as f64 - 1.0)).round() as usize
+    };
+
+    let gutter = 9;
+    let mut grid = vec![vec![' '; width]; height];
+    for (c, &(cmin, cmax)) in cols.iter().enumerate() {
+        let top = to_row(cmax);
+        let bottom = to_row(cmin);
+        for row in grid.iter_mut().take(bottom + 1).skip(top) {
+            row[c] = '█';
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{hi:8.1} ")
+        } else if r == height - 1 {
+            format!("{lo:8.1} ")
+        } else {
+            " ".repeat(gutter)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(gutter));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out
+}
+
+/// Renders a [`Trace`]'s power series (with the time span noted under
+/// the axis).
+#[must_use]
+pub fn ascii_trace(trace: &Trace, width: usize, height: usize) -> String {
+    let mut out = ascii_plot(&trace.powers(), width, height);
+    if !trace.is_empty() {
+        out.push_str(&format!(
+            "          {} samples over {} (W vs time)\n",
+            trace.len(),
+            trace.span()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps3_units::{SimTime, Watts};
+
+    #[test]
+    fn plot_has_requested_dimensions() {
+        let values: Vec<f64> = (0..100).map(f64::from).collect();
+        let plot = ascii_plot(&values, 40, 8);
+        let lines: Vec<&str> = plot.lines().collect();
+        assert_eq!(lines.len(), 9); // 8 rows + axis
+        for line in &lines[..8] {
+            assert_eq!(line.chars().count(), 9 + 1 + 40, "{line}");
+        }
+    }
+
+    #[test]
+    fn ramp_fills_the_diagonal() {
+        let values: Vec<f64> = (0..80).map(f64::from).collect();
+        let plot = ascii_plot(&values, 80, 10);
+        let lines: Vec<&str> = plot.lines().collect();
+        // Top row: marks only near the right edge.
+        let top_first = lines[0].find('█').unwrap();
+        let bottom_first = lines[9].find('█').unwrap();
+        assert!(top_first > bottom_first, "diagonal rises left→right");
+        // Axis labels carry the extremes.
+        assert!(lines[0].trim_start().starts_with("79.0"));
+        assert!(lines[9].trim_start().starts_with("0.0"));
+    }
+
+    #[test]
+    fn square_wave_shows_both_levels() {
+        let values: Vec<f64> = (0..200)
+            .map(|i| if (i / 25) % 2 == 0 { 96.0 } else { 40.0 })
+            .collect();
+        let plot = ascii_plot(&values, 40, 6);
+        let lines: Vec<&str> = plot.lines().collect();
+        // Both the top and bottom rows contain bars.
+        assert!(lines[0].contains('█'));
+        assert!(lines[5].contains('█'));
+    }
+
+    #[test]
+    fn constant_signal_does_not_panic() {
+        let plot = ascii_plot(&[5.0; 30], 10, 4);
+        assert!(plot.contains('█'));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_plot() {
+        assert_eq!(ascii_plot(&[], 10, 4), "");
+    }
+
+    #[test]
+    fn trace_variant_adds_footer() {
+        let mut t = Trace::new();
+        for i in 0..50u64 {
+            t.push(SimTime::from_micros(i * 50), Watts::new(10.0 + i as f64));
+        }
+        let plot = ascii_trace(&t, 20, 5);
+        assert!(plot.contains("50 samples"));
+        assert!(plot.contains("W vs time"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions")]
+    fn zero_width_panics() {
+        let _ = ascii_plot(&[1.0], 0, 5);
+    }
+}

@@ -1,0 +1,135 @@
+//! Single-bin spectral estimation (Goertzel) for periodic workloads.
+//!
+//! The step-response experiment (Fig 5) modulates the load at 100 Hz;
+//! recovering that frequency from the measured trace is a useful
+//! sanity check on the whole pipeline's timing, and applications use
+//! the same tool to identify periodic behaviour (wave cadence of a GPU
+//! kernel, GC periodicity of an SSD) in captures.
+
+use crate::trace::Trace;
+
+/// Power of the signal at one frequency, via the Goertzel algorithm.
+///
+/// `samples` are assumed uniformly spaced at `sample_rate_hz`. Returns
+/// the squared magnitude of the DFT bin nearest `freq_hz`, normalised
+/// by the sample count (comparable across frequencies of one signal).
+///
+/// # Panics
+///
+/// Panics if `sample_rate_hz` is not positive or `freq_hz` exceeds the
+/// Nyquist rate.
+#[must_use]
+pub fn goertzel_power(samples: &[f64], sample_rate_hz: f64, freq_hz: f64) -> f64 {
+    assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+    assert!(
+        freq_hz <= sample_rate_hz / 2.0,
+        "frequency beyond Nyquist ({freq_hz} Hz at {sample_rate_hz} S/s)"
+    );
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    // Remove the DC component so low-frequency bins are not swamped.
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let omega = core::f64::consts::TAU * freq_hz / sample_rate_hz;
+    let coeff = 2.0 * omega.cos();
+    let (mut s_prev, mut s_prev2) = (0.0, 0.0);
+    for &x in samples {
+        let s = (x - mean) + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+    let power = s_prev2 * s_prev2 + s_prev * s_prev - coeff * s_prev * s_prev2;
+    power / samples.len() as f64
+}
+
+/// Scans `candidates_hz` and returns the frequency with the most
+/// spectral power in `trace`, or `None` for traces too short to judge.
+///
+/// The trace's own average sampling rate is used as the time base.
+#[must_use]
+pub fn dominant_frequency(trace: &Trace, candidates_hz: &[f64]) -> Option<f64> {
+    let rate = trace.sample_rate()?;
+    let samples = trace.powers();
+    candidates_hz
+        .iter()
+        .copied()
+        .filter(|&f| f <= rate / 2.0)
+        .map(|f| (f, goertzel_power(&samples, rate, f)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite powers"))
+        .map(|(f, _)| f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps3_units::{SimTime, Watts};
+
+    fn sine_trace(freq: f64, rate: f64, n: usize) -> Trace {
+        let mut t = Trace::new();
+        for i in 0..n {
+            let time = i as f64 / rate;
+            t.push(
+                SimTime::from_nanos((time * 1e9) as u64),
+                Watts::new(50.0 + 10.0 * (core::f64::consts::TAU * freq * time).sin()),
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn goertzel_peaks_at_the_signal_frequency() {
+        let trace = sine_trace(100.0, 20_000.0, 4000);
+        let samples = trace.powers();
+        let at_signal = goertzel_power(&samples, 20_000.0, 100.0);
+        let off_signal = goertzel_power(&samples, 20_000.0, 440.0);
+        assert!(
+            at_signal > 100.0 * off_signal,
+            "on {at_signal} vs off {off_signal}"
+        );
+    }
+
+    #[test]
+    fn dominant_frequency_finds_100hz() {
+        let trace = sine_trace(100.0, 20_000.0, 4000);
+        let candidates: Vec<f64> = (1..=30).map(|k| f64::from(k) * 10.0).collect();
+        assert_eq!(dominant_frequency(&trace, &candidates), Some(100.0));
+    }
+
+    #[test]
+    fn square_wave_harmonics_dont_fool_it() {
+        // A 100 Hz square wave has strong odd harmonics; the
+        // fundamental must still win.
+        let mut t = Trace::new();
+        for i in 0..4000usize {
+            let time = i as f64 / 20_000.0;
+            let phase = (time * 100.0).fract();
+            let p = if phase < 0.5 { 96.0 } else { 40.0 };
+            t.push(SimTime::from_nanos((time * 1e9) as u64), Watts::new(p));
+        }
+        let candidates = [50.0, 100.0, 300.0, 500.0];
+        assert_eq!(dominant_frequency(&t, &candidates), Some(100.0));
+    }
+
+    #[test]
+    fn dc_signal_has_no_dominant_tone() {
+        let mut t = Trace::new();
+        for i in 0..100u64 {
+            t.push(SimTime::from_micros(i * 50), Watts::new(42.0));
+        }
+        let samples = t.powers();
+        // All bins are ~zero after DC removal.
+        assert!(goertzel_power(&samples, 20_000.0, 100.0) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "Nyquist")]
+    fn beyond_nyquist_panics() {
+        let _ = goertzel_power(&[1.0, 2.0], 100.0, 60.0);
+    }
+
+    #[test]
+    fn short_traces_return_none() {
+        let t = Trace::new();
+        assert_eq!(dominant_frequency(&t, &[100.0]), None);
+    }
+}

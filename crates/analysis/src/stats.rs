@@ -1,0 +1,218 @@
+//! Summary statistics and rate-reduction helpers.
+
+use core::fmt;
+
+/// Summary statistics over a set of scalar samples.
+///
+/// Mirrors the columns of the paper's Table II: minimum, maximum,
+/// peak-to-peak range, and standard deviation, plus mean and RMS which
+/// the error analysis in §III-A uses.
+///
+/// # Examples
+///
+/// ```
+/// use ps3_analysis::SampleStats;
+///
+/// let s = SampleStats::from_samples([4.0, 6.0]).unwrap();
+/// assert_eq!(s.min, 4.0);
+/// assert_eq!(s.max, 6.0);
+/// assert_eq!(s.mean, 5.0);
+/// assert_eq!(s.peak_to_peak(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Root-mean-square of the samples.
+    pub rms: f64,
+    /// Number of samples summarised.
+    pub count: usize,
+}
+
+impl SampleStats {
+    /// Computes statistics over an iterator of samples.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn from_samples<I>(samples: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let mut count = 0usize;
+        for s in samples {
+            min = min.min(s);
+            max = max.max(s);
+            sum += s;
+            sum_sq += s * s;
+            count += 1;
+        }
+        if count == 0 {
+            return None;
+        }
+        let n = count as f64;
+        let mean = sum / n;
+        let var = (sum_sq / n - mean * mean).max(0.0);
+        Some(Self {
+            min,
+            max,
+            mean,
+            std: var.sqrt(),
+            rms: (sum_sq / n).sqrt(),
+            count,
+        })
+    }
+
+    /// Peak-to-peak range (`max − min`), the `W_pp` column of Table II.
+    #[must_use]
+    pub fn peak_to_peak(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+impl fmt::Display for SampleStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={:.4} max={:.4} p-p={:.4} mean={:.4} std={:.4}",
+            self.count,
+            self.min,
+            self.max,
+            self.peak_to_peak(),
+            self.mean,
+            self.std
+        )
+    }
+}
+
+/// Averages consecutive blocks of `block` samples, reducing the
+/// effective sampling rate by that factor.
+///
+/// This is the operation behind Table II: a 20 kHz stream block-averaged
+/// with `block = 20` yields a 1 kHz stream whose noise standard
+/// deviation shrinks by ≈ √20. A trailing partial block is dropped so
+/// that every output value averages exactly `block` inputs.
+///
+/// # Panics
+///
+/// Panics if `block` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let avg = ps3_analysis::block_average(&[1.0, 3.0, 5.0, 7.0, 9.0], 2);
+/// assert_eq!(avg, vec![2.0, 6.0]);
+/// ```
+#[must_use]
+pub fn block_average(samples: &[f64], block: usize) -> Vec<f64> {
+    assert!(block > 0, "block size must be non-zero");
+    samples
+        .chunks_exact(block)
+        .map(|c| c.iter().sum::<f64>() / block as f64)
+        .collect()
+}
+
+/// Keeps every `stride`-th sample (no averaging).
+///
+/// Useful for plotting long traces at reduced resolution without the
+/// noise-reduction effect of [`block_average`].
+///
+/// # Panics
+///
+/// Panics if `stride` is zero.
+#[must_use]
+pub fn decimate(samples: &[f64], stride: usize) -> Vec<f64> {
+    assert!(stride > 0, "stride must be non-zero");
+    samples.iter().step_by(stride).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(SampleStats::from_samples(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = SampleStats::from_samples([2.5]).unwrap();
+        assert_eq!(s.min, 2.5);
+        assert_eq!(s.max, 2.5);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.rms, 2.5);
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn known_std() {
+        // Population std of [2, 4, 4, 4, 5, 5, 7, 9] is exactly 2.
+        let s = SampleStats::from_samples([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.std - 2.0).abs() < 1e-12);
+        assert_eq!(s.mean, 5.0);
+    }
+
+    #[test]
+    fn rms_of_symmetric_signal() {
+        let s = SampleStats::from_samples([-1.0, 1.0, -1.0, 1.0]).unwrap();
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.rms, 1.0);
+    }
+
+    #[test]
+    fn block_average_drops_partial_tail() {
+        let avg = block_average(&[1.0, 1.0, 1.0, 5.0], 3);
+        assert_eq!(avg, vec![1.0]);
+    }
+
+    #[test]
+    fn block_average_identity_for_block_one() {
+        let data = [3.0, 1.0, 4.0];
+        assert_eq!(block_average(&data, 1), data.to_vec());
+    }
+
+    #[test]
+    fn block_average_reduces_std_by_sqrt_n() {
+        use rand::prelude::*;
+        let mut rng = rand_pcg(42);
+        let samples: Vec<f64> = (0..40_000).map(|_| gaussian(&mut rng)).collect();
+        let raw = SampleStats::from_samples(samples.iter().copied()).unwrap();
+        let avg = block_average(&samples, 16);
+        let red = SampleStats::from_samples(avg.iter().copied()).unwrap();
+        let ratio = raw.std / red.std;
+        assert!(
+            (ratio - 4.0).abs() < 0.5,
+            "expected ≈4x std reduction, got {ratio}"
+        );
+
+        fn rand_pcg(seed: u64) -> StdRng {
+            StdRng::seed_from_u64(seed)
+        }
+        fn gaussian(rng: &mut StdRng) -> f64 {
+            // Box-Muller transform; good enough for a test.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        }
+    }
+
+    #[test]
+    fn decimate_strides() {
+        assert_eq!(decimate(&[0.0, 1.0, 2.0, 3.0, 4.0], 2), vec![0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn zero_block_panics() {
+        let _ = block_average(&[1.0], 0);
+    }
+}

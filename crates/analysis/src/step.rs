@@ -1,0 +1,226 @@
+//! Step-response analysis (paper Fig 5).
+//!
+//! The step-response experiment drives the electronic load with a 100 Hz
+//! square wave and inspects how quickly the measured power follows. The
+//! helpers here locate edges, extract the low/high plateau levels and
+//! compute 10–90 % rise times.
+
+use ps3_units::{SimDuration, SimTime};
+
+use crate::trace::Trace;
+
+/// A detected step edge in a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepEdge {
+    /// Time of the sample where the signal first crosses 50 % of the
+    /// step amplitude.
+    pub time: SimTime,
+    /// `true` for a rising edge, `false` for falling.
+    pub rising: bool,
+}
+
+/// Estimates the low and high plateau levels of a square-wave trace.
+///
+/// Levels are taken as the means of the lower and upper halves of the
+/// samples, split at the global midpoint — robust to noise as long as
+/// the duty cycle is not extreme.
+///
+/// Returns `None` if the trace has fewer than two samples or no
+/// amplitude (all samples equal).
+#[must_use]
+pub fn step_levels(trace: &Trace) -> Option<(f64, f64)> {
+    if trace.len() < 2 {
+        return None;
+    }
+    let powers = trace.powers();
+    let min = powers.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = powers.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max <= min {
+        return None;
+    }
+    let mid = (min + max) / 2.0;
+    let (mut lo_sum, mut lo_n, mut hi_sum, mut hi_n) = (0.0, 0usize, 0.0, 0usize);
+    for p in &powers {
+        if *p < mid {
+            lo_sum += p;
+            lo_n += 1;
+        } else {
+            hi_sum += p;
+            hi_n += 1;
+        }
+    }
+    if lo_n == 0 || hi_n == 0 {
+        return None;
+    }
+    Some((lo_sum / lo_n as f64, hi_sum / hi_n as f64))
+}
+
+/// Finds all 50 %-crossing edges of a square-wave trace.
+///
+/// `low`/`high` are the plateau levels (see [`step_levels`]). Edges
+/// closer together than `min_separation` are merged (noise-induced
+/// double crossings).
+#[must_use]
+pub fn find_edges(trace: &Trace, low: f64, high: f64, min_separation: SimDuration) -> Vec<StepEdge> {
+    let mid = (low + high) / 2.0;
+    let mut edges = Vec::new();
+    let mut above = None::<bool>;
+    for s in trace.iter() {
+        let now_above = s.power.value() >= mid;
+        if let Some(prev) = above {
+            if prev != now_above {
+                let keep = edges
+                    .last()
+                    .map(|e: &StepEdge| s.time - e.time >= min_separation)
+                    .unwrap_or(true);
+                if keep {
+                    edges.push(StepEdge {
+                        time: s.time,
+                        rising: now_above,
+                    });
+                } else {
+                    // Merge: drop the bounce pair entirely.
+                    edges.pop();
+                }
+            }
+        }
+        above = Some(now_above);
+    }
+    edges
+}
+
+/// 10–90 % rise time of the first rising edge after `from`.
+///
+/// Scans forward for the first sample above `low + 10 %` of the
+/// amplitude that is followed (monotonicity not required) by a crossing
+/// of the 90 % threshold, and reports the time between those two
+/// crossings. Returns `None` when no complete rising edge exists.
+#[must_use]
+pub fn rise_time(trace: &Trace, low: f64, high: f64, from: SimTime) -> Option<SimDuration> {
+    let amp = high - low;
+    if amp <= 0.0 {
+        return None;
+    }
+    let t10 = low + 0.1 * amp;
+    let t90 = low + 0.9 * amp;
+    let mut start = None;
+    let mut below_since_start = true;
+    for s in trace.iter().filter(|s| s.time >= from) {
+        let p = s.power.value();
+        if start.is_none() {
+            if p <= t10 {
+                below_since_start = false;
+            } else if !below_since_start && p > t10 {
+                start = Some(s.time);
+            }
+        } else if p >= t90 {
+            return Some(s.time - start.unwrap());
+        } else if p <= t10 {
+            // Fell back below 10%: restart edge detection.
+            start = None;
+        }
+    }
+    None
+}
+
+/// Time for the signal to stay within `tolerance` of `target` after the
+/// edge at `edge_time`.
+#[must_use]
+pub fn settle_time(
+    trace: &Trace,
+    target: f64,
+    tolerance: f64,
+    edge_time: SimTime,
+) -> Option<SimDuration> {
+    let mut settled_at = None;
+    for s in trace.iter().filter(|s| s.time >= edge_time) {
+        if (s.power.value() - target).abs() <= tolerance {
+            settled_at.get_or_insert(s.time);
+        } else {
+            settled_at = None;
+        }
+    }
+    settled_at.map(|t| t - edge_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps3_units::Watts;
+
+    /// Builds a clean 100 Hz square wave between 40 W and 96 W sampled
+    /// at 20 kHz, with a 3-sample linear edge.
+    fn square_trace() -> Trace {
+        let mut t = Trace::new();
+        let period_samples = 200; // 10 ms at 50 µs
+        for i in 0..1000u64 {
+            let phase = i % period_samples;
+            let p = match phase {
+                0..=2 => 40.0 + 56.0 * (phase as f64 / 3.0),
+                3..=99 => 96.0,
+                100..=102 => 96.0 - 56.0 * ((phase - 100) as f64 / 3.0),
+                _ => 40.0,
+            };
+            t.push(SimTime::from_micros(i * 50), Watts::new(p));
+        }
+        t
+    }
+
+    #[test]
+    fn levels_of_square_wave() {
+        let (lo, hi) = step_levels(&square_trace()).unwrap();
+        assert!((lo - 40.0).abs() < 2.0, "lo={lo}");
+        assert!((hi - 96.0).abs() < 2.0, "hi={hi}");
+    }
+
+    #[test]
+    fn edges_alternate() {
+        let trace = square_trace();
+        let edges = find_edges(&trace, 40.0, 96.0, SimDuration::from_micros(500));
+        assert!(edges.len() >= 8, "found {} edges", edges.len());
+        for pair in edges.windows(2) {
+            assert_ne!(pair[0].rising, pair[1].rising);
+        }
+    }
+
+    #[test]
+    fn rise_time_of_three_sample_edge() {
+        let trace = square_trace();
+        let rt = rise_time(&trace, 40.0, 96.0, SimTime::ZERO).unwrap();
+        // Edge spans 3 samples of 50 µs; 10–90 % is within ~100–150 µs.
+        assert!(
+            rt <= SimDuration::from_micros(150),
+            "rise time {rt} too slow"
+        );
+    }
+
+    #[test]
+    fn rise_time_none_for_flat_signal() {
+        let mut t = Trace::new();
+        for i in 0..100u64 {
+            t.push(SimTime::from_micros(i * 50), Watts::new(50.0));
+        }
+        assert!(rise_time(&t, 50.0, 50.0, SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn settle_time_finds_stability() {
+        let mut t = Trace::new();
+        // Overshoot then settle at 100 W.
+        let profile = [0.0, 50.0, 120.0, 110.0, 103.0, 100.5, 100.2, 100.0, 100.1];
+        for (i, p) in profile.iter().enumerate() {
+            t.push(SimTime::from_micros(i as u64 * 50), Watts::new(*p));
+        }
+        let st = settle_time(&t, 100.0, 1.0, SimTime::ZERO).unwrap();
+        assert_eq!(st, SimDuration::from_micros(5 * 50));
+    }
+
+    #[test]
+    fn step_levels_rejects_flat_or_tiny() {
+        let mut t = Trace::new();
+        t.push(SimTime::ZERO, Watts::new(5.0));
+        t.push(SimTime::from_micros(50), Watts::new(5.0));
+        assert!(step_levels(&t).is_none());
+        assert!(step_levels(&Trace::new()).is_none());
+    }
+}

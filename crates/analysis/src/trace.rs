@@ -1,0 +1,309 @@
+//! Time-series containers for power measurements.
+
+use ps3_units::{Joules, SimDuration, SimTime, Watts};
+
+/// One sample of a power trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSample {
+    /// Device timestamp of the sample.
+    pub time: SimTime,
+    /// Total power across all sensors at that instant.
+    pub power: Watts,
+}
+
+/// A user marker recorded into a trace (continuous-mode marker
+/// characters, §III-C).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Marker {
+    /// Device timestamp the marker was attached to.
+    pub time: SimTime,
+    /// The marker character supplied by the application.
+    pub label: char,
+}
+
+/// A power trace: samples ordered by time, plus markers.
+///
+/// Produced by the host library's continuous mode and by the PMT
+/// monitors; consumed by every figure harness.
+///
+/// # Examples
+///
+/// ```
+/// use ps3_analysis::Trace;
+/// use ps3_units::{SimTime, Watts};
+///
+/// let mut trace = Trace::new();
+/// trace.push(SimTime::from_micros(0), Watts::new(10.0));
+/// trace.push(SimTime::from_micros(50), Watts::new(12.0));
+/// assert_eq!(trace.len(), 2);
+/// assert!((trace.mean_power().unwrap().value() - 11.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    samples: Vec<TraceSample>,
+    markers: Vec<Marker>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty trace with preallocated capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            samples: Vec::with_capacity(capacity),
+            markers: Vec::new(),
+        }
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `time` is earlier than the last sample.
+    pub fn push(&mut self, time: SimTime, power: Watts) {
+        debug_assert!(
+            self.samples.last().is_none_or(|s| s.time <= time),
+            "trace samples must be pushed in time order"
+        );
+        self.samples.push(TraceSample { time, power });
+    }
+
+    /// Records a marker character at `time`.
+    pub fn mark(&mut self, time: SimTime, label: char) {
+        self.markers.push(Marker { time, label });
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when the trace holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The samples, in time order.
+    #[must_use]
+    pub fn samples(&self) -> &[TraceSample] {
+        &self.samples
+    }
+
+    /// The recorded markers.
+    #[must_use]
+    pub fn markers(&self) -> &[Marker] {
+        &self.markers
+    }
+
+    /// Iterates over the samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceSample> {
+        self.samples.iter()
+    }
+
+    /// Power values as a plain vector (for the statistics helpers).
+    #[must_use]
+    pub fn powers(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.power.value()).collect()
+    }
+
+    /// Time span between first and last sample.
+    #[must_use]
+    pub fn span(&self) -> SimDuration {
+        match (self.samples.first(), self.samples.last()) {
+            (Some(a), Some(b)) => b.time - a.time,
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Mean power over all samples, or `None` when empty.
+    #[must_use]
+    pub fn mean_power(&self) -> Option<Watts> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let sum: f64 = self.samples.iter().map(|s| s.power.value()).sum();
+        Some(Watts::new(sum / self.samples.len() as f64))
+    }
+
+    /// Total energy by trapezoidal integration of the samples.
+    ///
+    /// Returns zero for traces with fewer than two samples.
+    #[must_use]
+    pub fn energy(&self) -> Joules {
+        let mut total = Joules::zero();
+        for pair in self.samples.windows(2) {
+            let dt = pair[1].time - pair[0].time;
+            let avg = (pair[0].power + pair[1].power) / 2.0;
+            total += avg * dt;
+        }
+        total
+    }
+
+    /// Returns the sub-trace with `start <= t < end` (markers included).
+    #[must_use]
+    pub fn slice(&self, start: SimTime, end: SimTime) -> Trace {
+        Trace {
+            samples: self
+                .samples
+                .iter()
+                .filter(|s| s.time >= start && s.time < end)
+                .copied()
+                .collect(),
+            markers: self
+                .markers
+                .iter()
+                .filter(|m| m.time >= start && m.time < end)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The sub-trace between the first markers labelled `start` and
+    /// `end` (half-open, like [`Trace::slice`]).
+    ///
+    /// This is how kernel-level energy is extracted from a continuous
+    /// capture: `trace.between_markers('k', 'e')` isolates the samples
+    /// the application bracketed with marker commands. Returns `None`
+    /// when either marker is missing or they are out of order.
+    #[must_use]
+    pub fn between_markers(&self, start: char, end: char) -> Option<Trace> {
+        let t0 = self.markers.iter().find(|m| m.label == start)?.time;
+        let t1 = self
+            .markers
+            .iter()
+            .find(|m| m.label == end && m.time >= t0)?
+            .time;
+        Some(self.slice(t0, t1))
+    }
+
+    /// Average sampling rate in Hz, or `None` for traces shorter than
+    /// two samples.
+    #[must_use]
+    pub fn sample_rate(&self) -> Option<f64> {
+        if self.samples.len() < 2 {
+            return None;
+        }
+        let span = self.span().as_secs_f64();
+        if span <= 0.0 {
+            return None;
+        }
+        Some((self.samples.len() - 1) as f64 / span)
+    }
+}
+
+impl Extend<TraceSample> for Trace {
+    fn extend<T: IntoIterator<Item = TraceSample>>(&mut self, iter: T) {
+        for s in iter {
+            self.push(s.time, s.power);
+        }
+    }
+}
+
+impl FromIterator<TraceSample> for Trace {
+    fn from_iter<T: IntoIterator<Item = TraceSample>>(iter: T) -> Self {
+        let mut trace = Trace::new();
+        trace.extend(iter);
+        trace
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceSample;
+    type IntoIter = std::slice::Iter<'a, TraceSample>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_trace() -> Trace {
+        // 0 W at t=0 rising linearly to 10 W at t=1s, 11 samples.
+        (0..=10)
+            .map(|i| TraceSample {
+                time: SimTime::from_nanos(i * 100_000_000),
+                power: Watts::new(i as f64),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn energy_of_linear_ramp() {
+        // ∫0..1 of 10t dt = 5 J; trapezoid on a linear signal is exact.
+        let e = ramp_trace().energy();
+        assert!((e.value() - 5.0).abs() < 1e-9, "got {e}");
+    }
+
+    #[test]
+    fn energy_of_constant_power() {
+        let trace: Trace = (0..=4)
+            .map(|i| TraceSample {
+                time: SimTime::from_micros(i * 50),
+                power: Watts::new(20.0),
+            })
+            .collect();
+        assert!((trace.energy().value() - 20.0 * 200e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slice_is_half_open() {
+        let t = ramp_trace();
+        let s = t.slice(SimTime::from_nanos(0), SimTime::from_nanos(300_000_000));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.samples()[2].power, Watts::new(2.0));
+    }
+
+    #[test]
+    fn sample_rate_of_20khz_trace() {
+        let trace: Trace = (0..100)
+            .map(|i| TraceSample {
+                time: SimTime::from_micros(i * 50),
+                power: Watts::new(1.0),
+            })
+            .collect();
+        let rate = trace.sample_rate().unwrap();
+        assert!((rate - 20_000.0).abs() < 1.0, "got {rate}");
+    }
+
+    #[test]
+    fn markers_survive_slicing() {
+        let mut t = ramp_trace();
+        t.mark(SimTime::from_nanos(150_000_000), 'k');
+        t.mark(SimTime::from_nanos(950_000_000), 'e');
+        let s = t.slice(SimTime::from_nanos(0), SimTime::from_nanos(500_000_000));
+        assert_eq!(s.markers().len(), 1);
+        assert_eq!(s.markers()[0].label, 'k');
+    }
+
+    #[test]
+    fn between_markers_extracts_kernel_window() {
+        let mut t = ramp_trace();
+        t.mark(SimTime::from_nanos(200_000_000), 'k');
+        t.mark(SimTime::from_nanos(600_000_000), 'e');
+        let window = t.between_markers('k', 'e').unwrap();
+        assert_eq!(window.len(), 4); // samples at 0.2, 0.3, 0.4, 0.5 s
+        assert_eq!(window.samples()[0].power, Watts::new(2.0));
+        // Missing or reversed markers yield None.
+        assert!(t.between_markers('x', 'e').is_none());
+        assert!(t.between_markers('e', 'k').is_none());
+    }
+
+    #[test]
+    fn empty_trace_edge_cases() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.energy(), Joules::zero());
+        assert!(t.mean_power().is_none());
+        assert!(t.sample_rate().is_none());
+        assert_eq!(t.span(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,156 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! firmware averaging depth, the pre-rendered display fonts, USB
+//! buffering, fault-injection overhead, and the DUT governor/FTL step
+//! costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use ps3_duts::{ConstantDut, Dut, FioJob, GpuKernel, GpuModel, GpuSpec, IoPattern, RailId, SsdModel, SsdSpec};
+use ps3_firmware::{Display, PairReadout};
+use ps3_sensors::ModuleKind;
+use ps3_testbed::TestbedBuilder;
+use ps3_transport::{FaultPlan, FaultyTransport, Transport, VirtualSerial};
+use ps3_units::{Amps, SimDuration, SimTime, Volts};
+
+/// End-to-end pipeline throughput at different firmware averaging
+/// depths: deeper averaging lowers the output rate (and host load) at
+/// the same ADC duty cycle — the §III-B trade-off that sets 20 kHz.
+fn bench_averaging_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_averaging");
+    g.sample_size(10).measurement_time(Duration::from_secs(20));
+    for averages in [1u32, 3, 6, 12] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(averages),
+            &averages,
+            |b, &averages| {
+                b.iter(|| {
+                    let dut =
+                        ConstantDut::new(RailId::Slot12V, Volts::new(12.0), Amps::new(2.0));
+                    let mut tb = TestbedBuilder::new(dut)
+                        .attach(ModuleKind::Slot10A12V, RailId::Slot12V)
+                        .averaging(averages)
+                        .build();
+                    let ps = tb.connect().unwrap();
+                    tb.advance_and_sync(&ps, SimDuration::from_millis(20)).unwrap();
+                    std::hint::black_box(ps.read().total_watts())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Display DMA traffic: pre-rendered glyphs vs full-frame redraws
+/// (§III-B2's two firmware optimisations).
+fn bench_display_fonts(c: &mut Criterion) {
+    let pairs = [
+        PairReadout {
+            volts: 12.0,
+            amps: 8.0,
+        },
+        PairReadout {
+            volts: 3.3,
+            amps: 1.1,
+        },
+    ];
+    let mut g = c.benchmark_group("ablation_display");
+    for prerendered in [true, false] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(if prerendered { "glyphs" } else { "full_frame" }),
+            &prerendered,
+            |b, &prerendered| {
+                b.iter(|| {
+                    let mut d = Display::new();
+                    d.set_prerendered_fonts(prerendered);
+                    for k in 0..100u64 {
+                        d.update(SimTime::from_micros(k * 500_000), 99.4, &pairs);
+                    }
+                    std::hint::black_box(d.dma_bytes())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Transport throughput with and without fault injection, and under
+/// tight (USB-endpoint-sized) buffering.
+fn bench_transport(c: &mut Criterion) {
+    let payload = vec![0x55u8; 256 * 1024];
+    let mut g = c.benchmark_group("ablation_transport");
+    g.sample_size(10);
+    g.bench_function("clean_link", |b| {
+        b.iter(|| {
+            let (tx, rx) = VirtualSerial::pair();
+            let data = payload.clone();
+            let writer = std::thread::spawn(move || tx.write_all(&data).unwrap());
+            let mut buf = vec![0u8; payload.len()];
+            rx.read_exact(&mut buf).unwrap();
+            writer.join().unwrap();
+            std::hint::black_box(buf[0])
+        })
+    });
+    g.bench_function("noisy_link", |b| {
+        b.iter(|| {
+            let (tx, rx) = VirtualSerial::pair();
+            let rx = FaultyTransport::new(rx, FaultPlan::NOISY, 5);
+            let data = payload.clone();
+            let writer = std::thread::spawn(move || tx.write_all(&data).unwrap());
+            let mut buf = vec![0u8; payload.len()];
+            rx.read_exact(&mut buf).unwrap();
+            writer.join().unwrap();
+            std::hint::black_box(buf[0])
+        })
+    });
+    g.bench_function("tiny_buffers", |b| {
+        b.iter(|| {
+            let (tx, rx) = VirtualSerial::pair_with_capacity(64);
+            let data = payload.clone();
+            let writer = std::thread::spawn(move || tx.write_all(&data).unwrap());
+            let mut buf = vec![0u8; payload.len()];
+            rx.read_exact(&mut buf).unwrap();
+            writer.join().unwrap();
+            std::hint::black_box(buf[0])
+        })
+    });
+    g.finish();
+}
+
+/// Cost of the DUT model steps the analog frontend pays per ADC
+/// conversion.
+fn bench_dut_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_dut_step");
+    g.bench_function("gpu_rail_state", |b| {
+        let mut gpu = GpuModel::new(GpuSpec::rtx4000_ada(), 3);
+        gpu.launch(GpuKernel::synthetic_fma(SimDuration::from_secs(3600), 100));
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimDuration::from_nanos(1042);
+            std::hint::black_box(gpu.rail_state(RailId::Ext12V, t))
+        })
+    });
+    g.bench_function("ssd_rail_state_under_gc", |b| {
+        let mut ssd = SsdModel::new(SsdSpec::samsung_980_pro(), 4);
+        ssd.precondition();
+        ssd.start_job(FioJob {
+            pattern: IoPattern::RandWrite { block_kib: 4 },
+            queue_depth: 32,
+        });
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimDuration::from_nanos(1042);
+            std::hint::black_box(ssd.rail_state(RailId::Slot3V3, t))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_averaging_depth,
+    bench_display_fonts,
+    bench_transport,
+    bench_dut_models
+);
+criterion_main!(ablations);

@@ -1,0 +1,149 @@
+//! One Criterion bench per paper table/figure.
+//!
+//! Each bench runs a reduced-scale version of the corresponding
+//! experiment end-to-end (full sensor/firmware/host pipeline), so
+//! `cargo bench` both regenerates every result and times it. The
+//! full-scale numbers come from `cargo run --release -p ps3-bench --bin
+//! repro -- --full`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use ps3_bench::{fig12, fig4, fig5, fig7, fig8, stability, table1, table2};
+use ps3_units::SimDuration;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_error_budget", |b| {
+        b.iter(|| std::hint::black_box(table1::run()))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10).measurement_time(Duration::from_secs(20));
+    g.bench_function("error_vs_rate_4k_samples", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(table2::run(4096, seed))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10).measurement_time(Duration::from_secs(30));
+    g.bench_function("sweep_all_modules_512_samples", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(fig4::run(512, seed))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10).measurement_time(Duration::from_secs(15));
+    g.bench_function("step_response_10ms", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(fig5::run(10, seed))
+        })
+    });
+    g.finish();
+}
+
+fn bench_stability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stability");
+    g.sample_size(10).measurement_time(Duration::from_secs(20));
+    g.bench_function("one_hour_4_probes", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(stability::run(
+                1.0,
+                SimDuration::from_secs(900),
+                4096,
+                seed,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10).measurement_time(Duration::from_secs(40));
+    g.bench_function("nvidia_quick", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(fig7::run_nvidia(fig7::Fig7Timing::quick(), seed))
+        })
+    });
+    g.bench_function("amd_quick", |b| {
+        let mut seed = 1000u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(fig7::run_amd(fig7::Fig7Timing::quick(), seed))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_fig10");
+    g.sample_size(10).measurement_time(Duration::from_secs(60));
+    g.bench_function("rtx4000_subset_64_configs", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(fig8::run_rtx4000(64, 2, seed))
+        })
+    });
+    g.bench_function("jetson_subset_16_configs", |b| {
+        let mut seed = 2000u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(fig8::run_jetson(128, 4, seed))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10).measurement_time(Duration::from_secs(40));
+    g.bench_function("reads_100ms_windows", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(fig12::run_reads(SimDuration::from_millis(100), seed))
+        })
+    });
+    g.bench_function("writes_15s", |b| {
+        let mut seed = 3000u64;
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(fig12::run_writes(15, seed))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    experiments,
+    bench_table1,
+    bench_table2,
+    bench_fig4,
+    bench_fig5,
+    bench_stability,
+    bench_fig7,
+    bench_fig8,
+    bench_fig12
+);
+criterion_main!(experiments);

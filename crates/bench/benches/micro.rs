@@ -1,0 +1,148 @@
+//! Microbenchmarks of the hot paths: wire protocol, ADC sequencing,
+//! sensor models, host decode, and analysis kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use ps3_analysis::{block_average, pareto_front, ParetoPoint, Trace};
+use ps3_firmware::protocol::{Packet, StreamDecoder};
+use ps3_firmware::AdcSequencer;
+use ps3_sensors::{HallCurrentSensor, HallSensorSpec, ModuleKind, SensorModule};
+use ps3_units::{Amps, SimTime, Volts, Watts};
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("encode_sample", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                Packet::Sample {
+                    sensor: 3,
+                    marker: false,
+                    value: 0x2AB,
+                }
+                .encode(),
+            )
+        })
+    });
+    g.bench_function("decode_sample", |b| {
+        let bytes = Packet::Sample {
+            sensor: 3,
+            marker: false,
+            value: 0x2AB,
+        }
+        .encode();
+        b.iter(|| std::hint::black_box(Packet::decode(bytes).unwrap()))
+    });
+    g.finish();
+
+    // A second of wire traffic: 20 k frames × 9 packets × 2 bytes.
+    let mut stream = Vec::new();
+    for frame in 0..20_000u64 {
+        stream.extend_from_slice(
+            &Packet::Timestamp {
+                micros: ((frame * 50) % 1024) as u16,
+            }
+            .encode(),
+        );
+        for s in 0..8u8 {
+            stream.extend_from_slice(
+                &Packet::Sample {
+                    sensor: s % 7,
+                    marker: false,
+                    value: 512,
+                }
+                .encode(),
+            );
+        }
+    }
+    let mut g = c.benchmark_group("stream_decode");
+    g.throughput(Throughput::Bytes(stream.len() as u64));
+    g.bench_function("one_second_of_traffic", |b| {
+        b.iter(|| {
+            let mut dec = StreamDecoder::new();
+            std::hint::black_box(dec.push_slice(&stream).len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_adc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adc");
+    g.throughput(Throughput::Elements(48));
+    g.bench_function("frame_48_conversions", |b| {
+        let mut seq = AdcSequencer::new();
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += ps3_firmware::FRAME_INTERVAL;
+            std::hint::black_box(seq.run_frame(&mut |_c: usize, _t: SimTime| 1.65f64, t))
+        })
+    });
+    g.finish();
+}
+
+fn bench_sensors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sensors");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("hall_sample", |b| {
+        let mut hall = HallCurrentSensor::new(HallSensorSpec::MLX91221_10A, 3.3, 7);
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += ps3_units::SimDuration::from_nanos(1042);
+            std::hint::black_box(hall.output_voltage(Amps::new(4.2), t))
+        })
+    });
+    g.bench_function("module_pair_sample", |b| {
+        let mut module = SensorModule::new(ModuleKind::Slot10A12V, 9);
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += ps3_units::SimDuration::from_nanos(1042);
+            std::hint::black_box(module.sample(Volts::new(12.0), Amps::new(4.2), t))
+        })
+    });
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let samples: Vec<f64> = (0..131_072).map(|i| (i % 97) as f64).collect();
+    let mut g = c.benchmark_group("analysis");
+    g.throughput(Throughput::Elements(samples.len() as u64));
+    g.bench_function("block_average_128k_by_20", |b| {
+        b.iter(|| std::hint::black_box(block_average(&samples, 20)))
+    });
+    g.bench_function("stats_128k", |b| {
+        b.iter(|| {
+            std::hint::black_box(ps3_analysis::SampleStats::from_samples(
+                samples.iter().copied(),
+            ))
+        })
+    });
+    g.finish();
+
+    let points: Vec<ParetoPoint> = (0..5120u32)
+        .map(|i| {
+            let x = f64::from(i.wrapping_mul(2_654_435_761) % 100_000) / 1000.0;
+            let y = f64::from(i.wrapping_mul(40_503) % 100_000) / 1000.0;
+            ParetoPoint::new(x, y)
+        })
+        .collect();
+    let mut g = c.benchmark_group("pareto");
+    g.throughput(Throughput::Elements(points.len() as u64));
+    g.bench_function("front_of_5120_points", |b| {
+        b.iter(|| std::hint::black_box(pareto_front(&points).len()))
+    });
+    g.finish();
+
+    let mut trace = Trace::with_capacity(131_072);
+    for i in 0..131_072u64 {
+        trace.push(SimTime::from_micros(i * 50), Watts::new(96.0));
+    }
+    let mut g = c.benchmark_group("trace");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("energy_integration_128k", |b| {
+        b.iter(|| std::hint::black_box(trace.energy()))
+    });
+    g.finish();
+}
+
+criterion_group!(micro, bench_protocol, bench_adc, bench_sensors, bench_analysis);
+criterion_main!(micro);

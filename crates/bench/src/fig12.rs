@@ -1,0 +1,193 @@
+//! Fig 12: SSD power and bandwidth.
+//!
+//! (a) random reads at increasing request sizes: bandwidth and power
+//! rise together until the device saturates. (b) a long random-write
+//! run: bandwidth swings with garbage collection while power climbs to
+//! ~5 W at the first descend and then stays flat — bandwidth is *not*
+//! an indicator of power.
+
+use ps3_core::watts;
+use ps3_duts::{FioJob, IoPattern, SsdSpec};
+use ps3_testbed::setups::ssd_riser;
+use ps3_units::SimDuration;
+
+use crate::report::text_table;
+
+/// One request-size point of Fig 12a.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig12aRow {
+    /// Request size in KiB.
+    pub size_kib: u32,
+    /// Measured read bandwidth in MB/s.
+    pub bandwidth_mbps: f64,
+    /// Measured average drive power in watts.
+    pub power_w: f64,
+}
+
+/// The request sizes swept (log-spaced across the paper's 1–4096 KiB).
+pub const READ_SIZES: [u32; 13] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+
+/// Runs Fig 12a: each size measured for `window` (paper: 10 s).
+#[must_use]
+pub fn run_reads(window: SimDuration, seed: u64) -> Vec<Fig12aRow> {
+    let mut tb = ssd_riser(SsdSpec::samsung_980_pro(), seed);
+    let ssd = tb.dut();
+    let ps = tb.connect().expect("connect");
+    let mut rows = Vec::new();
+    for &size_kib in &READ_SIZES {
+        ssd.lock().start_job(FioJob {
+            pattern: IoPattern::RandRead { block_kib: size_kib },
+            queue_depth: 32,
+        });
+        tb.advance_and_sync(&ps, SimDuration::from_millis(20))
+            .expect("settle");
+        let bytes0 = ssd.lock().stats(tb.device_time()).host_read_bytes;
+        let s0 = ps.read();
+        tb.advance_and_sync(&ps, window).expect("window");
+        let bytes1 = ssd.lock().stats(tb.device_time()).host_read_bytes;
+        let s1 = ps.read();
+        rows.push(Fig12aRow {
+            size_kib,
+            bandwidth_mbps: (bytes1 - bytes0) as f64 / window.as_secs_f64() / 1e6,
+            power_w: watts(&s0, &s1).value(),
+        });
+    }
+    rows
+}
+
+/// One per-second point of Fig 12b.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig12bPoint {
+    /// Seconds since the random-write workload started.
+    pub t_s: f64,
+    /// Host write bandwidth over the last second, MB/s.
+    pub bandwidth_mbps: f64,
+    /// Average drive power over the last second, watts.
+    pub power_w: f64,
+}
+
+/// Runs Fig 12b: format, precondition, then `seconds` of 4 KiB random
+/// writes at one-second reporting granularity (paper: >20 min).
+#[must_use]
+pub fn run_writes(seconds: u64, seed: u64) -> Vec<Fig12bPoint> {
+    let mut tb = ssd_riser(SsdSpec::samsung_980_pro(), seed);
+    let ssd = tb.dut();
+    let ps = tb.connect().expect("connect");
+    {
+        let mut drive = ssd.lock();
+        drive.format();
+        drive.precondition();
+        drive.start_job(FioJob {
+            pattern: IoPattern::RandWrite { block_kib: 4 },
+            queue_depth: 32,
+        });
+    }
+    let mut points = Vec::with_capacity(seconds as usize);
+    let mut prev_bytes = ssd.lock().stats(tb.device_time()).host_write_bytes;
+    let mut prev_state = ps.read();
+    for sec in 1..=seconds {
+        tb.advance_and_sync(&ps, SimDuration::from_secs(1))
+            .expect("advance");
+        let bytes = ssd.lock().stats(tb.device_time()).host_write_bytes;
+        let state = ps.read();
+        points.push(Fig12bPoint {
+            t_s: sec as f64,
+            bandwidth_mbps: (bytes - prev_bytes) as f64 / 1e6,
+            power_w: watts(&prev_state, &state).value(),
+        });
+        prev_bytes = bytes;
+        prev_state = state;
+    }
+    points
+}
+
+/// Renders Fig 12a as a table.
+#[must_use]
+pub fn render_reads(rows: &[Fig12aRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.size_kib),
+                format!("{:.0}", r.bandwidth_mbps),
+                format!("{:.2}", r.power_w),
+            ]
+        })
+        .collect();
+    text_table(&["req [KiB]", "BW [MB/s]", "P [W]"], &body)
+}
+
+/// Renders a decimated Fig 12b series plus the variability summary.
+#[must_use]
+pub fn render_writes(points: &[Fig12bPoint]) -> String {
+    use std::fmt::Write as _;
+    let bw = ps3_analysis::SampleStats::from_samples(
+        points.iter().skip(10).map(|p| p.bandwidth_mbps),
+    );
+    let pw =
+        ps3_analysis::SampleStats::from_samples(points.iter().skip(10).map(|p| p.power_w));
+    let mut out = String::new();
+    if let (Some(bw), Some(pw)) = (bw, pw) {
+        let _ = writeln!(
+            out,
+            "steady state: bandwidth CV {:.1}% vs power CV {:.1}% — bandwidth is not \
+             indicative of power",
+            100.0 * bw.std / bw.mean,
+            100.0 * pw.std / pw.mean
+        );
+    }
+    let body: Vec<Vec<String>> = points
+        .iter()
+        .step_by((points.len() / 30).max(1))
+        .map(|p| {
+            vec![
+                format!("{:.0}", p.t_s),
+                format!("{:.0}", p.bandwidth_mbps),
+                format!("{:.2}", p.power_w),
+            ]
+        })
+        .collect();
+    out.push_str(&text_table(&["t [s]", "BW [MB/s]", "P [W]"], &body));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_rise_then_saturate() {
+        let rows = run_reads(SimDuration::from_millis(300), 120);
+        assert_eq!(rows.len(), READ_SIZES.len());
+        // Bandwidth and power grow with request size…
+        assert!(rows[0].bandwidth_mbps < rows[6].bandwidth_mbps);
+        assert!(rows[0].power_w < rows[6].power_w);
+        // …and saturate at the top end.
+        let last = rows.last().unwrap();
+        let mid = &rows[8]; // 256 KiB
+        assert!(last.bandwidth_mbps < mid.bandwidth_mbps * 1.15);
+        assert!((last.bandwidth_mbps - 7000.0).abs() < 400.0, "sat {}", last.bandwidth_mbps);
+        assert!(last.power_w > 5.0 && last.power_w < 7.0, "P {}", last.power_w);
+    }
+
+    #[test]
+    fn writes_descend_and_power_stabilises() {
+        let points = run_writes(40, 121);
+        // Burst phase at the start…
+        let burst = points[1].bandwidth_mbps;
+        assert!(burst > 1000.0, "burst {burst}");
+        // …descends into GC-bound steady state.
+        let steady: Vec<&Fig12bPoint> = points.iter().skip(10).collect();
+        let bw_mean =
+            steady.iter().map(|p| p.bandwidth_mbps).sum::<f64>() / steady.len() as f64;
+        assert!(bw_mean < 0.6 * burst, "steady {bw_mean} vs burst {burst}");
+        // Power ends up around 5 W and stays there.
+        let pw = ps3_analysis::SampleStats::from_samples(steady.iter().map(|p| p.power_w))
+            .unwrap();
+        assert!((pw.mean - 5.0).abs() < 0.6, "power {}", pw.mean);
+        assert!(pw.std / pw.mean < 0.05, "power CV {}", pw.std / pw.mean);
+        // Burst-phase power is lower than steady-state power (the paper:
+        // power *increases* to 5 W at the first bandwidth descend).
+        assert!(points[1].power_w < pw.mean - 0.3, "burst P {}", points[1].power_w);
+    }
+}

@@ -1,0 +1,270 @@
+//! Fig 7: GPU energy traces — PowerSensor3 at 20 kHz versus the
+//! vendor's on-board sensor APIs.
+//!
+//! The synthetic workload is a grid of fused multiply-add thread
+//! blocks: the x-dimension matches the SM/CU count and the y-dimension
+//! makes the kernel run about two seconds as sequential waves. On the
+//! NVIDIA-like GPU (Fig 7a) PowerSensor3 resolves the launch spike,
+//! the clock ramp, the inter-wave dips, and the slow idle decay that
+//! NVML's 10 Hz refresh misses entirely; on the AMD-like GPU (Fig 7b)
+//! the AMD SMI readings track PowerSensor3 closely.
+
+use ps3_analysis::Trace;
+use ps3_duts::{
+    AmdSmiSensor, GpuKernel, GpuSpec, NvmlSensor, OnboardSensor,
+};
+use ps3_testbed::setups::gpu_riser;
+use ps3_units::{SimDuration, SimTime};
+
+/// The trace bundle for one GPU.
+#[derive(Debug, Clone)]
+pub struct Fig7Result {
+    /// GPU name.
+    pub gpu_name: &'static str,
+    /// The PowerSensor3 trace (20 kHz, markers at kernel start/end).
+    pub ps3: Trace,
+    /// On-board sensor traces, polled at 10 ms (values hold between
+    /// the sensors' own refreshes).
+    pub onboard: Vec<(String, Trace)>,
+    /// When the kernel was launched / finished (device time).
+    pub kernel_window: (SimTime, SimTime),
+}
+
+/// Phase durations: idle lead-in, kernel length, decay tail.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Timing {
+    /// Idle before the kernel.
+    pub lead_in: SimDuration,
+    /// Kernel execution target.
+    pub kernel: SimDuration,
+    /// Tail after the kernel (captures the idle decay).
+    pub tail: SimDuration,
+}
+
+impl Fig7Timing {
+    /// The paper's timing: short idle, ~2 s kernel, >1 s decay.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            lead_in: SimDuration::from_millis(300),
+            kernel: SimDuration::from_secs(2),
+            tail: SimDuration::from_millis(1500),
+        }
+    }
+
+    /// A reduced version for tests and quick runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            lead_in: SimDuration::from_millis(100),
+            kernel: SimDuration::from_millis(600),
+            tail: SimDuration::from_millis(400),
+        }
+    }
+}
+
+/// Fig 7a: the NVIDIA-like GPU with NVML instantaneous + average.
+#[must_use]
+pub fn run_nvidia(timing: Fig7Timing, seed: u64) -> Fig7Result {
+    let spec = GpuSpec::rtx4000_ada();
+    let tb = gpu_riser(spec.clone(), seed);
+    let sensors: Vec<(String, Box<dyn OnboardSensor>)> = vec![
+        (
+            "NVML (instantaneous)".to_owned(),
+            Box::new(NvmlSensor::instantaneous(tb.dut())),
+        ),
+        (
+            "NVML (average)".to_owned(),
+            Box::new(NvmlSensor::average(tb.dut())),
+        ),
+    ];
+    run_impl(tb, timing, spec.name, sensors, move |g| {
+        g.lock().launch(GpuKernel {
+            waves: 8,
+            wave_duration: timing.kernel / 8,
+            gap: SimDuration::from_micros(400),
+            utilization: 0.9,
+        });
+    })
+}
+
+/// Fig 7b: the AMD-like GPU with ROCm SMI and AMD SMI.
+#[must_use]
+pub fn run_amd(timing: Fig7Timing, seed: u64) -> Fig7Result {
+    let spec = GpuSpec::w7700();
+    let tb = gpu_riser(spec.clone(), seed);
+    let sensors: Vec<(String, Box<dyn OnboardSensor>)> = vec![
+        (
+            "ROCm SMI".to_owned(),
+            Box::new(AmdSmiSensor::rocm_smi(tb.dut())),
+        ),
+        (
+            "AMD SMI".to_owned(),
+            Box::new(AmdSmiSensor::amd_smi(tb.dut())),
+        ),
+    ];
+    run_impl(tb, timing, spec.name, sensors, move |g| {
+        g.lock().launch(GpuKernel {
+            waves: 8,
+            wave_duration: timing.kernel / 8,
+            gap: SimDuration::from_micros(400),
+            utilization: 1.0,
+        });
+    })
+}
+
+fn run_impl(
+    mut tb: ps3_testbed::Testbed<ps3_duts::GpuModel>,
+    timing: Fig7Timing,
+    gpu_name: &'static str,
+    mut sensors: Vec<(String, Box<dyn OnboardSensor>)>,
+    launch: impl FnOnce(std::sync::Arc<parking_lot::Mutex<ps3_duts::GpuModel>>),
+) -> Fig7Result {
+    let ps = tb.connect().expect("connect");
+    let poll = SimDuration::from_millis(10);
+    let mut traces: Vec<Trace> = sensors.iter().map(|_| Trace::new()).collect();
+    ps.begin_trace();
+
+    let mut drive = |tb: &ps3_testbed::Testbed<ps3_duts::GpuModel>, dur: SimDuration| {
+        let chunks = dur / poll;
+        for _ in 0..chunks {
+            tb.advance_and_sync(&ps, poll).expect("advance");
+            let now = tb.device_time();
+            for ((_, sensor), trace) in sensors.iter_mut().zip(traces.iter_mut()) {
+                trace.push(now, sensor.read(now).power);
+            }
+        }
+    };
+
+    drive(&tb, timing.lead_in);
+    ps.mark('k').expect("marker");
+    let kernel_start = tb.device_time();
+    launch(tb.dut());
+    drive(&tb, timing.kernel);
+    let kernel_end = tb.device_time();
+    ps.mark('e').expect("marker");
+    drive(&tb, timing.tail);
+
+    let ps3 = ps.end_trace();
+    let onboard = sensors
+        .into_iter()
+        .map(|(name, _)| name)
+        .zip(traces)
+        .collect();
+    Fig7Result {
+        gpu_name,
+        ps3,
+        onboard,
+        kernel_window: (kernel_start, kernel_end),
+    }
+}
+
+/// Renders a summary: per-source statistics inside and outside the
+/// kernel window.
+#[must_use]
+pub fn render(r: &Fig7Result) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{} — energy trace comparison", r.gpu_name);
+    let (k0, k1) = r.kernel_window;
+    let summarize = |name: &str, trace: &Trace| -> String {
+        let during = trace.slice(k0, k1);
+        let stats = ps3_analysis::SampleStats::from_samples(during.powers());
+        match stats {
+            Some(s) => format!(
+                "{name:<22} samples={:<7} kernel: mean {:.1} W  min {:.1} W  max {:.1} W  energy {:.1} J",
+                trace.len(),
+                s.mean,
+                s.min,
+                s.max,
+                during.energy().value()
+            ),
+            None => format!("{name:<22} (no samples)"),
+        }
+    };
+    let _ = writeln!(out, "{}", summarize("PowerSensor3", &r.ps3));
+    for (name, trace) in &r.onboard {
+        let _ = writeln!(out, "{}", summarize(name, trace));
+    }
+    let _ = writeln!(
+        out,
+        "markers: {:?}",
+        r.ps3.markers().iter().map(|m| m.label).collect::<Vec<_>>()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps3_analysis::SampleStats;
+
+    #[test]
+    fn nvidia_ps3_sees_dips_nvml_does_not() {
+        let r = run_nvidia(Fig7Timing::quick(), 71);
+        let (k0, k1) = r.kernel_window;
+        // Steady part of the kernel (skip the ramp).
+        let mid0 = k0 + SimDuration::from_millis(300);
+        let ps3 = r.ps3.slice(mid0, k1);
+        let s = SampleStats::from_samples(ps3.powers()).unwrap();
+        assert!(
+            s.min < 0.75 * s.max,
+            "PS3 resolves dips: min {} max {}",
+            s.min,
+            s.max
+        );
+        let nvml = &r.onboard[0].1.slice(mid0, k1);
+        let n = SampleStats::from_samples(nvml.powers()).unwrap();
+        assert!(
+            n.min > 0.8 * n.max,
+            "NVML misses dips: min {} max {}",
+            n.min,
+            n.max
+        );
+    }
+
+    #[test]
+    fn nvidia_average_lags_behind() {
+        let r = run_nvidia(Fig7Timing::quick(), 72);
+        let (k0, _) = r.kernel_window;
+        // Shortly after launch, the 1 s window average still mostly
+        // contains idle samples.
+        let early0 = k0 + SimDuration::from_millis(100);
+        let early1 = k0 + SimDuration::from_millis(300);
+        let instant = r.onboard[0].1.slice(early0, early1);
+        let average = r.onboard[1].1.slice(early0, early1);
+        let i = instant.mean_power().unwrap().value();
+        let a = average.mean_power().unwrap().value();
+        assert!(a < i - 15.0, "average {a} lags instant {i}");
+    }
+
+    #[test]
+    fn amd_smi_matches_ps3() {
+        let r = run_amd(Fig7Timing::quick(), 73);
+        let (k0, k1) = r.kernel_window;
+        let mid0 = k0 + SimDuration::from_millis(300);
+        let ps3_mean = r.ps3.slice(mid0, k1).mean_power().unwrap().value();
+        for (name, trace) in &r.onboard {
+            let smi = trace.slice(mid0, k1).mean_power().unwrap().value();
+            assert!(
+                (smi - ps3_mean).abs() < 6.0,
+                "{name} mean {smi} vs PS3 {ps3_mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn markers_recorded_at_kernel_boundaries() {
+        let r = run_amd(Fig7Timing::quick(), 74);
+        let labels: Vec<char> = r.ps3.markers().iter().map(|m| m.label).collect();
+        assert_eq!(labels, vec!['k', 'e']);
+    }
+
+    #[test]
+    fn ps3_rate_is_20khz_and_onboard_poll_is_100hz() {
+        let r = run_amd(Fig7Timing::quick(), 75);
+        assert!((r.ps3.sample_rate().unwrap() - 20_000.0).abs() < 200.0);
+        let poll_rate = r.onboard[0].1.sample_rate().unwrap();
+        assert!((poll_rate - 100.0).abs() < 5.0, "poll {poll_rate}");
+    }
+}

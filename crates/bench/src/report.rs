@@ -1,0 +1,103 @@
+//! Shared reporting helpers: aligned text tables and CSV artifacts.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use ps3_analysis::csv::CsvWriter;
+
+/// Renders rows of cells as an aligned text table with a header.
+#[must_use]
+pub fn text_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in header.iter().enumerate() {
+        let _ = write!(out, "{:>w$}  ", h, w = widths[i]);
+    }
+    out.push('\n');
+    for (i, _) in header.iter().enumerate() {
+        let _ = write!(out, "{}  ", "-".repeat(widths[i]));
+    }
+    out.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(out, "{:>w$}  ", cell, w = widths[i]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Where CSV artifacts land (`results/` at the workspace root, or the
+/// current directory as a fallback).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let candidate = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("results");
+    candidate
+}
+
+/// Writes rows of `f64` values (with a string header) as a CSV file in
+/// the results directory.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<f64>]) -> io::Result<PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    let file = fs::File::create(&path)?;
+    let mut w = CsvWriter::new(io::BufWriter::new(file));
+    w.write_row(header.iter().copied())?;
+    for row in rows {
+        w.write_f64_row(row.iter().copied(), 6)?;
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = text_table(
+            &["a", "bee"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["100".into(), "2000".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("bee"));
+        assert!(lines[3].contains("100"));
+        // All lines equal width (trailing spaces aside).
+        let w: Vec<usize> = lines.iter().map(|l| l.trim_end().len()).collect();
+        assert!(w[2] >= w[0] - 2);
+    }
+
+    #[test]
+    fn csv_roundtrip_on_disk() {
+        let path = write_csv(
+            "unit_test_artifact.csv",
+            &["x", "y"],
+            &[vec![1.0, 2.0], vec![3.5, 4.25]],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("x,y\n1.000000,2.000000\n"));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,75 @@
+//! Table I: theoretical worst-case accuracy of the sensor modules.
+
+use ps3_sensors::budget::{table1, ErrorBudget};
+use ps3_sensors::AdcSpec;
+
+use crate::report::text_table;
+
+/// The paper's reference values: (E_u volts, E_i amps, E_p watts) per
+/// row, for shape comparison in the rendered output.
+pub const PAPER_ROWS: [(&str, f64, f64, f64); 4] = [
+    ("12 V / 10 A", 0.0286, 0.35, 4.2),
+    ("3.3 V / 10 A", 0.0199, 0.35, 1.2),
+    ("USB-C (20 V / 10 A)", 0.0286, 0.35, 7.0),
+    ("Ext (12 V / 20 A)", 0.0286, 0.41, 5.0),
+];
+
+/// Computes the four budgets of Table I.
+#[must_use]
+pub fn run() -> [ErrorBudget; 4] {
+    table1(&AdcSpec::POWERSENSOR3)
+}
+
+/// Renders the table with the paper's values alongside.
+#[must_use]
+pub fn render(rows: &[ErrorBudget; 4]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .zip(PAPER_ROWS)
+        .map(|(b, (label, eu, ei, ep))| {
+            vec![
+                label.to_owned(),
+                format!("±{:.1}", b.voltage_error.value() * 1e3),
+                format!("±{eu_mv:.1}", eu_mv = eu * 1e3),
+                format!("±{:.2}", b.current_error.value()),
+                format!("±{ei:.2}"),
+                format!("±{:.1}", b.power_error.value()),
+                format!("±{ep:.1}"),
+            ]
+        })
+        .collect();
+    text_table(
+        &[
+            "Module",
+            "V [mV]",
+            "paper",
+            "I [A]",
+            "paper",
+            "P [W]",
+            "paper",
+        ],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendered_table_contains_all_rows() {
+        let text = render(&run());
+        for (label, ..) in PAPER_ROWS {
+            assert!(text.contains(label), "{text}");
+        }
+    }
+
+    #[test]
+    fn budgets_within_five_percent_of_paper() {
+        for (b, (_, eu, ei, ep)) in run().iter().zip(PAPER_ROWS) {
+            assert!((b.voltage_error.value() - eu).abs() / eu < 0.05);
+            assert!((b.current_error.value() - ei).abs() / ei < 0.05);
+            assert!((b.power_error.value() - ep).abs() / ep < 0.05);
+        }
+    }
+}

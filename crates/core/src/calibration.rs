@@ -1,0 +1,125 @@
+//! The one-time calibration procedure (§III-D).
+//!
+//! With the sensor module unloaded (zero current) and a known supply
+//! voltage applied, averaging many raw samples yields the Hall sensor's
+//! offset (the mid-scale reference actually produced at 0 A) and the
+//! voltage path's true gain. Both corrections are written back to the
+//! device EEPROM, after which no recalibration is needed — the paper's
+//! 50-hour stability experiment bounds the residual drift to ±0.09 W.
+
+use std::time::Duration;
+
+use ps3_firmware::SensorConfig;
+use ps3_sensors::AdcSpec;
+use ps3_units::Volts;
+
+use crate::error::PowerSensorError;
+use crate::power_sensor::PowerSensor;
+use crate::state::SENSOR_PAIRS;
+
+/// Default number of frames averaged per calibration step — the
+/// paper's 128 k samples.
+pub const DEFAULT_CALIBRATION_FRAMES: usize = 128 * 1024;
+
+/// Outcome of calibrating one sensor pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationReport {
+    /// The pair that was calibrated.
+    pub pair: usize,
+    /// Frames averaged.
+    pub frames: usize,
+    /// Hall offset that was removed, in amps (as seen through the old
+    /// configuration).
+    pub current_offset_amps: f64,
+    /// Multiplicative correction applied to the voltage gain.
+    pub voltage_gain_correction: f64,
+    /// The configurations written to the device.
+    pub new_current_config: SensorConfig,
+    pub new_voltage_config: SensorConfig,
+}
+
+/// Calibrates one sensor pair against a known reference.
+///
+/// Preconditions (the caller's testbed must arrange them, mirroring the
+/// paper's bench setup in Fig 3):
+///
+/// * the module carries **zero current** (unloaded), and
+/// * the rail sits at exactly `reference_voltage`.
+///
+/// Averages `frames` raw frames (start the capture, then advance the
+/// simulated device; `wait_timeout` bounds the real-time wait), derives
+/// the corrected mid-scale reference (current) and gain (voltage), and
+/// writes both to the device.
+///
+/// # Errors
+///
+/// * [`PowerSensorError::InvalidSensor`] for an out-of-range pair.
+/// * [`PowerSensorError::Timeout`] when the capture does not complete
+///   (is the testbed advancing?).
+/// * Transport failures if the device link drops mid-procedure.
+pub fn calibrate_pair(
+    ps: &PowerSensor,
+    pair: usize,
+    reference_voltage: Volts,
+    frames: usize,
+    wait_timeout: Duration,
+) -> Result<CalibrationReport, PowerSensorError> {
+    if pair >= SENSOR_PAIRS {
+        return Err(PowerSensorError::InvalidSensor(pair));
+    }
+    let configs = ps.configs();
+    let i_cfg = configs[2 * pair].clone();
+    let u_cfg = configs[2 * pair + 1].clone();
+
+    let capture = ps.begin_raw_capture(frames);
+    let means = capture.wait(wait_timeout)?;
+    let adc = AdcSpec::POWERSENSOR3;
+
+    // Current sensor: at 0 A the output should sit at vref/2. Whatever
+    // mean we observed *is* the true mid-scale; store vref = 2 × mean.
+    let mean_i_volts = (means[2 * pair] + 0.5) * adc.lsb();
+    let old_zero = f64::from(i_cfg.vref) / 2.0;
+    let current_offset_amps = (mean_i_volts - old_zero) / f64::from(i_cfg.gain);
+    let new_current_config = SensorConfig::new(
+        &i_cfg.name,
+        (2.0 * mean_i_volts) as f32,
+        i_cfg.gain,
+        i_cfg.enabled,
+    );
+
+    // Voltage sensor: gain = reference / observed ADC volts.
+    let mean_u_volts = (means[2 * pair + 1] + 0.5) * adc.lsb();
+    let true_gain = reference_voltage.value() / mean_u_volts;
+    let voltage_gain_correction = true_gain / f64::from(u_cfg.gain);
+    let new_voltage_config =
+        SensorConfig::new(&u_cfg.name, u_cfg.vref, true_gain as f32, u_cfg.enabled);
+
+    ps.update_configs(&[
+        (2 * pair, new_current_config.clone()),
+        (2 * pair + 1, new_voltage_config.clone()),
+    ])?;
+
+    Ok(CalibrationReport {
+        pair,
+        frames,
+        current_offset_amps,
+        voltage_gain_correction,
+        new_current_config,
+        new_voltage_config,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_frame_count_matches_paper() {
+        // §III-D / §IV-A: calibration and accuracy sweeps average
+        // 128 k samples. (Full calibration round-trips are exercised
+        // in the repository-level integration tests, where a reference
+        // supply exists.)
+        assert_eq!(DEFAULT_CALIBRATION_FRAMES, 131_072);
+        assert_eq!(SENSOR_PAIRS, 4);
+    }
+}

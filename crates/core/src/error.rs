@@ -1,0 +1,79 @@
+//! Host-library error type.
+
+use core::fmt;
+use std::error::Error;
+
+use ps3_firmware::protocol::ProtocolError;
+use ps3_transport::TransportError;
+
+/// Errors surfaced by the [`PowerSensor`](crate::PowerSensor) API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PowerSensorError {
+    /// The transport failed (device unplugged, link closed).
+    Transport(TransportError),
+    /// The device sent bytes that do not parse as protocol traffic.
+    Protocol(ProtocolError),
+    /// The device did not answer within the allowed time.
+    Timeout(&'static str),
+    /// A sensor or pair index outside the populated range.
+    InvalidSensor(usize),
+    /// The reader thread has shut down (device disconnected earlier).
+    Shutdown,
+}
+
+impl fmt::Display for PowerSensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerSensorError::Transport(e) => write!(f, "transport failure: {e}"),
+            PowerSensorError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            PowerSensorError::Timeout(what) => write!(f, "device timeout while {what}"),
+            PowerSensorError::InvalidSensor(i) => write!(f, "invalid sensor index {i}"),
+            PowerSensorError::Shutdown => write!(f, "reader thread has shut down"),
+        }
+    }
+}
+
+impl Error for PowerSensorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PowerSensorError::Transport(e) => Some(e),
+            PowerSensorError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<TransportError> for PowerSensorError {
+    fn from(e: TransportError) -> Self {
+        PowerSensorError::Transport(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<ProtocolError> for PowerSensorError {
+    fn from(e: ProtocolError) -> Self {
+        PowerSensorError::Protocol(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        let e = PowerSensorError::Timeout("reading configuration");
+        assert_eq!(e.to_string(), "device timeout while reading configuration");
+        let e: PowerSensorError = TransportError::Disconnected.into();
+        assert!(e.to_string().contains("disconnected"));
+    }
+
+    #[test]
+    fn source_chains() {
+        let e = PowerSensorError::Transport(TransportError::TimedOut);
+        assert!(e.source().is_some());
+        assert!(PowerSensorError::Shutdown.source().is_none());
+    }
+}

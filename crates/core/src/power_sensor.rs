@@ -1,0 +1,884 @@
+//! The `PowerSensor` host class and its background reader thread.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use ps3_analysis::Trace;
+use ps3_firmware::protocol::{
+    opcode, Command, Packet, StreamDecoder, TimestampUnwrapper,
+};
+use ps3_firmware::{SensorConfig, SENSOR_SLOTS};
+use ps3_sensors::AdcSpec;
+use ps3_transport::{Transport, TransportError};
+use ps3_units::{Amps, Joules, SimDuration, SimTime, Volts, Watts};
+
+use crate::error::PowerSensorError;
+use crate::state::{PairState, State};
+
+pub use crate::state::SENSOR_PAIRS;
+
+/// How long connect-time handshakes may take before we give up.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Idle read timeout of the reader thread (so it can notice shutdown).
+const READER_POLL: Duration = Duration::from_millis(20);
+
+/// The PowerSensor3 host interface.
+///
+/// Mirrors the C++ `PowerSensor` class from the paper (§III-C): it
+/// connects over a transport, loads the sensor configuration from the
+/// device EEPROM, starts the 20 kHz stream, and keeps cumulative energy
+/// accounting in a lightweight background thread.
+///
+/// Dropping the `PowerSensor` stops the stream and joins the reader.
+pub struct PowerSensor {
+    transport: Arc<dyn Transport>,
+    shared: Arc<Shared>,
+    reader: Option<JoinHandle<()>>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    inner: Mutex<Inner>,
+    changed: Condvar,
+    stop: AtomicBool,
+    frames: AtomicU64,
+    alive: AtomicBool,
+    /// Parking place for an in-flight version reply (reader → caller).
+    version: Mutex<Option<String>>,
+}
+
+struct Inner {
+    state: State,
+    configs: [SensorConfig; SENSOR_SLOTS],
+    adc: AdcSpec,
+    unwrapper: TimestampUnwrapper,
+    prev_frame_time: Option<SimTime>,
+    frame: FrameAssembly,
+    marker_labels: VecDeque<char>,
+    trace: Option<Trace>,
+    dump: Option<Box<dyn Write + Send>>,
+    raw_capture: Option<RawCaptureState>,
+}
+
+impl core::fmt::Debug for PowerSensor {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("PowerSensor")
+            .field("frames_received", &self.frames_received())
+            .field("alive", &self.is_alive())
+            .finish_non_exhaustive()
+    }
+}
+
+impl core::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Inner")
+            .field("state", &self.state)
+            .finish_non_exhaustive()
+    }
+}
+
+struct FrameAssembly {
+    time: Option<SimTime>,
+    values: [Option<u16>; SENSOR_SLOTS],
+    marker: bool,
+}
+
+impl FrameAssembly {
+    fn empty() -> Self {
+        Self {
+            time: None,
+            values: [None; SENSOR_SLOTS],
+            marker: false,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RawCaptureState {
+    remaining: usize,
+    count: u64,
+    sums: [f64; SENSOR_SLOTS],
+    done: bool,
+}
+
+/// Handle to an in-flight raw-sample capture (see
+/// [`PowerSensor::begin_raw_capture`]).
+#[derive(Debug)]
+pub struct RawCapture {
+    shared: Arc<Shared>,
+}
+
+impl RawCapture {
+    /// Blocks until the requested number of frames has been averaged,
+    /// returning the mean raw ADC code per sensor slot.
+    ///
+    /// # Errors
+    ///
+    /// [`PowerSensorError::Timeout`] if the capture does not finish
+    /// within `timeout` (e.g. nobody is advancing the simulated
+    /// device), or [`PowerSensorError::Shutdown`] if the reader died.
+    pub fn wait(self, timeout: Duration) -> Result<[f64; SENSOR_SLOTS], PowerSensorError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.inner.lock();
+        loop {
+            if let Some(cap) = &inner.raw_capture {
+                if cap.done {
+                    let cap = inner.raw_capture.take().expect("checked");
+                    let n = cap.count.max(1) as f64;
+                    return Ok(core::array::from_fn(|i| cap.sums[i] / n));
+                }
+            } else {
+                return Err(PowerSensorError::Shutdown);
+            }
+            if !self.shared.alive.load(Ordering::SeqCst) {
+                return Err(PowerSensorError::Shutdown);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(PowerSensorError::Timeout("capturing raw samples"));
+            }
+            self.shared
+                .changed
+                .wait_for(&mut inner, deadline - now);
+        }
+    }
+}
+
+impl PowerSensor {
+    /// Connects to a device on `transport`: stops any stale stream,
+    /// reads the sensor configuration, starts streaming, and spawns the
+    /// reader thread.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a [`PowerSensorError::Timeout`] when the device does
+    /// not answer the configuration request, or a transport error when
+    /// the link is down.
+    pub fn connect<T: Transport + 'static>(transport: T) -> Result<Self, PowerSensorError> {
+        let transport: Arc<dyn Transport> = Arc::new(transport);
+        transport.write_all(&Command::StopStreaming.encode())?;
+        drain(&*transport);
+        transport.write_all(&Command::ReadConfig.encode())?;
+        let configs = read_config_response(&*transport)?;
+
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                state: State::default(),
+                configs: configs.clone(),
+                adc: AdcSpec::POWERSENSOR3,
+                unwrapper: TimestampUnwrapper::new(),
+                prev_frame_time: None,
+                frame: FrameAssembly::empty(),
+                marker_labels: VecDeque::new(),
+                trace: None,
+                dump: None,
+                raw_capture: None,
+            }),
+            changed: Condvar::new(),
+            stop: AtomicBool::new(false),
+            frames: AtomicU64::new(0),
+            alive: AtomicBool::new(true),
+            version: Mutex::new(None),
+        });
+
+        transport.write_all(&Command::StartStreaming.encode())?;
+
+        let reader = {
+            let transport = Arc::clone(&transport);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ps3-reader".into())
+                .spawn(move || reader_loop(&*transport, &shared))
+                .expect("spawn reader thread")
+        };
+
+        Ok(Self {
+            transport,
+            shared,
+            reader: Some(reader),
+        })
+    }
+
+    /// The current measurement snapshot.
+    #[must_use]
+    pub fn read(&self) -> State {
+        self.shared.inner.lock().state
+    }
+
+    /// Number of sample frames received since connect.
+    #[must_use]
+    pub fn frames_received(&self) -> u64 {
+        self.shared.frames.load(Ordering::SeqCst)
+    }
+
+    /// `false` once the device link has died.
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.shared.alive.load(Ordering::SeqCst)
+    }
+
+    /// The sensor configuration read from the device EEPROM at connect
+    /// (or as updated through [`PowerSensor::update_configs`]).
+    #[must_use]
+    pub fn configs(&self) -> [SensorConfig; SENSOR_SLOTS] {
+        self.shared.inner.lock().configs.clone()
+    }
+
+    /// Sends a marker: the device flags the next sensor-0 sample and
+    /// the host pairs that flag with `label` in traces and dumps
+    /// (continuous-mode markers, §III-C).
+    ///
+    /// # Errors
+    ///
+    /// Transport failure if the link is down.
+    pub fn mark(&self, label: char) -> Result<(), PowerSensorError> {
+        {
+            let mut inner = self.shared.inner.lock();
+            inner.marker_labels.push_back(label);
+        }
+        self.transport.write_all(&Command::Marker.encode())?;
+        Ok(())
+    }
+
+    /// Begins recording every frame into an in-memory
+    /// [`Trace`](ps3_analysis::Trace) (continuous mode). Any previous
+    /// unfinished trace is discarded.
+    pub fn begin_trace(&self) {
+        self.shared.inner.lock().trace = Some(Trace::new());
+    }
+
+    /// Stops recording and returns the captured trace (empty if
+    /// [`PowerSensor::begin_trace`] was never called).
+    #[must_use]
+    pub fn end_trace(&self) -> Trace {
+        self.shared.inner.lock().trace.take().unwrap_or_default()
+    }
+
+    /// Streams every frame as a text line into `writer` (continuous
+    /// mode dump file): `t_us p0_W p1_W p2_W p3_W total_W`, with
+    /// `M t_us <label>` lines for markers.
+    pub fn dump_to<W: Write + Send + 'static>(&self, mut writer: W) {
+        let _ = writeln!(writer, "# PowerSensor3 dump (times in device µs)");
+        self.shared.inner.lock().dump = Some(Box::new(writer));
+    }
+
+    /// Stops dumping and flushes the writer.
+    pub fn stop_dump(&self) {
+        if let Some(mut w) = self.shared.inner.lock().dump.take() {
+            let _ = w.flush();
+        }
+    }
+
+    /// Starts averaging raw ADC codes over the next `frames` frames —
+    /// the building block of the calibration procedure (§III-D).
+    #[must_use]
+    pub fn begin_raw_capture(&self, frames: usize) -> RawCapture {
+        let mut inner = self.shared.inner.lock();
+        inner.raw_capture = Some(RawCaptureState {
+            remaining: frames,
+            count: 0,
+            sums: [0.0; SENSOR_SLOTS],
+            done: frames == 0,
+        });
+        RawCapture {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Blocks until the host has processed at least `target` frames.
+    ///
+    /// # Errors
+    ///
+    /// [`PowerSensorError::Timeout`] if the frames do not arrive within
+    /// `timeout`.
+    pub fn wait_for_frames(
+        &self,
+        target: u64,
+        timeout: Duration,
+    ) -> Result<(), PowerSensorError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.inner.lock();
+        while self.shared.frames.load(Ordering::SeqCst) < target {
+            if !self.shared.alive.load(Ordering::SeqCst) {
+                return Err(PowerSensorError::Shutdown);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(PowerSensorError::Timeout("waiting for frames"));
+            }
+            self.shared.changed.wait_for(&mut inner, deadline - now);
+        }
+        Ok(())
+    }
+
+    /// Rewrites the configuration of the given sensor slots, both on
+    /// the device EEPROM and in the host's conversion tables. The
+    /// stream is paused for the update and restarted afterwards; energy
+    /// accounting continues, but a small time discontinuity is
+    /// unavoidable (the paper recommends configuring before measuring).
+    ///
+    /// # Errors
+    ///
+    /// Transport failure, or [`PowerSensorError::InvalidSensor`] for an
+    /// out-of-range slot.
+    pub fn update_configs(
+        &self,
+        updates: &[(usize, SensorConfig)],
+    ) -> Result<(), PowerSensorError> {
+        for (slot, _) in updates {
+            if *slot >= SENSOR_SLOTS {
+                return Err(PowerSensorError::InvalidSensor(*slot));
+            }
+        }
+        self.transport.write_all(&Command::StopStreaming.encode())?;
+        for (slot, cfg) in updates {
+            self.transport.write_all(
+                &Command::WriteConfig {
+                    sensor: *slot as u8,
+                    config: cfg.clone(),
+                }
+                .encode(),
+            )?;
+        }
+        {
+            let mut inner = self.shared.inner.lock();
+            for (slot, cfg) in updates {
+                inner.configs[*slot] = cfg.clone();
+            }
+            // The stream pauses: restart interval accounting cleanly.
+            inner.prev_frame_time = None;
+            inner.frame = FrameAssembly::empty();
+        }
+        self.transport.write_all(&Command::StartStreaming.encode())?;
+        Ok(())
+    }
+
+    /// Pauses the sensor stream (device keeps time, emits nothing).
+    ///
+    /// Long measurement campaigns with sparse probe windows (the
+    /// paper's 50-hour stability run takes 128 k samples every
+    /// 15 minutes) pause between windows so the simulation can
+    /// fast-forward. Resume with [`PowerSensor::resume_stream`].
+    ///
+    /// # Errors
+    ///
+    /// Transport failure if the link is down.
+    pub fn pause_stream(&self) -> Result<(), PowerSensorError> {
+        self.transport.write_all(&Command::StopStreaming.encode())?;
+        Ok(())
+    }
+
+    /// Resumes a paused stream. Interval accounting restarts cleanly
+    /// (the pause is a time discontinuity on the wire).
+    ///
+    /// # Errors
+    ///
+    /// Transport failure if the link is down.
+    pub fn resume_stream(&self) -> Result<(), PowerSensorError> {
+        {
+            let mut inner = self.shared.inner.lock();
+            inner.prev_frame_time = None;
+            inner.frame = FrameAssembly::empty();
+        }
+        self.transport.write_all(&Command::StartStreaming.encode())?;
+        Ok(())
+    }
+
+    /// Requests the firmware version string.
+    ///
+    /// The stream is paused for the exchange.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or timeout.
+    pub fn firmware_version(&self) -> Result<String, PowerSensorError> {
+        self.transport.write_all(&Command::StopStreaming.encode())?;
+        // Let the reader drain remaining stream bytes, then take over.
+        std::thread::sleep(Duration::from_millis(10));
+        self.transport.write_all(&Command::Version.encode())?;
+        let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+        // The reader thread will stash the version reply for us.
+        let mut inner = self.shared.inner.lock();
+        loop {
+            if let Some(v) = self.shared.version.lock().take() {
+                drop(inner);
+                self.transport.write_all(&Command::StartStreaming.encode())?;
+                return Ok(v);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(PowerSensorError::Timeout("reading firmware version"));
+            }
+            self.shared.changed.wait_for(&mut inner, deadline - now);
+        }
+    }
+}
+
+impl Drop for PowerSensor {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        let _ = self.transport.write_all(&Command::StopStreaming.encode());
+        if let Some(handle) = self.reader.take() {
+            let _ = handle.join();
+        }
+        if let Some(mut dump) = self.shared.inner.lock().dump.take() {
+            let _ = dump.flush();
+        }
+    }
+}
+
+/// Discards incoming bytes until the link is quiet.
+fn drain(transport: &dyn Transport) {
+    let mut buf = [0u8; 4096];
+    while transport
+        .read(&mut buf, Some(Duration::from_millis(20)))
+        .is_ok()
+    {}
+}
+
+/// Reads the `R` command response: eight `C <slot> <record>` entries
+/// terminated by `E`.
+fn read_config_response(
+    transport: &dyn Transport,
+) -> Result<[SensorConfig; SENSOR_SLOTS], PowerSensorError> {
+    use ps3_firmware::CONFIG_WIRE_SIZE;
+    let mut configs: [SensorConfig; SENSOR_SLOTS] =
+        core::array::from_fn(|_| SensorConfig::unpopulated());
+    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    loop {
+        let mut op = [0u8; 1];
+        read_with_deadline(transport, &mut op, deadline)?;
+        match op[0] {
+            opcode::CONFIG_RECORD => {
+                let mut slot = [0u8; 1];
+                read_with_deadline(transport, &mut slot, deadline)?;
+                let mut record = [0u8; CONFIG_WIRE_SIZE];
+                read_with_deadline(transport, &mut record, deadline)?;
+                let cfg = SensorConfig::from_wire(&record)?;
+                if (slot[0] as usize) < SENSOR_SLOTS {
+                    configs[slot[0] as usize] = cfg;
+                }
+            }
+            opcode::CONFIG_END => return Ok(configs),
+            _ => { /* stale stream byte: skip */ }
+        }
+    }
+}
+
+fn read_with_deadline(
+    transport: &dyn Transport,
+    buf: &mut [u8],
+    deadline: Instant,
+) -> Result<(), PowerSensorError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(PowerSensorError::Timeout("reading configuration"));
+        }
+        match transport.read(&mut buf[filled..], Some(deadline - now)) {
+            Ok(n) => filled += n,
+            Err(TransportError::TimedOut) => {
+                return Err(PowerSensorError::Timeout("reading configuration"))
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// The background reader: decodes the stream and maintains state.
+fn reader_loop(transport: &dyn Transport, shared: &Shared) {
+    let mut decoder = StreamDecoder::new();
+    let mut buf = [0u8; 4096];
+    let mut version_pending: Option<(usize, Vec<u8>)> = None;
+    while !shared.stop.load(Ordering::SeqCst) {
+        let n = match transport.read(&mut buf, Some(READER_POLL)) {
+            Ok(n) => n,
+            Err(TransportError::TimedOut) => continue,
+            Err(_) => break,
+        };
+        let mut bytes = &buf[..n];
+        // A version reply may be interleaved when the stream is paused.
+        while !bytes.is_empty() {
+            if let Some((want, partial)) = &mut version_pending {
+                let take = bytes.len().min(*want - partial.len());
+                partial.extend_from_slice(&bytes[..take]);
+                bytes = &bytes[take..];
+                if partial.len() == *want {
+                    let text = String::from_utf8_lossy(partial).into_owned();
+                    *shared.version.lock() = Some(text);
+                    shared.changed.notify_all();
+                    version_pending = None;
+                }
+                continue;
+            }
+            if bytes[0] == opcode::VERSION_REPLY && bytes.len() >= 2 {
+                let len = bytes[1] as usize;
+                version_pending = Some((len, Vec::with_capacity(len)));
+                bytes = &bytes[2..];
+                continue;
+            }
+            let byte = bytes[0];
+            bytes = &bytes[1..];
+            if let Some(packet) = decoder.push(byte) {
+                handle_packet(shared, packet);
+            }
+        }
+    }
+    shared.alive.store(false, Ordering::SeqCst);
+    shared.changed.notify_all();
+}
+
+fn handle_packet(shared: &Shared, packet: Packet) {
+    let mut inner = shared.inner.lock();
+    match packet {
+        Packet::Timestamp { micros } => {
+            // A timestamp opens a new frame; finalise the previous one.
+            finalize_frame(shared, &mut inner);
+            let abs = inner.unwrapper.unwrap(micros);
+            inner.frame.time = Some(SimTime::from_micros(abs));
+        }
+        Packet::Sample {
+            sensor,
+            marker,
+            value,
+        } => {
+            inner.frame.values[sensor as usize] = Some(value);
+            if marker && sensor == 0 {
+                inner.frame.marker = true;
+            }
+            // Finalise eagerly once every enabled slot has reported, so
+            // state updates land one frame earlier than waiting for the
+            // next timestamp.
+            let complete = inner.frame.time.is_some()
+                && (0..SENSOR_SLOTS)
+                    .all(|s| !inner.configs[s].enabled || inner.frame.values[s].is_some());
+            if complete {
+                finalize_frame(shared, &mut inner);
+            }
+        }
+    }
+}
+
+fn finalize_frame(shared: &Shared, inner: &mut Inner) {
+    let Some(time) = inner.frame.time else {
+        inner.frame = FrameAssembly::empty();
+        return;
+    };
+    let values = inner.frame.values;
+    let had_marker = inner.frame.marker;
+    inner.frame = FrameAssembly::empty();
+
+    let dt = inner
+        .prev_frame_time
+        .map(|prev| time.saturating_duration_since(prev))
+        .unwrap_or(SimDuration::ZERO);
+    inner.prev_frame_time = Some(time);
+
+    let adc = inner.adc;
+    let mut total_power = Watts::zero();
+    let mut pair_updates: [Option<PairState>; SENSOR_PAIRS] = [None; SENSOR_PAIRS];
+    for pair in 0..SENSOR_PAIRS {
+        let i_cfg = &inner.configs[2 * pair];
+        let u_cfg = &inner.configs[2 * pair + 1];
+        if !(i_cfg.enabled && u_cfg.enabled) {
+            continue;
+        }
+        let (Some(raw_i), Some(raw_u)) = (values[2 * pair], values[2 * pair + 1]) else {
+            continue;
+        };
+        let v_i = adc.to_volts(raw_i);
+        let v_u = adc.to_volts(raw_u);
+        let amps = Amps::new((v_i - f64::from(i_cfg.vref) / 2.0) / f64::from(i_cfg.gain));
+        let volts = Volts::new(v_u * f64::from(u_cfg.gain));
+        let watts = volts * amps;
+        total_power += watts;
+        let prev_energy = inner.state.pairs[pair].energy;
+        pair_updates[pair] = Some(PairState {
+            enabled: true,
+            volts,
+            amps,
+            watts,
+            energy: prev_energy + watts * dt,
+        });
+    }
+
+    // Raw-capture accumulation.
+    if let Some(cap) = &mut inner.raw_capture {
+        if !cap.done {
+            for (slot, sum) in cap.sums.iter_mut().enumerate() {
+                if let Some(v) = values[slot] {
+                    *sum += f64::from(v);
+                }
+            }
+            cap.count += 1;
+            cap.remaining -= 1;
+            if cap.remaining == 0 {
+                cap.done = true;
+            }
+        }
+    }
+
+    // Commit state.
+    let mut delta_energy = Joules::zero();
+    for (pair, update) in pair_updates.into_iter().enumerate() {
+        if let Some(p) = update {
+            delta_energy += p.energy - inner.state.pairs[pair].energy;
+            inner.state.pairs[pair] = p;
+        }
+    }
+    for (slot, value) in values.iter().enumerate() {
+        if let Some(v) = value {
+            inner.state.raw[slot] = *v;
+        }
+    }
+    inner.state.total_energy += delta_energy;
+    inner.state.timestamp = time;
+    inner.state.frames += 1;
+    shared.frames.fetch_add(1, Ordering::SeqCst);
+
+    // Markers.
+    let marker_label = if had_marker {
+        Some(inner.marker_labels.pop_front().unwrap_or('?'))
+    } else {
+        None
+    };
+
+    // Continuous-mode consumers.
+    if let Some(trace) = &mut inner.trace {
+        trace.push(time, total_power);
+        if let Some(label) = marker_label {
+            trace.mark(time, label);
+        }
+    }
+    let pairs_snapshot = inner.state.pairs;
+    if let Some(dump) = &mut inner.dump {
+        let mut line = String::new();
+        use core::fmt::Write as _;
+        let _ = write!(line, "{}", time.as_micros());
+        for p in &pairs_snapshot {
+            if p.enabled {
+                let _ = write!(line, " {:.4}", p.watts.value());
+            }
+        }
+        let _ = writeln!(line, " {:.4}", total_power.value());
+        let _ = dump.write_all(line.as_bytes());
+        if let Some(label) = marker_label {
+            let _ = writeln!(dump, "M {} {label}", time.as_micros());
+        }
+    }
+
+    shared.changed.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testharness::{one_pair_eeprom, two_amp_source, Harness};
+
+    #[test]
+    fn connect_reads_configs() {
+        let (h, host_end) = Harness::spawn(two_amp_source(), one_pair_eeprom());
+        let ps = PowerSensor::connect(host_end).unwrap();
+        let configs = ps.configs();
+        assert_eq!(configs[0].name, "I0");
+        assert!(configs[0].enabled);
+        assert!(!configs[2].enabled);
+        drop(ps);
+        drop(h);
+    }
+
+    #[test]
+    fn state_tracks_power_and_energy() {
+        let (h, host_end) = Harness::spawn(two_amp_source(), one_pair_eeprom());
+        let ps = PowerSensor::connect(host_end).unwrap();
+        h.advance(SimDuration::from_millis(100));
+        ps.wait_for_frames(2000, Duration::from_secs(10)).unwrap();
+        let state = ps.read();
+        // ~24 W, quantisation-limited accuracy.
+        assert!(
+            (state.total_watts().value() - 24.0).abs() < 0.3,
+            "power {}",
+            state.total_watts()
+        );
+        // Energy over ~0.1 s ≈ 2.4 J (first frame contributes no dt).
+        assert!(
+            (state.total_energy.value() - 2.4).abs() < 0.05,
+            "energy {}",
+            state.total_energy
+        );
+        assert!((state.pairs[0].volts.value() - 12.0).abs() < 0.05);
+        assert!((state.pairs[0].amps.value() - 2.0).abs() < 0.03);
+        drop(ps);
+        drop(h);
+    }
+
+    #[test]
+    fn interval_mode_between_states() {
+        let (h, host_end) = Harness::spawn(two_amp_source(), one_pair_eeprom());
+        let ps = PowerSensor::connect(host_end).unwrap();
+        h.advance(SimDuration::from_millis(10));
+        ps.wait_for_frames(200, Duration::from_secs(10)).unwrap();
+        let first = ps.read();
+        h.advance(SimDuration::from_millis(50));
+        ps.wait_for_frames(1200, Duration::from_secs(10)).unwrap();
+        let second = ps.read();
+        let w = crate::state::watts(&first, &second);
+        assert!((w.value() - 24.0).abs() < 0.3, "avg power {w}");
+        let s = crate::state::seconds(&first, &second);
+        assert!((s - 0.05).abs() < 0.001, "interval {s}");
+        drop(ps);
+        drop(h);
+    }
+
+    #[test]
+    fn trace_capture_at_20khz() {
+        let (h, host_end) = Harness::spawn(two_amp_source(), one_pair_eeprom());
+        let ps = PowerSensor::connect(host_end).unwrap();
+        ps.begin_trace();
+        h.advance(SimDuration::from_millis(50));
+        ps.wait_for_frames(1000, Duration::from_secs(10)).unwrap();
+        let trace = ps.end_trace();
+        assert!(trace.len() >= 999, "got {} samples", trace.len());
+        let rate = trace.sample_rate().unwrap();
+        assert!((rate - 20_000.0).abs() < 100.0, "rate {rate}");
+        drop(ps);
+        drop(h);
+    }
+
+    #[test]
+    fn markers_are_labelled_in_order() {
+        let (h, host_end) = Harness::spawn(two_amp_source(), one_pair_eeprom());
+        let ps = PowerSensor::connect(host_end).unwrap();
+        ps.begin_trace();
+        h.advance(SimDuration::from_millis(5));
+        ps.wait_for_frames(100, Duration::from_secs(10)).unwrap();
+        ps.mark('a').unwrap();
+        h.advance(SimDuration::from_millis(5));
+        ps.wait_for_frames(200, Duration::from_secs(10)).unwrap();
+        ps.mark('b').unwrap();
+        h.advance(SimDuration::from_millis(5));
+        ps.wait_for_frames(300, Duration::from_secs(10)).unwrap();
+        let trace = ps.end_trace();
+        let labels: Vec<char> = trace.markers().iter().map(|m| m.label).collect();
+        assert_eq!(labels, vec!['a', 'b']);
+        assert!(trace.markers()[0].time < trace.markers()[1].time);
+        drop(ps);
+        drop(h);
+    }
+
+    #[test]
+    fn dump_produces_lines_and_markers() {
+        let (h, host_end) = Harness::spawn(two_amp_source(), one_pair_eeprom());
+        let ps = PowerSensor::connect(host_end).unwrap();
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct SharedWriter(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedWriter {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        ps.dump_to(SharedWriter(Arc::clone(&buf)));
+        ps.mark('k').unwrap();
+        h.advance(SimDuration::from_millis(2));
+        ps.wait_for_frames(40, Duration::from_secs(10)).unwrap();
+        ps.stop_dump();
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        assert!(text.starts_with("# PowerSensor3 dump"));
+        assert!(text.lines().count() > 30, "{text}");
+        assert!(text.lines().any(|l| l.starts_with("M ") && l.ends_with('k')));
+        // Data lines: t_us pair0_W total_W.
+        let data_line = text.lines().nth(1).unwrap();
+        let fields: Vec<&str> = data_line.split_whitespace().collect();
+        assert_eq!(fields.len(), 3);
+        drop(ps);
+        drop(h);
+    }
+
+    #[test]
+    fn raw_capture_averages_codes() {
+        let (h, host_end) = Harness::spawn(two_amp_source(), one_pair_eeprom());
+        let ps = PowerSensor::connect(host_end).unwrap();
+        let capture = ps.begin_raw_capture(100);
+        h.advance(SimDuration::from_millis(10));
+        let means = capture.wait(Duration::from_secs(10)).unwrap();
+        // Channel 0: 1.89 V → code ≈ 1.89/3.3*1024 ≈ 586.
+        assert!((means[0] - 586.0).abs() < 2.0, "ch0 mean {}", means[0]);
+        // Channel 1: 2.4 V → ≈ 744.7.
+        assert!((means[1] - 744.0).abs() < 2.0, "ch1 mean {}", means[1]);
+        drop(ps);
+        drop(h);
+    }
+
+    #[test]
+    fn update_configs_rescales_readings() {
+        let (h, host_end) = Harness::spawn(two_amp_source(), one_pair_eeprom());
+        let ps = PowerSensor::connect(host_end).unwrap();
+        h.advance(SimDuration::from_millis(5));
+        ps.wait_for_frames(100, Duration::from_secs(10)).unwrap();
+        // Halve the voltage gain: reported volts should halve.
+        ps.update_configs(&[(1, SensorConfig::new("U0", 3.3, 2.5, true))])
+            .unwrap();
+        let before = ps.frames_received();
+        h.advance(SimDuration::from_millis(5));
+        ps.wait_for_frames(before + 50, Duration::from_secs(10))
+            .unwrap();
+        let state = ps.read();
+        assert!(
+            (state.pairs[0].volts.value() - 6.0).abs() < 0.05,
+            "volts {}",
+            state.pairs[0].volts
+        );
+        drop(ps);
+        drop(h);
+    }
+
+    #[test]
+    fn invalid_config_slot_rejected() {
+        let (h, host_end) = Harness::spawn(two_amp_source(), one_pair_eeprom());
+        let ps = PowerSensor::connect(host_end).unwrap();
+        let err = ps
+            .update_configs(&[(9, SensorConfig::unpopulated())])
+            .unwrap_err();
+        assert_eq!(err, PowerSensorError::InvalidSensor(9));
+        drop(ps);
+        drop(h);
+    }
+
+    #[test]
+    fn wait_for_frames_times_out_when_idle() {
+        let (h, host_end) = Harness::spawn(two_amp_source(), one_pair_eeprom());
+        let ps = PowerSensor::connect(host_end).unwrap();
+        let err = ps
+            .wait_for_frames(1000, Duration::from_millis(50))
+            .unwrap_err();
+        assert!(matches!(err, PowerSensorError::Timeout(_)));
+        drop(ps);
+        drop(h);
+    }
+
+    #[test]
+    fn device_disconnect_marks_dead() {
+        let (h, host_end) = Harness::spawn(two_amp_source(), one_pair_eeprom());
+        let ps = PowerSensor::connect(host_end).unwrap();
+        assert!(ps.is_alive());
+        drop(h); // device thread exits, endpoint drops, link dies
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while ps.is_alive() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(!ps.is_alive());
+    }
+}

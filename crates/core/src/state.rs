@@ -1,0 +1,164 @@
+//! Measurement state snapshots and interval-mode arithmetic.
+
+use ps3_units::{Amps, Joules, SimDuration, SimTime, Volts, Watts};
+
+/// Number of sensor pairs (modules) on the baseboard.
+pub const SENSOR_PAIRS: usize = 4;
+
+/// Live readings and accumulated energy for one sensor pair.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PairState {
+    /// `true` when both sensors of the pair are enabled in the EEPROM.
+    pub enabled: bool,
+    /// Most recent rail voltage.
+    pub volts: Volts,
+    /// Most recent current.
+    pub amps: Amps,
+    /// Most recent instantaneous power.
+    pub watts: Watts,
+    /// Energy accumulated since the stream started.
+    pub energy: Joules,
+}
+
+/// A snapshot of the measurement state — the PowerSensor3 library's
+/// `State` (§III-C), used for interval-mode measurements.
+///
+/// # Examples
+///
+/// ```
+/// use ps3_core::{joules, seconds, watts, State};
+/// // Obtain two snapshots from a running PowerSensor and compute the
+/// // energy consumed between them:
+/// let first = State::default();
+/// let mut second = State::default();
+/// second.total_energy = ps3_units::Joules::new(42.0);
+/// second.timestamp = ps3_units::SimTime::from_micros(2_000_000);
+/// assert_eq!(joules(&first, &second).value(), 42.0);
+/// assert_eq!(seconds(&first, &second), 2.0);
+/// assert_eq!(watts(&first, &second).value(), 21.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct State {
+    /// Device time of the most recent frame (reconstructed from the
+    /// wire timestamps).
+    pub timestamp: SimTime,
+    /// Per-pair readings.
+    pub pairs: [PairState; SENSOR_PAIRS],
+    /// Latest raw 10-bit ADC codes, one per sensor slot (calibration
+    /// and diagnostics).
+    pub raw: [u16; 2 * SENSOR_PAIRS],
+    /// Total energy accumulated across all pairs since stream start.
+    pub total_energy: Joules,
+    /// Number of frames received since connect.
+    pub frames: u64,
+}
+
+impl State {
+    /// Total instantaneous power across all enabled pairs.
+    #[must_use]
+    pub fn total_watts(&self) -> Watts {
+        self.pairs
+            .iter()
+            .filter(|p| p.enabled)
+            .map(|p| p.watts)
+            .sum()
+    }
+}
+
+/// Energy consumed between two snapshots (all sensors).
+#[must_use]
+pub fn joules(first: &State, second: &State) -> Joules {
+    second.total_energy - first.total_energy
+}
+
+/// Energy consumed between two snapshots on one pair.
+///
+/// # Panics
+///
+/// Panics if `pair >= SENSOR_PAIRS`.
+#[must_use]
+pub fn pair_joules(first: &State, second: &State, pair: usize) -> Joules {
+    second.pairs[pair].energy - first.pairs[pair].energy
+}
+
+/// Elapsed device time between two snapshots, in seconds.
+#[must_use]
+pub fn seconds(first: &State, second: &State) -> f64 {
+    second
+        .timestamp
+        .saturating_duration_since(first.timestamp)
+        .as_secs_f64()
+}
+
+/// Average power between two snapshots.
+///
+/// Returns zero when the snapshots coincide in time.
+#[must_use]
+pub fn watts(first: &State, second: &State) -> Watts {
+    let dt = second.timestamp.saturating_duration_since(first.timestamp);
+    if dt.is_zero() {
+        return Watts::zero();
+    }
+    joules(first, second) / dt
+}
+
+/// Elapsed device time between two snapshots as a duration.
+#[must_use]
+pub fn interval(first: &State, second: &State) -> SimDuration {
+    second.timestamp.saturating_duration_since(first.timestamp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(t_us: u64, energy: f64) -> State {
+        State {
+            timestamp: SimTime::from_micros(t_us),
+            total_energy: Joules::new(energy),
+            ..State::default()
+        }
+    }
+
+    #[test]
+    fn interval_arithmetic() {
+        let a = state(0, 0.0);
+        let b = state(500_000, 30.0);
+        assert_eq!(joules(&a, &b), Joules::new(30.0));
+        assert_eq!(seconds(&a, &b), 0.5);
+        assert_eq!(watts(&a, &b), Watts::new(60.0));
+        assert_eq!(interval(&a, &b), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn zero_interval_power_is_zero() {
+        let a = state(100, 1.0);
+        let b = state(100, 2.0);
+        assert_eq!(watts(&a, &b), Watts::zero());
+    }
+
+    #[test]
+    fn total_watts_skips_disabled_pairs() {
+        let mut s = State::default();
+        s.pairs[0] = PairState {
+            enabled: true,
+            watts: Watts::new(10.0),
+            ..PairState::default()
+        };
+        s.pairs[1] = PairState {
+            enabled: false,
+            watts: Watts::new(99.0),
+            ..PairState::default()
+        };
+        assert_eq!(s.total_watts(), Watts::new(10.0));
+    }
+
+    #[test]
+    fn pair_energy_difference() {
+        let mut a = State::default();
+        let mut b = State::default();
+        a.pairs[2].energy = Joules::new(5.0);
+        b.pairs[2].energy = Joules::new(9.0);
+        assert_eq!(pair_joules(&a, &b, 2), Joules::new(4.0));
+    }
+}

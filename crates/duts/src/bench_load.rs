@@ -1,0 +1,285 @@
+//! The accuracy-assessment bench (paper Fig 3): a laboratory power
+//! supply feeding a programmable electronic load through the sensor
+//! under test.
+
+use ps3_units::{Amps, SimTime, Volts};
+
+use crate::rail::{Dut, RailId, RailState};
+
+/// A Keysight-N6705B-like laboratory power supply: a stiff voltage
+/// source with a small series resistance (cable + shunt losses cause
+/// measurable droop under load, which is why the real sensor has a
+/// remote-sense input).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabPsu {
+    /// Programmed output voltage.
+    pub setpoint: Volts,
+    /// Effective source resistance in ohms.
+    pub source_resistance: f64,
+}
+
+impl LabPsu {
+    /// A 12 V bench supply with 10 mΩ source resistance.
+    #[must_use]
+    pub fn twelve_volt() -> Self {
+        Self {
+            setpoint: Volts::new(12.0),
+            source_resistance: 0.010,
+        }
+    }
+
+    /// A 3.3 V bench supply.
+    #[must_use]
+    pub fn three_volt_three() -> Self {
+        Self {
+            setpoint: Volts::new(3.3),
+            source_resistance: 0.005,
+        }
+    }
+
+    /// A 20 V supply (USB-PD bench configuration).
+    #[must_use]
+    pub fn twenty_volt() -> Self {
+        Self {
+            setpoint: Volts::new(20.0),
+            source_resistance: 0.015,
+        }
+    }
+
+    /// Terminal voltage when sourcing `amps`.
+    #[must_use]
+    pub fn terminal_voltage(&self, amps: Amps) -> Volts {
+        self.setpoint - Volts::new(self.source_resistance * amps.value())
+    }
+}
+
+/// The load current program of the electronic load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadProgram {
+    /// Constant current (positive or negative — the Fig 4 sweep runs
+    /// −10 A…+10 A through a bidirectional sensor).
+    Constant(Amps),
+    /// Square-wave modulation between `low` and `high` at `frequency`
+    /// (Fig 5 uses 3.3 A ↔ 8 A at 100 Hz).
+    SquareWave {
+        /// Low-phase current.
+        low: Amps,
+        /// High-phase current.
+        high: Amps,
+        /// Modulation frequency in Hz.
+        frequency_hz: f64,
+    },
+}
+
+/// A Kniel-E.Last-like programmable electronic load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElectronicLoad {
+    program: LoadProgram,
+    /// Slew rate limit in amps per second (real loads cannot step
+    /// instantaneously; 8 A steps settle in a few µs).
+    slew_a_per_s: f64,
+}
+
+impl ElectronicLoad {
+    /// A load running `program` with a realistic 2 A/µs slew limit.
+    #[must_use]
+    pub fn new(program: LoadProgram) -> Self {
+        Self {
+            program,
+            slew_a_per_s: 2e6,
+        }
+    }
+
+    /// Reprograms the load.
+    pub fn set_program(&mut self, program: LoadProgram) {
+        self.program = program;
+    }
+
+    /// The commanded current at time `now` (before slew limiting; the
+    /// slew transition is ≪ one ADC conversion so we fold it into the
+    /// sensor bandwidth model).
+    #[must_use]
+    pub fn current_at(&self, now: SimTime) -> Amps {
+        match self.program {
+            LoadProgram::Constant(a) => a,
+            LoadProgram::SquareWave {
+                low,
+                high,
+                frequency_hz,
+            } => {
+                let period_s = 1.0 / frequency_hz;
+                let phase = (now.as_secs_f64() / period_s).fract();
+                // Model the slew-limited edge as a linear ramp.
+                let edge_s = (high - low).value().abs() / self.slew_a_per_s;
+                let half = 0.5;
+                if phase < half {
+                    // High phase (starts with the rising edge).
+                    let into = phase * period_s;
+                    if into < edge_s {
+                        low + (high - low) * (into / edge_s)
+                    } else {
+                        high
+                    }
+                } else {
+                    let into = (phase - half) * period_s;
+                    if into < edge_s {
+                        high - (high - low) * (into / edge_s)
+                    } else {
+                        low
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The complete Fig 3 bench: PSU + electronic load on one rail.
+///
+/// # Examples
+///
+/// ```
+/// use ps3_duts::{BenchSetup, Dut, LoadProgram, RailId};
+/// use ps3_units::{Amps, SimTime};
+///
+/// let mut bench = BenchSetup::twelve_volt(LoadProgram::Constant(Amps::new(8.0)));
+/// let s = bench.rail_state(RailId::Ext12V, SimTime::ZERO);
+/// assert!((s.amps.value() - 8.0).abs() < 1e-12);
+/// assert!(s.volts.value() < 12.0); // droop under load
+/// ```
+#[derive(Debug, Clone)]
+pub struct BenchSetup {
+    psu: LabPsu,
+    load: ElectronicLoad,
+    rail: RailId,
+}
+
+impl BenchSetup {
+    /// A 12 V bench on the external PCIe rail.
+    #[must_use]
+    pub fn twelve_volt(program: LoadProgram) -> Self {
+        Self {
+            psu: LabPsu::twelve_volt(),
+            load: ElectronicLoad::new(program),
+            rail: RailId::Ext12V,
+        }
+    }
+
+    /// A 3.3 V bench on the slot rail.
+    #[must_use]
+    pub fn three_volt_three(program: LoadProgram) -> Self {
+        Self {
+            psu: LabPsu::three_volt_three(),
+            load: ElectronicLoad::new(program),
+            rail: RailId::Slot3V3,
+        }
+    }
+
+    /// A 20 V bench on the USB-C rail.
+    #[must_use]
+    pub fn twenty_volt(program: LoadProgram) -> Self {
+        Self {
+            psu: LabPsu::twenty_volt(),
+            load: ElectronicLoad::new(program),
+            rail: RailId::UsbC,
+        }
+    }
+
+    /// A custom PSU/load/rail combination.
+    #[must_use]
+    pub fn custom(psu: LabPsu, load: ElectronicLoad, rail: RailId) -> Self {
+        Self { psu, load, rail }
+    }
+
+    /// Reprograms the electronic load.
+    pub fn set_program(&mut self, program: LoadProgram) {
+        self.load.set_program(program);
+    }
+
+    /// Ground-truth rail state at `now` — what the reference meters of
+    /// Fig 3 (Fluke DMMs) would read.
+    #[must_use]
+    pub fn reference(&self, now: SimTime) -> RailState {
+        let amps = self.load.current_at(now);
+        RailState {
+            volts: self.psu.terminal_voltage(amps),
+            amps,
+        }
+    }
+}
+
+impl Dut for BenchSetup {
+    fn rails(&self) -> Vec<RailId> {
+        vec![self.rail]
+    }
+
+    fn rail_state(&mut self, rail: RailId, now: SimTime) -> RailState {
+        if rail == self.rail {
+            self.reference(now)
+        } else {
+            RailState::idle(rail)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psu_droop_is_linear() {
+        let psu = LabPsu::twelve_volt();
+        assert_eq!(psu.terminal_voltage(Amps::zero()).value(), 12.0);
+        let v8 = psu.terminal_voltage(Amps::new(8.0)).value();
+        assert!((v8 - 11.92).abs() < 1e-12, "got {v8}");
+    }
+
+    #[test]
+    fn constant_load_is_flat() {
+        let load = ElectronicLoad::new(LoadProgram::Constant(Amps::new(-5.0)));
+        for us in [0u64, 13, 5_000, 1_000_000] {
+            assert_eq!(load.current_at(SimTime::from_micros(us)).value(), -5.0);
+        }
+    }
+
+    #[test]
+    fn square_wave_alternates_at_frequency() {
+        let load = ElectronicLoad::new(LoadProgram::SquareWave {
+            low: Amps::new(3.3),
+            high: Amps::new(8.0),
+            frequency_hz: 100.0,
+        });
+        // 100 Hz → 10 ms period: high during [0,5) ms, low during [5,10).
+        let high = load.current_at(SimTime::from_micros(2_000)).value();
+        let low = load.current_at(SimTime::from_micros(7_000)).value();
+        assert_eq!(high, 8.0);
+        assert_eq!(low, 3.3);
+    }
+
+    #[test]
+    fn square_wave_edge_is_slew_limited() {
+        let load = ElectronicLoad::new(LoadProgram::SquareWave {
+            low: Amps::new(3.3),
+            high: Amps::new(8.0),
+            frequency_hz: 100.0,
+        });
+        // The rising edge spans (8-3.3)/2e6 s ≈ 2.35 µs from period start.
+        let mid_edge = load.current_at(SimTime::from_nanos(1_175)).value();
+        assert!(mid_edge > 3.3 && mid_edge < 8.0, "got {mid_edge}");
+    }
+
+    #[test]
+    fn bench_reference_matches_rail_state() {
+        let mut bench = BenchSetup::three_volt_three(LoadProgram::Constant(Amps::new(4.0)));
+        let t = SimTime::from_micros(123);
+        assert_eq!(bench.reference(t), bench.rail_state(RailId::Slot3V3, t));
+    }
+
+    #[test]
+    fn negative_current_supported() {
+        let mut bench = BenchSetup::twelve_volt(LoadProgram::Constant(Amps::new(-10.0)));
+        let s = bench.rail_state(RailId::Ext12V, SimTime::ZERO);
+        assert_eq!(s.amps.value(), -10.0);
+        // Sinking current raises the terminal voltage slightly.
+        assert!(s.volts.value() > 12.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! NVIDIA-Jetson-like SoC board on a USB-C supply (§V-B).
+//!
+//! The AGX Orin development kit pairs the SoC *module* with a *carrier
+//! board*; the built-in INA-style sensor only sees the module, while
+//! PowerSensor3 on the USB-C input sees the whole device — one of the
+//! paper's selling points. The GPU inside the module reuses
+//! [`GpuModel`] with an Orin-ish spec.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ps3_units::{Amps, SimDuration, SimTime, Volts, Watts};
+
+use crate::gpu::{GpuKernel, GpuModel, GpuSpec};
+use crate::onboard::{OnboardReading, OnboardSensor};
+use crate::rail::{Dut, RailId, RailState};
+
+/// Static characteristics of the SoC board.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JetsonSpec {
+    /// The integrated GPU profile.
+    pub igpu: GpuSpec,
+    /// Constant carrier-board power (regulators, USB hub, display
+    /// controller) that the built-in sensor does not see.
+    pub carrier_w: f64,
+    /// CPU-complex idle power inside the module.
+    pub cpu_idle_w: f64,
+    /// Additional CPU power at full utilisation (all cores busy).
+    pub cpu_dyn_w: f64,
+    /// USB-C supply voltage (USB-PD contract).
+    pub supply: Volts,
+}
+
+impl JetsonSpec {
+    /// An AGX-Orin-like development kit on a 20 V USB-PD contract.
+    #[must_use]
+    pub fn agx_orin() -> Self {
+        Self {
+            igpu: GpuSpec::orin_igpu(),
+            carrier_w: 4.5,
+            cpu_idle_w: 3.0,
+            cpu_dyn_w: 14.0,
+            supply: Volts::new(20.0),
+        }
+    }
+}
+
+/// The SoC board model: module (CPU + iGPU) plus carrier board on one
+/// USB-C rail.
+#[derive(Debug)]
+pub struct JetsonModel {
+    spec: JetsonSpec,
+    gpu: Arc<Mutex<GpuModel>>,
+    cpu_util: f64,
+}
+
+impl JetsonModel {
+    /// Creates an idle board.
+    #[must_use]
+    pub fn new(spec: JetsonSpec, seed: u64) -> Self {
+        let gpu = GpuModel::new(spec.igpu.clone(), seed);
+        Self {
+            spec,
+            gpu: Arc::new(Mutex::new(gpu)),
+            cpu_util: 0.0,
+        }
+    }
+
+    /// Sets the CPU-complex utilisation (0–1); the Orin's twelve
+    /// Cortex cores add up to `cpu_dyn_w` at full load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `util` is outside `[0, 1]`.
+    pub fn set_cpu_load(&mut self, util: f64) {
+        assert!((0.0..=1.0).contains(&util), "utilisation out of range");
+        self.cpu_util = util;
+    }
+
+    /// The static spec.
+    #[must_use]
+    pub fn spec(&self) -> &JetsonSpec {
+        &self.spec
+    }
+
+    /// Shared handle to the integrated GPU (for launching kernels and
+    /// for the built-in sensor).
+    #[must_use]
+    pub fn gpu(&self) -> Arc<Mutex<GpuModel>> {
+        Arc::clone(&self.gpu)
+    }
+
+    /// Launches a kernel on the integrated GPU.
+    pub fn launch(&self, kernel: GpuKernel) {
+        self.gpu.lock().launch(kernel);
+    }
+
+    /// Module power (CPU + GPU, excluding carrier) — what the built-in
+    /// sensor reports.
+    pub fn module_power(&self, now: SimTime) -> Watts {
+        Watts::new(self.spec.cpu_idle_w + self.cpu_util * self.spec.cpu_dyn_w)
+            + self.gpu.lock().power(now)
+    }
+
+    /// Total board power (module + carrier) — what PowerSensor3 on the
+    /// USB-C input measures.
+    pub fn board_power(&self, now: SimTime) -> Watts {
+        self.module_power(now) + Watts::new(self.spec.carrier_w)
+    }
+}
+
+impl Dut for JetsonModel {
+    fn rails(&self) -> Vec<RailId> {
+        vec![RailId::UsbC]
+    }
+
+    fn rail_state(&mut self, rail: RailId, now: SimTime) -> RailState {
+        if rail != RailId::UsbC {
+            return RailState::idle(rail);
+        }
+        let watts = self.board_power(now).value();
+        let nominal = self.spec.supply.value();
+        // USB-C cable resistance ≈ 120 mΩ round trip.
+        let amps_nominal = watts / nominal;
+        let volts = nominal - 0.12 * amps_nominal;
+        RailState {
+            volts: Volts::new(volts),
+            amps: Amps::new(watts / volts),
+        }
+    }
+}
+
+/// The built-in module power sensor: ~10 Hz (the paper reports ~0.1 s
+/// resolution) and blind to the carrier board.
+pub struct JetsonBuiltinSensor {
+    board: Arc<Mutex<JetsonModel>>,
+    held: Option<OnboardReading>,
+}
+
+/// Refresh interval of the built-in sensor.
+const BUILTIN_INTERVAL: SimDuration = SimDuration::from_millis(100);
+
+impl JetsonBuiltinSensor {
+    /// Wraps a shared board model.
+    #[must_use]
+    pub fn new(board: Arc<Mutex<JetsonModel>>) -> Self {
+        Self { board, held: None }
+    }
+}
+
+impl OnboardSensor for JetsonBuiltinSensor {
+    fn read(&mut self, now: SimTime) -> OnboardReading {
+        let interval = BUILTIN_INTERVAL.as_nanos();
+        let grid = SimTime::from_nanos((now.as_nanos() / interval) * interval);
+        let due = match self.held {
+            None => true,
+            Some(h) => grid > h.updated_at,
+        };
+        if due {
+            let p = self.board.lock().module_power(grid);
+            self.held = Some(OnboardReading {
+                updated_at: grid,
+                power: p,
+            });
+        }
+        self.held.expect("refreshed above")
+    }
+
+    fn update_interval(&self) -> SimDuration {
+        BUILTIN_INTERVAL
+    }
+
+    fn name(&self) -> &'static str {
+        "Jetson built-in (module only)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn board_power_includes_carrier() {
+        let jetson = JetsonModel::new(JetsonSpec::agx_orin(), 3);
+        let t = SimTime::from_micros(10_000);
+        let module = jetson.module_power(t).value();
+        let board = jetson.board_power(t).value();
+        // Each probe draws fresh sampling noise (±0.35 W), so compare
+        // with slack.
+        assert!((board - module - 4.5).abs() < 1.5);
+        // Idle board: carrier + CPU idle + GPU idle ≈ 16.5 W.
+        assert!((board - 16.5).abs() < 2.0, "board {board}");
+    }
+
+    #[test]
+    fn builtin_sensor_misses_carrier() {
+        let board = Arc::new(Mutex::new(JetsonModel::new(JetsonSpec::agx_orin(), 4)));
+        let mut builtin = JetsonBuiltinSensor::new(Arc::clone(&board));
+        let t = SimTime::from_micros(200_000);
+        let reading = builtin.read(t).power.value();
+        let truth = board.lock().board_power(t).value();
+        assert!(
+            truth - reading > 4.0,
+            "built-in ({reading}) should miss the ~4.5 W carrier ({truth})"
+        );
+    }
+
+    #[test]
+    fn kernel_raises_usbc_power() {
+        let mut jetson = JetsonModel::new(JetsonSpec::agx_orin(), 5);
+        let idle = jetson
+            .rail_state(RailId::UsbC, SimTime::from_micros(10_000))
+            .watts()
+            .value();
+        jetson.launch(GpuKernel::synthetic_fma(SimDuration::from_secs(1), 4));
+        let busy = jetson
+            .rail_state(RailId::UsbC, SimTime::from_micros(600_000))
+            .watts()
+            .value();
+        assert!(busy > idle + 15.0, "idle {idle}, busy {busy}");
+        assert!(busy < 60.0, "bounded by the Orin power budget: {busy}");
+    }
+
+    #[test]
+    fn cpu_load_adds_module_power() {
+        let mut jetson = JetsonModel::new(JetsonSpec::agx_orin(), 7);
+        let t = SimTime::from_micros(50_000);
+        let idle = jetson.module_power(t).value();
+        jetson.set_cpu_load(1.0);
+        let busy = jetson.module_power(t).value();
+        assert!((busy - idle - 14.0).abs() < 1.5, "idle {idle}, busy {busy}");
+        jetson.set_cpu_load(0.5);
+        let half = jetson.module_power(t).value();
+        assert!((half - idle - 7.0).abs() < 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cpu_load_validated() {
+        let mut jetson = JetsonModel::new(JetsonSpec::agx_orin(), 8);
+        jetson.set_cpu_load(1.5);
+    }
+
+    #[test]
+    fn usbc_voltage_droops_under_load() {
+        let mut jetson = JetsonModel::new(JetsonSpec::agx_orin(), 6);
+        jetson.launch(GpuKernel::synthetic_fma(SimDuration::from_secs(1), 2));
+        let s = jetson.rail_state(RailId::UsbC, SimTime::from_micros(500_000));
+        assert!(s.volts.value() < 20.0);
+        assert!(s.volts.value() > 19.0);
+    }
+}

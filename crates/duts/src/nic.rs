@@ -1,0 +1,229 @@
+//! A network interface controller (NIC) power model.
+//!
+//! The paper lists NICs among the PCIe peripherals PowerSensor3
+//! targets (§I, §II) without dedicating an experiment to them; this
+//! model rounds out the DUT library so the toolkit is demonstrably
+//! extensible (§VI "Extendibility"). Power scales with both throughput
+//! (SerDes/MAC activity) and packet rate (per-descriptor DMA and
+//! interrupt work), so small-packet workloads burn more watts per
+//! gigabit than large-packet ones — the behaviour an external sensor
+//! would reveal.
+
+use ps3_units::{Amps, SimTime, Volts, Watts};
+
+use crate::rail::{Dut, RailId, RailState};
+
+/// Static characteristics of the NIC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NicSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Line rate in Gbit/s.
+    pub line_rate_gbps: f64,
+    /// Idle power in watts (link up, no traffic).
+    pub idle_w: f64,
+    /// Power per Gbit/s of throughput.
+    pub w_per_gbps: f64,
+    /// Power per million packets per second.
+    pub w_per_mpps: f64,
+    /// Fraction of power drawn from the 3.3 V slot rail.
+    pub frac_3v3: f64,
+}
+
+impl NicSpec {
+    /// A dual-port 100 GbE adapter (ConnectX-class).
+    #[must_use]
+    pub fn hundred_gbe() -> Self {
+        Self {
+            name: "100 GbE NIC (model)",
+            line_rate_gbps: 100.0,
+            idle_w: 8.5,
+            w_per_gbps: 0.06,
+            w_per_mpps: 0.045,
+            frac_3v3: 0.15,
+        }
+    }
+
+    /// A 10 GbE adapter.
+    #[must_use]
+    pub fn ten_gbe() -> Self {
+        Self {
+            name: "10 GbE NIC (model)",
+            line_rate_gbps: 10.0,
+            idle_w: 3.2,
+            w_per_gbps: 0.12,
+            w_per_mpps: 0.06,
+            frac_3v3: 0.25,
+        }
+    }
+}
+
+/// A traffic profile offered to the NIC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficLoad {
+    /// Offered throughput in Gbit/s (clamped to line rate).
+    pub gbps: f64,
+    /// Packet size in bytes (determines the packet rate).
+    pub packet_bytes: u32,
+}
+
+impl TrafficLoad {
+    /// Packets per second implied by the load.
+    #[must_use]
+    pub fn pps(&self) -> f64 {
+        self.gbps * 1e9 / 8.0 / f64::from(self.packet_bytes.max(1))
+    }
+}
+
+/// The NIC model.
+#[derive(Debug, Clone)]
+pub struct NicModel {
+    spec: NicSpec,
+    load: Option<TrafficLoad>,
+}
+
+impl NicModel {
+    /// Creates an idle NIC (link up).
+    #[must_use]
+    pub fn new(spec: NicSpec) -> Self {
+        Self { spec, load: None }
+    }
+
+    /// The static spec.
+    #[must_use]
+    pub fn spec(&self) -> &NicSpec {
+        &self.spec
+    }
+
+    /// Applies (or replaces) a traffic load.
+    pub fn offer(&mut self, load: TrafficLoad) {
+        self.load = Some(load);
+    }
+
+    /// Stops traffic.
+    pub fn stop(&mut self) {
+        self.load = None;
+    }
+
+    /// Achieved throughput in Gbit/s (offered, clamped to line rate).
+    #[must_use]
+    pub fn throughput_gbps(&self) -> f64 {
+        self.load
+            .map(|l| l.gbps.min(self.spec.line_rate_gbps))
+            .unwrap_or(0.0)
+    }
+
+    /// Total power at the current load.
+    #[must_use]
+    pub fn power(&self) -> Watts {
+        let (gbps, mpps) = match self.load {
+            None => (0.0, 0.0),
+            Some(load) => {
+                let gbps = load.gbps.min(self.spec.line_rate_gbps);
+                let scale = if load.gbps > 0.0 { gbps / load.gbps } else { 0.0 };
+                (gbps, load.pps() * scale / 1e6)
+            }
+        };
+        Watts::new(self.spec.idle_w + gbps * self.spec.w_per_gbps + mpps * self.spec.w_per_mpps)
+    }
+}
+
+impl Dut for NicModel {
+    fn rails(&self) -> Vec<RailId> {
+        vec![RailId::Slot3V3, RailId::Slot12V]
+    }
+
+    fn rail_state(&mut self, rail: RailId, _now: SimTime) -> RailState {
+        let total = self.power().value();
+        let watts = match rail {
+            RailId::Slot3V3 => total * self.spec.frac_3v3,
+            RailId::Slot12V => total * (1.0 - self.spec.frac_3v3),
+            _ => return RailState::idle(rail),
+        };
+        let nominal = rail.nominal().value();
+        let amps_nominal = watts / nominal;
+        let volts = nominal - 0.006 * amps_nominal;
+        RailState {
+            volts: Volts::new(volts),
+            amps: Amps::new(watts / volts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_power_is_spec_idle() {
+        let nic = NicModel::new(NicSpec::hundred_gbe());
+        assert_eq!(nic.power(), Watts::new(8.5));
+        assert_eq!(nic.throughput_gbps(), 0.0);
+    }
+
+    #[test]
+    fn small_packets_cost_more_per_gigabit() {
+        let mut nic = NicModel::new(NicSpec::hundred_gbe());
+        nic.offer(TrafficLoad {
+            gbps: 50.0,
+            packet_bytes: 1500,
+        });
+        let large = nic.power().value();
+        nic.offer(TrafficLoad {
+            gbps: 50.0,
+            packet_bytes: 64,
+        });
+        let small = nic.power().value();
+        // 64 B at 50 Gbit/s ≈ 98 Mpps vs 4 Mpps at 1500 B: ≈ +4 W of
+        // descriptor/interrupt work.
+        assert!(
+            small > large + 3.0,
+            "64 B at 50 Gbps ({small} W) should dwarf 1500 B ({large} W)"
+        );
+    }
+
+    #[test]
+    fn offered_load_clamps_to_line_rate() {
+        let mut nic = NicModel::new(NicSpec::ten_gbe());
+        nic.offer(TrafficLoad {
+            gbps: 40.0,
+            packet_bytes: 1500,
+        });
+        assert_eq!(nic.throughput_gbps(), 10.0);
+        // Power reflects the achieved 10 Gbit/s, not the offered 40.
+        let p = nic.power().value();
+        let expect = 3.2 + 10.0 * 0.12 + (10e9 / 8.0 / 1500.0 / 1e6) * 0.06;
+        assert!((p - expect).abs() < 1e-9, "p {p} expect {expect}");
+    }
+
+    #[test]
+    fn rails_split_and_sum() {
+        let mut nic = NicModel::new(NicSpec::hundred_gbe());
+        nic.offer(TrafficLoad {
+            gbps: 100.0,
+            packet_bytes: 512,
+        });
+        let t = SimTime::ZERO;
+        let p33 = nic.rail_state(RailId::Slot3V3, t).watts().value();
+        let p12 = nic.rail_state(RailId::Slot12V, t).watts().value();
+        let total = nic.power().value();
+        assert!((p33 + p12 - total).abs() < 1e-6);
+        assert!(p12 > p33);
+        assert_eq!(
+            nic.rail_state(RailId::UsbC, t),
+            RailState::idle(RailId::UsbC)
+        );
+    }
+
+    #[test]
+    fn stop_returns_to_idle() {
+        let mut nic = NicModel::new(NicSpec::ten_gbe());
+        nic.offer(TrafficLoad {
+            gbps: 5.0,
+            packet_bytes: 256,
+        });
+        assert!(nic.power().value() > 3.2);
+        nic.stop();
+        assert_eq!(nic.power(), Watts::new(3.2));
+    }
+}

@@ -1,0 +1,258 @@
+//! ADC scan sequencer with DMA-style frame buffering.
+//!
+//! §III-B: the ADC runs from a 24 MHz clock with 10-bit resolution and
+//! a 15-cycle sampling time; each bit costs one cycle, so a conversion
+//! takes 25 cycles ≈ 1.04 µs. One *frame* scans all 8 sensor channels
+//! 6 times (48 conversions = 50 µs) and the CPU averages the six
+//! samples per channel, producing output at exactly 20 kHz. The device
+//! timestamp is latched after the third of the six scan rounds.
+
+use ps3_sensors::AdcSpec;
+use ps3_units::{SimDuration, SimTime};
+
+/// Duration of one averaged output frame: 50 µs → 20 kHz.
+pub const FRAME_INTERVAL: SimDuration = SimDuration::from_micros(50);
+
+/// ADC clock cycles per conversion (15 sampling + 10 bit reads).
+pub const CYCLES_PER_CONVERSION: u64 = 25;
+
+/// ADC clock frequency in Hz.
+pub const ADC_CLOCK_HZ: u64 = 24_000_000;
+
+/// The boundary to the analog world.
+///
+/// The testbed implements this by evaluating the DUT power model at the
+/// conversion instant and passing the rail state through the
+/// `ps3-sensors` transfer functions. Channel numbering follows the
+/// baseboard: channel `2k` is module `k`'s current sensor, channel
+/// `2k+1` its voltage sensor (consecutive channels minimise the time
+/// skew within a pair).
+pub trait AnalogSource: Send {
+    /// The instantaneous voltage at ADC input `channel` at time `now`.
+    fn sample_channel(&mut self, channel: usize, now: SimTime) -> f64;
+}
+
+impl<F> AnalogSource for F
+where
+    F: FnMut(usize, SimTime) -> f64 + Send,
+{
+    fn sample_channel(&mut self, channel: usize, now: SimTime) -> f64 {
+        self(channel, now)
+    }
+}
+
+/// One completed averaging frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    /// Averaged 10-bit values, one per channel.
+    pub values: [u16; 8],
+    /// When the device timestamp was latched (mid-frame).
+    pub timestamp_at: SimTime,
+    /// First instant after the frame (start + 50 µs).
+    pub end: SimTime,
+}
+
+/// The scan/convert/average engine.
+///
+/// # Examples
+///
+/// ```
+/// use ps3_firmware::{AdcSequencer, FRAME_INTERVAL};
+/// use ps3_units::SimTime;
+///
+/// let mut seq = AdcSequencer::new();
+/// // A source holding every channel at mid-scale.
+/// let frame = seq.run_frame(&mut |_ch, _t| 1.65f64, SimTime::ZERO);
+/// assert_eq!(frame.values[0], 512);
+/// assert_eq!(frame.end, SimTime::ZERO + FRAME_INTERVAL);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdcSequencer {
+    spec: AdcSpec,
+    averages: u32,
+}
+
+impl AdcSequencer {
+    /// A sequencer with the PowerSensor3 configuration (10-bit, 6-fold
+    /// averaging).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            spec: AdcSpec::POWERSENSOR3,
+            averages: 6,
+        }
+    }
+
+    /// A sequencer with a custom averaging depth (ablation benches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `averages` is zero.
+    #[must_use]
+    pub fn with_averages(averages: u32) -> Self {
+        assert!(averages > 0, "averaging depth must be non-zero");
+        Self {
+            spec: AdcSpec::POWERSENSOR3,
+            averages,
+        }
+    }
+
+    /// The ADC spec used for quantisation.
+    #[must_use]
+    pub fn spec(&self) -> &AdcSpec {
+        &self.spec
+    }
+
+    /// Averaging depth per output sample.
+    #[must_use]
+    pub fn averages(&self) -> u32 {
+        self.averages
+    }
+
+    /// Duration of one output frame for this averaging depth.
+    #[must_use]
+    pub fn frame_interval(&self) -> SimDuration {
+        let cycles = u64::from(self.averages) * 8 * CYCLES_PER_CONVERSION;
+        SimDuration::from_nanos(cycles * 1_000_000_000 / ADC_CLOCK_HZ)
+    }
+
+    /// Runs one frame starting at `start`: 8 channels × `averages`
+    /// conversions, each at its exact conversion instant, then averages
+    /// per channel.
+    pub fn run_frame(&mut self, source: &mut dyn AnalogSource, start: SimTime) -> Frame {
+        let mut sums = [0u32; 8];
+        let mut conversion = 0u64;
+        let mut timestamp_at = start;
+        let half_rounds = self.averages / 2;
+        for round in 0..self.averages {
+            if round == half_rounds {
+                // "The timestamp is generated after processing 3 out of
+                // the 6 samples to be averaged."
+                timestamp_at = start + self.conversion_offset(conversion);
+            }
+            for (ch, sum) in sums.iter_mut().enumerate() {
+                let t = start + self.conversion_offset(conversion);
+                let volts = source.sample_channel(ch, t);
+                *sum += u32::from(self.spec.quantize(volts));
+                conversion += 1;
+            }
+        }
+        let values =
+            core::array::from_fn(|ch| ((sums[ch] + self.averages / 2) / self.averages) as u16);
+        Frame {
+            values,
+            timestamp_at,
+            end: start + self.frame_interval(),
+        }
+    }
+
+    /// Time offset of conversion number `n` within a frame.
+    fn conversion_offset(&self, n: u64) -> SimDuration {
+        let cycles = n * CYCLES_PER_CONVERSION;
+        SimDuration::from_nanos(cycles * 1_000_000_000 / ADC_CLOCK_HZ)
+    }
+}
+
+impl Default for AdcSequencer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_interval_is_50_us() {
+        assert_eq!(AdcSequencer::new().frame_interval(), FRAME_INTERVAL);
+    }
+
+    #[test]
+    fn frame_interval_scales_with_averaging() {
+        // 3-fold averaging halves the frame time → 40 kHz.
+        let seq = AdcSequencer::with_averages(3);
+        assert_eq!(seq.frame_interval(), SimDuration::from_micros(25));
+    }
+
+    #[test]
+    fn constant_input_yields_constant_code() {
+        let mut seq = AdcSequencer::new();
+        let frame = seq.run_frame(&mut |_c, _t| 0.825f64, SimTime::ZERO);
+        for v in frame.values {
+            assert_eq!(v, 256);
+        }
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut seq = AdcSequencer::new();
+        let frame = seq.run_frame(
+            &mut |ch: usize, _t: SimTime| ch as f64 * 0.4,
+            SimTime::ZERO,
+        );
+        for ch in 1..8 {
+            assert!(frame.values[ch] > frame.values[ch - 1]);
+        }
+    }
+
+    #[test]
+    fn conversions_happen_at_exact_instants() {
+        let mut seq = AdcSequencer::new();
+        let mut times: Vec<u64> = Vec::new();
+        let mut src = |_ch: usize, t: SimTime| {
+            times.push(t.as_nanos());
+            1.0f64
+        };
+        let start = SimTime::from_micros(100);
+        seq.run_frame(&mut src, start);
+        assert_eq!(times.len(), 48);
+        assert_eq!(times[0], start.as_nanos());
+        // Conversion spacing: 25 cycles at 24 MHz ≈ 1041.67 ns.
+        let d01 = times[1] - times[0];
+        assert!((1040..=1042).contains(&d01), "spacing {d01}");
+        // The whole frame spans just under 50 µs.
+        let span = times[47] - times[0];
+        assert!(span < 50_000, "span {span}");
+        assert!(span > 48_000, "span {span}");
+    }
+
+    #[test]
+    fn timestamp_latched_mid_frame() {
+        let mut seq = AdcSequencer::new();
+        let frame = seq.run_frame(&mut |_c, _t| 1.0f64, SimTime::ZERO);
+        let mid = frame.timestamp_at.as_nanos();
+        assert_eq!(mid, 24 * 25 * 1_000_000_000 / 24_000_000);
+        assert_eq!(mid, 25_000);
+    }
+
+    #[test]
+    fn averaging_rounds_to_nearest() {
+        // 6 samples alternating between codes 100 and 101 average to
+        // 100.5 → rounds to 101 with the +half correction.
+        let mut seq = AdcSequencer::new();
+        let lsb = AdcSpec::POWERSENSOR3.lsb();
+        let mut i = 0u32;
+        let frame = seq.run_frame(
+            &mut move |_ch: usize, _t: SimTime| {
+                i += 1;
+                if i.is_multiple_of(2) {
+                    100.4 * lsb
+                } else {
+                    101.4 * lsb
+                }
+            },
+            SimTime::ZERO,
+        );
+        for v in frame.values {
+            assert!(v == 100 || v == 101, "got {v}");
+        }
+    }
+
+    #[test]
+    fn closure_sources_work_via_blanket_impl() {
+        fn takes_source(_s: &mut dyn AnalogSource) {}
+        let mut f = |_c: usize, _t: SimTime| 0.0f64;
+        takes_source(&mut f);
+    }
+}

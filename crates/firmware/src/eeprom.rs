@@ -1,0 +1,242 @@
+//! Virtual EEPROM holding per-sensor configuration (§III-B1).
+//!
+//! The STM32 has no true EEPROM; the real firmware emulates one in
+//! flash. Stored per sensor: a name, the reference voltage, the
+//! sensitivity (current sensors) or gain (voltage sensors), and an
+//! enabled flag. The host library reads these at connect time so users
+//! never have to track which physical modules are plugged in.
+
+use crate::protocol::ProtocolError;
+
+/// Number of sensor slots on the baseboard: 4 modules × 2 sensors.
+pub const SENSOR_SLOTS: usize = 8;
+
+/// Maximum stored name length in bytes.
+pub const NAME_SIZE: usize = 16;
+
+/// Size of one configuration record on the wire:
+/// name + vref (f32) + gain (f32) + enabled + reserved.
+pub const CONFIG_WIRE_SIZE: usize = NAME_SIZE + 4 + 4 + 1 + 1;
+
+/// Conversion values for one sensor slot.
+///
+/// For a current sensor (even slot) `gain` is the Hall sensitivity in
+/// V/A and `vref` is the calibrated mid-scale reference: the host
+/// computes `I = (V_adc − vref/2) / gain`. For a voltage sensor (odd
+/// slot) `gain` is rail volts per ADC volt: `U = V_adc · gain`.
+///
+/// # Examples
+///
+/// ```
+/// use ps3_firmware::SensorConfig;
+///
+/// let cfg = SensorConfig::new("Slot-12V-10A", 3.3, 0.12, true);
+/// let wire = cfg.to_wire();
+/// assert_eq!(SensorConfig::from_wire(&wire).unwrap(), cfg);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorConfig {
+    /// Human-readable sensor name (truncated to [`NAME_SIZE`] bytes).
+    pub name: String,
+    /// Reference voltage; mid-scale for current sensors.
+    pub vref: f32,
+    /// Sensitivity (V/A) for current sensors, gain (V/V) for voltage
+    /// sensors.
+    pub gain: f32,
+    /// Whether the slot is populated and streaming.
+    pub enabled: bool,
+}
+
+impl SensorConfig {
+    /// Creates a configuration record; the name is truncated to
+    /// [`NAME_SIZE`] bytes on a character boundary.
+    #[must_use]
+    pub fn new(name: &str, vref: f32, gain: f32, enabled: bool) -> Self {
+        let mut name = name.to_owned();
+        while name.len() > NAME_SIZE {
+            name.pop();
+        }
+        Self {
+            name,
+            vref,
+            gain,
+            enabled,
+        }
+    }
+
+    /// A disabled, empty slot.
+    #[must_use]
+    pub fn unpopulated() -> Self {
+        Self::new("", 3.3, 1.0, false)
+    }
+
+    /// Serialises to the fixed-size wire/EEPROM record.
+    #[must_use]
+    pub fn to_wire(&self) -> [u8; CONFIG_WIRE_SIZE] {
+        let mut out = [0u8; CONFIG_WIRE_SIZE];
+        let name = self.name.as_bytes();
+        out[..name.len()].copy_from_slice(name);
+        out[NAME_SIZE..NAME_SIZE + 4].copy_from_slice(&self.vref.to_le_bytes());
+        out[NAME_SIZE + 4..NAME_SIZE + 8].copy_from_slice(&self.gain.to_le_bytes());
+        out[NAME_SIZE + 8] = u8::from(self.enabled);
+        out
+    }
+
+    /// Parses a wire/EEPROM record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::BadConfig`] when the name is not valid
+    /// UTF-8 or numeric fields are not finite.
+    pub fn from_wire(bytes: &[u8; CONFIG_WIRE_SIZE]) -> Result<Self, ProtocolError> {
+        let name_end = bytes[..NAME_SIZE]
+            .iter()
+            .position(|&b| b == 0)
+            .unwrap_or(NAME_SIZE);
+        let name = core::str::from_utf8(&bytes[..name_end])
+            .map_err(|_| ProtocolError::BadConfig)?
+            .to_owned();
+        let vref = f32::from_le_bytes(bytes[NAME_SIZE..NAME_SIZE + 4].try_into().expect("size"));
+        let gain =
+            f32::from_le_bytes(bytes[NAME_SIZE + 4..NAME_SIZE + 8].try_into().expect("size"));
+        if !vref.is_finite() || !gain.is_finite() {
+            return Err(ProtocolError::BadConfig);
+        }
+        Ok(Self {
+            name,
+            vref,
+            gain,
+            enabled: bytes[NAME_SIZE + 8] != 0,
+        })
+    }
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        Self::unpopulated()
+    }
+}
+
+/// The virtual EEPROM: eight sensor-slot records plus a write counter
+/// (flash emulation in the real firmware wears the flash, so the
+/// counter is a useful diagnostic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Eeprom {
+    slots: [SensorConfig; SENSOR_SLOTS],
+    writes: u64,
+}
+
+impl Eeprom {
+    /// An EEPROM with all slots unpopulated.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            slots: core::array::from_fn(|_| SensorConfig::unpopulated()),
+            writes: 0,
+        }
+    }
+
+    /// Reads the record for `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= SENSOR_SLOTS`.
+    #[must_use]
+    pub fn read(&self, slot: usize) -> &SensorConfig {
+        &self.slots[slot]
+    }
+
+    /// Writes the record for `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= SENSOR_SLOTS`.
+    pub fn write(&mut self, slot: usize, config: SensorConfig) {
+        self.slots[slot] = config;
+        self.writes += 1;
+    }
+
+    /// All slots in index order.
+    #[must_use]
+    pub fn slots(&self) -> &[SensorConfig; SENSOR_SLOTS] {
+        &self.slots
+    }
+
+    /// Number of write operations performed (flash-wear diagnostic).
+    #[must_use]
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+}
+
+impl Default for Eeprom {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        let cfg = SensorConfig::new("PCIe-8pin-20A", 3.302, 0.06, true);
+        assert_eq!(SensorConfig::from_wire(&cfg.to_wire()).unwrap(), cfg);
+    }
+
+    #[test]
+    fn name_truncated_to_record_size() {
+        let cfg = SensorConfig::new("an-extremely-long-sensor-name", 3.3, 1.0, true);
+        assert!(cfg.name.len() <= NAME_SIZE);
+        let round = SensorConfig::from_wire(&cfg.to_wire()).unwrap();
+        assert_eq!(round.name, cfg.name);
+    }
+
+    #[test]
+    fn empty_name_roundtrip() {
+        let cfg = SensorConfig::unpopulated();
+        let round = SensorConfig::from_wire(&cfg.to_wire()).unwrap();
+        assert_eq!(round, cfg);
+        assert!(!round.enabled);
+    }
+
+    #[test]
+    fn non_finite_fields_rejected() {
+        let mut wire = SensorConfig::new("x", 3.3, 1.0, true).to_wire();
+        wire[NAME_SIZE..NAME_SIZE + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+        assert_eq!(
+            SensorConfig::from_wire(&wire).unwrap_err(),
+            ProtocolError::BadConfig
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_name_rejected() {
+        let mut wire = SensorConfig::new("ok", 3.3, 1.0, true).to_wire();
+        wire[0] = 0xFF;
+        wire[1] = 0xFE;
+        assert_eq!(
+            SensorConfig::from_wire(&wire).unwrap_err(),
+            ProtocolError::BadConfig
+        );
+    }
+
+    #[test]
+    fn eeprom_write_read() {
+        let mut e = Eeprom::new();
+        assert_eq!(e.write_count(), 0);
+        let cfg = SensorConfig::new("USB-C", 3.3, 0.12, true);
+        e.write(5, cfg.clone());
+        assert_eq!(e.read(5), &cfg);
+        assert_eq!(e.write_count(), 1);
+        assert!(!e.read(0).enabled);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_slot_panics() {
+        let e = Eeprom::new();
+        let _ = e.read(SENSOR_SLOTS);
+    }
+}

@@ -1,0 +1,553 @@
+//! The PowerSensor3 wire protocol.
+//!
+//! §III-B: for each sensor the device transmits 2 bytes carrying a
+//! 10-bit value plus 6 bits of metadata — the sensor index, a marker
+//! bit, and one framing bit per byte distinguishing first from second
+//! bytes:
+//!
+//! ```text
+//! byte 0: 0 s2 s1 s0 m v9 v8 v7     (MSB clear = first byte)
+//! byte 1: 1 v6 v5 v4 v3 v2 v1 v0    (MSB set   = second byte)
+//! ```
+//!
+//! A *real* marker can only occur on sensor 0; a set marker bit with a
+//! non-zero sensor index is repurposed. Sensor index 7 with the marker
+//! bit set carries the device timestamp: a 10-bit microsecond counter
+//! generated halfway through each averaging frame. The framing bits let
+//! a host that joins mid-stream (or loses bytes) resynchronise on the
+//! next packet boundary.
+//!
+//! Commands from host to device are single bytes, some with a fixed
+//! payload; see [`Command`].
+
+use core::fmt;
+use std::error::Error;
+
+use crate::eeprom::{SensorConfig, CONFIG_WIRE_SIZE};
+
+/// Mask for the 10-bit sample payload.
+pub const VALUE_MASK: u16 = 0x3FF;
+
+/// Sensor index reserved for timestamp packets (with marker bit set).
+pub const TIMESTAMP_SENSOR: u8 = 7;
+
+/// Microsecond wrap period of the 10-bit device timestamp.
+pub const TIMESTAMP_WRAP_US: u64 = 1 << 10;
+
+/// A decoded 2-byte packet from the sensor stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Packet {
+    /// A sensor conversion result.
+    Sample {
+        /// Sensor index 0–7 (channel on the ADC scan).
+        sensor: u8,
+        /// Marker flag (only meaningful on sensor 0).
+        marker: bool,
+        /// 10-bit raw ADC value (averaged).
+        value: u16,
+    },
+    /// A device timestamp: the low 10 bits of the µs clock.
+    Timestamp {
+        /// Microseconds modulo [`TIMESTAMP_WRAP_US`].
+        micros: u16,
+    },
+}
+
+impl Packet {
+    /// Encodes the packet into its 2-byte wire form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sample's sensor index exceeds 7 or its value exceeds
+    /// 10 bits, or if a timestamp exceeds 10 bits — firmware bugs, not
+    /// runtime conditions.
+    #[must_use]
+    pub fn encode(self) -> [u8; 2] {
+        let (sensor, marker, value) = match self {
+            Packet::Sample {
+                sensor,
+                marker,
+                value,
+            } => {
+                assert!(sensor <= 7, "sensor index out of range");
+                assert!(value <= VALUE_MASK, "sample value out of range");
+                assert!(
+                    !(marker && sensor == TIMESTAMP_SENSOR),
+                    "marker on sensor 7 is reserved for timestamps"
+                );
+                (sensor, marker, value)
+            }
+            Packet::Timestamp { micros } => {
+                assert!(micros <= VALUE_MASK, "timestamp out of range");
+                (TIMESTAMP_SENSOR, true, micros)
+            }
+        };
+        let byte0 = (sensor << 4) | (u8::from(marker) << 3) | ((value >> 7) as u8 & 0x07);
+        let byte1 = 0x80 | (value & 0x7F) as u8;
+        [byte0, byte1]
+    }
+
+    /// Decodes a 2-byte wire packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Framing`] when the framing bits are
+    /// wrong (first byte must have MSB clear, second byte MSB set).
+    pub fn decode(bytes: [u8; 2]) -> Result<Self, ProtocolError> {
+        if bytes[0] & 0x80 != 0 || bytes[1] & 0x80 == 0 {
+            return Err(ProtocolError::Framing);
+        }
+        let sensor = (bytes[0] >> 4) & 0x07;
+        let marker = bytes[0] & 0x08 != 0;
+        let value = (u16::from(bytes[0] & 0x07) << 7) | u16::from(bytes[1] & 0x7F);
+        if marker && sensor == TIMESTAMP_SENSOR {
+            Ok(Packet::Timestamp { micros: value })
+        } else {
+            Ok(Packet::Sample {
+                sensor,
+                marker,
+                value,
+            })
+        }
+    }
+}
+
+/// Incremental decoder that resynchronises on framing bits.
+///
+/// Feed it raw bytes as they arrive; it yields packets and silently
+/// skips bytes until it finds a valid first-byte/second-byte pair, so a
+/// host joining mid-stream or suffering byte loss recovers within one
+/// packet.
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    pending: Option<u8>,
+    resyncs: u64,
+}
+
+impl StreamDecoder {
+    /// Creates an empty decoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of times the decoder had to discard bytes to regain
+    /// framing (diagnostic).
+    #[must_use]
+    pub fn resync_count(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// Pushes one byte; returns a packet when one completes.
+    pub fn push(&mut self, byte: u8) -> Option<Packet> {
+        match self.pending {
+            None => {
+                if byte & 0x80 == 0 {
+                    self.pending = Some(byte);
+                } else {
+                    // Second-byte pattern with no first byte: drop it.
+                    self.resyncs += 1;
+                }
+                None
+            }
+            Some(first) => {
+                if byte & 0x80 == 0 {
+                    // Two first-bytes in a row: the earlier one lost its
+                    // partner. Keep the newer one.
+                    self.resyncs += 1;
+                    self.pending = Some(byte);
+                    return None;
+                }
+                self.pending = None;
+                match Packet::decode([first, byte]) {
+                    Ok(p) => Some(p),
+                    Err(_) => {
+                        self.resyncs += 1;
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pushes a slice of bytes, collecting completed packets.
+    pub fn push_slice(&mut self, bytes: &[u8]) -> Vec<Packet> {
+        bytes.iter().filter_map(|&b| self.push(b)).collect()
+    }
+}
+
+/// Unwraps the 10-bit µs timestamps into an absolute µs counter.
+///
+/// Consecutive frames are 50 µs apart and the counter wraps every
+/// 1024 µs, so the host can reconstruct absolute device time as long as
+/// it never misses ~20 consecutive frames.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TimestampUnwrapper {
+    last_raw: Option<u16>,
+    epoch_us: u64,
+}
+
+impl TimestampUnwrapper {
+    /// Creates an unwrapper starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds a raw 10-bit timestamp, returning the absolute device
+    /// time in microseconds.
+    pub fn unwrap(&mut self, raw: u16) -> u64 {
+        let raw = raw & VALUE_MASK;
+        if let Some(last) = self.last_raw {
+            if raw < last {
+                self.epoch_us += TIMESTAMP_WRAP_US;
+            }
+        }
+        self.last_raw = Some(raw);
+        self.epoch_us + u64::from(raw)
+    }
+}
+
+/// Host-to-device commands (§III-B's option list).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Command {
+    /// Begin streaming sensor data.
+    StartStreaming,
+    /// Stop streaming sensor data.
+    StopStreaming,
+    /// Send all sensor configuration records.
+    ReadConfig,
+    /// Replace the configuration of one sensor slot.
+    WriteConfig {
+        /// Sensor slot 0–7.
+        sensor: u8,
+        /// New configuration record.
+        config: SensorConfig,
+    },
+    /// Set the marker bit on the next sensor-0 sample.
+    Marker,
+    /// Request the firmware version string.
+    Version,
+    /// Reboot the device (streaming stops, state resets).
+    Reboot,
+    /// Reboot into DFU mode for reflashing.
+    RebootToDfu,
+}
+
+/// Command opcode bytes.
+pub mod opcode {
+    /// Start streaming.
+    pub const START: u8 = b'S';
+    /// Stop streaming.
+    pub const STOP: u8 = b'X';
+    /// Read configuration.
+    pub const READ_CONFIG: u8 = b'R';
+    /// Write configuration (followed by slot byte + record).
+    pub const WRITE_CONFIG: u8 = b'W';
+    /// Marker.
+    pub const MARKER: u8 = b'M';
+    /// Version request.
+    pub const VERSION: u8 = b'V';
+    /// Reboot.
+    pub const REBOOT: u8 = b'Z';
+    /// Reboot to DFU.
+    pub const REBOOT_DFU: u8 = b'D';
+    /// Config record response prefix (device → host).
+    pub const CONFIG_RECORD: u8 = b'C';
+    /// End of config dump (device → host).
+    pub const CONFIG_END: u8 = b'E';
+    /// Version response prefix (device → host).
+    pub const VERSION_REPLY: u8 = b'v';
+}
+
+impl Command {
+    /// Serialises the command to wire bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Command::StartStreaming => vec![opcode::START],
+            Command::StopStreaming => vec![opcode::STOP],
+            Command::ReadConfig => vec![opcode::READ_CONFIG],
+            Command::WriteConfig { sensor, config } => {
+                let mut out = vec![opcode::WRITE_CONFIG, *sensor];
+                out.extend_from_slice(&config.to_wire());
+                out
+            }
+            Command::Marker => vec![opcode::MARKER],
+            Command::Version => vec![opcode::VERSION],
+            Command::Reboot => vec![opcode::REBOOT],
+            Command::RebootToDfu => vec![opcode::REBOOT_DFU],
+        }
+    }
+}
+
+/// Incremental parser for the host→device command stream.
+#[derive(Debug, Default)]
+pub struct CommandParser {
+    buf: Vec<u8>,
+}
+
+impl CommandParser {
+    /// Creates an empty parser.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds bytes and returns every command completed by them.
+    ///
+    /// Unknown opcodes are skipped one byte at a time (the device must
+    /// never wedge on garbage input).
+    pub fn push_slice(&mut self, bytes: &[u8]) -> Vec<Command> {
+        self.buf.extend_from_slice(bytes);
+        let mut out = Vec::new();
+        while let Some(&op) = self.buf.first() {
+            let consumed = match op {
+                opcode::START => {
+                    out.push(Command::StartStreaming);
+                    1
+                }
+                opcode::STOP => {
+                    out.push(Command::StopStreaming);
+                    1
+                }
+                opcode::READ_CONFIG => {
+                    out.push(Command::ReadConfig);
+                    1
+                }
+                opcode::MARKER => {
+                    out.push(Command::Marker);
+                    1
+                }
+                opcode::VERSION => {
+                    out.push(Command::Version);
+                    1
+                }
+                opcode::REBOOT => {
+                    out.push(Command::Reboot);
+                    1
+                }
+                opcode::REBOOT_DFU => {
+                    out.push(Command::RebootToDfu);
+                    1
+                }
+                opcode::WRITE_CONFIG => {
+                    let need = 2 + CONFIG_WIRE_SIZE;
+                    if self.buf.len() < need {
+                        break; // wait for the rest of the record
+                    }
+                    let sensor = self.buf[1];
+                    let record: [u8; CONFIG_WIRE_SIZE] =
+                        self.buf[2..need].try_into().expect("length checked");
+                    match SensorConfig::from_wire(&record) {
+                        Ok(config) => out.push(Command::WriteConfig { sensor, config }),
+                        Err(_) => { /* malformed record: drop it */ }
+                    }
+                    need
+                }
+                _ => 1, // unknown byte: skip
+            };
+            self.buf.drain(..consumed);
+        }
+        out
+    }
+}
+
+/// Protocol-level decode errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// Framing bits of a 2-byte packet were inconsistent.
+    Framing,
+    /// A configuration record failed to parse.
+    BadConfig,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Framing => write!(f, "packet framing bits inconsistent"),
+            ProtocolError::BadConfig => write!(f, "malformed sensor configuration record"),
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_roundtrip_all_sensors() {
+        for sensor in 0..=7u8 {
+            for value in [0u16, 1, 511, 512, 1023] {
+                for marker in [false, true] {
+                    if marker && sensor == 7 {
+                        continue; // reserved for timestamps
+                    }
+                    let p = Packet::Sample {
+                        sensor,
+                        marker,
+                        value,
+                    };
+                    assert_eq!(Packet::decode(p.encode()).unwrap(), p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timestamp_roundtrip() {
+        for micros in [0u16, 1, 50, 1000, 1023] {
+            let p = Packet::Timestamp { micros };
+            assert_eq!(Packet::decode(p.encode()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn framing_bits_are_set_correctly() {
+        let bytes = Packet::Sample {
+            sensor: 3,
+            marker: false,
+            value: 0x2AB,
+        }
+        .encode();
+        assert_eq!(bytes[0] & 0x80, 0, "first byte MSB clear");
+        assert_eq!(bytes[1] & 0x80, 0x80, "second byte MSB set");
+    }
+
+    #[test]
+    fn bad_framing_rejected() {
+        assert_eq!(
+            Packet::decode([0x80, 0x80]).unwrap_err(),
+            ProtocolError::Framing
+        );
+        assert_eq!(
+            Packet::decode([0x00, 0x00]).unwrap_err(),
+            ProtocolError::Framing
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved for timestamps")]
+    fn marker_on_sensor7_panics() {
+        let _ = Packet::Sample {
+            sensor: 7,
+            marker: true,
+            value: 0,
+        }
+        .encode();
+    }
+
+    #[test]
+    fn decoder_handles_contiguous_stream() {
+        let mut dec = StreamDecoder::new();
+        let mut bytes = Vec::new();
+        let packets: Vec<Packet> = (0..8u8)
+            .map(|s| Packet::Sample {
+                sensor: s % 7,
+                marker: false,
+                value: u16::from(s) * 100,
+            })
+            .collect();
+        for p in &packets {
+            bytes.extend_from_slice(&p.encode());
+        }
+        assert_eq!(dec.push_slice(&bytes), packets);
+        assert_eq!(dec.resync_count(), 0);
+    }
+
+    #[test]
+    fn decoder_resyncs_after_lost_byte() {
+        let mut dec = StreamDecoder::new();
+        let a = Packet::Sample {
+            sensor: 1,
+            marker: false,
+            value: 700,
+        };
+        let b = Packet::Sample {
+            sensor: 2,
+            marker: false,
+            value: 300,
+        };
+        let mut bytes = a.encode().to_vec();
+        bytes.pop(); // lose a's second byte
+        bytes.extend_from_slice(&b.encode());
+        let got = dec.push_slice(&bytes);
+        assert_eq!(got, vec![b]);
+        assert!(dec.resync_count() > 0);
+    }
+
+    #[test]
+    fn decoder_skips_leading_second_byte() {
+        let mut dec = StreamDecoder::new();
+        let p = Packet::Timestamp { micros: 123 };
+        let mut bytes = vec![0xFFu8]; // stray second-byte pattern
+        bytes.extend_from_slice(&p.encode());
+        assert_eq!(dec.push_slice(&bytes), vec![p]);
+    }
+
+    #[test]
+    fn unwrapper_tracks_wraps() {
+        let mut u = TimestampUnwrapper::new();
+        assert_eq!(u.unwrap(0), 0);
+        assert_eq!(u.unwrap(50), 50);
+        assert_eq!(u.unwrap(1000), 1000);
+        assert_eq!(u.unwrap(2), 1024 + 2); // wrapped
+        assert_eq!(u.unwrap(52), 1024 + 52);
+        // Several wraps in sequence.
+        let mut last = 0;
+        for i in 0..200u64 {
+            let raw = ((i * 50) % 1024) as u16;
+            let t = u.unwrap(raw);
+            assert!(t >= last, "time went backwards at i={i}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn commands_roundtrip_through_parser() {
+        let cmds = vec![
+            Command::StartStreaming,
+            Command::Marker,
+            Command::Version,
+            Command::StopStreaming,
+            Command::ReadConfig,
+            Command::WriteConfig {
+                sensor: 3,
+                config: SensorConfig::new("Slot-12V-10A", 3.3, 0.12, true),
+            },
+            Command::Reboot,
+            Command::RebootToDfu,
+        ];
+        let mut bytes = Vec::new();
+        for c in &cmds {
+            bytes.extend_from_slice(&c.encode());
+        }
+        let mut parser = CommandParser::new();
+        assert_eq!(parser.push_slice(&bytes), cmds);
+    }
+
+    #[test]
+    fn parser_handles_split_write_config() {
+        let cmd = Command::WriteConfig {
+            sensor: 1,
+            config: SensorConfig::new("USB-C", 3.3, 0.12, true),
+        };
+        let bytes = cmd.encode();
+        let mut parser = CommandParser::new();
+        let (head, tail) = bytes.split_at(5);
+        assert!(parser.push_slice(head).is_empty());
+        assert_eq!(parser.push_slice(tail), vec![cmd]);
+    }
+
+    #[test]
+    fn parser_skips_garbage() {
+        let mut parser = CommandParser::new();
+        let mut bytes = vec![0x00, 0xFF, 0x01];
+        bytes.push(opcode::MARKER);
+        assert_eq!(parser.push_slice(&bytes), vec![Command::Marker]);
+    }
+}

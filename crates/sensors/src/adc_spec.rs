@@ -1,0 +1,100 @@
+//! ADC characteristics shared between the analog models and the
+//! firmware emulator.
+
+/// Resolution and reference of the digitising ADC.
+///
+/// The STM32F411 ADC is configured for 10-bit conversions against a
+/// 3.3 V reference (§III-B); the error-budget calculator needs the
+/// resulting LSB size and the firmware emulator needs the same numbers
+/// to quantise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdcSpec {
+    /// Conversion resolution in bits.
+    pub bits: u32,
+    /// Reference voltage in volts; conversions span `0..=vref`.
+    pub vref: f64,
+}
+
+impl AdcSpec {
+    /// The PowerSensor3 configuration: 10 bits, 3.3 V reference.
+    pub const POWERSENSOR3: Self = Self {
+        bits: 10,
+        vref: 3.3,
+    };
+
+    /// Number of quantisation steps (`2^bits`).
+    #[must_use]
+    pub fn levels(&self) -> u32 {
+        1 << self.bits
+    }
+
+    /// Size of one least-significant bit in volts.
+    #[must_use]
+    pub fn lsb(&self) -> f64 {
+        self.vref / f64::from(self.levels())
+    }
+
+    /// Quantises an analog voltage to a raw code, clamping to range.
+    #[must_use]
+    pub fn quantize(&self, volts: f64) -> u16 {
+        let max = self.levels() - 1;
+        if !volts.is_finite() || volts <= 0.0 {
+            return 0;
+        }
+        let code = (volts / self.lsb()).floor() as u32;
+        code.min(max) as u16
+    }
+
+    /// Converts a raw code back to the voltage at the centre of its
+    /// quantisation bin.
+    #[must_use]
+    pub fn to_volts(&self, code: u16) -> f64 {
+        (f64::from(code) + 0.5) * self.lsb()
+    }
+}
+
+impl Default for AdcSpec {
+    fn default() -> Self {
+        Self::POWERSENSOR3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn powersensor3_lsb() {
+        let adc = AdcSpec::POWERSENSOR3;
+        assert_eq!(adc.levels(), 1024);
+        assert!((adc.lsb() - 3.3 / 1024.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantize_clamps() {
+        let adc = AdcSpec::POWERSENSOR3;
+        assert_eq!(adc.quantize(-1.0), 0);
+        assert_eq!(adc.quantize(0.0), 0);
+        assert_eq!(adc.quantize(5.0), 1023);
+        assert_eq!(adc.quantize(f64::NAN), 0);
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_lsb() {
+        let adc = AdcSpec::POWERSENSOR3;
+        for i in 0..1000 {
+            let v = f64::from(i) * 3.3 / 1000.0;
+            let back = adc.to_volts(adc.quantize(v));
+            assert!(
+                (back - v).abs() <= adc.lsb() * 0.5 + 1e-12,
+                "v={v} back={back}"
+            );
+        }
+    }
+
+    #[test]
+    fn mid_scale_code() {
+        let adc = AdcSpec::POWERSENSOR3;
+        assert_eq!(adc.quantize(1.65), 512);
+    }
+}

@@ -1,0 +1,188 @@
+//! Worst-case error budget — the analysis behind the paper's Table I.
+//!
+//! §III-A derives the power error from the combined voltage and current
+//! errors:
+//!
+//! ```text
+//! E_p = sqrt((U·E_i)² + (I·E_u)² + (E_i·E_u)²)
+//! ```
+//!
+//! where `E_i` combines 3σ of the Hall sensor noise with half an ADC
+//! LSB referred to amps, and `E_u` combines 3σ of the amplifier noise
+//! with half an LSB referred to rail volts. The voltage divider
+//! amplifies both the LSB and the amplifier noise, which is why the
+//! 12 V module's voltage error (±28.6 mV) exceeds the 3.3 V module's
+//! (±19.9 mV).
+
+use core::fmt;
+
+use ps3_units::{Amps, Volts, Watts};
+
+use crate::adc_spec::AdcSpec;
+use crate::module::ModuleKind;
+
+/// Worst-case accuracy of one sensor module at a stated operating
+/// point — one row of Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBudget {
+    /// The module the row describes.
+    pub kind: ModuleKind,
+    /// Rail voltage the budget is evaluated at.
+    pub rail: Volts,
+    /// Full-scale current the budget is evaluated at.
+    pub full_scale: Amps,
+    /// Worst-case voltage error `E_u`.
+    pub voltage_error: Volts,
+    /// Worst-case current error `E_i`.
+    pub current_error: Amps,
+    /// Worst-case power error `E_p`.
+    pub power_error: Watts,
+}
+
+impl ErrorBudget {
+    /// Computes the worst-case budget for a module design digitised by
+    /// `adc`, evaluated at the module's nominal rail and full-scale
+    /// current.
+    #[must_use]
+    pub fn for_module(kind: ModuleKind, adc: &AdcSpec) -> Self {
+        let hall = kind.hall_spec();
+        let volt = kind.voltage_spec();
+        let rail = kind.nominal_rail();
+        let full_scale = Amps::new(hall.full_scale_amps);
+
+        // Current error: 3σ sensor noise + half an LSB in amps.
+        let lsb_amps = adc.lsb() / hall.sensitivity_v_per_a;
+        let e_i = hall.worst_case_noise_amps() + lsb_amps / 2.0;
+
+        // Voltage error: 3σ rail-referred amplifier noise + half an LSB
+        // scaled back up through the divider.
+        let scale = volt.scale(adc.vref);
+        let lsb_rail = adc.lsb() * scale;
+        let e_u = volt.worst_case_noise_volts() + lsb_rail / 2.0;
+
+        let e_p = power_error(rail, full_scale, Volts::new(e_u), Amps::new(e_i));
+
+        Self {
+            kind,
+            rail,
+            full_scale,
+            voltage_error: Volts::new(e_u),
+            current_error: Amps::new(e_i),
+            power_error: e_p,
+        }
+    }
+}
+
+impl fmt::Display for ErrorBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} ±{:.1} mV  ±{:.2} A  ±{:.1} W",
+            self.kind.label(),
+            self.voltage_error.value() * 1e3,
+            self.current_error.value(),
+            self.power_error.value()
+        )
+    }
+}
+
+/// The paper's power-error propagation formula (§III-A):
+/// `E_p = sqrt((U·E_i)² + (I·E_u)² + (E_i·E_u)²)`.
+#[must_use]
+pub fn power_error(rail: Volts, current: Amps, e_u: Volts, e_i: Amps) -> Watts {
+    let u = rail.value();
+    let i = current.value();
+    let eu = e_u.value();
+    let ei = e_i.value();
+    Watts::new(((u * ei).powi(2) + (i * eu).powi(2) + (ei * eu).powi(2)).sqrt())
+}
+
+/// Computes the budgets for the four module configurations listed in
+/// Table I, in the paper's row order.
+#[must_use]
+pub fn table1(adc: &AdcSpec) -> [ErrorBudget; 4] {
+    [
+        ErrorBudget::for_module(ModuleKind::Slot10A12V, adc),
+        ErrorBudget::for_module(ModuleKind::Slot10A3V3, adc),
+        ErrorBudget::for_module(ModuleKind::UsbC, adc),
+        ErrorBudget::for_module(ModuleKind::Pcie8Pin20A, adc),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_TABLE1: [(f64, f64, f64); 4] = [
+        // (E_u volts, E_i amps, E_p watts)
+        (0.0286, 0.35, 4.2), // 12 V / 10 A
+        (0.0199, 0.35, 1.2), // 3.3 V / 10 A
+        (0.0286, 0.35, 7.0), // USB-C 20 V / 10 A
+        (0.0286, 0.41, 5.0), // Ext 12 V / 20 A
+    ];
+
+    #[test]
+    fn budget_matches_paper_table1() {
+        let rows = table1(&AdcSpec::POWERSENSOR3);
+        for (row, (eu, ei, ep)) in rows.iter().zip(PAPER_TABLE1) {
+            let eu_err = (row.voltage_error.value() - eu).abs() / eu;
+            let ei_err = (row.current_error.value() - ei).abs() / ei;
+            let ep_err = (row.power_error.value() - ep).abs() / ep;
+            assert!(eu_err < 0.05, "{row}: E_u off by {:.1}%", eu_err * 100.0);
+            assert!(ei_err < 0.05, "{row}: E_i off by {:.1}%", ei_err * 100.0);
+            assert!(ep_err < 0.05, "{row}: E_p off by {:.1}%", ep_err * 100.0);
+        }
+    }
+
+    #[test]
+    fn power_error_formula() {
+        // With only a current error, E_p = U * E_i exactly (plus the
+        // tiny cross term).
+        let e = power_error(
+            Volts::new(12.0),
+            Amps::new(10.0),
+            Volts::zero(),
+            Amps::new(0.35),
+        );
+        assert!((e.value() - 4.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_noise_dominates_at_low_load() {
+        // §III-A: at small loads the current term dominates; at
+        // high-current/low-voltage the voltage term grows.
+        let row = ErrorBudget::for_module(ModuleKind::Slot10A12V, &AdcSpec::POWERSENSOR3);
+        let u_term = row.rail.value() * row.current_error.value();
+        let i_term = row.full_scale.value() * row.voltage_error.value();
+        assert!(u_term > 10.0 * i_term);
+    }
+
+    #[test]
+    fn twenty_amp_module_has_larger_current_error() {
+        let ten = ErrorBudget::for_module(ModuleKind::Slot10A12V, &AdcSpec::POWERSENSOR3);
+        let twenty = ErrorBudget::for_module(ModuleKind::Pcie8Pin20A, &AdcSpec::POWERSENSOR3);
+        assert!(twenty.current_error > ten.current_error);
+    }
+
+    #[test]
+    fn usbc_has_worst_power_error() {
+        // 20 V multiplies the same current error by the largest factor.
+        let rows = table1(&AdcSpec::POWERSENSOR3);
+        let usbc = &rows[2];
+        for (i, row) in rows.iter().enumerate() {
+            if i != 2 {
+                assert!(usbc.power_error > row.power_error);
+            }
+        }
+    }
+
+    #[test]
+    fn higher_resolution_adc_shrinks_budget() {
+        let adc10 = AdcSpec { bits: 10, vref: 3.3 };
+        let adc12 = AdcSpec { bits: 12, vref: 3.3 };
+        let b10 = ErrorBudget::for_module(ModuleKind::Slot10A12V, &adc10);
+        let b12 = ErrorBudget::for_module(ModuleKind::Slot10A12V, &adc12);
+        assert!(b12.power_error < b10.power_error);
+        assert!(b12.current_error < b10.current_error);
+    }
+}

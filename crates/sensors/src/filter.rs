@@ -1,0 +1,146 @@
+//! First-order low-pass filter modelling sensor bandwidth.
+
+use ps3_units::SimTime;
+
+/// A single-pole RC low-pass filter with an explicit time base.
+///
+/// The MLX91221 current sensor is specified to 300 kHz and the
+/// ACPL-C87B voltage path to 100 kHz (§III-A); both are modelled as
+/// first-order poles. The filter advances by the wall-clock gap between
+/// successive samples, so irregular sampling (e.g. the ADC scan
+/// sequence) integrates correctly.
+///
+/// # Examples
+///
+/// ```
+/// use ps3_sensors::LowPassFilter;
+/// use ps3_units::SimTime;
+///
+/// let mut f = LowPassFilter::new(300_000.0);
+/// let y0 = f.sample(0.0, SimTime::from_nanos(0)); // settle at 0
+/// let y1 = f.sample(1.0, SimTime::from_micros(1)); // step towards 1
+/// assert!(y1 > y0);
+/// assert!(y1 <= 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LowPassFilter {
+    cutoff_hz: f64,
+    state: Option<(SimTime, f64)>,
+}
+
+impl LowPassFilter {
+    /// Creates a filter with the given −3 dB cutoff frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cutoff_hz` is not strictly positive.
+    #[must_use]
+    pub fn new(cutoff_hz: f64) -> Self {
+        assert!(cutoff_hz > 0.0, "cutoff must be positive");
+        Self {
+            cutoff_hz,
+            state: None,
+        }
+    }
+
+    /// The −3 dB cutoff in Hz.
+    #[must_use]
+    pub fn cutoff_hz(&self) -> f64 {
+        self.cutoff_hz
+    }
+
+    /// Feeds `input` at time `now` and returns the filtered output.
+    ///
+    /// The first call initialises the filter state to the input
+    /// (sensors are assumed settled before sampling starts). Calls with
+    /// non-advancing time return the current state unchanged.
+    pub fn sample(&mut self, input: f64, now: SimTime) -> f64 {
+        match self.state {
+            None => {
+                self.state = Some((now, input));
+                input
+            }
+            Some((last, y)) => {
+                let dt = now.saturating_duration_since(last).as_secs_f64();
+                if dt <= 0.0 {
+                    return y;
+                }
+                let tau = 1.0 / (core::f64::consts::TAU * self.cutoff_hz);
+                let alpha = 1.0 - (-dt / tau).exp();
+                let y_new = y + alpha * (input - y);
+                self.state = Some((now, y_new));
+                y_new
+            }
+        }
+    }
+
+    /// Resets the filter state (next sample re-initialises).
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps3_units::SimDuration;
+
+    #[test]
+    fn first_sample_passes_through() {
+        let mut f = LowPassFilter::new(1000.0);
+        assert_eq!(f.sample(5.0, SimTime::from_micros(10)), 5.0);
+    }
+
+    #[test]
+    fn step_reaches_63_percent_after_tau() {
+        let cutoff = 1000.0;
+        let tau_ns = (1.0 / (core::f64::consts::TAU * cutoff) * 1e9) as u64;
+        let mut f = LowPassFilter::new(cutoff);
+        f.sample(0.0, SimTime::ZERO);
+        // Integrate the step in many small increments up to exactly tau.
+        let steps = 1000u64;
+        let mut y = 0.0;
+        for i in 1..=steps {
+            y = f.sample(1.0, SimTime::from_nanos(i * tau_ns / steps));
+        }
+        assert!((y - 0.632).abs() < 0.01, "got {y}");
+    }
+
+    #[test]
+    fn single_big_step_matches_analytic() {
+        // One sample() call spanning exactly one time constant must land
+        // on 1 - e^-1 regardless of step subdivision. Pick a cutoff whose
+        // time constant is an exact number of nanoseconds.
+        let tau_s = 1e-3;
+        let cutoff = 1.0 / (core::f64::consts::TAU * tau_s);
+        let mut f = LowPassFilter::new(cutoff);
+        f.sample(0.0, SimTime::ZERO);
+        let y = f.sample(1.0, SimTime::ZERO + SimDuration::from_secs_f64(tau_s));
+        assert!((y - (1.0 - (-1.0f64).exp())).abs() < 1e-9, "got {y}");
+    }
+
+    #[test]
+    fn dc_gain_is_unity() {
+        let mut f = LowPassFilter::new(100.0);
+        let mut y = f.sample(2.0, SimTime::ZERO);
+        for i in 1..10_000u64 {
+            y = f.sample(2.0, SimTime::from_micros(i * 100));
+        }
+        assert!((y - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_advancing_time_is_stable() {
+        let mut f = LowPassFilter::new(100.0);
+        f.sample(0.0, SimTime::from_micros(5));
+        let y1 = f.sample(10.0, SimTime::from_micros(5));
+        let y2 = f.sample(10.0, SimTime::from_micros(5));
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff")]
+    fn zero_cutoff_panics() {
+        let _ = LowPassFilter::new(0.0);
+    }
+}

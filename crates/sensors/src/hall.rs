@@ -1,0 +1,310 @@
+//! Differential Hall-effect current sensor model (Melexis MLX91221
+//! family).
+//!
+//! The sensor outputs `Vref/2 + S·I` where `S` is the sensitivity in
+//! V/A; bidirectional currents swing the output around mid-scale, which
+//! is how the paper's Fig 4 sweeps −10 A…+10 A. On top of the ideal
+//! transfer the model applies: a first-order 300 kHz bandwidth limit,
+//! white gaussian noise (115 mA rms for the 10 A part), a factory
+//! offset error (removed by calibration), a small cubic nonlinearity,
+//! thermal drift, and a tiny residual coupling to external magnetic
+//! fields (the differential topology is the paper's fix for
+//! PowerSensor2's interference sensitivity).
+
+use ps3_units::{Amps, SimTime, Volts};
+
+use crate::drift::ThermalDrift;
+use crate::filter::LowPassFilter;
+use crate::noise::GaussianNoise;
+
+/// Static characteristics of a Hall current sensor variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HallSensorSpec {
+    /// Transfer sensitivity in volts per ampere.
+    pub sensitivity_v_per_a: f64,
+    /// Rated full-scale current in amperes (bidirectional: ±).
+    pub full_scale_amps: f64,
+    /// Datasheet output noise, referred to input, in amps RMS.
+    pub noise_rms_amps: f64,
+    /// Extra factor on the sampled noise caused by the sensor's 300 kHz
+    /// bandwidth aliasing onto the ADC conversion rate.
+    pub sampled_noise_factor: f64,
+    /// −3 dB bandwidth of the signal path in Hz.
+    pub bandwidth_hz: f64,
+    /// Worst-case factory offset error in amps (before calibration).
+    pub max_offset_error_amps: f64,
+    /// Cubic nonlinearity as a fraction of full scale at full scale.
+    pub nonlinearity: f64,
+    /// Residual response to an external field, in amps per millitesla.
+    /// Differential parts reject nearly all of it.
+    pub field_coupling_a_per_mt: f64,
+}
+
+impl HallSensorSpec {
+    /// MLX91221-style ±10 A variant (the "10 A" slot module sensor).
+    pub const MLX91221_10A: Self = Self {
+        sensitivity_v_per_a: 0.120,
+        full_scale_amps: 10.0,
+        noise_rms_amps: 0.115,
+        sampled_noise_factor: 1.28,
+        bandwidth_hz: 300_000.0,
+        max_offset_error_amps: 0.30,
+        nonlinearity: 0.003,
+        field_coupling_a_per_mt: 0.0005,
+    };
+
+    /// ±20 A variant (PCIe 8-pin and general-purpose 20 A modules).
+    pub const MLX91221_20A: Self = Self {
+        sensitivity_v_per_a: 0.060,
+        full_scale_amps: 20.0,
+        noise_rms_amps: 0.128,
+        sampled_noise_factor: 1.28,
+        bandwidth_hz: 300_000.0,
+        max_offset_error_amps: 0.45,
+        nonlinearity: 0.003,
+        field_coupling_a_per_mt: 0.001,
+    };
+
+    /// ±50 A variant (high-current module).
+    pub const MLX91221_50A: Self = Self {
+        sensitivity_v_per_a: 0.0264,
+        full_scale_amps: 50.0,
+        noise_rms_amps: 0.290,
+        sampled_noise_factor: 1.28,
+        bandwidth_hz: 300_000.0,
+        max_offset_error_amps: 1.0,
+        nonlinearity: 0.003,
+        field_coupling_a_per_mt: 0.002,
+    };
+
+    /// A legacy single-ended sensor (PowerSensor2-era), used by the
+    /// interference ablation: identical except for a field coupling two
+    /// orders of magnitude worse.
+    #[must_use]
+    pub fn single_ended(mut self) -> Self {
+        self.field_coupling_a_per_mt *= 200.0;
+        self
+    }
+
+    /// Worst-case current error after 3σ noise, in amps (feeds the
+    /// Table I budget together with ADC quantisation).
+    #[must_use]
+    pub fn worst_case_noise_amps(&self) -> f64 {
+        3.0 * self.noise_rms_amps
+    }
+}
+
+/// A stateful Hall current sensor instance.
+///
+/// # Examples
+///
+/// ```
+/// use ps3_sensors::{HallCurrentSensor, HallSensorSpec};
+/// use ps3_units::{Amps, SimTime};
+///
+/// let mut sensor = HallCurrentSensor::new(HallSensorSpec::MLX91221_10A, 3.3, 42);
+/// let v = sensor.output_voltage(Amps::new(0.0), SimTime::ZERO);
+/// // Zero current sits near mid-scale (offset error + noise aside).
+/// assert!((v - 1.65).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HallCurrentSensor {
+    spec: HallSensorSpec,
+    vref: f64,
+    filter: LowPassFilter,
+    noise: GaussianNoise,
+    drift: ThermalDrift,
+    /// Fixed factory offset in amps, drawn once from the seed.
+    offset_amps: f64,
+    /// Externally applied magnetic field in millitesla.
+    external_field_mt: f64,
+}
+
+impl HallCurrentSensor {
+    /// Creates a sensor powered from `vref` volts with a deterministic
+    /// factory offset and noise stream derived from `seed`.
+    #[must_use]
+    pub fn new(spec: HallSensorSpec, vref: f64, seed: u64) -> Self {
+        let mut boot = GaussianNoise::new(1.0, seed ^ 0x9E37_79B9_7F4A_7C15);
+        // Factory offset: uniform within the worst-case band.
+        let offset_amps =
+            boot.uniform(-spec.max_offset_error_amps, spec.max_offset_error_amps);
+        Self {
+            spec,
+            vref,
+            filter: LowPassFilter::new(spec.bandwidth_hz),
+            noise: GaussianNoise::new(
+                spec.noise_rms_amps * spec.sampled_noise_factor,
+                seed,
+            ),
+            drift: ThermalDrift::new(0.004, 6.0 * 3600.0, seed ^ 0xD1F3),
+            offset_amps,
+            external_field_mt: 0.0,
+        }
+    }
+
+    /// The sensor's static spec.
+    #[must_use]
+    pub fn spec(&self) -> &HallSensorSpec {
+        &self.spec
+    }
+
+    /// The factory offset error in amps (what calibration must remove).
+    #[must_use]
+    pub fn factory_offset(&self) -> Amps {
+        Amps::new(self.offset_amps)
+    }
+
+    /// Applies an external magnetic field (interference testing).
+    pub fn set_external_field(&mut self, millitesla: f64) {
+        self.external_field_mt = millitesla;
+    }
+
+    /// Disables drift and the factory offset (ideal-sensor mode for
+    /// deterministic firmware tests).
+    pub fn make_ideal(&mut self) {
+        self.offset_amps = 0.0;
+        self.drift = ThermalDrift::none();
+        self.noise = GaussianNoise::new(0.0, 0);
+    }
+
+    /// Samples the analog output voltage for `current` at time `now`.
+    ///
+    /// The returned voltage is clamped to `[0, vref]`, exactly like the
+    /// real part saturates at its rails.
+    pub fn output_voltage(&mut self, current: Amps, now: SimTime) -> f64 {
+        let i = current.value();
+        let fs = self.spec.full_scale_amps;
+        let nonlin = self.spec.nonlinearity * fs * (i / fs).powi(3);
+        let field = self.external_field_mt * self.spec.field_coupling_a_per_mt;
+        let drift = self.drift.offset_at(now);
+        let ideal = i + self.offset_amps + nonlin + field + drift;
+        let filtered = self.filter.sample(ideal, now);
+        let noisy = filtered + self.noise.sample();
+        let v = self.vref / 2.0 + self.spec.sensitivity_v_per_a * noisy;
+        v.clamp(0.0, self.vref)
+    }
+
+    /// The ideal (noise-free, offset-free) output voltage for a given
+    /// current — what calibration converges towards.
+    #[must_use]
+    pub fn ideal_output(&self, current: Amps) -> Volts {
+        Volts::new(self.vref / 2.0 + self.spec.sensitivity_v_per_a * current.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps3_analysis::SampleStats;
+    use ps3_units::SimDuration;
+
+    /// Samples `n` conversions at ~120 kHz, advancing a shared time
+    /// cursor so repeated calls on one sensor keep moving forward.
+    fn settled_from(
+        sensor: &mut HallCurrentSensor,
+        t: &mut SimTime,
+        current: f64,
+        n: usize,
+    ) -> Vec<f64> {
+        let dt = SimDuration::from_nanos(8_333); // ~120 kHz conversions
+        (0..n)
+            .map(|_| {
+                *t += dt;
+                sensor.output_voltage(Amps::new(current), *t)
+            })
+            .collect()
+    }
+
+    fn settled(sensor: &mut HallCurrentSensor, current: f64, n: usize) -> Vec<f64> {
+        let mut t = SimTime::ZERO;
+        settled_from(sensor, &mut t, current, n)
+    }
+
+    #[test]
+    fn transfer_function_slope() {
+        let mut s = HallCurrentSensor::new(HallSensorSpec::MLX91221_10A, 3.3, 1);
+        s.make_ideal();
+        let mut t = SimTime::ZERO;
+        let v0 = settled_from(&mut s, &mut t, 0.0, 10).pop().unwrap();
+        let v5 = settled_from(&mut s, &mut t, 5.0, 200).pop().unwrap();
+        let slope = (v5 - v0) / 5.0;
+        // Nonlinearity perturbs the slope slightly; 120 mV/A ± 2 %.
+        assert!((slope - 0.120).abs() < 0.002, "slope {slope}");
+    }
+
+    #[test]
+    fn negative_currents_swing_below_midscale() {
+        let mut s = HallCurrentSensor::new(HallSensorSpec::MLX91221_10A, 3.3, 2);
+        s.make_ideal();
+        let v = settled(&mut s, -8.0, 10).pop().unwrap();
+        assert!(v < 1.65);
+        assert!(v > 0.0);
+    }
+
+    #[test]
+    fn output_saturates_at_rails() {
+        let mut s = HallCurrentSensor::new(HallSensorSpec::MLX91221_10A, 3.3, 3);
+        s.make_ideal();
+        let mut t = SimTime::ZERO;
+        let v = settled_from(&mut s, &mut t, 100.0, 10).pop().unwrap();
+        assert_eq!(v, 3.3);
+        let v = settled_from(&mut s, &mut t, -100.0, 400).pop().unwrap();
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn noise_magnitude_matches_spec() {
+        let spec = HallSensorSpec::MLX91221_10A;
+        let mut s = HallCurrentSensor::new(spec, 3.3, 4);
+        let samples = settled(&mut s, 2.0, 100_000);
+        let amps: Vec<f64> = samples
+            .iter()
+            .map(|v| (v - 1.65) / spec.sensitivity_v_per_a)
+            .collect();
+        let stats = SampleStats::from_samples(amps).unwrap();
+        let expect = spec.noise_rms_amps * spec.sampled_noise_factor;
+        assert!(
+            (stats.std - expect).abs() < 0.01,
+            "std {} expect {expect}",
+            stats.std
+        );
+    }
+
+    #[test]
+    fn factory_offset_within_band() {
+        for seed in 0..32 {
+            let s = HallCurrentSensor::new(HallSensorSpec::MLX91221_10A, 3.3, seed);
+            assert!(s.factory_offset().value().abs() <= 0.30);
+        }
+    }
+
+    #[test]
+    fn differential_rejects_external_field() {
+        let spec = HallSensorSpec::MLX91221_10A;
+        let mut diff = HallCurrentSensor::new(spec, 3.3, 5);
+        diff.make_ideal();
+        let mut single = HallCurrentSensor::new(spec.single_ended(), 3.3, 5);
+        single.make_ideal();
+        let mut td = SimTime::ZERO;
+        let mut ts = SimTime::ZERO;
+        let base_d = settled_from(&mut diff, &mut td, 1.0, 10).pop().unwrap();
+        let base_s = settled_from(&mut single, &mut ts, 1.0, 10).pop().unwrap();
+        diff.set_external_field(5.0);
+        single.set_external_field(5.0);
+        // Allow the filter to settle on the disturbed value.
+        let d = settled_from(&mut diff, &mut td, 1.0, 100).pop().unwrap() - base_d;
+        let s = settled_from(&mut single, &mut ts, 1.0, 100).pop().unwrap() - base_s;
+        assert!(
+            s.abs() > 50.0 * d.abs(),
+            "single-ended {s} should be far more sensitive than differential {d}"
+        );
+    }
+
+    #[test]
+    fn ideal_output_is_pure_transfer() {
+        let s = HallCurrentSensor::new(HallSensorSpec::MLX91221_20A, 3.3, 6);
+        let v = s.ideal_output(Amps::new(10.0));
+        assert!((v.value() - (1.65 + 0.6)).abs() < 1e-12);
+    }
+}

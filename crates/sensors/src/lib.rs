@@ -1,0 +1,40 @@
+//! Analog sensor physics models for the PowerSensor3 reproduction.
+//!
+//! A real PowerSensor3 sensor module carries a Melexis MLX91221
+//! differential Hall current sensor and a Broadcom ACPL-C87B optically
+//! isolated voltage sensor; both produce analog voltages that the
+//! STM32F411's ADC digitises. This crate models that analog domain:
+//!
+//! * [`HallCurrentSensor`] — sensitivity, offset, gaussian noise
+//!   (115 mA rms for the 10 A part), 300 kHz bandwidth, small cubic
+//!   nonlinearity, and (near-zero, differential) external-field
+//!   coupling.
+//! * [`IsolatedVoltageSensor`] — divider scaling, gain error, amplifier
+//!   noise, 100 kHz bandwidth.
+//! * [`SensorModule`] — a current/voltage pair with connector metadata;
+//!   constructors for the five module designs shipped with
+//!   PowerSensor3 (§III-A).
+//! * [`budget`] — the closed-form worst-case error budget behind the
+//!   paper's Table I.
+//! * [`ThermalDrift`] — the slow offset wander bounded to keep the
+//!   50-hour stability result (§IV-B) within ±0.09 W.
+//!
+//! The models are deterministic given a seed, which keeps the entire
+//! evaluation reproducible.
+
+mod adc_spec;
+pub mod budget;
+mod drift;
+mod filter;
+mod hall;
+mod module;
+mod noise;
+mod voltage;
+
+pub use adc_spec::AdcSpec;
+pub use drift::ThermalDrift;
+pub use filter::LowPassFilter;
+pub use hall::{HallCurrentSensor, HallSensorSpec};
+pub use module::{ModuleKind, SensorModule};
+pub use noise::GaussianNoise;
+pub use voltage::{IsolatedVoltageSensor, VoltageSensorSpec};

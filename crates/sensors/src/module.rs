@@ -1,0 +1,268 @@
+//! Sensor modules: the pluggable current+voltage measurement boards.
+//!
+//! PowerSensor3 ships five module designs (§III-A); each pairs a Hall
+//! current sensor with an isolated voltage sensor on one power path.
+//! The baseboard hosts up to four of them.
+
+use core::fmt;
+
+use ps3_units::{Amps, SimTime, Volts};
+
+use crate::hall::{HallCurrentSensor, HallSensorSpec};
+use crate::voltage::{IsolatedVoltageSensor, VoltageSensorSpec};
+
+/// The five sensor-module designs plus rail variants of the 10 A slot
+/// module (the same board measures either slot rail depending on where
+/// the riser routes it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModuleKind {
+    /// 20 A module with a PCIe 8-pin connector (external 12 V power).
+    Pcie8Pin20A,
+    /// 10 A module on the PCIe slot 3.3 V rail.
+    Slot10A3V3,
+    /// 10 A module on the PCIe slot 12 V rail.
+    Slot10A12V,
+    /// USB-C module (up to 20 V USB-PD, 10 A).
+    UsbC,
+    /// General-purpose 20 A module with terminal blocks (12 V).
+    General20A,
+    /// 50 A high-current module (12 V).
+    HighCurrent50A,
+}
+
+impl ModuleKind {
+    /// All module kinds, in display order.
+    pub const ALL: [ModuleKind; 6] = [
+        ModuleKind::Pcie8Pin20A,
+        ModuleKind::Slot10A3V3,
+        ModuleKind::Slot10A12V,
+        ModuleKind::UsbC,
+        ModuleKind::General20A,
+        ModuleKind::HighCurrent50A,
+    ];
+
+    /// The Hall sensor variant this module mounts.
+    #[must_use]
+    pub fn hall_spec(self) -> HallSensorSpec {
+        match self {
+            ModuleKind::Pcie8Pin20A | ModuleKind::General20A => HallSensorSpec::MLX91221_20A,
+            ModuleKind::Slot10A3V3 | ModuleKind::Slot10A12V | ModuleKind::UsbC => {
+                HallSensorSpec::MLX91221_10A
+            }
+            ModuleKind::HighCurrent50A => HallSensorSpec::MLX91221_50A,
+        }
+    }
+
+    /// The voltage sensing path this module uses.
+    #[must_use]
+    pub fn voltage_spec(self) -> VoltageSensorSpec {
+        match self {
+            ModuleKind::Slot10A3V3 => VoltageSensorSpec::RAIL_3V3,
+            ModuleKind::UsbC => VoltageSensorSpec::RAIL_USBC,
+            _ => VoltageSensorSpec::RAIL_12V,
+        }
+    }
+
+    /// Nominal rail voltage this module is typically installed on.
+    #[must_use]
+    pub fn nominal_rail(self) -> Volts {
+        match self {
+            ModuleKind::Slot10A3V3 => Volts::new(3.3),
+            ModuleKind::UsbC => Volts::new(20.0),
+            _ => Volts::new(12.0),
+        }
+    }
+
+    /// A short human-readable name, as shown by `psinfo`.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ModuleKind::Pcie8Pin20A => "PCIe-8pin-20A",
+            ModuleKind::Slot10A3V3 => "Slot-3V3-10A",
+            ModuleKind::Slot10A12V => "Slot-12V-10A",
+            ModuleKind::UsbC => "USB-C",
+            ModuleKind::General20A => "General-20A",
+            ModuleKind::HighCurrent50A => "HighCurrent-50A",
+        }
+    }
+}
+
+impl fmt::Display for ModuleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A populated sensor module: one Hall current sensor plus one isolated
+/// voltage sensor measuring the same power path.
+///
+/// # Examples
+///
+/// ```
+/// use ps3_sensors::{ModuleKind, SensorModule};
+/// use ps3_units::{Amps, SimTime, Volts};
+///
+/// let mut m = SensorModule::new(ModuleKind::Slot10A12V, 7);
+/// let (vi, vu) = m.sample(Volts::new(12.0), Amps::new(2.0), SimTime::ZERO);
+/// assert!(vi > 1.65); // positive current: above mid-scale
+/// assert!(vu > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SensorModule {
+    kind: ModuleKind,
+    hall: HallCurrentSensor,
+    voltage: IsolatedVoltageSensor,
+}
+
+impl SensorModule {
+    /// ADC reference voltage the sensor outputs are scaled against.
+    pub const VREF: f64 = 3.3;
+
+    /// Creates a module with factory imperfections derived from `seed`.
+    #[must_use]
+    pub fn new(kind: ModuleKind, seed: u64) -> Self {
+        Self::with_hall_spec(kind, kind.hall_spec(), seed)
+    }
+
+    /// Creates a module with a custom Hall sensor variant — e.g. a
+    /// [`HallSensorSpec::single_ended`] legacy part for the
+    /// PowerSensor2 interference comparison.
+    #[must_use]
+    pub fn with_hall_spec(kind: ModuleKind, hall_spec: HallSensorSpec, seed: u64) -> Self {
+        Self {
+            kind,
+            hall: HallCurrentSensor::new(hall_spec, Self::VREF, seed),
+            voltage: IsolatedVoltageSensor::new(kind.voltage_spec(), Self::VREF, seed ^ 0x55AA),
+        }
+    }
+
+    /// Creates a module with no noise, offset, gain error or drift.
+    #[must_use]
+    pub fn ideal(kind: ModuleKind) -> Self {
+        let mut m = Self::new(kind, 0);
+        m.hall.make_ideal();
+        m.voltage.make_ideal();
+        m
+    }
+
+    /// The module design.
+    #[must_use]
+    pub fn kind(&self) -> ModuleKind {
+        self.kind
+    }
+
+    /// The current sensor (e.g. to apply an external field).
+    #[must_use]
+    pub fn hall(&self) -> &HallCurrentSensor {
+        &self.hall
+    }
+
+    /// Mutable access to the current sensor.
+    pub fn hall_mut(&mut self) -> &mut HallCurrentSensor {
+        &mut self.hall
+    }
+
+    /// The voltage sensor.
+    #[must_use]
+    pub fn voltage_sensor(&self) -> &IsolatedVoltageSensor {
+        &self.voltage
+    }
+
+    /// Mutable access to the voltage sensor.
+    pub fn voltage_sensor_mut(&mut self) -> &mut IsolatedVoltageSensor {
+        &mut self.voltage
+    }
+
+    /// Samples both analog outputs for the given rail state: returns
+    /// `(current_sensor_volts, voltage_sensor_volts)` at the ADC pins.
+    pub fn sample(&mut self, rail: Volts, current: Amps, now: SimTime) -> (f64, f64) {
+        (
+            self.hall.output_voltage(current, now),
+            self.voltage.output_voltage(rail, now),
+        )
+    }
+
+    /// The nominal (datasheet) sensitivity in V/A the host should use
+    /// to convert raw current readings.
+    #[must_use]
+    pub fn nominal_sensitivity(&self) -> f64 {
+        self.kind.hall_spec().sensitivity_v_per_a
+    }
+
+    /// The nominal voltage gain (rail volts per ADC volt).
+    #[must_use]
+    pub fn nominal_gain(&self) -> f64 {
+        self.kind.voltage_spec().scale(Self::VREF)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_construct() {
+        for kind in ModuleKind::ALL {
+            let m = SensorModule::new(kind, 42);
+            assert_eq!(m.kind(), kind);
+            assert!(m.nominal_sensitivity() > 0.0);
+            assert!(m.nominal_gain() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            ModuleKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), ModuleKind::ALL.len());
+    }
+
+    #[test]
+    fn ten_amp_modules_use_ten_amp_hall() {
+        assert_eq!(
+            ModuleKind::Slot10A12V.hall_spec().full_scale_amps,
+            10.0
+        );
+        assert_eq!(ModuleKind::Pcie8Pin20A.hall_spec().full_scale_amps, 20.0);
+        assert_eq!(
+            ModuleKind::HighCurrent50A.hall_spec().full_scale_amps,
+            50.0
+        );
+    }
+
+    #[test]
+    fn voltage_paths_match_rails() {
+        assert_eq!(
+            ModuleKind::Slot10A3V3.voltage_spec().full_scale_volts,
+            4.125
+        );
+        assert_eq!(ModuleKind::UsbC.voltage_spec().full_scale_volts, 24.75);
+        assert_eq!(
+            ModuleKind::Pcie8Pin20A.voltage_spec().full_scale_volts,
+            16.5
+        );
+    }
+
+    #[test]
+    fn ideal_module_reports_exact_power_path() {
+        let mut m = SensorModule::ideal(ModuleKind::Slot10A12V);
+        // Let the bandwidth filters settle on constant inputs.
+        let mut out = (0.0, 0.0);
+        for i in 0..50u64 {
+            out = m.sample(
+                Volts::new(12.0),
+                Amps::new(4.0),
+                SimTime::from_micros(i * 9),
+            );
+        }
+        let current = (out.0 - SensorModule::VREF / 2.0) / m.nominal_sensitivity();
+        let rail = out.1 * m.nominal_gain();
+        assert!((current - 4.0).abs() < 0.02, "current {current}");
+        assert!((rail - 12.0).abs() < 0.02, "rail {rail}");
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(ModuleKind::UsbC.to_string(), "USB-C");
+    }
+}

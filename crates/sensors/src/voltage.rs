@@ -1,0 +1,217 @@
+//! Optically isolated voltage sensor model (Broadcom ACPL-C87B plus
+//! input divider).
+//!
+//! The rail voltage is divided down into the isolation amplifier's
+//! input range and re-scaled to the ADC span, so the net transfer is
+//! `V_adc = U / scale` with `scale = full_scale / vref_adc`. The model
+//! adds a gain error (removed by the one-time calibration), amplifier
+//! noise (amplified back up by the divider, which is why the 12 V
+//! module's voltage error exceeds the 3.3 V module's — Table I), a
+//! 100 kHz bandwidth limit, and thermal drift.
+
+use ps3_units::{SimTime, Volts};
+
+use crate::drift::ThermalDrift;
+use crate::filter::LowPassFilter;
+use crate::noise::GaussianNoise;
+
+/// Static characteristics of an isolated voltage sensing path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageSensorSpec {
+    /// Rail voltage that maps to full ADC scale, in volts.
+    pub full_scale_volts: f64,
+    /// Rail-referred amplifier + divider noise in volts RMS.
+    pub noise_rms_volts: f64,
+    /// −3 dB bandwidth of the voltage path in Hz.
+    pub bandwidth_hz: f64,
+    /// Worst-case factory gain error as a fraction (before calibration).
+    pub max_gain_error: f64,
+}
+
+impl VoltageSensorSpec {
+    /// 12 V rail sensing (slot 12 V, PCIe 8-pin 12 V): 16.5 V full
+    /// scale so the nominal rail sits at ~72 % of range.
+    pub const RAIL_12V: Self = Self {
+        full_scale_volts: 16.5,
+        noise_rms_volts: 0.00685,
+        bandwidth_hz: 100_000.0,
+        max_gain_error: 0.02,
+    };
+
+    /// 3.3 V slot rail sensing: 4.125 V full scale.
+    pub const RAIL_3V3: Self = Self {
+        full_scale_volts: 4.125,
+        noise_rms_volts: 0.00596,
+        bandwidth_hz: 100_000.0,
+        max_gain_error: 0.02,
+    };
+
+    /// USB-C sensing up to 20 V (USB-PD): 24.75 V full scale.
+    pub const RAIL_USBC: Self = Self {
+        full_scale_volts: 24.75,
+        noise_rms_volts: 0.00550,
+        bandwidth_hz: 100_000.0,
+        max_gain_error: 0.02,
+    };
+
+    /// The divider scale: rail volts per ADC volt.
+    #[must_use]
+    pub fn scale(&self, vref_adc: f64) -> f64 {
+        self.full_scale_volts / vref_adc
+    }
+
+    /// Worst-case rail-referred noise (3σ) in volts.
+    #[must_use]
+    pub fn worst_case_noise_volts(&self) -> f64 {
+        3.0 * self.noise_rms_volts
+    }
+}
+
+/// A stateful isolated voltage sensor instance.
+///
+/// # Examples
+///
+/// ```
+/// use ps3_sensors::{IsolatedVoltageSensor, VoltageSensorSpec};
+/// use ps3_units::{SimTime, Volts};
+///
+/// let mut sensor = IsolatedVoltageSensor::new(VoltageSensorSpec::RAIL_12V, 3.3, 42);
+/// let v_adc = sensor.output_voltage(Volts::new(12.0), SimTime::ZERO);
+/// // 12 V on a 16.5 V full-scale path lands near 2.4 V at the ADC.
+/// assert!((v_adc - 2.4).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IsolatedVoltageSensor {
+    spec: VoltageSensorSpec,
+    vref_adc: f64,
+    filter: LowPassFilter,
+    noise: GaussianNoise,
+    drift: ThermalDrift,
+    /// Multiplicative factory gain error (1.0 = perfect).
+    gain: f64,
+}
+
+impl IsolatedVoltageSensor {
+    /// Creates a sensor digitised against `vref_adc`, with deterministic
+    /// factory gain error and noise derived from `seed`.
+    #[must_use]
+    pub fn new(spec: VoltageSensorSpec, vref_adc: f64, seed: u64) -> Self {
+        let mut boot = GaussianNoise::new(1.0, seed ^ 0xA076_1D64_78BD_642F);
+        let gain = 1.0 + boot.uniform(-spec.max_gain_error, spec.max_gain_error);
+        Self {
+            spec,
+            vref_adc,
+            filter: LowPassFilter::new(spec.bandwidth_hz),
+            noise: GaussianNoise::new(spec.noise_rms_volts, seed),
+            drift: ThermalDrift::new(spec.noise_rms_volts * 0.3, 6.0 * 3600.0, seed ^ 0xBEEF),
+            gain,
+        }
+    }
+
+    /// The sensor's static spec.
+    #[must_use]
+    pub fn spec(&self) -> &VoltageSensorSpec {
+        &self.spec
+    }
+
+    /// The factory gain error factor (what calibration must remove).
+    #[must_use]
+    pub fn factory_gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Disables noise, drift, and gain error (ideal-sensor mode).
+    pub fn make_ideal(&mut self) {
+        self.gain = 1.0;
+        self.noise = GaussianNoise::new(0.0, 0);
+        self.drift = ThermalDrift::none();
+    }
+
+    /// Samples the ADC-side output voltage for rail voltage `rail` at
+    /// time `now`, clamped to `[0, vref_adc]`.
+    pub fn output_voltage(&mut self, rail: Volts, now: SimTime) -> f64 {
+        let drift = self.drift.offset_at(now);
+        let ideal = rail.value() * self.gain + drift;
+        let filtered = self.filter.sample(ideal, now);
+        let noisy = filtered + self.noise.sample();
+        (noisy / self.spec.scale(self.vref_adc)).clamp(0.0, self.vref_adc)
+    }
+
+    /// The ideal ADC-side output for a rail voltage.
+    #[must_use]
+    pub fn ideal_output(&self, rail: Volts) -> Volts {
+        Volts::new(rail.value() / self.spec.scale(self.vref_adc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps3_analysis::SampleStats;
+    use ps3_units::SimDuration;
+
+    fn settled(sensor: &mut IsolatedVoltageSensor, rail: f64, n: usize) -> Vec<f64> {
+        let mut t = SimTime::ZERO;
+        let dt = SimDuration::from_nanos(8_333);
+        (0..n)
+            .map(|_| {
+                t += dt;
+                sensor.output_voltage(Volts::new(rail), t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn transfer_scale_12v() {
+        let mut s = IsolatedVoltageSensor::new(VoltageSensorSpec::RAIL_12V, 3.3, 1);
+        s.make_ideal();
+        let v = settled(&mut s, 12.0, 10).pop().unwrap();
+        assert!((v - 12.0 / 5.0).abs() < 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn transfer_scale_3v3() {
+        let mut s = IsolatedVoltageSensor::new(VoltageSensorSpec::RAIL_3V3, 3.3, 2);
+        s.make_ideal();
+        let v = settled(&mut s, 3.3, 10).pop().unwrap();
+        assert!((v - 3.3 / 1.25).abs() < 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn saturates_at_full_scale() {
+        let mut s = IsolatedVoltageSensor::new(VoltageSensorSpec::RAIL_3V3, 3.3, 3);
+        s.make_ideal();
+        let v = settled(&mut s, 50.0, 10).pop().unwrap();
+        assert_eq!(v, 3.3);
+    }
+
+    #[test]
+    fn gain_error_within_band() {
+        for seed in 0..32 {
+            let s = IsolatedVoltageSensor::new(VoltageSensorSpec::RAIL_12V, 3.3, seed);
+            assert!((s.factory_gain() - 1.0).abs() <= 0.02);
+        }
+    }
+
+    #[test]
+    fn rail_referred_noise_magnitude() {
+        let spec = VoltageSensorSpec::RAIL_12V;
+        let mut s = IsolatedVoltageSensor::new(spec, 3.3, 4);
+        let samples = settled(&mut s, 12.0, 100_000);
+        // Refer ADC-side samples back to the rail.
+        let rail: Vec<f64> = samples.iter().map(|v| v * spec.scale(3.3)).collect();
+        let stats = SampleStats::from_samples(rail).unwrap();
+        assert!(
+            (stats.std - spec.noise_rms_volts).abs() < 0.001,
+            "std {}",
+            stats.std
+        );
+    }
+
+    #[test]
+    fn ideal_output_matches_scale() {
+        let s = IsolatedVoltageSensor::new(VoltageSensorSpec::RAIL_USBC, 3.3, 5);
+        let v = s.ideal_output(Volts::new(20.0));
+        assert!((v.value() - 20.0 / 7.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of the analog sensor models.
+
+use proptest::prelude::*;
+
+use ps3_sensors::{
+    AdcSpec, HallCurrentSensor, HallSensorSpec, IsolatedVoltageSensor, ModuleKind,
+    SensorModule, VoltageSensorSpec,
+};
+use ps3_units::{Amps, SimDuration, SimTime, Volts};
+
+/// Settles an ideal Hall sensor on a constant current and returns the
+/// final output voltage.
+fn settled_hall(spec: HallSensorSpec, amps: f64) -> f64 {
+    let mut s = HallCurrentSensor::new(spec, 3.3, 0);
+    s.make_ideal();
+    let mut out = 0.0;
+    for i in 0..200u64 {
+        out = s.output_voltage(
+            Amps::new(amps),
+            SimTime::ZERO + SimDuration::from_nanos(i * 1042),
+        );
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn hall_output_is_monotonic_in_current(
+        a in -9.0f64..9.0,
+        delta in 0.1f64..1.0,
+    ) {
+        let spec = HallSensorSpec::MLX91221_10A;
+        let low = settled_hall(spec, a);
+        let high = settled_hall(spec, a + delta);
+        prop_assert!(high > low, "{a} A -> {low} V, {} A -> {high} V", a + delta);
+    }
+
+    #[test]
+    fn hall_output_always_within_rails(amps in -1e3f64..1e3) {
+        let v = settled_hall(HallSensorSpec::MLX91221_20A, amps);
+        prop_assert!((0.0..=3.3).contains(&v));
+    }
+
+    #[test]
+    fn voltage_sensor_is_monotonic(u in 0.0f64..15.0, delta in 0.1f64..1.0) {
+        let mut s = IsolatedVoltageSensor::new(VoltageSensorSpec::RAIL_12V, 3.3, 0);
+        s.make_ideal();
+        let mut low = 0.0;
+        let mut high = 0.0;
+        for i in 0..200u64 {
+            let t = SimTime::ZERO + SimDuration::from_nanos(i * 1042);
+            low = s.output_voltage(Volts::new(u), t);
+        }
+        let mut s2 = IsolatedVoltageSensor::new(VoltageSensorSpec::RAIL_12V, 3.3, 0);
+        s2.make_ideal();
+        for i in 0..200u64 {
+            let t = SimTime::ZERO + SimDuration::from_nanos(i * 1042);
+            high = s2.output_voltage(Volts::new(u + delta), t);
+        }
+        prop_assert!(high > low);
+    }
+
+    #[test]
+    fn adc_quantize_is_monotonic(v1 in 0.0f64..3.3, v2 in 0.0f64..3.3) {
+        let adc = AdcSpec::POWERSENSOR3;
+        if v1 <= v2 {
+            prop_assert!(adc.quantize(v1) <= adc.quantize(v2));
+        } else {
+            prop_assert!(adc.quantize(v1) >= adc.quantize(v2));
+        }
+    }
+
+    #[test]
+    fn ideal_module_decodes_back_to_truth(
+        amps in -8.0f64..8.0,
+        volts in 9.0f64..14.0,
+    ) {
+        let mut m = SensorModule::ideal(ModuleKind::Slot10A12V);
+        let mut out = (0.0, 0.0);
+        for i in 0..300u64 {
+            out = m.sample(
+                Volts::new(volts),
+                Amps::new(amps),
+                SimTime::ZERO + SimDuration::from_nanos(i * 1042),
+            );
+        }
+        let i_back = (out.0 - SensorModule::VREF / 2.0) / m.nominal_sensitivity();
+        let u_back = out.1 * m.nominal_gain();
+        // Nonlinearity allows up to 0.3 % of full scale on current.
+        prop_assert!((i_back - amps).abs() < 0.05, "I {amps} -> {i_back}");
+        prop_assert!((u_back - volts).abs() < 0.01, "U {volts} -> {u_back}");
+    }
+
+    #[test]
+    fn factory_errors_bounded_for_any_seed(seed in 0u64..10_000) {
+        let m = SensorModule::new(ModuleKind::UsbC, seed);
+        prop_assert!(
+            m.hall().factory_offset().value().abs()
+                <= m.hall().spec().max_offset_error_amps
+        );
+        prop_assert!(
+            (m.voltage_sensor().factory_gain() - 1.0).abs()
+                <= m.voltage_sensor().spec().max_gain_error
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Co-simulation testbed: wires a DUT power model through PowerSensor3
+//! sensor modules into the emulated firmware, runs the firmware in a
+//! device thread on a virtual clock, and hands the host side to the
+//! `ps3-core` library — the software equivalent of physically
+//! installing a PowerSensor3 in a machine (paper Fig 1/Fig 3).
+//!
+//! # Structure
+//!
+//! * [`TestbedBuilder`] — attach up to four sensor modules to DUT
+//!   rails, choose factory-calibrated or raw sensors, build.
+//! * [`Testbed`] — owns the device thread; [`Testbed::connect`] yields
+//!   the [`PowerSensor`](ps3_core::PowerSensor); [`Testbed::advance`]
+//!   moves virtual time forward (asynchronously);
+//!   [`Testbed::advance_and_sync`] additionally waits until the host
+//!   has consumed every frame.
+//! * [`setups`] — canned configurations for each experiment in the
+//!   paper (accuracy bench, GPU riser, Jetson USB-C, SSD riser).
+//!
+//! # Examples
+//!
+//! ```
+//! use ps3_duts::{ConstantDut, RailId};
+//! use ps3_sensors::ModuleKind;
+//! use ps3_testbed::TestbedBuilder;
+//! use ps3_units::{Amps, SimDuration, Volts};
+//!
+//! let dut = ConstantDut::new(RailId::Slot12V, Volts::new(12.0), Amps::new(2.0));
+//! let mut testbed = TestbedBuilder::new(dut)
+//!     .attach(ModuleKind::Slot10A12V, RailId::Slot12V)
+//!     .build();
+//! let ps = testbed.connect().unwrap();
+//! testbed.advance_and_sync(&ps, SimDuration::from_millis(10)).unwrap();
+//! let state = ps.read();
+//! assert!((state.total_watts().value() - 24.0).abs() < 1.0);
+//! ```
+
+mod frontend;
+pub mod setups;
+mod testbed;
+
+pub use frontend::AnalogFrontend;
+pub use testbed::{Testbed, TestbedBuilder};

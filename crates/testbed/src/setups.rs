@@ -1,0 +1,138 @@
+//! Canned testbed configurations matching the paper's experimental
+//! setups.
+
+use ps3_duts::{
+    BenchSetup, GpuModel, GpuSpec, JetsonModel, JetsonSpec, LoadProgram, RailId, SsdModel,
+    SsdSpec,
+};
+use ps3_sensors::ModuleKind;
+
+use crate::testbed::{Testbed, TestbedBuilder};
+
+/// The accuracy bench (Fig 3): one sensor module of the given kind on
+/// its matching rail, fed by a lab PSU and an electronic load.
+///
+/// The rail/PSU pairing follows the module: 3.3 V modules get the
+/// 3.3 V bench, USB-C gets 20 V, everything else gets 12 V.
+#[must_use]
+pub fn accuracy_bench(kind: ModuleKind, program: LoadProgram, seed: u64) -> Testbed<BenchSetup> {
+    let (bench, rail) = match kind {
+        ModuleKind::Slot10A3V3 => (BenchSetup::three_volt_three(program), RailId::Slot3V3),
+        ModuleKind::UsbC => (BenchSetup::twenty_volt(program), RailId::UsbC),
+        _ => (BenchSetup::twelve_volt(program), RailId::Ext12V),
+    };
+    // Route the bench rail to whatever rail the module expects.
+    let rail = match kind {
+        ModuleKind::Slot10A12V | ModuleKind::General20A | ModuleKind::HighCurrent50A => {
+            RailId::Ext12V
+        }
+        _ => rail,
+    };
+    TestbedBuilder::new(bench)
+        .attach(kind, rail)
+        .seed(seed)
+        .build()
+}
+
+/// The DAS-6 GPU node setup (Fig 6): three sensor modules — 3.3 V
+/// slot, 12 V slot (both through the modified riser) and the 12 V PSU
+/// cable through the PCIe 8-pin module.
+#[must_use]
+pub fn gpu_riser(spec: GpuSpec, seed: u64) -> Testbed<GpuModel> {
+    let gpu = GpuModel::new(spec, seed);
+    TestbedBuilder::new(gpu)
+        .attach(ModuleKind::Slot10A3V3, RailId::Slot3V3)
+        .attach(ModuleKind::Slot10A12V, RailId::Slot12V)
+        .attach(ModuleKind::Pcie8Pin20A, RailId::Ext12V)
+        .seed(seed)
+        .build()
+}
+
+/// The Jetson AGX Orin setup (Fig 9): the board's USB-C supply routed
+/// through the USB-C sensor module.
+#[must_use]
+pub fn jetson_usbc(spec: JetsonSpec, seed: u64) -> Testbed<JetsonModel> {
+    let jetson = JetsonModel::new(spec, seed);
+    TestbedBuilder::new(jetson)
+        .attach(ModuleKind::UsbC, RailId::UsbC)
+        .seed(seed)
+        .build()
+}
+
+/// The SSD setup (Fig 11): the NVMe-to-PCIe adapter in a modified
+/// gen-3 riser, with 3.3 V and 12 V slot modules.
+#[must_use]
+pub fn ssd_riser(spec: SsdSpec, seed: u64) -> Testbed<SsdModel> {
+    let ssd = SsdModel::new(spec, seed);
+    TestbedBuilder::new(ssd)
+        .attach(ModuleKind::Slot10A3V3, RailId::Slot3V3)
+        .attach(ModuleKind::Slot10A12V, RailId::Slot12V)
+        .seed(seed)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps3_duts::{FioJob, GpuKernel, IoPattern};
+    use ps3_units::{Amps, SimDuration};
+
+    #[test]
+    fn accuracy_bench_reads_programmed_load() {
+        let mut tb = accuracy_bench(
+            ModuleKind::Slot10A12V,
+            LoadProgram::Constant(Amps::new(8.0)),
+            11,
+        );
+        let ps = tb.connect().unwrap();
+        tb.advance_and_sync(&ps, SimDuration::from_millis(20)).unwrap();
+        let w = ps.read().total_watts().value();
+        // ≈ 8 A × ~11.9 V (droop) = 95.5 W.
+        assert!((w - 95.5).abs() < 3.0, "w {w}");
+    }
+
+    #[test]
+    fn gpu_riser_sums_three_rails() {
+        let mut tb = gpu_riser(GpuSpec::rtx4000_ada(), 12);
+        let gpu = tb.dut();
+        let ps = tb.connect().unwrap();
+        tb.advance_and_sync(&ps, SimDuration::from_millis(20)).unwrap();
+        let idle = ps.read().total_watts().value();
+        assert!((idle - 18.0).abs() < 2.5, "idle {idle}");
+        gpu.lock()
+            .launch(GpuKernel::synthetic_fma(SimDuration::from_secs(1), 4));
+        tb.advance_and_sync(&ps, SimDuration::from_millis(500)).unwrap();
+        let busy = ps.read().total_watts().value();
+        assert!(busy > 100.0, "busy {busy}");
+        // All three pairs enabled and contributing.
+        let state = ps.read();
+        assert!(state.pairs[0].enabled && state.pairs[1].enabled && state.pairs[2].enabled);
+        assert!(state.pairs[0].watts.value() > 0.5, "3.3 V rail active");
+    }
+
+    #[test]
+    fn jetson_usbc_measures_whole_board() {
+        let mut tb = jetson_usbc(JetsonSpec::agx_orin(), 13);
+        let ps = tb.connect().unwrap();
+        tb.advance_and_sync(&ps, SimDuration::from_millis(20)).unwrap();
+        let idle = ps.read().total_watts().value();
+        // Whole board ≈ 16.5 W (module + carrier).
+        assert!((idle - 16.5).abs() < 2.0, "idle {idle}");
+    }
+
+    #[test]
+    fn ssd_riser_sees_read_workload() {
+        let mut tb = ssd_riser(SsdSpec::samsung_980_pro(), 14);
+        let ssd = tb.dut();
+        let ps = tb.connect().unwrap();
+        tb.advance_and_sync(&ps, SimDuration::from_millis(10)).unwrap();
+        let idle = ps.read().total_watts().value();
+        ssd.lock().start_job(FioJob {
+            pattern: IoPattern::RandRead { block_kib: 1024 },
+            queue_depth: 32,
+        });
+        tb.advance_and_sync(&ps, SimDuration::from_millis(100)).unwrap();
+        let busy = ps.read().total_watts().value();
+        assert!(busy > idle + 2.0, "idle {idle}, busy {busy}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Fault-injecting transport wrapper.
+//!
+//! USB links occasionally drop or corrupt bytes (cable glitches, host
+//! buffer overruns). The PowerSensor3 wire protocol carries per-byte
+//! framing bits precisely so the host can resynchronise; this wrapper
+//! lets the tests prove that it does.
+
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Transport, TransportError};
+
+/// What faults to inject, as independent per-byte probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that an incoming byte is silently dropped.
+    pub drop_probability: f64,
+    /// Probability that an incoming byte has one random bit flipped.
+    pub corrupt_probability: f64,
+}
+
+impl FaultPlan {
+    /// No faults at all.
+    pub const NONE: Self = Self {
+        drop_probability: 0.0,
+        corrupt_probability: 0.0,
+    };
+
+    /// A lossy link dropping roughly one byte in a thousand.
+    pub const LOSSY: Self = Self {
+        drop_probability: 1e-3,
+        corrupt_probability: 0.0,
+    };
+
+    /// A noisy link corrupting roughly one byte in a thousand.
+    pub const NOISY: Self = Self {
+        drop_probability: 0.0,
+        corrupt_probability: 1e-3,
+    };
+}
+
+/// A [`Transport`] decorator that injects faults on the *read* path.
+///
+/// Writes pass through untouched (commands to the device are assumed
+/// reliable; the interesting failure mode is the high-rate sensor
+/// stream towards the host).
+#[derive(Debug)]
+pub struct FaultyTransport<T> {
+    inner: T,
+    plan: FaultPlan,
+    rng: Mutex<StdRng>,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner`, injecting faults per `plan`, deterministically
+    /// from `seed`.
+    pub fn new(inner: T, plan: FaultPlan, seed: u64) -> Self {
+        Self {
+            inner,
+            plan,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Unwraps the inner transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn write_all(&self, bytes: &[u8]) -> Result<(), TransportError> {
+        self.inner.write_all(bytes)
+    }
+
+    fn read(&self, buf: &mut [u8], timeout: Option<Duration>) -> Result<usize, TransportError> {
+        loop {
+            let n = self.inner.read(buf, timeout)?;
+            let mut rng = self.rng.lock();
+            let mut kept = 0;
+            for i in 0..n {
+                let mut byte = buf[i];
+                if self.plan.drop_probability > 0.0 && rng.gen_bool(self.plan.drop_probability) {
+                    continue;
+                }
+                if self.plan.corrupt_probability > 0.0
+                    && rng.gen_bool(self.plan.corrupt_probability)
+                {
+                    byte ^= 1 << rng.gen_range(0..8);
+                }
+                buf[kept] = byte;
+                kept += 1;
+            }
+            // If every byte of a short read was dropped, try again so the
+            // contract "reads at least one byte" still holds.
+            if kept > 0 {
+                return Ok(kept);
+            }
+        }
+    }
+
+    fn available(&self) -> usize {
+        self.inner.available()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VirtualSerial;
+
+    #[test]
+    fn none_plan_is_transparent() {
+        let (a, b) = VirtualSerial::pair();
+        let faulty = FaultyTransport::new(a, FaultPlan::NONE, 1);
+        b.write_all(b"abcdef").unwrap();
+        let mut buf = [0u8; 6];
+        faulty.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"abcdef");
+    }
+
+    #[test]
+    fn drops_reduce_byte_count() {
+        let (a, b) = VirtualSerial::pair();
+        let plan = FaultPlan {
+            drop_probability: 0.5,
+            corrupt_probability: 0.0,
+        };
+        let faulty = FaultyTransport::new(a, plan, 42);
+        let payload = vec![0xAAu8; 10_000];
+        b.write_all(&payload).unwrap();
+        drop(b);
+        let mut got = Vec::new();
+        let mut buf = [0u8; 256];
+        loop {
+            match faulty.read(&mut buf, None) {
+                Ok(n) => got.extend_from_slice(&buf[..n]),
+                Err(TransportError::Disconnected) => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert!(
+            got.len() > 4_000 && got.len() < 6_000,
+            "expected ≈50% survival, got {}",
+            got.len()
+        );
+    }
+
+    #[test]
+    fn corruption_flips_single_bits() {
+        let (a, b) = VirtualSerial::pair();
+        let plan = FaultPlan {
+            drop_probability: 0.0,
+            corrupt_probability: 1.0,
+        };
+        let faulty = FaultyTransport::new(a, plan, 7);
+        b.write_all(&[0u8; 64]).unwrap();
+        let mut buf = [0u8; 64];
+        faulty.read_exact(&mut buf).unwrap();
+        for byte in buf {
+            assert_eq!(byte.count_ones(), 1, "exactly one bit flipped per byte");
+        }
+    }
+
+    #[test]
+    fn writes_pass_through() {
+        let (a, b) = VirtualSerial::pair();
+        let faulty = FaultyTransport::new(
+            a,
+            FaultPlan {
+                drop_probability: 1.0,
+                corrupt_probability: 0.0,
+            },
+            3,
+        );
+        faulty.write_all(b"command").unwrap();
+        let mut buf = [0u8; 7];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"command");
+    }
+}

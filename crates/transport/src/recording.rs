@@ -1,0 +1,98 @@
+//! Traffic-recording transport wrapper.
+
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::{Transport, TransportError};
+
+/// A [`Transport`] decorator that records all traffic in both
+/// directions, for protocol-level assertions in tests and for
+/// debugging captured sessions.
+#[derive(Debug)]
+pub struct RecordingTransport<T> {
+    inner: T,
+    sent: Mutex<Vec<u8>>,
+    received: Mutex<Vec<u8>>,
+}
+
+impl<T: Transport> RecordingTransport<T> {
+    /// Wraps `inner`.
+    pub fn new(inner: T) -> Self {
+        Self {
+            inner,
+            sent: Mutex::new(Vec::new()),
+            received: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Everything written through this endpoint so far.
+    pub fn sent(&self) -> Vec<u8> {
+        self.sent.lock().clone()
+    }
+
+    /// Everything read through this endpoint so far.
+    pub fn received(&self) -> Vec<u8> {
+        self.received.lock().clone()
+    }
+
+    /// Clears both recordings.
+    pub fn clear(&self) {
+        self.sent.lock().clear();
+        self.received.lock().clear();
+    }
+
+    /// Unwraps the inner transport, discarding the recordings.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Transport> Transport for RecordingTransport<T> {
+    fn write_all(&self, bytes: &[u8]) -> Result<(), TransportError> {
+        self.inner.write_all(bytes)?;
+        self.sent.lock().extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn read(&self, buf: &mut [u8], timeout: Option<Duration>) -> Result<usize, TransportError> {
+        let n = self.inner.read(buf, timeout)?;
+        self.received.lock().extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+
+    fn available(&self) -> usize {
+        self.inner.available()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VirtualSerial;
+
+    #[test]
+    fn records_both_directions() {
+        let (a, b) = VirtualSerial::pair();
+        let rec = RecordingTransport::new(a);
+        rec.write_all(b"ping").unwrap();
+        b.write_all(b"pong").unwrap();
+        let mut buf = [0u8; 4];
+        rec.read_exact(&mut buf).unwrap();
+        assert_eq!(rec.sent(), b"ping");
+        assert_eq!(rec.received(), b"pong");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let (a, b) = VirtualSerial::pair();
+        let rec = RecordingTransport::new(a);
+        rec.write_all(b"x").unwrap();
+        b.write_all(b"y").unwrap();
+        let mut buf = [0u8; 1];
+        rec.read_exact(&mut buf).unwrap();
+        rec.clear();
+        assert!(rec.sent().is_empty());
+        assert!(rec.received().is_empty());
+    }
+}

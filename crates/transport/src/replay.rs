@@ -1,0 +1,123 @@
+//! Replay transport: serves a previously recorded byte stream.
+//!
+//! Together with [`RecordingTransport`](crate::RecordingTransport) this
+//! enables capture-once/analyse-many workflows: record a device
+//! session (or load one from disk), then reconnect the host library to
+//! the recording as if the device were live. Commands written by the
+//! host are answered from a canned script (by default: ignored).
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::{Transport, TransportError};
+
+/// A [`Transport`] whose read side replays a fixed byte stream.
+///
+/// Reads drain the recording and then report
+/// [`TransportError::Disconnected`] — exactly what a host sees when the
+/// device is unplugged mid-session. Writes are counted but discarded
+/// (the recording already contains the device's responses).
+///
+/// # Examples
+///
+/// ```
+/// use ps3_transport::{ReplayTransport, Transport};
+///
+/// let replay = ReplayTransport::new(b"abc".to_vec());
+/// let mut buf = [0u8; 3];
+/// replay.read_exact(&mut buf).unwrap();
+/// assert_eq!(&buf, b"abc");
+/// assert!(replay.read(&mut buf, None).is_err()); // stream exhausted
+/// ```
+#[derive(Debug)]
+pub struct ReplayTransport {
+    data: Mutex<VecDeque<u8>>,
+    written: Mutex<Vec<u8>>,
+}
+
+impl ReplayTransport {
+    /// Creates a replay of `recording` (e.g. from
+    /// [`RecordingTransport::received`](crate::RecordingTransport::received)).
+    #[must_use]
+    pub fn new(recording: Vec<u8>) -> Self {
+        Self {
+            data: Mutex::new(recording.into()),
+            written: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Bytes the host wrote during replay (commands it sent; useful to
+    /// assert a tool's command sequence).
+    pub fn written(&self) -> Vec<u8> {
+        self.written.lock().clone()
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.data.lock().len()
+    }
+}
+
+impl Transport for ReplayTransport {
+    fn write_all(&self, bytes: &[u8]) -> Result<(), TransportError> {
+        self.written.lock().extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn read(&self, buf: &mut [u8], _timeout: Option<Duration>) -> Result<usize, TransportError> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut data = self.data.lock();
+        if data.is_empty() {
+            return Err(TransportError::Disconnected);
+        }
+        let n = buf.len().min(data.len());
+        for b in buf.iter_mut().take(n) {
+            *b = data.pop_front().expect("checked non-empty");
+        }
+        Ok(n)
+    }
+
+    fn available(&self) -> usize {
+        self.data.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replays_then_disconnects() {
+        let replay = ReplayTransport::new(vec![1, 2, 3, 4, 5]);
+        assert_eq!(replay.available(), 5);
+        let mut buf = [0u8; 2];
+        assert_eq!(replay.read(&mut buf, None).unwrap(), 2);
+        assert_eq!(buf, [1, 2]);
+        let mut rest = [0u8; 8];
+        assert_eq!(replay.read(&mut rest, None).unwrap(), 3);
+        assert_eq!(
+            replay.read(&mut rest, None).unwrap_err(),
+            TransportError::Disconnected
+        );
+        assert_eq!(replay.remaining(), 0);
+    }
+
+    #[test]
+    fn writes_are_captured_not_delivered() {
+        let replay = ReplayTransport::new(Vec::new());
+        replay.write_all(b"SXMR").unwrap();
+        assert_eq!(replay.written(), b"SXMR");
+    }
+
+    #[test]
+    fn empty_read_buffer_is_ok() {
+        let replay = ReplayTransport::new(vec![9]);
+        let mut empty: [u8; 0] = [];
+        assert_eq!(replay.read(&mut empty, None).unwrap(), 0);
+        assert_eq!(replay.remaining(), 1);
+    }
+}

@@ -1,0 +1,285 @@
+//! Analytic performance model of the Tensor-Core Beamformer kernel.
+//!
+//! Maps a code variant + locked clock to achieved TFLOP/s and a power
+//! intensity, with enough structure (interactions between tile shape,
+//! fragment counts and double buffering) that the tuning landscape has
+//! a realistic spread and the energy/performance trade-off of Fig 8
+//! emerges from the GPU power model.
+
+use ps3_duts::GpuSpec;
+use ps3_units::SimDuration;
+
+use crate::TunableParams;
+
+/// The beamforming problem size (the paper uses M = N = K = 4096 with
+/// 16-bit complex samples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeamformerProblem {
+    /// Number of beams.
+    pub m: u64,
+    /// Number of samples.
+    pub n: u64,
+    /// Number of elements summed.
+    pub k: u64,
+}
+
+impl BeamformerProblem {
+    /// The paper's configuration: 4096³.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            m: 4096,
+            n: 4096,
+            k: 4096,
+        }
+    }
+
+    /// Total floating-point operations: a complex multiply-accumulate
+    /// is 8 real FLOPs.
+    #[must_use]
+    pub fn flops(&self) -> f64 {
+        8.0 * self.m as f64 * self.n as f64 * self.k as f64
+    }
+}
+
+/// What the model predicts for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelEstimate {
+    /// Achieved compute throughput in TFLOP/s.
+    pub tflops: f64,
+    /// Kernel execution time for the problem.
+    pub duration: SimDuration,
+    /// Power intensity (GPU utilisation equivalent, 0–1).
+    pub utilization: f64,
+    /// Number of sequential waves the launch decomposes into.
+    pub waves: u32,
+}
+
+/// The performance model.
+#[derive(Debug, Clone)]
+pub struct BeamformerModel {
+    gpu: GpuSpec,
+    problem: BeamformerProblem,
+}
+
+impl BeamformerModel {
+    /// A model of the beamformer on `gpu`.
+    #[must_use]
+    pub fn new(gpu: GpuSpec, problem: BeamformerProblem) -> Self {
+        Self { gpu, problem }
+    }
+
+    /// The GPU this model targets.
+    #[must_use]
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// The problem size.
+    #[must_use]
+    pub fn problem(&self) -> BeamformerProblem {
+        self.problem
+    }
+
+    /// Fraction of peak the variant achieves at boost clock (0–1).
+    #[must_use]
+    pub fn efficiency(&self, p: &TunableParams) -> f64 {
+        // Tile shape: large-ish, squarish tiles feed the tensor cores
+        // best; tiny tiles starve them, huge ones spill registers.
+        let tile_score = match (p.block_x, p.block_y) {
+            (8, 4) => 1.00,
+            (8, 2) | (4, 4) => 0.96,
+            (16, 2) | (8, 8) => 0.92,
+            (4, 2) | (16, 4) => 0.88,
+            (4, 8) | (2, 4) => 0.82,
+            (16, 8) => 0.78,
+            (2, 2) | (4, 1) => 0.72,
+            (16, 1) | (2, 8) => 0.66,
+            (8, 1) => 0.70,
+            (2, 1) => 0.55,
+            _ => 0.60,
+        };
+        // Fragments per block: more fragments → better reuse, until
+        // occupancy collapses (interacting with block size).
+        let frag_score = match p.frags_block {
+            1 => 0.78,
+            2 => 0.90,
+            4 => 1.00,
+            8 => {
+                if p.block_x * p.block_y >= 64 {
+                    0.84 // register pressure at big blocks
+                } else {
+                    0.97
+                }
+            }
+            _ => 0.70,
+        };
+        let warp_score = if p.frags_warp == 2 { 1.0 } else { 0.93 };
+        // Double buffering hides latency, most valuable with few
+        // fragments in flight.
+        let buffer_score = if p.double_buffer {
+            if p.frags_block <= 2 {
+                1.06
+            } else {
+                1.02
+            }
+        } else {
+            1.0
+        };
+        // Split-K helps only when parallelism is scarce.
+        let split_score = if p.split_k == 2 {
+            if p.block_x * p.block_y <= 8 {
+                1.04
+            } else {
+                0.94
+            }
+        } else {
+            1.0
+        };
+        // Deterministic per-variant jitter (compilers are fickle).
+        let jitter = 0.96 + 0.08 * hash_unit(p);
+        (tile_score * frag_score * warp_score * buffer_score * split_score * jitter).min(0.88)
+    }
+
+    /// How strongly performance scales with clock (1 = fully
+    /// compute-bound). Memory-latency-bound variants scale weaker.
+    #[must_use]
+    pub fn clock_exponent(&self, p: &TunableParams) -> f64 {
+        let mut alpha: f64 = 0.95;
+        if !p.double_buffer {
+            alpha -= 0.12; // latency-bound without prefetching
+        }
+        if p.frags_block == 1 {
+            alpha -= 0.10;
+        }
+        alpha.clamp(0.6, 1.0)
+    }
+
+    /// Predicts throughput/time/power intensity for a variant at a
+    /// locked clock (MHz).
+    #[must_use]
+    pub fn estimate(&self, p: &TunableParams, clock_mhz: f64) -> KernelEstimate {
+        let e = self.efficiency(p);
+        let alpha = self.clock_exponent(p);
+        let rel_clock = (clock_mhz / self.gpu.boost_mhz).clamp(0.05, 1.0);
+        let tflops = self.gpu.peak_tflops * e * rel_clock.powf(alpha);
+        let seconds = self.problem.flops() / (tflops * 1e12);
+        // Power intensity: efficient variants keep the tensor cores and
+        // memory system busier.
+        let utilization = (0.62 + 0.33 * e).min(0.95);
+        // The y-dimension executes in sequential waves.
+        let waves = (self.problem.n / 1024).max(1) as u32;
+        KernelEstimate {
+            tflops,
+            duration: SimDuration::from_secs_f64(seconds),
+            utilization,
+            waves,
+        }
+    }
+}
+
+/// Deterministic hash of a variant to a unit float.
+fn hash_unit(p: &TunableParams) -> f64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in [
+        u64::from(p.block_x),
+        u64::from(p.block_y),
+        u64::from(p.frags_block),
+        u64::from(p.frags_warp),
+        u64::from(p.double_buffer),
+        u64::from(p.split_k),
+    ] {
+        h ^= v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate_params;
+    use ps3_duts::GpuSpec;
+
+    fn model() -> BeamformerModel {
+        BeamformerModel::new(GpuSpec::rtx4000_ada(), BeamformerProblem::paper())
+    }
+
+    #[test]
+    fn flops_of_paper_problem() {
+        let f = BeamformerProblem::paper().flops();
+        assert!((f - 8.0 * 4096f64.powi(3)).abs() < 1.0);
+    }
+
+    #[test]
+    fn best_variant_close_to_paper_throughput() {
+        let m = model();
+        let best = enumerate_params()
+            .iter()
+            .map(|p| m.estimate(p, 2580.0).tflops)
+            .fold(0.0, f64::max);
+        // The paper's fastest configuration reaches 80.4 TFLOP/s.
+        assert!(
+            (best - 80.4).abs() < 6.0,
+            "best throughput {best} TFLOP/s, expected ≈80"
+        );
+    }
+
+    #[test]
+    fn efficiency_spread_is_wide() {
+        let m = model();
+        let effs: Vec<f64> = enumerate_params().iter().map(|p| m.efficiency(p)).collect();
+        let min = effs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = effs.iter().cloned().fold(0.0, f64::max);
+        assert!(max <= 0.88);
+        assert!(min < 0.5 * max, "bad variants exist: min {min}, max {max}");
+    }
+
+    #[test]
+    fn estimates_are_deterministic() {
+        let m = model();
+        let p = enumerate_params()[137];
+        assert_eq!(m.estimate(&p, 2000.0), m.estimate(&p, 2000.0));
+    }
+
+    #[test]
+    fn lower_clock_is_slower() {
+        let m = model();
+        let p = enumerate_params()[0];
+        let fast = m.estimate(&p, 2580.0);
+        let slow = m.estimate(&p, 1900.0);
+        assert!(slow.tflops < fast.tflops);
+        assert!(slow.duration > fast.duration);
+    }
+
+    #[test]
+    fn double_buffering_raises_clock_sensitivity() {
+        let m = model();
+        let with = TunableParams {
+            block_x: 8,
+            block_y: 4,
+            frags_block: 4,
+            frags_warp: 2,
+            double_buffer: true,
+            split_k: 1,
+        };
+        let without = TunableParams {
+            double_buffer: false,
+            ..with
+        };
+        assert!(m.clock_exponent(&with) > m.clock_exponent(&without));
+    }
+
+    #[test]
+    fn kernel_duration_in_expected_range() {
+        // ~0.55 PFLOP at ~80 TFLOP/s → ~7 ms.
+        let m = model();
+        let best = enumerate_params()
+            .iter()
+            .map(|p| m.estimate(p, 2580.0))
+            .min_by(|a, b| a.duration.cmp(&b.duration))
+            .unwrap();
+        let ms = best.duration.as_secs_f64() * 1e3;
+        assert!((4.0..12.0).contains(&ms), "duration {ms} ms");
+    }
+}

@@ -1,0 +1,315 @@
+//! Search strategies beyond the exhaustive sweep.
+//!
+//! Kernel Tuner ships several optimisers because full search spaces
+//! (here 5120 configurations) can be expensive to benchmark; with
+//! on-board sensors at ~1.5 s per configuration that is hours. This
+//! module provides the two classic alternatives — random sampling and
+//! restarted greedy hill climbing over the neighbourhood graph of the
+//! tunable parameters — generic over any objective (TFLOP/s, TFLOP/J,
+//! or a measured quantity).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::TunableParams;
+
+/// Outcome of a guided search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchResult {
+    /// Best configuration found.
+    pub params: TunableParams,
+    /// Clock paired with it.
+    pub clock_mhz: f64,
+    /// Objective value at the best point.
+    pub score: f64,
+    /// Number of objective evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Evaluates `budget` uniformly random configurations and returns the
+/// best (ties broken by first occurrence).
+///
+/// # Panics
+///
+/// Panics if `space` or `clocks` is empty or `budget` is zero.
+pub fn random_search<F>(
+    space: &[TunableParams],
+    clocks: &[f64],
+    budget: usize,
+    seed: u64,
+    mut objective: F,
+) -> SearchResult
+where
+    F: FnMut(&TunableParams, f64) -> f64,
+{
+    assert!(!space.is_empty() && !clocks.is_empty(), "empty search space");
+    assert!(budget > 0, "zero budget");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<SearchResult> = None;
+    for _ in 0..budget {
+        let p = space[rng.gen_range(0..space.len())];
+        let clock = clocks[rng.gen_range(0..clocks.len())];
+        let score = objective(&p, clock);
+        if best.is_none_or(|b| score > b.score) {
+            best = Some(SearchResult {
+                params: p,
+                clock_mhz: clock,
+                score,
+                evaluations: 0,
+            });
+        }
+    }
+    let mut result = best.expect("budget > 0");
+    result.evaluations = budget;
+    result
+}
+
+/// All single-parameter neighbours of a configuration (one tunable
+/// moved one notch).
+#[must_use]
+pub fn neighbours(p: &TunableParams) -> Vec<TunableParams> {
+    fn step(values: &[u32], current: u32) -> Vec<u32> {
+        let idx = values.iter().position(|&v| v == current).unwrap_or(0);
+        let mut out = Vec::new();
+        if idx > 0 {
+            out.push(values[idx - 1]);
+        }
+        if idx + 1 < values.len() {
+            out.push(values[idx + 1]);
+        }
+        out
+    }
+    let mut out = Vec::new();
+    for bx in step(&[2, 4, 8, 16], p.block_x) {
+        out.push(TunableParams { block_x: bx, ..*p });
+    }
+    for by in step(&[1, 2, 4, 8], p.block_y) {
+        out.push(TunableParams { block_y: by, ..*p });
+    }
+    for fb in step(&[1, 2, 4, 8], p.frags_block) {
+        out.push(TunableParams {
+            frags_block: fb,
+            ..*p
+        });
+    }
+    for fw in step(&[1, 2], p.frags_warp) {
+        out.push(TunableParams {
+            frags_warp: fw,
+            ..*p
+        });
+    }
+    out.push(TunableParams {
+        double_buffer: !p.double_buffer,
+        ..*p
+    });
+    for sk in step(&[1, 2], p.split_k) {
+        out.push(TunableParams { split_k: sk, ..*p });
+    }
+    out
+}
+
+/// Restarted greedy hill climbing: from each random start, repeatedly
+/// moves to the best-scoring neighbour (over parameters *and* adjacent
+/// clocks) until no neighbour improves. Stops early when the
+/// evaluation budget runs out.
+///
+/// # Panics
+///
+/// Panics if `space`/`clocks` is empty or `starts`/`budget` is zero.
+pub fn hill_climb<F>(
+    space: &[TunableParams],
+    clocks: &[f64],
+    starts: usize,
+    budget: usize,
+    seed: u64,
+    mut objective: F,
+) -> SearchResult
+where
+    F: FnMut(&TunableParams, f64) -> f64,
+{
+    assert!(!space.is_empty() && !clocks.is_empty(), "empty search space");
+    assert!(starts > 0 && budget > 0, "zero starts/budget");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut spent = 0usize;
+    let mut best: Option<SearchResult> = None;
+    let mut shuffled = space.to_vec();
+    shuffled.shuffle(&mut rng);
+
+    'starts: for start in shuffled.into_iter().take(starts) {
+        let mut here = start;
+        let mut clock_idx = rng.gen_range(0..clocks.len());
+        if spent >= budget {
+            break;
+        }
+        let mut here_score = objective(&here, clocks[clock_idx]);
+        spent += 1;
+        loop {
+            // Candidate moves: parameter neighbours at this clock, plus
+            // the two adjacent clocks at these parameters.
+            let mut candidates: Vec<(TunableParams, usize)> = neighbours(&here)
+                .into_iter()
+                .map(|p| (p, clock_idx))
+                .collect();
+            if clock_idx > 0 {
+                candidates.push((here, clock_idx - 1));
+            }
+            if clock_idx + 1 < clocks.len() {
+                candidates.push((here, clock_idx + 1));
+            }
+            let mut improved = false;
+            for (p, ci) in candidates {
+                if spent >= budget {
+                    update_best(&mut best, here, clocks[clock_idx], here_score, spent);
+                    break 'starts;
+                }
+                let score = objective(&p, clocks[ci]);
+                spent += 1;
+                if score > here_score {
+                    here = p;
+                    clock_idx = ci;
+                    here_score = score;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        update_best(&mut best, here, clocks[clock_idx], here_score, spent);
+    }
+    let mut result = best.expect("at least one start evaluated");
+    result.evaluations = spent;
+    result
+}
+
+fn update_best(
+    best: &mut Option<SearchResult>,
+    params: TunableParams,
+    clock_mhz: f64,
+    score: f64,
+    evaluations: usize,
+) {
+    if best.is_none_or(|b| score > b.score) {
+        *best = Some(SearchResult {
+            params,
+            clock_mhz,
+            score,
+            evaluations,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BeamformerModel, BeamformerProblem};
+    use crate::{clock_range, enumerate_params};
+    use ps3_duts::GpuSpec;
+
+    fn model() -> BeamformerModel {
+        BeamformerModel::new(GpuSpec::rtx4000_ada(), BeamformerProblem::paper())
+    }
+
+    fn exhaustive_best_tflops() -> f64 {
+        let m = model();
+        let clocks = clock_range(2580.0);
+        let mut best: f64 = 0.0;
+        for p in enumerate_params() {
+            for &c in &clocks {
+                best = best.max(m.estimate(&p, c).tflops);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn neighbours_differ_in_exactly_one_field() {
+        let p = enumerate_params()[200];
+        for n in neighbours(&p) {
+            let diffs = usize::from(n.block_x != p.block_x)
+                + usize::from(n.block_y != p.block_y)
+                + usize::from(n.frags_block != p.frags_block)
+                + usize::from(n.frags_warp != p.frags_warp)
+                + usize::from(n.double_buffer != p.double_buffer)
+                + usize::from(n.split_k != p.split_k);
+            assert_eq!(diffs, 1, "{n:?} vs {p:?}");
+        }
+    }
+
+    #[test]
+    fn interior_point_has_full_neighbourhood() {
+        let p = TunableParams {
+            block_x: 4,
+            block_y: 2,
+            frags_block: 2,
+            frags_warp: 1,
+            double_buffer: false,
+            split_k: 1,
+        };
+        // 2+2+2+1+1+1 = 9 neighbours.
+        assert_eq!(neighbours(&p).len(), 9);
+    }
+
+    #[test]
+    fn random_search_finds_a_decent_config() {
+        let m = model();
+        let clocks = clock_range(2580.0);
+        let result = random_search(&enumerate_params(), &clocks, 200, 7, |p, c| {
+            m.estimate(p, c).tflops
+        });
+        assert_eq!(result.evaluations, 200);
+        // 200 of 5120 samples should land within 15 % of the optimum.
+        assert!(
+            result.score > 0.85 * exhaustive_best_tflops(),
+            "random search found only {:.1}",
+            result.score
+        );
+    }
+
+    #[test]
+    fn hill_climb_beats_random_at_equal_budget() {
+        let m = model();
+        let clocks = clock_range(2580.0);
+        let budget = 150;
+        let random = random_search(&enumerate_params(), &clocks, budget, 3, |p, c| {
+            m.estimate(p, c).tflops
+        });
+        let climbed = hill_climb(&enumerate_params(), &clocks, 4, budget, 3, |p, c| {
+            m.estimate(p, c).tflops
+        });
+        assert!(climbed.evaluations <= budget);
+        assert!(
+            climbed.score >= random.score * 0.98,
+            "hill climb {:.1} vs random {:.1}",
+            climbed.score,
+            random.score
+        );
+        // And lands close to the global optimum.
+        assert!(climbed.score > 0.9 * exhaustive_best_tflops());
+    }
+
+    #[test]
+    fn hill_climb_on_efficiency_prefers_lower_clocks() {
+        let m = model();
+        let clocks = clock_range(2580.0);
+        let spec = GpuSpec::rtx4000_ada();
+        let eff = hill_climb(&enumerate_params(), &clocks, 4, 400, 11, |p, c| {
+            let est = m.estimate(p, c);
+            let power = spec.power_at(
+                c.min(spec.sustained_clock(est.utilization)),
+                est.utilization,
+            );
+            est.tflops / power // TFLOP/J
+        });
+        let fast = hill_climb(&enumerate_params(), &clocks, 4, 400, 11, |p, c| {
+            m.estimate(p, c).tflops
+        });
+        assert!(
+            eff.clock_mhz < fast.clock_mhz,
+            "efficiency optimum {} MHz should sit below performance optimum {} MHz",
+            eff.clock_mhz,
+            fast.clock_mhz
+        );
+    }
+}

@@ -1,0 +1,317 @@
+//! The sweep driver: benchmarks every configuration, collects records,
+//! extracts the Pareto front, and accounts total tuning time.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ps3_analysis::{pareto_front_indices, ParetoPoint};
+use ps3_core::{PowerSensor, PowerSensorError};
+use ps3_duts::{GpuModel, OnboardSensor};
+use ps3_units::{SimDuration, SimTime};
+
+use crate::model::BeamformerModel;
+use crate::strategy::{measure_with_onboard, measure_with_powersensor};
+use crate::{clock_range, enumerate_params, TunableParams};
+
+/// One benchmarked configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuningRecord {
+    /// The code variant.
+    pub params: TunableParams,
+    /// Locked clock in MHz.
+    pub clock_mhz: f64,
+    /// Achieved throughput in TFLOP/s.
+    pub tflops: f64,
+    /// Measured kernel energy in joules.
+    pub energy_j: f64,
+    /// Energy efficiency in TFLOP/J.
+    pub tflop_per_joule: f64,
+    /// Kernel execution time in seconds.
+    pub kernel_seconds: f64,
+}
+
+/// Result of a tuning session.
+#[derive(Debug, Clone)]
+pub struct TuningOutcome {
+    /// Strategy label (plot legend).
+    pub strategy: &'static str,
+    /// Every benchmarked configuration.
+    pub records: Vec<TuningRecord>,
+    /// Total wall-clock cost of the session.
+    pub total_tuning_time: SimDuration,
+}
+
+impl TuningOutcome {
+    /// Indices of Pareto-optimal records (maximising TFLOP/s and
+    /// TFLOP/J).
+    #[must_use]
+    pub fn pareto_indices(&self) -> Vec<usize> {
+        let pts: Vec<ParetoPoint> = self
+            .records
+            .iter()
+            .map(|r| ParetoPoint::new(r.tflops, r.tflop_per_joule))
+            .collect();
+        pareto_front_indices(&pts)
+    }
+
+    /// The fastest configuration.
+    #[must_use]
+    pub fn fastest(&self) -> Option<&TuningRecord> {
+        self.records
+            .iter()
+            .max_by(|a, b| a.tflops.partial_cmp(&b.tflops).expect("finite"))
+    }
+
+    /// The most energy-efficient configuration.
+    #[must_use]
+    pub fn most_efficient(&self) -> Option<&TuningRecord> {
+        self.records.iter().max_by(|a, b| {
+            a.tflop_per_joule
+                .partial_cmp(&b.tflop_per_joule)
+                .expect("finite")
+        })
+    }
+}
+
+/// The auto-tuner.
+#[derive(Debug, Clone)]
+pub struct Tuner {
+    model: BeamformerModel,
+    params: Vec<TunableParams>,
+    clocks: Vec<f64>,
+    /// Trials charged to the time ledger per configuration (paper: 7).
+    pub accounted_trials: u32,
+    /// Kernels actually simulated per configuration on the
+    /// PowerSensor3 path (1 keeps big sweeps cheap; energies barely
+    /// change with more).
+    pub sim_trials: u32,
+}
+
+impl Tuner {
+    /// A tuner over the full 512-variant × 10-clock space.
+    #[must_use]
+    pub fn new(model: BeamformerModel) -> Self {
+        let clocks = clock_range(model.gpu().boost_mhz);
+        Self {
+            model,
+            params: enumerate_params(),
+            clocks,
+            accounted_trials: 7,
+            sim_trials: 1,
+        }
+    }
+
+    /// Restricts the sweep (tests, smoke runs): every `stride`-th
+    /// variant and `clock_stride`-th clock.
+    #[must_use]
+    pub fn subset(mut self, stride: usize, clock_stride: usize) -> Self {
+        self.params = self
+            .params
+            .into_iter()
+            .step_by(stride.max(1))
+            .collect();
+        self.clocks = self
+            .clocks
+            .into_iter()
+            .step_by(clock_stride.max(1))
+            .collect();
+        self
+    }
+
+    /// Number of configurations in the sweep.
+    #[must_use]
+    pub fn configurations(&self) -> usize {
+        self.params.len() * self.clocks.len()
+    }
+
+    /// The performance model.
+    #[must_use]
+    pub fn model(&self) -> &BeamformerModel {
+        &self.model
+    }
+
+    /// Runs the sweep measuring energy with PowerSensor3.
+    ///
+    /// # Errors
+    ///
+    /// Propagates host-library failures.
+    pub fn run_with_powersensor(
+        &self,
+        gpu: &Arc<Mutex<GpuModel>>,
+        ps: &PowerSensor,
+        advance: &mut dyn FnMut(SimDuration),
+    ) -> Result<TuningOutcome, PowerSensorError> {
+        let mut records = Vec::with_capacity(self.configurations());
+        let mut total = SimDuration::ZERO;
+        let flops_t = self.model.problem().flops() / 1e12;
+        for p in &self.params {
+            for &clock in &self.clocks {
+                let est = self.model.estimate(p, clock);
+                let m = measure_with_powersensor(
+                    gpu,
+                    ps,
+                    advance,
+                    &est,
+                    clock,
+                    self.sim_trials,
+                    self.accounted_trials,
+                )?;
+                total += m.tuning_cost;
+                records.push(TuningRecord {
+                    params: *p,
+                    clock_mhz: clock,
+                    tflops: flops_t / m.kernel_seconds,
+                    energy_j: m.energy_j,
+                    tflop_per_joule: flops_t / m.energy_j,
+                    kernel_seconds: m.kernel_seconds,
+                });
+            }
+        }
+        Ok(TuningOutcome {
+            strategy: "PowerSensor3",
+            records,
+            total_tuning_time: total,
+        })
+    }
+
+    /// Runs the sweep measuring energy with an on-board sensor
+    /// (extended kernel runs; no testbed needed).
+    pub fn run_with_onboard(
+        &self,
+        gpu: &Arc<Mutex<GpuModel>>,
+        sensor: &mut dyn OnboardSensor,
+    ) -> TuningOutcome {
+        let mut records = Vec::with_capacity(self.configurations());
+        let mut total = SimDuration::ZERO;
+        let mut cursor = SimTime::ZERO;
+        let flops_t = self.model.problem().flops() / 1e12;
+        for p in &self.params {
+            for &clock in &self.clocks {
+                let est = self.model.estimate(p, clock);
+                let m = measure_with_onboard(
+                    gpu,
+                    sensor,
+                    &mut cursor,
+                    &est,
+                    clock,
+                    self.accounted_trials,
+                );
+                total += m.tuning_cost;
+                records.push(TuningRecord {
+                    params: *p,
+                    clock_mhz: clock,
+                    tflops: flops_t / m.kernel_seconds,
+                    energy_j: m.energy_j,
+                    tflop_per_joule: flops_t / m.energy_j,
+                    kernel_seconds: m.kernel_seconds,
+                });
+            }
+        }
+        TuningOutcome {
+            strategy: "on-board sensor",
+            records,
+            total_tuning_time: total,
+        }
+    }
+
+    /// Pure time accounting of a full session for both strategies —
+    /// the 3.25× headline without simulating every kernel (used by the
+    /// figure harness to report the full-space numbers cheaply).
+    #[must_use]
+    pub fn predicted_session_times(&self) -> (SimDuration, SimDuration) {
+        let mut ps3 = SimDuration::ZERO;
+        let mut onboard = SimDuration::ZERO;
+        for p in &self.params {
+            for &clock in &self.clocks {
+                let est = self.model.estimate(p, clock);
+                let wall = est.duration
+                    + SimDuration::from_micros(150) * u64::from(est.waves);
+                let per_trial = wall + SimDuration::from_millis(1);
+                ps3 += crate::strategy::COMPILE_OVERHEAD
+                    + per_trial * u64::from(self.accounted_trials);
+                let window = SimDuration::from_secs(1).max(wall);
+                onboard += crate::strategy::COMPILE_OVERHEAD
+                    + per_trial * u64::from(self.accounted_trials)
+                    + window;
+            }
+        }
+        (ps3, onboard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::BeamformerProblem;
+    use ps3_duts::{GpuSpec, NvmlSensor};
+
+    fn tuner() -> Tuner {
+        let model = BeamformerModel::new(GpuSpec::rtx4000_ada(), BeamformerProblem::paper());
+        Tuner::new(model)
+    }
+
+    #[test]
+    fn full_space_is_5120() {
+        assert_eq!(tuner().configurations(), 5120);
+    }
+
+    #[test]
+    fn predicted_session_times_match_paper_ratio() {
+        let (ps3, onboard) = tuner().predicted_session_times();
+        let ratio = onboard.as_secs_f64() / ps3.as_secs_f64();
+        // The paper reports 2274 s vs 7394 s → 3.25×.
+        assert!(
+            (ratio - 3.25).abs() < 0.6,
+            "ratio {ratio}, ps3 {ps3}, onboard {onboard}"
+        );
+        assert!(
+            (ps3.as_secs_f64() - 2274.0).abs() < 500.0,
+            "ps3 session {ps3}"
+        );
+        assert!(
+            (onboard.as_secs_f64() - 7394.0).abs() < 1200.0,
+            "onboard session {onboard}"
+        );
+    }
+
+    #[test]
+    fn onboard_sweep_produces_sane_records() {
+        let t = tuner().subset(64, 5); // 8 variants × 2 clocks
+        let gpu = Arc::new(Mutex::new(GpuModel::new(GpuSpec::rtx4000_ada(), 41)));
+        let mut sensor = NvmlSensor::instantaneous(Arc::clone(&gpu));
+        let out = t.run_with_onboard(&gpu, &mut sensor);
+        assert_eq!(out.records.len(), 16);
+        for r in &out.records {
+            assert!(r.tflops > 5.0 && r.tflops < 100.0, "tflops {}", r.tflops);
+            assert!(
+                r.tflop_per_joule > 0.1 && r.tflop_per_joule < 2.0,
+                "eff {}",
+                r.tflop_per_joule
+            );
+        }
+        let fastest = out.fastest().unwrap();
+        let efficient = out.most_efficient().unwrap();
+        assert!(fastest.tflops >= efficient.tflops);
+        assert!(efficient.tflop_per_joule >= fastest.tflop_per_joule);
+    }
+
+    #[test]
+    fn pareto_front_nonempty_and_valid() {
+        let t = tuner().subset(32, 3);
+        let gpu = Arc::new(Mutex::new(GpuModel::new(GpuSpec::rtx4000_ada(), 43)));
+        let mut sensor = NvmlSensor::instantaneous(Arc::clone(&gpu));
+        let out = t.run_with_onboard(&gpu, &mut sensor);
+        let front = out.pareto_indices();
+        assert!(!front.is_empty());
+        // The fastest and most-efficient records are always on the front.
+        let fastest_idx = out
+            .records
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.tflops.partial_cmp(&b.1.tflops).unwrap())
+            .unwrap()
+            .0;
+        assert!(front.contains(&fastest_idx));
+    }
+}

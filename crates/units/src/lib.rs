@@ -1,0 +1,51 @@
+//! Physical-quantity newtypes and simulated-time primitives.
+//!
+//! Every crate in the PowerSensor3 reproduction exchanges electrical
+//! quantities and simulated timestamps. Wrapping the raw `f64`/`u64`
+//! values in newtypes ([`Volts`], [`Amps`], [`Watts`], [`Joules`],
+//! [`SimTime`], [`SimDuration`]) keeps rails, sensors, and analysis code
+//! from mixing up units, while the arithmetic impls encode the physics
+//! (`V * A = W`, `W * t = J`, ...).
+//!
+//! # Examples
+//!
+//! ```
+//! use ps3_units::{Amps, SimDuration, Volts};
+//!
+//! let power = Volts::new(12.0) * Amps::new(8.0);
+//! assert_eq!(power.value(), 96.0);
+//! let energy = power * SimDuration::from_millis(500);
+//! assert!((energy.value() - 48.0).abs() < 1e-9);
+//! ```
+
+mod quantity;
+mod time;
+
+pub use quantity::{Amps, Joules, Volts, Watts};
+pub use time::{SimDuration, SimTime};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_from_voltage_and_current() {
+        assert_eq!((Volts::new(3.3) * Amps::new(10.0)).value(), 33.0);
+    }
+
+    #[test]
+    fn energy_roundtrip() {
+        let p = Watts::new(120.0);
+        let d = SimDuration::from_secs_f64(2.0);
+        let e = p * d;
+        assert!((e.value() - 240.0).abs() < 1e-9);
+        assert!((e / d - p).value().abs() < 1e-9);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Volts>();
+        assert_send_sync::<SimTime>();
+    }
+}

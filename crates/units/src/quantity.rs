@@ -1,0 +1,285 @@
+//! Electrical quantity newtypes with physically meaningful arithmetic.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use crate::time::SimDuration;
+
+/// Declares a `f64`-backed quantity newtype with standard arithmetic.
+macro_rules! quantity {
+    ($(#[$doc:meta])* $name:ident, $unit:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Wraps a raw value expressed in the quantity's SI unit.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            /// let v = ps3_units::Volts::new(12.0);
+            /// assert_eq!(v.value(), 12.0);
+            /// ```
+            #[must_use]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// The zero quantity.
+            #[must_use]
+            pub const fn zero() -> Self {
+                Self(0.0)
+            }
+
+            /// Returns the underlying value in the quantity's SI unit.
+            #[must_use]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value of the quantity.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Elementwise minimum.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Elementwise maximum.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns `true` when the value is finite (not NaN/∞).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(precision) = f.precision() {
+                    write!(f, "{:.*} {}", precision, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(value: f64) -> Self {
+                Self(value)
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(q: $name) -> f64 {
+                q.0
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+quantity!(
+    /// Electric current in amperes.
+    Amps,
+    "A"
+);
+quantity!(
+    /// Instantaneous power in watts.
+    Watts,
+    "W"
+);
+quantity!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    /// `P = U · I`.
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    fn mul(self, rhs: Volts) -> Watts {
+        rhs * self
+    }
+}
+
+impl Mul<SimDuration> for Watts {
+    type Output = Joules;
+    /// `E = P · t`.
+    fn mul(self, rhs: SimDuration) -> Joules {
+        Joules::new(self.value() * rhs.as_secs_f64())
+    }
+}
+
+impl Mul<Watts> for SimDuration {
+    type Output = Joules;
+    fn mul(self, rhs: Watts) -> Joules {
+        rhs * self
+    }
+}
+
+impl Div<SimDuration> for Joules {
+    type Output = Watts;
+    /// Average power over an interval: `P = E / t`.
+    fn div(self, rhs: SimDuration) -> Watts {
+        Watts::new(self.value() / rhs.as_secs_f64())
+    }
+}
+
+impl Div<Volts> for Watts {
+    type Output = Amps;
+    /// `I = P / U`.
+    fn div(self, rhs: Volts) -> Amps {
+        Amps::new(self.value() / rhs.value())
+    }
+}
+
+impl Div<Amps> for Watts {
+    type Output = Volts;
+    /// `U = P / I`.
+    fn div(self, rhs: Amps) -> Volts {
+        Volts::new(self.value() / rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_precision() {
+        assert_eq!(format!("{:.2}", Watts::new(1.2345)), "1.23 W");
+        assert_eq!(format!("{}", Amps::new(2.5)), "2.5 A");
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Volts::new(5.0);
+        let b = Volts::new(3.0);
+        assert_eq!(a + b, Volts::new(8.0));
+        assert_eq!(a - b, Volts::new(2.0));
+        assert_eq!(-a, Volts::new(-5.0));
+        assert_eq!(a * 2.0, Volts::new(10.0));
+        assert_eq!(2.0 * a, Volts::new(10.0));
+        assert_eq!(a / 2.0, Volts::new(2.5));
+        assert_eq!(a / b, 5.0 / 3.0);
+    }
+
+    #[test]
+    fn cross_unit_arithmetic() {
+        assert_eq!(Watts::new(60.0) / Volts::new(12.0), Amps::new(5.0));
+        assert_eq!(Watts::new(60.0) / Amps::new(5.0), Volts::new(12.0));
+        let e = SimDuration::from_secs_f64(3.0) * Watts::new(2.0);
+        assert_eq!(e, Joules::new(6.0));
+    }
+
+    #[test]
+    fn sum_of_quantities() {
+        let total: Joules = (1..=4).map(|i| Joules::new(f64::from(i))).sum();
+        assert_eq!(total, Joules::new(10.0));
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Watts::new(-3.0);
+        assert_eq!(a.abs(), Watts::new(3.0));
+        assert_eq!(a.min(Watts::new(1.0)), a);
+        assert_eq!(a.max(Watts::new(1.0)), Watts::new(1.0));
+    }
+
+    #[test]
+    fn conversions() {
+        let w: Watts = 7.5.into();
+        let raw: f64 = w.into();
+        assert_eq!(raw, 7.5);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests of the unit types' algebra.
+
+use proptest::prelude::*;
+
+use ps3_units::{Amps, Joules, SimDuration, SimTime, Volts, Watts};
+
+proptest! {
+    #[test]
+    fn power_identity(u in -1e3f64..1e3, i in -1e3f64..1e3) {
+        let p = Volts::new(u) * Amps::new(i);
+        prop_assert!((p.value() - u * i).abs() <= 1e-9 * (1.0 + (u * i).abs()));
+        // Commutes.
+        prop_assert_eq!(p, Amps::new(i) * Volts::new(u));
+    }
+
+    #[test]
+    fn energy_power_roundtrip(w in 0.0f64..1e4, ms in 1u64..1_000_000) {
+        let d = SimDuration::from_millis(ms);
+        let e = Watts::new(w) * d;
+        let back = e / d;
+        prop_assert!((back.value() - w).abs() < 1e-6 * (1.0 + w));
+    }
+
+    #[test]
+    fn duration_addition_is_associative(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40, c in 0u64..1u64 << 40) {
+        let (a, b, c) = (
+            SimDuration::from_nanos(a),
+            SimDuration::from_nanos(b),
+            SimDuration::from_nanos(c),
+        );
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn instant_plus_duration_ordering(t in 0u64..1u64 << 50, d in 1u64..1u64 << 30) {
+        let t0 = SimTime::from_nanos(t);
+        let t1 = t0 + SimDuration::from_nanos(d);
+        prop_assert!(t1 > t0);
+        prop_assert_eq!(t1 - t0, SimDuration::from_nanos(d));
+        prop_assert_eq!(t1.saturating_duration_since(t0).as_nanos(), d);
+        prop_assert_eq!(t0.saturating_duration_since(t1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn quantity_sum_matches_float_sum(values in proptest::collection::vec(-1e6f64..1e6, 0..64)) {
+        let total: Joules = values.iter().map(|&v| Joules::new(v)).sum();
+        let expect: f64 = values.iter().sum();
+        prop_assert!((total.value() - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+    }
+
+    #[test]
+    fn duration_secs_roundtrip(ns in 0u64..1u64 << 52) {
+        let d = SimDuration::from_nanos(ns);
+        let back = SimDuration::from_secs_f64(d.as_secs_f64());
+        // f64 has 52 bits of mantissa; round-trip error stays tiny.
+        let diff = back.as_nanos().abs_diff(d.as_nanos());
+        prop_assert!(diff <= 1 + ns / (1 << 50), "diff {diff}");
+    }
+
+    #[test]
+    fn scaling_durations(ns in 0u64..1u64 << 30, k in 1u64..1000) {
+        let d = SimDuration::from_nanos(ns);
+        prop_assert_eq!(d * k / k, d);
+        prop_assert_eq!((k * d).as_nanos(), ns * k);
+    }
+}

@@ -1,0 +1,64 @@
+//! Auto-tuning a GPU kernel for performance *and* energy (§V-A2).
+//!
+//! ```text
+//! cargo run --release --example autotuning
+//! ```
+//!
+//! Sweeps a subset of the Tensor-Core Beamformer search space on the
+//! simulated RTX 4000 Ada, measuring per-kernel energy with
+//! PowerSensor3, then prints the Pareto front and the projected
+//! full-space tuning-time saving over the on-board-sensor workflow.
+
+use powersensor3::duts::GpuSpec;
+use powersensor3::testbed::setups::gpu_riser;
+use powersensor3::tuner::{BeamformerModel, BeamformerProblem, Tuner};
+
+fn main() {
+    let spec = GpuSpec::rtx4000_ada();
+    let mut testbed = gpu_riser(spec.clone(), 7);
+    let gpu = testbed.dut();
+    let ps = testbed.connect().expect("connect");
+
+    let model = BeamformerModel::new(spec, BeamformerProblem::paper());
+    // 32 variants × 5 clocks = 160 configurations (full space: 5120).
+    let tuner = Tuner::new(model.clone()).subset(16, 2);
+    println!("benchmarking {} configurations...", tuner.configurations());
+
+    let outcome = tuner
+        .run_with_powersensor(&gpu, &ps, &mut |d| {
+            testbed.advance_and_sync(&ps, d).expect("advance")
+        })
+        .expect("sweep");
+
+    let fastest = outcome.fastest().expect("records");
+    let efficient = outcome.most_efficient().expect("records");
+    println!(
+        "fastest:        {:5.1} TFLOP/s  {:.3} TFLOP/J  @ {:.0} MHz",
+        fastest.tflops, fastest.tflop_per_joule, fastest.clock_mhz
+    );
+    println!(
+        "most efficient: {:5.1} TFLOP/s  {:.3} TFLOP/J  @ {:.0} MHz",
+        efficient.tflops, efficient.tflop_per_joule, efficient.clock_mhz
+    );
+    println!("Pareto front ({} configs):", outcome.pareto_indices().len());
+    for i in outcome.pareto_indices() {
+        let r = &outcome.records[i];
+        println!(
+            "  {:4.0} MHz  bx={:<2} by={:<2} frags={}  {:5.1} TFLOP/s  {:.3} TFLOP/J",
+            r.clock_mhz,
+            r.params.block_x,
+            r.params.block_y,
+            r.params.frags_block,
+            r.tflops,
+            r.tflop_per_joule
+        );
+    }
+
+    let (ps3_s, onboard_s) = Tuner::new(model).predicted_session_times();
+    println!(
+        "full 5120-config session: PowerSensor3 {:.0} s vs on-board {:.0} s ({:.2}x faster; paper: 3.25x)",
+        ps3_s.as_secs_f64(),
+        onboard_s.as_secs_f64(),
+        onboard_s.as_secs_f64() / ps3_s.as_secs_f64()
+    );
+}

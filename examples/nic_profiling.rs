@@ -1,0 +1,71 @@
+//! NIC power profiling: packet rate matters, not just throughput.
+//!
+//! ```text
+//! cargo run --release --example nic_profiling
+//! ```
+//!
+//! The paper lists NICs among PowerSensor3's target devices; this
+//! example demonstrates the toolkit's extensibility (§VI) by measuring
+//! a 100 GbE adapter model at the same throughput with different
+//! packet sizes — small packets burn several extra watts of
+//! descriptor/interrupt work that a throughput counter alone would
+//! never explain.
+
+use powersensor3::core::watts;
+use powersensor3::duts::{NicModel, NicSpec, RailId, TrafficLoad};
+use powersensor3::sensors::ModuleKind;
+use powersensor3::testbed::TestbedBuilder;
+use powersensor3::units::SimDuration;
+
+fn main() {
+    let nic = NicModel::new(NicSpec::hundred_gbe());
+    let mut testbed = TestbedBuilder::new(nic)
+        .attach(ModuleKind::Slot10A3V3, RailId::Slot3V3)
+        .attach(ModuleKind::Slot10A12V, RailId::Slot12V)
+        .seed(11)
+        .build();
+    let nic = testbed.dut();
+    let ps = testbed.connect().expect("connect");
+
+    testbed
+        .advance_and_sync(&ps, SimDuration::from_millis(10))
+        .expect("warm up");
+    println!("idle: {:.2} W", ps.read().total_watts().value());
+
+    println!("\n50 Gbit/s at different packet sizes:");
+    for packet_bytes in [64u32, 256, 512, 1500, 9000] {
+        nic.lock().offer(TrafficLoad {
+            gbps: 50.0,
+            packet_bytes,
+        });
+        let s0 = ps.read();
+        testbed
+            .advance_and_sync(&ps, SimDuration::from_millis(50))
+            .expect("measure");
+        let s1 = ps.read();
+        let mpps = TrafficLoad {
+            gbps: 50.0,
+            packet_bytes,
+        }
+        .pps()
+            / 1e6;
+        println!(
+            "  {packet_bytes:>5} B packets: {mpps:6.1} Mpps -> {:.2} W",
+            watts(&s0, &s1).value()
+        );
+    }
+
+    println!("\nthroughput sweep at 1500 B:");
+    for gbps in [10.0, 25.0, 50.0, 75.0, 100.0] {
+        nic.lock().offer(TrafficLoad {
+            gbps,
+            packet_bytes: 1500,
+        });
+        let s0 = ps.read();
+        testbed
+            .advance_and_sync(&ps, SimDuration::from_millis(50))
+            .expect("measure");
+        let s1 = ps.read();
+        println!("  {gbps:>5.0} Gbit/s -> {:.2} W", watts(&s0, &s1).value());
+    }
+}

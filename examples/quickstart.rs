@@ -1,0 +1,66 @@
+//! Quickstart: measure a constant load with a simulated PowerSensor3.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a testbed (a 12 V / 2 A dummy device behind a 12 V slot
+//! sensor module), connects the host library, and demonstrates both
+//! measurement modes: interval (two `State`s) and continuous (a 20 kHz
+//! trace), plus the `psrun`/`psinfo` tool equivalents.
+
+use powersensor3::core::{joules, seconds, tools, watts};
+use powersensor3::duts::{ConstantDut, RailId};
+use powersensor3::sensors::ModuleKind;
+use powersensor3::testbed::TestbedBuilder;
+use powersensor3::units::{Amps, SimDuration, Volts};
+
+fn main() {
+    // 1. Wire a DUT through a sensor module into the emulated device.
+    let dut = ConstantDut::new(RailId::Slot12V, Volts::new(12.0), Amps::new(2.0));
+    let mut testbed = TestbedBuilder::new(dut)
+        .attach(ModuleKind::Slot10A12V, RailId::Slot12V)
+        .build();
+
+    // 2. Connect the host library (reads the EEPROM config, starts the
+    //    20 kHz stream).
+    let ps = testbed.connect().expect("connect to the simulated device");
+
+    // 3. Interval mode: energy between two states.
+    let first = ps.read();
+    testbed
+        .advance_and_sync(&ps, SimDuration::from_millis(100))
+        .expect("advance");
+    let second = ps.read();
+    println!(
+        "interval mode: {:.4} J over {:.3} s -> {:.3} W",
+        joules(&first, &second).value(),
+        seconds(&first, &second),
+        watts(&first, &second).value()
+    );
+    println!("{}", tools::info(&ps));
+
+    // 4. Continuous mode: a full-rate trace with a marker.
+    ps.begin_trace();
+    ps.mark('x').expect("marker");
+    testbed
+        .advance_and_sync(&ps, SimDuration::from_millis(20))
+        .expect("advance");
+    let trace = ps.end_trace();
+    println!(
+        "continuous mode: {} samples at {:.0} Hz, mean {:.3} W, markers {:?}",
+        trace.len(),
+        trace.sample_rate().unwrap_or(0.0),
+        trace.mean_power().map_or(0.0, |w| w.value()),
+        trace.markers().iter().map(|m| m.label).collect::<Vec<_>>()
+    );
+
+    // 5. psrun: measure the energy of a "workload".
+    let report = tools::psrun(&ps, || {
+        testbed
+            .advance_and_sync(&ps, SimDuration::from_millis(50))
+            .expect("workload");
+    })
+    .expect("psrun");
+    println!("psrun: {report}");
+}

@@ -1,0 +1,86 @@
+//! Integration tests of the `ps3sim` CLI binary (spawned as a real
+//! process, like a user would run it).
+
+use std::process::Command;
+
+fn ps3sim(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ps3sim"))
+        .args(args)
+        .output()
+        .expect("spawn ps3sim");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let (_, err, ok) = ps3sim(&[]);
+    assert!(!ok);
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn unknown_setup_is_rejected() {
+    let (_, err, ok) = ps3sim(&["info", "--setup", "toaster"]);
+    assert!(!ok);
+    assert!(err.contains("unknown setup"), "{err}");
+}
+
+#[test]
+fn info_shows_gpu_sensor_pairs() {
+    let (out, _, ok) = ps3sim(&["info", "--setup", "gpu"]);
+    assert!(ok);
+    assert!(out.contains("Slot-3V3-10A"), "{out}");
+    assert!(out.contains("PCIe-8pin-20A"), "{out}");
+    assert!(out.contains("total:"), "{out}");
+}
+
+#[test]
+fn version_reports_firmware_string() {
+    let (out, _, ok) = ps3sim(&["version"]);
+    assert!(ok);
+    assert!(out.contains("PowerSensor3-rs"), "{out}");
+}
+
+#[test]
+fn run_measures_a_workload() {
+    let (out, _, ok) = ps3sim(&["run", "--setup", "bench", "--millis", "50"]);
+    assert!(ok);
+    assert!(out.contains("J over"), "{out}");
+    assert!(out.contains("avg"), "{out}");
+}
+
+#[test]
+fn dump_then_parse_round_trips() {
+    let dir = std::env::temp_dir().join("ps3sim_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("dump.txt");
+    let path_s = path.to_str().unwrap();
+    let (out, err, ok) = ps3sim(&["dump", "--setup", "gpu", "--millis", "100", "--out", path_s]);
+    assert!(ok, "dump failed: {out} {err}");
+    let (out, err, ok) = ps3sim(&["parse", path_s]);
+    assert!(ok, "parse failed: {err}");
+    assert!(out.contains("samples over"), "{out}");
+    assert!(out.contains("marker 's'"), "{out}");
+    assert!(out.contains("between 's' and 'e'"), "{out}");
+    std::fs::remove_file(path).unwrap();
+}
+
+#[test]
+fn calibrate_reports_corrections() {
+    let (out, err, ok) = ps3sim(&["calibrate", "--seed", "7"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("pair 0: removed"), "{out}");
+    assert!(out.contains("gain correction"), "{out}");
+}
+
+#[test]
+fn test_command_prints_interval_rows() {
+    let (out, _, ok) = ps3sim(&["test", "--setup", "ssd"]);
+    assert!(ok);
+    // Six exponentially growing intervals.
+    assert!(out.matches(" J ").count() >= 6, "{out}");
+}
