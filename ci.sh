@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Continuous-integration gate. Run locally before pushing; the GitHub
+# Actions workflow (.github/workflows/ci.yml) runs exactly these steps.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "CI green."

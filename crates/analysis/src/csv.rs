@@ -107,15 +107,15 @@ mod tests {
 
     #[test]
     fn plain_rows() {
-        assert_eq!(
-            render(&[vec!["a", "b"], vec!["1", "2"]]),
-            "a,b\n1,2\n"
-        );
+        assert_eq!(render(&[vec!["a", "b"], vec!["1", "2"]]), "a,b\n1,2\n");
     }
 
     #[test]
     fn quoting() {
-        assert_eq!(render(&[vec!["a,b", "c\"d", "e\nf"]]), "\"a,b\",\"c\"\"d\",\"e\nf\"\n");
+        assert_eq!(
+            render(&[vec!["a,b", "c\"d", "e\nf"]]),
+            "\"a,b\",\"c\"\"d\",\"e\nf\"\n"
+        );
     }
 
     #[test]

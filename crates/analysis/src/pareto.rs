@@ -138,10 +138,7 @@ mod tests {
         for &i in &front {
             for (j, q) in pts.iter().enumerate() {
                 if i != j {
-                    assert!(
-                        !q.dominates(&pts[i]),
-                        "front point {i} is dominated by {j}"
-                    );
+                    assert!(!q.dominates(&pts[i]), "front point {i} is dominated by {j}");
                 }
             }
         }

@@ -61,7 +61,12 @@ pub fn step_levels(trace: &Trace) -> Option<(f64, f64)> {
 /// closer together than `min_separation` are merged (noise-induced
 /// double crossings).
 #[must_use]
-pub fn find_edges(trace: &Trace, low: f64, high: f64, min_separation: SimDuration) -> Vec<StepEdge> {
+pub fn find_edges(
+    trace: &Trace,
+    low: f64,
+    high: f64,
+    min_separation: SimDuration,
+) -> Vec<StepEdge> {
     let mid = (low + high) / 2.0;
     let mut edges = Vec::new();
     let mut above = None::<bool>;

@@ -6,7 +6,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
-use ps3_duts::{ConstantDut, Dut, FioJob, GpuKernel, GpuModel, GpuSpec, IoPattern, RailId, SsdModel, SsdSpec};
+use ps3_duts::{
+    ConstantDut, Dut, FioJob, GpuKernel, GpuModel, GpuSpec, IoPattern, RailId, SsdModel, SsdSpec,
+};
 use ps3_firmware::{Display, PairReadout};
 use ps3_sensors::ModuleKind;
 use ps3_testbed::TestbedBuilder;
@@ -25,14 +27,14 @@ fn bench_averaging_depth(c: &mut Criterion) {
             &averages,
             |b, &averages| {
                 b.iter(|| {
-                    let dut =
-                        ConstantDut::new(RailId::Slot12V, Volts::new(12.0), Amps::new(2.0));
+                    let dut = ConstantDut::new(RailId::Slot12V, Volts::new(12.0), Amps::new(2.0));
                     let mut tb = TestbedBuilder::new(dut)
                         .attach(ModuleKind::Slot10A12V, RailId::Slot12V)
                         .averaging(averages)
                         .build();
                     let ps = tb.connect().unwrap();
-                    tb.advance_and_sync(&ps, SimDuration::from_millis(20)).unwrap();
+                    tb.advance_and_sync(&ps, SimDuration::from_millis(20))
+                        .unwrap();
                     std::hint::black_box(ps.read().total_watts())
                 })
             },

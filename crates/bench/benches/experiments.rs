@@ -64,12 +64,7 @@ fn bench_stability(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            std::hint::black_box(stability::run(
-                1.0,
-                SimDuration::from_secs(900),
-                4096,
-                seed,
-            ))
+            std::hint::black_box(stability::run(1.0, SimDuration::from_secs(900), 4096, seed))
         })
     });
     g.finish();

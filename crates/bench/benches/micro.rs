@@ -144,5 +144,11 @@ fn bench_analysis(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(micro, bench_protocol, bench_adc, bench_sensors, bench_analysis);
+criterion_group!(
+    micro,
+    bench_protocol,
+    bench_adc,
+    bench_sensors,
+    bench_analysis
+);
 criterion_main!(micro);

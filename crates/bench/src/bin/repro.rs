@@ -13,7 +13,10 @@
 
 use std::time::Instant;
 
-use ps3_bench::{capping, fig12, fig4, fig5, fig7, fig8, interference, noise, related, report, stability, table1, table2};
+use ps3_bench::{
+    capping, fig12, fig4, fig5, fig7, fig8, interference, noise, related, report, stability,
+    table1, table2,
+};
 use ps3_units::SimDuration;
 
 struct Scale {
@@ -63,7 +66,11 @@ const SEED: u64 = 0x5EED_2026;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let scale = if full { Scale::full() } else { Scale::reduced() };
+    let scale = if full {
+        Scale::full()
+    } else {
+        Scale::reduced()
+    };
     let mut wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -71,8 +78,18 @@ fn main() {
         .collect();
     if wanted.is_empty() {
         wanted = vec![
-            "table1", "table2", "fig4", "fig5", "stability", "fig7a", "fig7b", "fig8",
-            "fig10", "fig12a", "fig12b", "interference",
+            "table1",
+            "table2",
+            "fig4",
+            "fig5",
+            "stability",
+            "fig7a",
+            "fig7b",
+            "fig8",
+            "fig10",
+            "fig12a",
+            "fig12b",
+            "interference",
         ];
     }
     for experiment in wanted {
@@ -98,7 +115,10 @@ fn main() {
             "noise" => run_noise(&scale),
             other => eprintln!("unknown experiment: {other}"),
         }
-        println!("[{experiment} took {:.1} s]\n", start.elapsed().as_secs_f64());
+        println!(
+            "[{experiment} took {:.1} s]\n",
+            start.elapsed().as_secs_f64()
+        );
     }
 }
 
@@ -117,7 +137,11 @@ fn run_table1() {
             ]
         })
         .collect();
-    save("table1.csv", &["rail_v", "fullscale_a", "e_u", "e_i", "e_p"], &csv);
+    save(
+        "table1.csv",
+        &["rail_v", "fullscale_a", "e_u", "e_i", "e_p"],
+        &csv,
+    );
 }
 
 fn run_table2(scale: &Scale) {
@@ -161,7 +185,14 @@ fn run_fig4(scale: &Scale) {
     }
     save(
         "fig4.csv",
-        &["rail_v", "amps", "expected_w", "mean_err", "min_err", "max_err"],
+        &[
+            "rail_v",
+            "amps",
+            "expected_w",
+            "mean_err",
+            "min_err",
+            "max_err",
+        ],
         &csv,
     );
 }
@@ -223,7 +254,13 @@ fn save_fig7(r: &fig7::Fig7Result, name: &str) {
     for (sensor_name, trace) in &r.onboard {
         let slug: String = sensor_name
             .chars()
-            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect();
         let csv: Vec<Vec<f64>> = trace
             .iter()
@@ -325,7 +362,14 @@ fn run_related(scale: &Scale) {
         .collect();
     save(
         "related.csv",
-        &["rate_hz", "samples", "min_w", "max_w", "energy_j", "sees_dips"],
+        &[
+            "rate_hz",
+            "samples",
+            "min_w",
+            "max_w",
+            "energy_j",
+            "sees_dips",
+        ],
         &csv,
     );
 }

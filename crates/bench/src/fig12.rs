@@ -36,7 +36,9 @@ pub fn run_reads(window: SimDuration, seed: u64) -> Vec<Fig12aRow> {
     let mut rows = Vec::new();
     for &size_kib in &READ_SIZES {
         ssd.lock().start_job(FioJob {
-            pattern: IoPattern::RandRead { block_kib: size_kib },
+            pattern: IoPattern::RandRead {
+                block_kib: size_kib,
+            },
             queue_depth: 32,
         });
         tb.advance_and_sync(&ps, SimDuration::from_millis(20))
@@ -121,11 +123,9 @@ pub fn render_reads(rows: &[Fig12aRow]) -> String {
 #[must_use]
 pub fn render_writes(points: &[Fig12bPoint]) -> String {
     use std::fmt::Write as _;
-    let bw = ps3_analysis::SampleStats::from_samples(
-        points.iter().skip(10).map(|p| p.bandwidth_mbps),
-    );
-    let pw =
-        ps3_analysis::SampleStats::from_samples(points.iter().skip(10).map(|p| p.power_w));
+    let bw =
+        ps3_analysis::SampleStats::from_samples(points.iter().skip(10).map(|p| p.bandwidth_mbps));
+    let pw = ps3_analysis::SampleStats::from_samples(points.iter().skip(10).map(|p| p.power_w));
     let mut out = String::new();
     if let (Some(bw), Some(pw)) = (bw, pw) {
         let _ = writeln!(
@@ -166,8 +166,16 @@ mod tests {
         let last = rows.last().unwrap();
         let mid = &rows[8]; // 256 KiB
         assert!(last.bandwidth_mbps < mid.bandwidth_mbps * 1.15);
-        assert!((last.bandwidth_mbps - 7000.0).abs() < 400.0, "sat {}", last.bandwidth_mbps);
-        assert!(last.power_w > 5.0 && last.power_w < 7.0, "P {}", last.power_w);
+        assert!(
+            (last.bandwidth_mbps - 7000.0).abs() < 400.0,
+            "sat {}",
+            last.bandwidth_mbps
+        );
+        assert!(
+            last.power_w > 5.0 && last.power_w < 7.0,
+            "P {}",
+            last.power_w
+        );
     }
 
     #[test]
@@ -178,16 +186,18 @@ mod tests {
         assert!(burst > 1000.0, "burst {burst}");
         // …descends into GC-bound steady state.
         let steady: Vec<&Fig12bPoint> = points.iter().skip(10).collect();
-        let bw_mean =
-            steady.iter().map(|p| p.bandwidth_mbps).sum::<f64>() / steady.len() as f64;
+        let bw_mean = steady.iter().map(|p| p.bandwidth_mbps).sum::<f64>() / steady.len() as f64;
         assert!(bw_mean < 0.6 * burst, "steady {bw_mean} vs burst {burst}");
         // Power ends up around 5 W and stays there.
-        let pw = ps3_analysis::SampleStats::from_samples(steady.iter().map(|p| p.power_w))
-            .unwrap();
+        let pw = ps3_analysis::SampleStats::from_samples(steady.iter().map(|p| p.power_w)).unwrap();
         assert!((pw.mean - 5.0).abs() < 0.6, "power {}", pw.mean);
         assert!(pw.std / pw.mean < 0.05, "power CV {}", pw.std / pw.mean);
         // Burst-phase power is lower than steady-state power (the paper:
         // power *increases* to 5 W at the first bandwidth descend).
-        assert!(points[1].power_w < pw.mean - 0.3, "burst P {}", points[1].power_w);
+        assert!(
+            points[1].power_w < pw.mean - 0.3,
+            "burst P {}",
+            points[1].power_w
+        );
     }
 }

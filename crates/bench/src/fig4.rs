@@ -57,7 +57,9 @@ fn sweep_module(module: ModuleKind, samples: usize, seed: u64) -> Fig4Series {
     let mut points = Vec::new();
     for step in -10i32..=10 {
         let amps = f64::from(step);
-        bench.lock().set_program(LoadProgram::Constant(Amps::new(amps)));
+        bench
+            .lock()
+            .set_program(LoadProgram::Constant(Amps::new(amps)));
         // Settle the sensor bandwidth filters on the new level.
         tb.advance_and_sync(&ps, SimDuration::from_millis(2))
             .expect("settle");
@@ -67,8 +69,8 @@ fn sweep_module(module: ModuleKind, samples: usize, seed: u64) -> Fig4Series {
             .expect("measure");
         let trace = ps.end_trace();
         let errs: Vec<f64> = trace.powers().iter().map(|p| p - expected).collect();
-        let stats = ps3_analysis::SampleStats::from_samples(errs.iter().copied())
-            .expect("non-empty trace");
+        let stats =
+            ps3_analysis::SampleStats::from_samples(errs.iter().copied()).expect("non-empty trace");
         points.push(Fig4Point {
             amps,
             expected_w: expected,
@@ -99,7 +101,10 @@ pub fn render(series: &Fig4Series) -> String {
     format!(
         "{}\n{}",
         series.module,
-        text_table(&["I [A]", "P_true [W]", "mean err", "min err", "max err"], &rows)
+        text_table(
+            &["I [A]", "P_true [W]", "mean err", "min err", "max err"],
+            &rows
+        )
     )
 }
 
@@ -115,12 +120,21 @@ mod tests {
         for p in &series.points {
             // Mean error within the worst-case budget (±4.2 W), and in
             // practice well within ±1 W after calibration.
-            assert!(p.mean_err.abs() < 1.0, "mean err {} at {} A", p.mean_err, p.amps);
+            assert!(
+                p.mean_err.abs() < 1.0,
+                "mean err {} at {} A",
+                p.mean_err,
+                p.amps
+            );
             // Envelope contains the mean.
             assert!(p.min_err <= p.mean_err && p.mean_err <= p.max_err);
             // Noise envelope is a few watts wide, like the figure.
             let width = p.max_err - p.min_err;
-            assert!(width > 0.5 && width < 10.0, "envelope {width} at {} A", p.amps);
+            assert!(
+                width > 0.5 && width < 10.0,
+                "envelope {width} at {} A",
+                p.amps
+            );
         }
         // Expected power spans the full bidirectional range.
         assert!(series.points[0].expected_w < -100.0);
@@ -135,11 +149,7 @@ mod tests {
         let s33 = sweep_module(ModuleKind::Slot10A3V3, 2048, 7);
         let s12 = sweep_module(ModuleKind::Slot10A12V, 2048, 7);
         let width = |s: &Fig4Series| {
-            s.points
-                .iter()
-                .map(|p| p.max_err - p.min_err)
-                .sum::<f64>()
-                / s.points.len() as f64
+            s.points.iter().map(|p| p.max_err - p.min_err).sum::<f64>() / s.points.len() as f64
         };
         assert!(
             width(&s33) < 0.5 * width(&s12),

@@ -89,9 +89,9 @@ pub fn render(r: &Fig5Result) -> String {
         r.levels.0,
         r.levels.1,
         r.edges,
-        r.rise
-            .map_or("n/a".to_owned(), |d| d.to_string()),
-        r.detected_hz.map_or("n/a".to_owned(), |f| format!("{f:.0}"))
+        r.rise.map_or("n/a".to_owned(), |d| d.to_string()),
+        r.detected_hz
+            .map_or("n/a".to_owned(), |f| format!("{f:.0}"))
     );
     let _ = writeln!(out, "edge zoom (µs scale):");
     if let Some(first) = r.zoom.samples().first() {

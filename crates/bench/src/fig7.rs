@@ -10,9 +10,7 @@
 //! the AMD SMI readings track PowerSensor3 closely.
 
 use ps3_analysis::Trace;
-use ps3_duts::{
-    AmdSmiSensor, GpuKernel, GpuSpec, NvmlSensor, OnboardSensor,
-};
+use ps3_duts::{AmdSmiSensor, GpuKernel, GpuSpec, NvmlSensor, OnboardSensor};
 use ps3_testbed::setups::gpu_riser;
 use ps3_units::{SimDuration, SimTime};
 

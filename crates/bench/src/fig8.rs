@@ -45,7 +45,15 @@ pub fn run_rtx4000(stride: usize, clock_stride: usize, seed: u64) -> TuningFigur
     let mut tb = gpu_riser(spec.clone(), seed);
     let gpu: Arc<Mutex<GpuModel>> = tb.dut();
     let ps = tb.connect().expect("connect");
-    run_impl("RTX 4000 Ada (model)", spec, stride, clock_stride, &gpu, &tb, ps)
+    run_impl(
+        "RTX 4000 Ada (model)",
+        spec,
+        stride,
+        clock_stride,
+        &gpu,
+        &tb,
+        ps,
+    )
 }
 
 /// Runs the Fig 10 experiment on the Jetson-AGX-Orin-like board; the
@@ -142,8 +150,7 @@ pub fn render(f: &TuningFigure) -> String {
         "most efficient: {:6.1} TFLOP/s at {:.3} TFLOP/J ({:4.0} MHz)",
         f.most_efficient.tflops, f.most_efficient.tflop_per_joule, f.most_efficient.clock_mhz
     );
-    let eff_gain =
-        (f.most_efficient.tflop_per_joule / f.fastest.tflop_per_joule - 1.0) * 100.0;
+    let eff_gain = (f.most_efficient.tflop_per_joule / f.fastest.tflop_per_joule - 1.0) * 100.0;
     let slowdown = (1.0 - f.most_efficient.tflops / f.fastest.tflops) * 100.0;
     let _ = writeln!(
         out,
@@ -202,8 +209,7 @@ mod tests {
         );
         // Efficiency in a plausible band (paper: 0.83–0.94 TFLOP/J).
         assert!(
-            f.most_efficient.tflop_per_joule > 0.4
-                && f.most_efficient.tflop_per_joule < 1.5,
+            f.most_efficient.tflop_per_joule > 0.4 && f.most_efficient.tflop_per_joule < 1.5,
             "eff {}",
             f.most_efficient.tflop_per_joule
         );

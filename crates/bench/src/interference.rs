@@ -50,7 +50,8 @@ fn mean_error(field_mt: f64, single_ended: bool, samples: usize, seed: u64) -> f
         .build();
     let dut = tb.dut();
     let ps = tb.connect().expect("connect");
-    tb.advance_and_sync(&ps, SimDuration::from_millis(2)).expect("settle");
+    tb.advance_and_sync(&ps, SimDuration::from_millis(2))
+        .expect("settle");
     ps.begin_trace();
     tb.advance_and_sync(&ps, SimDuration::from_micros(samples as u64 * 50))
         .expect("measure");

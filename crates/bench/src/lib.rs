@@ -31,12 +31,12 @@ pub fn report_plot(trace: &ps3_analysis::Trace) -> String {
 pub mod capping;
 pub mod fig12;
 pub mod fig4;
-pub mod interference;
-pub mod noise;
-pub mod related;
 pub mod fig5;
 pub mod fig7;
 pub mod fig8;
+pub mod interference;
+pub mod noise;
+pub mod related;
 pub mod report;
 pub mod stability;
 pub mod table1;

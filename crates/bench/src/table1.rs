@@ -40,13 +40,7 @@ pub fn render(rows: &[ErrorBudget; 4]) -> String {
         .collect();
     text_table(
         &[
-            "Module",
-            "V [mV]",
-            "paper",
-            "I [A]",
-            "paper",
-            "P [W]",
-            "paper",
+            "Module", "V [mV]", "paper", "I [A]", "paper", "P [W]", "paper",
         ],
         &body,
     )

@@ -1,0 +1,47 @@
+//! Raw-code → physical-unit conversion, shared by the live reader
+//! thread, the offline decoder, and network consumers (`ps3-stream`
+//! clients convert on their side of the wire with the same math).
+
+use ps3_firmware::SensorConfig;
+use ps3_sensors::AdcSpec;
+use ps3_units::{Amps, Volts, Watts};
+
+/// Converts one sensor pair's raw 10-bit ADC codes into physical
+/// readings using the pair's EEPROM configuration (§III-C conversion:
+/// the current sensor is offset by `vref/2` and scaled by its
+/// sensitivity; the voltage sensor is scaled by its divider gain).
+#[must_use]
+pub fn pair_readings(
+    i_cfg: &SensorConfig,
+    u_cfg: &SensorConfig,
+    adc: &AdcSpec,
+    raw_i: u16,
+    raw_u: u16,
+) -> (Volts, Amps, Watts) {
+    let v_i = adc.to_volts(raw_i);
+    let v_u = adc.to_volts(raw_u);
+    let amps = Amps::new((v_i - f64::from(i_cfg.vref) / 2.0) / f64::from(i_cfg.gain));
+    let volts = Volts::new(v_u * f64::from(u_cfg.gain));
+    let watts = volts * amps;
+    (volts, amps, watts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converts_ideal_codes() {
+        // 2 A through a 120 mV/A sensor around 1.65 V mid-rail, 12 V
+        // through a gain-5 divider (the shared test-harness source).
+        let i_cfg = SensorConfig::new("I0", 3.3, 0.12, true);
+        let u_cfg = SensorConfig::new("U0", 3.3, 5.0, true);
+        let adc = AdcSpec::POWERSENSOR3;
+        let raw_i = adc.quantize(1.65 + 2.0 * 0.12);
+        let raw_u = adc.quantize(12.0 / 5.0);
+        let (volts, amps, watts) = pair_readings(&i_cfg, &u_cfg, &adc, raw_i, raw_u);
+        assert!((volts.value() - 12.0).abs() < 0.05, "volts {volts}");
+        assert!((amps.value() - 2.0).abs() < 0.03, "amps {amps}");
+        assert!((watts.value() - 24.0).abs() < 0.4, "watts {watts}");
+    }
+}

@@ -29,16 +29,20 @@
 //! emulated device.
 
 mod calibration;
+mod convert;
 mod error;
 mod offline;
-#[cfg(test)]
-pub(crate) mod testharness;
 mod power_sensor;
 mod state;
+#[cfg(test)]
+pub(crate) mod testharness;
 pub mod tools;
 
 pub use calibration::{calibrate_pair, CalibrationReport, DEFAULT_CALIBRATION_FRAMES};
+pub use convert::pair_readings;
 pub use error::PowerSensorError;
 pub use offline::{decode_stream, OfflineDecode};
-pub use power_sensor::{PowerSensor, RawCapture, SENSOR_PAIRS};
+pub use power_sensor::{
+    FrameRecord, FrameSink, PowerSensor, RawCapture, SharedPowerSensor, SENSOR_PAIRS,
+};
 pub use state::{interval, joules, pair_joules, seconds, watts, PairState, State};

@@ -48,8 +48,7 @@ pub fn decode_stream(bytes: &[u8], configs: &[SensorConfig; SENSOR_SLOTS]) -> Of
     let enabled_pairs: Vec<usize> = (0..SENSOR_PAIRS)
         .filter(|&p| configs[2 * p].enabled && configs[2 * p + 1].enabled)
         .collect();
-    let mut pairs: Vec<(usize, Trace)> =
-        enabled_pairs.iter().map(|&p| (p, Trace::new())).collect();
+    let mut pairs: Vec<(usize, Trace)> = enabled_pairs.iter().map(|&p| (p, Trace::new())).collect();
     let mut energy = Joules::zero();
     let mut frames = 0u64;
 
@@ -72,8 +71,7 @@ pub fn decode_stream(bytes: &[u8], configs: &[SensorConfig; SENSOR_SLOTS]) -> Of
             };
             let i_cfg = &configs[2 * pair];
             let u_cfg = &configs[2 * pair + 1];
-            let amps =
-                (adc.to_volts(raw_i) - f64::from(i_cfg.vref) / 2.0) / f64::from(i_cfg.gain);
+            let amps = (adc.to_volts(raw_i) - f64::from(i_cfg.vref) / 2.0) / f64::from(i_cfg.gain);
             let volts = adc.to_volts(raw_u) * f64::from(u_cfg.gain);
             let w = Watts::new(volts * amps);
             frame_total += w;

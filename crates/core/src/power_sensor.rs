@@ -10,18 +10,37 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 
 use ps3_analysis::Trace;
-use ps3_firmware::protocol::{
-    opcode, Command, Packet, StreamDecoder, TimestampUnwrapper,
-};
+use ps3_firmware::protocol::{opcode, Command, Packet, StreamDecoder, TimestampUnwrapper};
 use ps3_firmware::{SensorConfig, SENSOR_SLOTS};
 use ps3_sensors::AdcSpec;
 use ps3_transport::{Transport, TransportError};
-use ps3_units::{Amps, Joules, SimDuration, SimTime, Volts, Watts};
+use ps3_units::{Joules, SimDuration, SimTime, Watts};
 
+use crate::convert::pair_readings;
 use crate::error::PowerSensorError;
 use crate::state::{PairState, State};
 
 pub use crate::state::SENSOR_PAIRS;
+
+/// One fully assembled 20 kHz sample frame, as delivered to frame
+/// sinks (see [`PowerSensor::add_frame_sink`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameRecord {
+    /// Unwrapped device timestamp of the frame.
+    pub time: SimTime,
+    /// Raw 10-bit ADC code per sensor slot (0 where absent).
+    pub raw: [u16; SENSOR_SLOTS],
+    /// Bit `i` set when slot `i` reported a sample in this frame.
+    pub present: u8,
+    /// Host-side marker label paired with this frame, if any.
+    pub marker: Option<char>,
+    /// Total power across enabled pairs.
+    pub total: Watts,
+}
+
+/// Callback receiving every assembled frame; return `false` to
+/// deregister.
+pub type FrameSink = Box<dyn FnMut(&FrameRecord) -> bool + Send>;
 
 /// How long connect-time handshakes may take before we give up.
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
@@ -65,6 +84,7 @@ struct Inner {
     trace: Option<Trace>,
     dump: Option<Box<dyn Write + Send>>,
     raw_capture: Option<RawCaptureState>,
+    sinks: Vec<FrameSink>,
 }
 
 impl core::fmt::Debug for PowerSensor {
@@ -144,9 +164,7 @@ impl RawCapture {
             if now >= deadline {
                 return Err(PowerSensorError::Timeout("capturing raw samples"));
             }
-            self.shared
-                .changed
-                .wait_for(&mut inner, deadline - now);
+            self.shared.changed.wait_for(&mut inner, deadline - now);
         }
     }
 }
@@ -180,6 +198,7 @@ impl PowerSensor {
                 trace: None,
                 dump: None,
                 raw_capture: None,
+                sinks: Vec::new(),
             }),
             changed: Condvar::new(),
             stop: AtomicBool::new(false),
@@ -298,11 +317,7 @@ impl PowerSensor {
     ///
     /// [`PowerSensorError::Timeout`] if the frames do not arrive within
     /// `timeout`.
-    pub fn wait_for_frames(
-        &self,
-        target: u64,
-        timeout: Duration,
-    ) -> Result<(), PowerSensorError> {
+    pub fn wait_for_frames(&self, target: u64, timeout: Duration) -> Result<(), PowerSensorError> {
         let deadline = Instant::now() + timeout;
         let mut inner = self.shared.inner.lock();
         while self.shared.frames.load(Ordering::SeqCst) < target {
@@ -356,7 +371,8 @@ impl PowerSensor {
             inner.prev_frame_time = None;
             inner.frame = FrameAssembly::empty();
         }
-        self.transport.write_all(&Command::StartStreaming.encode())?;
+        self.transport
+            .write_all(&Command::StartStreaming.encode())?;
         Ok(())
     }
 
@@ -387,8 +403,22 @@ impl PowerSensor {
             inner.prev_frame_time = None;
             inner.frame = FrameAssembly::empty();
         }
-        self.transport.write_all(&Command::StartStreaming.encode())?;
+        self.transport
+            .write_all(&Command::StartStreaming.encode())?;
         Ok(())
+    }
+
+    /// Registers a callback invoked with every assembled frame, on the
+    /// reader thread. Keep it fast — it runs inside the 50 µs sample
+    /// cadence. Return `false` from the callback to deregister it.
+    ///
+    /// This is the tap the `ps3-stream` daemon uses to feed its
+    /// broadcast ring without a second decode of the wire stream.
+    pub fn add_frame_sink<F>(&self, sink: F)
+    where
+        F: FnMut(&FrameRecord) -> bool + Send + 'static,
+    {
+        self.shared.inner.lock().sinks.push(Box::new(sink));
     }
 
     /// Requests the firmware version string.
@@ -409,7 +439,8 @@ impl PowerSensor {
         loop {
             if let Some(v) = self.shared.version.lock().take() {
                 drop(inner);
-                self.transport.write_all(&Command::StartStreaming.encode())?;
+                self.transport
+                    .write_all(&Command::StartStreaming.encode())?;
                 return Ok(v);
             }
             let now = Instant::now();
@@ -418,6 +449,53 @@ impl PowerSensor {
             }
             self.shared.changed.wait_for(&mut inner, deadline - now);
         }
+    }
+}
+
+/// A cheaply clonable, thread-shareable handle to a [`PowerSensor`].
+///
+/// Subsystems that hand one sensor to several consumers (the streaming
+/// daemon's acquisition side, `Ps3Meter`, application threads) share
+/// this instead of threading `&PowerSensor` lifetimes through their
+/// APIs. Derefs to [`PowerSensor`], so all its methods are available
+/// directly.
+#[derive(Debug, Clone)]
+pub struct SharedPowerSensor {
+    inner: Arc<PowerSensor>,
+}
+
+impl SharedPowerSensor {
+    /// Wraps a connected sensor for shared ownership.
+    #[must_use]
+    pub fn new(sensor: PowerSensor) -> Self {
+        Self {
+            inner: Arc::new(sensor),
+        }
+    }
+
+    /// The underlying `Arc` (for APIs that take `Arc<PowerSensor>`).
+    #[must_use]
+    pub fn arc(&self) -> Arc<PowerSensor> {
+        Arc::clone(&self.inner)
+    }
+}
+
+impl From<PowerSensor> for SharedPowerSensor {
+    fn from(sensor: PowerSensor) -> Self {
+        Self::new(sensor)
+    }
+}
+
+impl From<Arc<PowerSensor>> for SharedPowerSensor {
+    fn from(inner: Arc<PowerSensor>) -> Self {
+        Self { inner }
+    }
+}
+
+impl std::ops::Deref for SharedPowerSensor {
+    type Target = PowerSensor;
+    fn deref(&self) -> &PowerSensor {
+        &self.inner
     }
 }
 
@@ -595,11 +673,7 @@ fn finalize_frame(shared: &Shared, inner: &mut Inner) {
         let (Some(raw_i), Some(raw_u)) = (values[2 * pair], values[2 * pair + 1]) else {
             continue;
         };
-        let v_i = adc.to_volts(raw_i);
-        let v_u = adc.to_volts(raw_u);
-        let amps = Amps::new((v_i - f64::from(i_cfg.vref) / 2.0) / f64::from(i_cfg.gain));
-        let volts = Volts::new(v_u * f64::from(u_cfg.gain));
-        let watts = volts * amps;
+        let (volts, amps, watts) = pair_readings(i_cfg, u_cfg, &adc, raw_i, raw_u);
         total_power += watts;
         let prev_energy = inner.state.pairs[pair].energy;
         pair_updates[pair] = Some(PairState {
@@ -674,6 +748,24 @@ fn finalize_frame(shared: &Shared, inner: &mut Inner) {
         if let Some(label) = marker_label {
             let _ = writeln!(dump, "M {} {label}", time.as_micros());
         }
+    }
+    if !inner.sinks.is_empty() {
+        let mut raw = [0u16; SENSOR_SLOTS];
+        let mut present = 0u8;
+        for (slot, value) in values.iter().enumerate() {
+            if let Some(v) = value {
+                raw[slot] = *v;
+                present |= 1 << slot;
+            }
+        }
+        let record = FrameRecord {
+            time,
+            raw,
+            present,
+            marker: marker_label,
+            total: total_power,
+        };
+        inner.sinks.retain_mut(|sink| sink(&record));
     }
 
     shared.changed.notify_all();
@@ -798,7 +890,9 @@ mod tests {
         let text = String::from_utf8(buf.lock().clone()).unwrap();
         assert!(text.starts_with("# PowerSensor3 dump"));
         assert!(text.lines().count() > 30, "{text}");
-        assert!(text.lines().any(|l| l.starts_with("M ") && l.ends_with('k')));
+        assert!(text
+            .lines()
+            .any(|l| l.starts_with("M ") && l.ends_with('k')));
         // Data lines: t_us pair0_W total_W.
         let data_line = text.lines().nth(1).unwrap();
         let fields: Vec<&str> = data_line.split_whitespace().collect();
@@ -866,6 +960,39 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, PowerSensorError::Timeout(_)));
         drop(ps);
+        drop(h);
+    }
+
+    #[test]
+    fn frame_sinks_observe_frames_and_deregister() {
+        let (h, host_end) = Harness::spawn(two_amp_source(), one_pair_eeprom());
+        let ps = PowerSensor::connect(host_end).unwrap();
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        // This sink detaches itself after 10 frames.
+        ps.add_frame_sink(move |record| {
+            assert!(record.present & 0b11 == 0b11, "pair 0 samples present");
+            assert!((record.total.value() - 24.0).abs() < 0.5);
+            seen2.fetch_add(1, Ordering::SeqCst) < 9
+        });
+        h.advance(SimDuration::from_millis(10));
+        ps.wait_for_frames(150, Duration::from_secs(10)).unwrap();
+        assert_eq!(seen.load(Ordering::SeqCst), 10);
+        drop(ps);
+        drop(h);
+    }
+
+    #[test]
+    fn shared_power_sensor_derefs() {
+        let (h, host_end) = Harness::spawn(two_amp_source(), one_pair_eeprom());
+        let shared = SharedPowerSensor::new(PowerSensor::connect(host_end).unwrap());
+        let clone = shared.clone();
+        h.advance(SimDuration::from_millis(5));
+        clone.wait_for_frames(50, Duration::from_secs(10)).unwrap();
+        assert!(shared.frames_received() >= 50);
+        assert_eq!(Arc::strong_count(&shared.arc()), 3); // shared + clone + temp
+        drop(shared);
+        drop(clone);
         drop(h);
     }
 

@@ -216,9 +216,8 @@ pub fn autocalibrate(
         // Kick the capture off, then advance enough device time to
         // cover it (frames × 50 µs), then collect.
         let handle = std::thread::scope(|scope| {
-            let worker = scope.spawn(|| {
-                crate::calibrate_pair(ps, pair, reference, frames, TOOL_TIMEOUT)
-            });
+            let worker =
+                scope.spawn(|| crate::calibrate_pair(ps, pair, reference, frames, TOOL_TIMEOUT));
             advance(SimDuration::from_micros(frames as u64 * 50 + 1000));
             worker.join().expect("calibration thread panicked")
         });

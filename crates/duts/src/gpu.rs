@@ -284,8 +284,7 @@ impl GpuModel {
         if util <= 0.0 {
             return self.spec.base_mhz;
         }
-        let budget = (self.effective_power_limit() - self.spec.idle_w)
-            / (self.spec.dyn_w * util);
+        let budget = (self.effective_power_limit() - self.spec.idle_w) / (self.spec.dyn_w * util);
         self.spec.boost_mhz * budget.max(0.0).sqrt().min(1.0)
     }
 
@@ -374,7 +373,10 @@ impl GpuModel {
     fn power_now(&self) -> f64 {
         match self.activity {
             Activity::Idle { release_w, since } => {
-                let dt = self.last_update.saturating_duration_since(since).as_secs_f64();
+                let dt = self
+                    .last_update
+                    .saturating_duration_since(since)
+                    .as_secs_f64();
                 let excess = (release_w - self.spec.idle_w).max(0.0);
                 self.spec.idle_w + excess * (-dt / self.spec.idle_decay_tau_s).exp()
             }
@@ -457,7 +459,10 @@ impl GpuModel {
             // Locked clocks bypass the boost dynamics but still respect
             // the power limit.
             let cap = self.sustained_clock_capped(util.max(1e-6));
-            self.clock_mhz = locked.min(self.spec.boost_mhz).min(if util > 0.0 { cap } else { f64::INFINITY });
+            self.clock_mhz =
+                locked
+                    .min(self.spec.boost_mhz)
+                    .min(if util > 0.0 { cap } else { f64::INFINITY });
             self.clock_vel = 0.0;
             return;
         }
@@ -495,8 +500,8 @@ impl GpuModel {
                 // Underdamped second-order tracking: ζ≈0.3, ω≈30 rad/s.
                 let omega = 30.0;
                 let zeta = 0.30;
-                let acc = omega * omega * (target - self.clock_mhz)
-                    - 2.0 * zeta * omega * self.clock_vel;
+                let acc =
+                    omega * omega * (target - self.clock_mhz) - 2.0 * zeta * omega * self.clock_vel;
                 self.clock_vel += acc * dt_s;
                 self.clock_mhz += self.clock_vel * dt_s;
                 self.clock_mhz = self

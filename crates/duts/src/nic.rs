@@ -120,7 +120,11 @@ impl NicModel {
             None => (0.0, 0.0),
             Some(load) => {
                 let gbps = load.gbps.min(self.spec.line_rate_gbps);
-                let scale = if load.gbps > 0.0 { gbps / load.gbps } else { 0.0 };
+                let scale = if load.gbps > 0.0 {
+                    gbps / load.gbps
+                } else {
+                    0.0
+                };
                 (gbps, load.pps() * scale / 1e6)
             }
         };

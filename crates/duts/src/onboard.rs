@@ -255,10 +255,7 @@ mod tests {
         // The 400 µs dips occupy ~1.3% of the time; 10 Hz sampling lands
         // on the plateau almost always (an occasional unlucky poll can
         // still hit one).
-        let on_plateau = nvml_readings
-            .iter()
-            .filter(|&&p| p > 0.8 * nv_max)
-            .count();
+        let on_plateau = nvml_readings.iter().filter(|&&p| p > 0.8 * nv_max).count();
         assert!(
             on_plateau >= nvml_readings.len() - 1,
             "NVML mostly misses dips: {on_plateau}/{} on plateau",
@@ -269,7 +266,8 @@ mod tests {
     #[test]
     fn amd_smi_tracks_closely() {
         let gpu = shared_gpu(GpuSpec::w7700());
-        gpu.lock().launch(GpuKernel::synthetic_fma(SimDuration::from_secs(2), 4));
+        gpu.lock()
+            .launch(GpuKernel::synthetic_fma(SimDuration::from_secs(2), 4));
         let mut smi = AmdSmiSensor::amd_smi(Arc::clone(&gpu));
         let t = SimTime::from_micros(1_200_000);
         let reading = smi.read(t).power.value();
@@ -301,7 +299,8 @@ mod tests {
         // Prime both during idle.
         instant.read(SimTime::from_micros(900_000));
         average.read(SimTime::from_micros(900_000));
-        gpu.lock().launch(GpuKernel::synthetic_fma(SimDuration::from_secs(3), 4));
+        gpu.lock()
+            .launch(GpuKernel::synthetic_fma(SimDuration::from_secs(3), 4));
         // Shortly after launch the window average still contains idle.
         let t = SimTime::from_micros(1_300_000);
         let i = instant.read(t).power.value();

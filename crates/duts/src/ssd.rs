@@ -355,8 +355,7 @@ impl SsdModel {
                 let p = 0.00125 * self.fill * (dt_s / 0.01);
                 if self.rng.gen_bool(p.min(1.0)) {
                     self.gc_mode = GcMode::Deep;
-                    self.deep_remaining =
-                        SimDuration::from_millis(self.rng.gen_range(800..3000));
+                    self.deep_remaining = SimDuration::from_millis(self.rng.gen_range(800..3000));
                 }
             }
             GcMode::Deep => {

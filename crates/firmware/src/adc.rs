@@ -187,10 +187,7 @@ mod tests {
     #[test]
     fn channels_are_independent() {
         let mut seq = AdcSequencer::new();
-        let frame = seq.run_frame(
-            &mut |ch: usize, _t: SimTime| ch as f64 * 0.4,
-            SimTime::ZERO,
-        );
+        let frame = seq.run_frame(&mut |ch: usize, _t: SimTime| ch as f64 * 0.4, SimTime::ZERO);
         for ch in 1..8 {
             assert!(frame.values[ch] > frame.values[ch - 1]);
         }

@@ -274,10 +274,7 @@ impl<S: AnalogSource> Device<S> {
             }
             Command::Version => {
                 if !self.streaming {
-                    let mut bytes = vec![
-                        opcode::VERSION_REPLY,
-                        FIRMWARE_VERSION.len() as u8,
-                    ];
+                    let mut bytes = vec![opcode::VERSION_REPLY, FIRMWARE_VERSION.len() as u8];
                     bytes.extend_from_slice(FIRMWARE_VERSION.as_bytes());
                     let _ = transport.write_all(&bytes);
                 }
@@ -344,7 +341,7 @@ mod tests {
         host.write_all(b"S").unwrap();
         dev.run_until(&dev_end, SimTime::from_micros(1000));
         assert_eq!(dev.frames_emitted(), 20); // 1 ms / 50 µs
-        // Each frame: 1 timestamp + 8 sensors = 18 bytes.
+                                              // Each frame: 1 timestamp + 8 sensors = 18 bytes.
         assert_eq!(host.available(), 20 * 18);
     }
 
@@ -404,7 +401,11 @@ mod tests {
         assert_eq!(marked.len(), 1, "exactly one marked sample");
         assert!(matches!(
             marked[0],
-            Packet::Sample { sensor: 0, marker: true, .. }
+            Packet::Sample {
+                sensor: 0,
+                marker: true,
+                ..
+            }
         ));
     }
 
@@ -536,7 +537,13 @@ mod tests {
         // Current channels at mid-scale + 0.12 V (1 A), voltage channels
         // at 2.4 V (12 V rail through gain 5).
         let mut dev = Device::new(
-            |ch: usize, _t: SimTime| if ch.is_multiple_of(2) { 1.65 + 0.12 } else { 2.4 },
+            |ch: usize, _t: SimTime| {
+                if ch.is_multiple_of(2) {
+                    1.65 + 0.12
+                } else {
+                    2.4
+                }
+            },
             populated_eeprom(),
         );
         host.write_all(b"S").unwrap();

@@ -199,7 +199,11 @@ impl Display {
             let cells = self.fb.draw_text(line, 4, y, scale, color);
             cells_drawn += cells;
             glyph_bytes += cells * font::cell_bytes(scale);
-            y += if idx == 0 { total_cell_h + 4 } else { pair_cell_h + 2 };
+            y += if idx == 0 {
+                total_cell_h + 4
+            } else {
+                pair_cell_h + 2
+            };
         }
         let _ = cells_drawn;
 
@@ -339,10 +343,12 @@ mod tests {
         };
         let headline = band(0, 28);
         let pair_band = band(28, 48);
-        assert!(headline > pair_band, "headline {headline} vs pair {pair_band}");
+        assert!(
+            headline > pair_band,
+            "headline {headline} vs pair {pair_band}"
+        );
         // Pair lines use the pair colour.
-        let has_pair_color = (28..48)
-            .any(|y| (0..DISPLAY_W).any(|x| fb.pixel(x, y) == COLOR_PAIR));
+        let has_pair_color = (28..48).any(|y| (0..DISPLAY_W).any(|x| fb.pixel(x, y) == COLOR_PAIR));
         assert!(has_pair_color);
     }
 

@@ -97,8 +97,11 @@ impl SensorConfig {
             .map_err(|_| ProtocolError::BadConfig)?
             .to_owned();
         let vref = f32::from_le_bytes(bytes[NAME_SIZE..NAME_SIZE + 4].try_into().expect("size"));
-        let gain =
-            f32::from_le_bytes(bytes[NAME_SIZE + 4..NAME_SIZE + 8].try_into().expect("size"));
+        let gain = f32::from_le_bytes(
+            bytes[NAME_SIZE + 4..NAME_SIZE + 8]
+                .try_into()
+                .expect("size"),
+        );
         if !vref.is_finite() || !gain.is_finite() {
             return Err(ProtocolError::BadConfig);
         }

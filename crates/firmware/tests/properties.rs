@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 
-use ps3_firmware::{AdcSequencer, Device, Eeprom, SensorConfig};
 use ps3_firmware::protocol::{Packet, StreamDecoder};
+use ps3_firmware::{AdcSequencer, Device, Eeprom, SensorConfig};
 use ps3_transport::{Transport, VirtualSerial};
 use ps3_units::{SimDuration, SimTime};
 

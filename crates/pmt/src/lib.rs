@@ -220,8 +220,8 @@ impl Monitor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ps3_duts::{GpuKernel, GpuModel, GpuSpec, NvmlSensor};
     use parking_lot::Mutex;
+    use ps3_duts::{GpuKernel, GpuModel, GpuSpec, NvmlSensor};
 
     fn shared_gpu() -> Arc<Mutex<GpuModel>> {
         Arc::new(Mutex::new(GpuModel::new(GpuSpec::rtx4000_ada(), 21)))

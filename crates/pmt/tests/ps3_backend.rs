@@ -16,7 +16,8 @@ fn ps3_meter_reports_the_testbed_power() {
         .attach(ModuleKind::Slot10A12V, RailId::Slot12V)
         .build();
     let ps = Arc::new(tb.connect().unwrap());
-    tb.advance_and_sync(&ps, SimDuration::from_millis(10)).unwrap();
+    tb.advance_and_sync(&ps, SimDuration::from_millis(10))
+        .unwrap();
     let mut meter = Ps3Meter::new(Arc::clone(&ps));
     assert_eq!(meter.name(), "PowerSensor3");
     assert_eq!(meter.native_interval(), SimDuration::from_micros(50));

@@ -178,8 +178,14 @@ mod tests {
 
     #[test]
     fn higher_resolution_adc_shrinks_budget() {
-        let adc10 = AdcSpec { bits: 10, vref: 3.3 };
-        let adc12 = AdcSpec { bits: 12, vref: 3.3 };
+        let adc10 = AdcSpec {
+            bits: 10,
+            vref: 3.3,
+        };
+        let adc12 = AdcSpec {
+            bits: 12,
+            vref: 3.3,
+        };
         let b10 = ErrorBudget::for_module(ModuleKind::Slot10A12V, &adc10);
         let b12 = ErrorBudget::for_module(ModuleKind::Slot10A12V, &adc12);
         assert!(b12.power_error < b10.power_error);

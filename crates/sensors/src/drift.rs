@@ -68,7 +68,8 @@ impl ThermalDrift {
     /// Guaranteed bounded: |offset| ≤ 3 × amplitude.
     pub fn offset_at(&mut self, now: SimTime) -> f64 {
         let t = now.as_secs_f64();
-        let thermal = self.amplitude * (core::f64::consts::TAU * t / self.period_s + self.phase).sin();
+        let thermal =
+            self.amplitude * (core::f64::consts::TAU * t / self.period_s + self.phase).sin();
         // Mean-reverting (Ornstein–Uhlenbeck-ish) walk updated at most
         // once per simulated second to stay cheap at 20 kHz.
         let should_step = match self.last_update {
@@ -100,7 +101,10 @@ mod tests {
     fn none_is_zero_forever() {
         let mut d = ThermalDrift::none();
         for h in 0..100u64 {
-            assert_eq!(d.offset_at(SimTime::ZERO + SimDuration::from_secs(h * 3600)), 0.0);
+            assert_eq!(
+                d.offset_at(SimTime::ZERO + SimDuration::from_secs(h * 3600)),
+                0.0
+            );
         }
     }
 

@@ -127,16 +127,12 @@ impl HallCurrentSensor {
     pub fn new(spec: HallSensorSpec, vref: f64, seed: u64) -> Self {
         let mut boot = GaussianNoise::new(1.0, seed ^ 0x9E37_79B9_7F4A_7C15);
         // Factory offset: uniform within the worst-case band.
-        let offset_amps =
-            boot.uniform(-spec.max_offset_error_amps, spec.max_offset_error_amps);
+        let offset_amps = boot.uniform(-spec.max_offset_error_amps, spec.max_offset_error_amps);
         Self {
             spec,
             vref,
             filter: LowPassFilter::new(spec.bandwidth_hz),
-            noise: GaussianNoise::new(
-                spec.noise_rms_amps * spec.sampled_noise_factor,
-                seed,
-            ),
+            noise: GaussianNoise::new(spec.noise_rms_amps * spec.sampled_noise_factor, seed),
             drift: ThermalDrift::new(0.004, 6.0 * 3600.0, seed ^ 0xD1F3),
             offset_amps,
             external_field_mt: 0.0,

@@ -219,15 +219,9 @@ mod tests {
 
     #[test]
     fn ten_amp_modules_use_ten_amp_hall() {
-        assert_eq!(
-            ModuleKind::Slot10A12V.hall_spec().full_scale_amps,
-            10.0
-        );
+        assert_eq!(ModuleKind::Slot10A12V.hall_spec().full_scale_amps, 10.0);
         assert_eq!(ModuleKind::Pcie8Pin20A.hall_spec().full_scale_amps, 20.0);
-        assert_eq!(
-            ModuleKind::HighCurrent50A.hall_spec().full_scale_amps,
-            50.0
-        );
+        assert_eq!(ModuleKind::HighCurrent50A.hall_spec().full_scale_amps, 50.0);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use ps3_sensors::{
-    AdcSpec, HallCurrentSensor, HallSensorSpec, IsolatedVoltageSensor, ModuleKind,
-    SensorModule, VoltageSensorSpec,
+    AdcSpec, HallCurrentSensor, HallSensorSpec, IsolatedVoltageSensor, ModuleKind, SensorModule,
+    VoltageSensorSpec,
 };
 use ps3_units::{Amps, SimDuration, SimTime, Volts};
 

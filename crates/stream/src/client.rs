@@ -1,0 +1,343 @@
+//! TCP subscriber to a [`StreamDaemon`](crate::StreamDaemon).
+//!
+//! A [`StreamClient`] subscribes with a pair mask and a rate divisor,
+//! converts raw codes to physical readings locally (using the sensor
+//! configuration carried in the `Hello` message and the same
+//! [`ps3_core::pair_readings`] math the host library uses), and
+//! implements [`ps3_pmt::PowerMeter`] so a networked sensor plugs into
+//! everything PMT-based.
+
+use std::io;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use ps3_core::pair_readings;
+use ps3_firmware::{SensorConfig, SENSOR_SLOTS};
+use ps3_pmt::PowerMeter;
+use ps3_sensors::AdcSpec;
+use ps3_units::{SimDuration, SimTime, Watts};
+
+use crate::proto::{read_msg_body, write_msg, ClientMsg, ServerMsg, StreamFrame, StreamStats};
+
+/// Subscription parameters for [`StreamClient::connect`].
+#[derive(Debug, Clone, Copy)]
+pub struct StreamClientConfig {
+    /// Bit `p` selects sensor pair `p`. Default: all four pairs.
+    pub pair_mask: u8,
+    /// Device frames averaged per delivered frame (1 = native 20 kHz,
+    /// 20 = 1 kHz, 2000 = 10 Hz).
+    pub divisor: u32,
+}
+
+impl Default for StreamClientConfig {
+    fn default() -> Self {
+        Self {
+            pair_mask: 0x0F,
+            divisor: 1,
+        }
+    }
+}
+
+/// Per-frame observer; runs on the client's reader thread.
+pub type FrameCallback = Box<dyn FnMut(&StreamFrame) + Send>;
+
+struct ClientShared {
+    frames_received: AtomicU64,
+    gap_events: AtomicU64,
+    dropped_frames: AtomicU64,
+    evicted: AtomicBool,
+    alive: AtomicBool,
+    /// Latest frame with its converted total power.
+    last: Mutex<Option<(StreamFrame, Watts)>>,
+    callback: Mutex<Option<FrameCallback>>,
+    stats_reply: Mutex<Option<StreamStats>>,
+    stats_cv: Condvar,
+}
+
+/// A connected stream subscriber.
+pub struct StreamClient {
+    writer: Mutex<TcpStream>,
+    shared: Arc<ClientShared>,
+    reader: Option<JoinHandle<()>>,
+    configs: Box<[SensorConfig; SENSOR_SLOTS]>,
+    frame_interval: SimDuration,
+    divisor: u32,
+}
+
+impl StreamClient {
+    /// Connects and subscribes.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, or a malformed daemon handshake.
+    pub fn connect<A: ToSocketAddrs>(addr: A, config: StreamClientConfig) -> io::Result<Self> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        write_msg(
+            &mut stream,
+            &ClientMsg::Subscribe {
+                pair_mask: config.pair_mask,
+                divisor: config.divisor,
+            }
+            .encode(),
+        )?;
+        let body = read_msg_body(&mut stream)?;
+        let ServerMsg::Hello {
+            frame_interval_us,
+            configs,
+        } = ServerMsg::decode(&body)?
+        else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "daemon did not send Hello",
+            ));
+        };
+        stream.set_read_timeout(None)?;
+
+        let shared = Arc::new(ClientShared {
+            frames_received: AtomicU64::new(0),
+            gap_events: AtomicU64::new(0),
+            dropped_frames: AtomicU64::new(0),
+            evicted: AtomicBool::new(false),
+            alive: AtomicBool::new(true),
+            last: Mutex::new(None),
+            callback: Mutex::new(None),
+            stats_reply: Mutex::new(None),
+            stats_cv: Condvar::new(),
+        });
+
+        let reader = {
+            let shared = Arc::clone(&shared);
+            let configs = configs.clone();
+            let stream = stream.try_clone()?;
+            std::thread::Builder::new()
+                .name("ps3-stream-client".into())
+                .spawn(move || reader_loop(stream, &shared, &configs))
+                .expect("spawn client reader")
+        };
+
+        Ok(Self {
+            writer: Mutex::new(stream),
+            shared,
+            reader: Some(reader),
+            configs,
+            frame_interval: SimDuration::from_micros(u64::from(frame_interval_us)),
+            divisor: config.divisor,
+        })
+    }
+
+    /// Registers an observer called with every delivered frame, on the
+    /// reader thread. Replaces any previous callback.
+    pub fn set_frame_callback<F: FnMut(&StreamFrame) + Send + 'static>(&self, callback: F) {
+        *self.shared.callback.lock() = Some(Box::new(callback));
+    }
+
+    /// Sensor configuration announced by the daemon.
+    #[must_use]
+    pub fn configs(&self) -> &[SensorConfig; SENSOR_SLOTS] {
+        &self.configs
+    }
+
+    /// Frames delivered to this subscriber so far (after downsampling).
+    #[must_use]
+    pub fn frames_received(&self) -> u64 {
+        self.shared.frames_received.load(Ordering::SeqCst)
+    }
+
+    /// Times this subscriber's stream gapped (ring laps on the daemon).
+    #[must_use]
+    pub fn gap_events(&self) -> u64 {
+        self.shared.gap_events.load(Ordering::SeqCst)
+    }
+
+    /// Total device frames lost across all gaps.
+    #[must_use]
+    pub fn dropped_frames(&self) -> u64 {
+        self.shared.dropped_frames.load(Ordering::SeqCst)
+    }
+
+    /// `true` once the daemon has evicted this subscriber.
+    #[must_use]
+    pub fn is_evicted(&self) -> bool {
+        self.shared.evicted.load(Ordering::SeqCst)
+    }
+
+    /// `false` once the connection is gone (eviction, daemon shutdown,
+    /// or network error).
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.shared.alive.load(Ordering::SeqCst)
+    }
+
+    /// The most recent frame, if any arrived yet.
+    #[must_use]
+    pub fn last_frame(&self) -> Option<StreamFrame> {
+        self.shared.last.lock().map(|(frame, _)| frame)
+    }
+
+    /// Total power of the most recent frame (zero before any frame).
+    #[must_use]
+    pub fn last_watts(&self) -> Watts {
+        self.shared
+            .last
+            .lock()
+            .map_or(Watts::zero(), |(_, watts)| watts)
+    }
+
+    /// Asks the daemon to inject a time-synced marker.
+    ///
+    /// # Errors
+    ///
+    /// Write failure if the connection is gone.
+    pub fn inject_marker(&self, label: char) -> io::Result<()> {
+        write_msg(
+            &mut *self.writer.lock(),
+            &ClientMsg::InjectMarker { label }.encode(),
+        )
+    }
+
+    /// Round-trips a statistics query to the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Write failure, or [`io::ErrorKind::TimedOut`] when no reply
+    /// arrives in time.
+    pub fn query_stats(&self, timeout: Duration) -> io::Result<StreamStats> {
+        let mut reply = self.shared.stats_reply.lock();
+        *reply = None;
+        write_msg(&mut *self.writer.lock(), &ClientMsg::QueryStats.encode())?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(stats) = reply.take() {
+                return Ok(stats);
+            }
+            if !self.is_alive() {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    "stream connection lost",
+                ));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "no stats reply from daemon",
+                ));
+            }
+            self.shared.stats_cv.wait_for(&mut reply, deadline - now);
+        }
+    }
+
+    /// Says goodbye and closes the connection. Also runs on drop.
+    pub fn close(&mut self) {
+        {
+            let mut writer = self.writer.lock();
+            let _ = write_msg(&mut *writer, &ClientMsg::Bye.encode());
+            let _ = writer.shutdown(Shutdown::Both);
+        }
+        if let Some(handle) = self.reader.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for StreamClient {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl core::fmt::Debug for StreamClient {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("StreamClient")
+            .field("frames_received", &self.frames_received())
+            .field("gap_events", &self.gap_events())
+            .field("alive", &self.is_alive())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PowerMeter for StreamClient {
+    fn name(&self) -> &str {
+        "PowerSensor3-stream"
+    }
+
+    fn read_watts(&mut self, _now: SimTime) -> Watts {
+        self.last_watts()
+    }
+
+    fn native_interval(&self) -> SimDuration {
+        SimDuration::from_nanos(self.frame_interval.as_nanos() * u64::from(self.divisor))
+    }
+}
+
+/// Total power over the pairs present in `frame`, converted with the
+/// announced configuration — the same math as the host library.
+fn frame_watts(frame: &StreamFrame, configs: &[SensorConfig; SENSOR_SLOTS]) -> Watts {
+    let adc = AdcSpec::POWERSENSOR3;
+    let mut total = Watts::zero();
+    for pair in 0..SENSOR_SLOTS / 2 {
+        let (i_slot, u_slot) = (2 * pair, 2 * pair + 1);
+        let pair_bits = (1 << i_slot) | (1 << u_slot);
+        if frame.present & pair_bits != pair_bits {
+            continue;
+        }
+        let i_cfg = &configs[i_slot];
+        let u_cfg = &configs[u_slot];
+        if !(i_cfg.enabled && u_cfg.enabled) {
+            continue;
+        }
+        let (_, _, watts) = pair_readings(i_cfg, u_cfg, &adc, frame.raw[i_slot], frame.raw[u_slot]);
+        total += watts;
+    }
+    total
+}
+
+fn reader_loop(
+    mut stream: TcpStream,
+    shared: &ClientShared,
+    configs: &[SensorConfig; SENSOR_SLOTS],
+) {
+    while let Ok(msg) = read_msg_body(&mut stream).and_then(|b| ServerMsg::decode(&b)) {
+        match msg {
+            ServerMsg::Batch { frames } => {
+                let mut callback = shared.callback.lock();
+                for frame in &frames {
+                    if let Some(cb) = callback.as_mut() {
+                        cb(frame);
+                    }
+                }
+                drop(callback);
+                if let Some(frame) = frames.last() {
+                    *shared.last.lock() = Some((*frame, frame_watts(frame, configs)));
+                }
+                // Counted last, so `frames_received` only covers frames
+                // the callback has already observed.
+                shared
+                    .frames_received
+                    .fetch_add(frames.len() as u64, Ordering::SeqCst);
+            }
+            ServerMsg::Gap { dropped } => {
+                shared.gap_events.fetch_add(1, Ordering::SeqCst);
+                shared.dropped_frames.fetch_add(dropped, Ordering::SeqCst);
+            }
+            ServerMsg::Stats(stats) => {
+                *shared.stats_reply.lock() = Some(stats);
+                shared.stats_cv.notify_all();
+            }
+            ServerMsg::Evicted => {
+                shared.evicted.store(true, Ordering::SeqCst);
+                break;
+            }
+            ServerMsg::Hello { .. } => { /* duplicate hello: ignore */ }
+        }
+    }
+    shared.alive.store(false, Ordering::SeqCst);
+    shared.stats_cv.notify_all();
+}

@@ -1,0 +1,474 @@
+//! The streaming daemon: owns a [`SharedPowerSensor`], taps its frame
+//! stream into a [`BroadcastRing`], and serves any number of TCP
+//! subscribers at their own rates.
+//!
+//! Design invariant: **a subscriber can never slow down acquisition.**
+//! The acquisition tap only publishes into the ring (lock-free, never
+//! blocks on consumers); each subscriber is drained by its own sender
+//! thread. A subscriber that falls behind is lapped by the ring
+//! (drop-oldest, reported as [`ServerMsg::Gap`]); one that keeps
+//! falling behind — or stalls entirely so its TCP write times out — is
+//! evicted.
+
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use ps3_core::SharedPowerSensor;
+use ps3_firmware::{FRAME_INTERVAL, SENSOR_SLOTS};
+
+use crate::downsample::Downsampler;
+use crate::proto::{
+    read_msg_body, write_msg, ClientMsg, ServerMsg, StreamFrame, StreamStats, MAX_BATCH_FRAMES,
+};
+use crate::ring::{BroadcastRing, ReadOutcome};
+
+/// Tuning knobs for [`StreamDaemon::start`].
+#[derive(Debug, Clone)]
+pub struct StreamDaemonConfig {
+    /// Broadcast ring capacity in frames (rounded up to a power of
+    /// two). At 20 kHz the default of 8192 buffers ~0.4 s.
+    pub ring_capacity: usize,
+    /// A subscriber whose TCP write blocks longer than this is
+    /// considered stalled and evicted.
+    pub write_timeout: Duration,
+    /// A subscriber lapped more than this many times is evicted.
+    pub max_gap_events: u64,
+    /// How long the handshake (`Subscribe`) may take.
+    pub handshake_timeout: Duration,
+    /// Per-subscriber socket send buffer (`SO_SNDBUF`), 0 to leave the
+    /// OS default. Kernel autotuning can grow TCP buffers to tens of
+    /// megabytes, which would let a stalled subscriber absorb minutes
+    /// of data before the write-timeout stall detector ever fires;
+    /// bounding the buffer keeps eviction timely.
+    pub send_buffer_bytes: usize,
+}
+
+impl Default for StreamDaemonConfig {
+    fn default() -> Self {
+        Self {
+            ring_capacity: 8192,
+            write_timeout: Duration::from_millis(500),
+            max_gap_events: 16,
+            handshake_timeout: Duration::from_secs(5),
+            send_buffer_bytes: 128 * 1024,
+        }
+    }
+}
+
+/// Caps the socket's kernel send buffer. `std` has no portable
+/// accessor for `SO_SNDBUF`, so this goes through `setsockopt`
+/// directly on Linux and is a no-op elsewhere.
+#[cfg(target_os = "linux")]
+fn set_send_buffer(stream: &TcpStream, bytes: usize) -> io::Result<()> {
+    use std::os::fd::AsRawFd;
+    const SOL_SOCKET: i32 = 1;
+    const SO_SNDBUF: i32 = 7;
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const core::ffi::c_void,
+            optlen: u32,
+        ) -> i32;
+    }
+    let val = i32::try_from(bytes).unwrap_or(i32::MAX);
+    // SAFETY: valid fd from a live TcpStream; optval points at an i32
+    // whose size is passed as optlen.
+    let rc = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_SNDBUF,
+            (&raw const val).cast(),
+            core::mem::size_of::<i32>() as u32,
+        )
+    };
+    if rc == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::last_os_error())
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn set_send_buffer(_stream: &TcpStream, _bytes: usize) -> io::Result<()> {
+    Ok(())
+}
+
+/// Handle to a running streaming daemon. Dropping it shuts the daemon
+/// down and joins all its threads.
+pub struct StreamDaemon {
+    shared: Arc<DaemonShared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+struct DaemonShared {
+    ring: Arc<BroadcastRing>,
+    sensor: SharedPowerSensor,
+    config: StreamDaemonConfig,
+    /// Pre-encoded `Hello`, identical for every subscriber.
+    hello: Vec<u8>,
+    shutdown: Arc<AtomicBool>,
+    active_subscribers: AtomicU64,
+    evicted: AtomicU64,
+    gap_events: AtomicU64,
+    clients: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl StreamDaemon {
+    /// Starts a daemon for `sensor`, listening on `addr` (use port 0
+    /// for an ephemeral port; see [`StreamDaemon::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Socket bind errors.
+    pub fn start<A: ToSocketAddrs>(
+        sensor: SharedPowerSensor,
+        addr: A,
+        config: StreamDaemonConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let ring = Arc::new(BroadcastRing::new(config.ring_capacity));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let hello = ServerMsg::Hello {
+            frame_interval_us: FRAME_INTERVAL.as_micros() as u32,
+            configs: Box::new(sensor.configs()),
+        }
+        .encode();
+
+        // The acquisition tap: runs on the sensor's reader thread, so
+        // it must only do the (non-blocking) ring publish.
+        {
+            let ring = Arc::clone(&ring);
+            let shutdown = Arc::clone(&shutdown);
+            sensor.add_frame_sink(move |record| {
+                if shutdown.load(Ordering::SeqCst) {
+                    ring.close();
+                    return false;
+                }
+                ring.publish(&StreamFrame {
+                    time: record.time,
+                    raw: record.raw,
+                    present: record.present,
+                    marker: record.marker.is_some(),
+                });
+                true
+            });
+        }
+
+        let shared = Arc::new(DaemonShared {
+            ring,
+            sensor,
+            config,
+            hello,
+            shutdown,
+            active_subscribers: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            gap_events: AtomicU64::new(0),
+            clients: Mutex::new(Vec::new()),
+        });
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ps3-stream-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn accept thread")
+        };
+
+        Ok(Self {
+            shared,
+            local_addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address the daemon is listening on.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live daemon counters.
+    #[must_use]
+    pub fn stats(&self) -> StreamStats {
+        StreamStats {
+            frames_published: self.shared.ring.head(),
+            active_subscribers: self.shared.active_subscribers.load(Ordering::SeqCst),
+            evicted: self.shared.evicted.load(Ordering::SeqCst),
+            gap_events: self.shared.gap_events.load(Ordering::SeqCst),
+        }
+    }
+
+    /// The sensor this daemon is serving.
+    #[must_use]
+    pub fn sensor(&self) -> &SharedPowerSensor {
+        &self.shared.sensor
+    }
+
+    /// Stops accepting, disconnects all subscribers, and joins every
+    /// daemon thread. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.ring.close();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let clients = std::mem::take(&mut *self.shared.clients.lock());
+        for handle in clients {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for StreamDaemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl core::fmt::Debug for StreamDaemon {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("StreamDaemon")
+            .field("local_addr", &self.local_addr)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<DaemonShared>) {
+    let mut client_id = 0u64;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                client_id += 1;
+                let shared_for_client = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("ps3-stream-sub-{client_id}"))
+                    .spawn(move || {
+                        let _ = serve_client(&shared_for_client, stream);
+                    })
+                    .expect("spawn subscriber thread");
+                shared.clients.lock().push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Why a subscriber's sender loop ended.
+enum SessionEnd {
+    /// The client said `Bye` or closed its socket.
+    Disconnected,
+    /// Evicted: too many gaps, or a stalled TCP write.
+    Evicted,
+    /// Daemon shutdown.
+    Shutdown,
+}
+
+fn serve_client(shared: &Arc<DaemonShared>, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    if shared.config.send_buffer_bytes > 0 {
+        set_send_buffer(&stream, shared.config.send_buffer_bytes)?;
+    }
+    // Handshake: the first message must be a Subscribe.
+    stream.set_read_timeout(Some(shared.config.handshake_timeout))?;
+    let mut control = stream;
+    let body = read_msg_body(&mut control)?;
+    let ClientMsg::Subscribe { pair_mask, divisor } = ClientMsg::decode(&body)? else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "first message must be Subscribe",
+        ));
+    };
+    // Split the socket: this thread senses frames, a helper thread
+    // reads control messages. Write timeout is the stall detector.
+    let writer = Arc::new(Mutex::new(control.try_clone()?));
+    control.set_read_timeout(None)?;
+    writer
+        .lock()
+        .set_write_timeout(Some(shared.config.write_timeout))?;
+    write_msg(&mut *writer.lock(), &shared.hello)?;
+
+    shared.active_subscribers.fetch_add(1, Ordering::SeqCst);
+    let client_gone = Arc::new(AtomicBool::new(false));
+    let control_thread = {
+        let shared = Arc::clone(shared);
+        let writer = Arc::clone(&writer);
+        let client_gone = Arc::clone(&client_gone);
+        std::thread::Builder::new()
+            .name("ps3-stream-ctl".into())
+            .spawn(move || control_loop(&shared, control, &writer, &client_gone))
+            .expect("spawn control thread")
+    };
+
+    let end = sender_loop(shared, &writer, pair_mask, divisor, &client_gone);
+    match end {
+        SessionEnd::Evicted => {
+            shared.evicted.fetch_add(1, Ordering::SeqCst);
+            // Best effort: a stalled client will not read this.
+            let _ = write_msg(&mut *writer.lock(), &ServerMsg::Evicted.encode());
+        }
+        SessionEnd::Shutdown => {
+            let _ = write_msg(&mut *writer.lock(), &ServerMsg::Evicted.encode());
+        }
+        SessionEnd::Disconnected => {}
+    }
+    // Unblock the control thread and reap it.
+    let _ = writer.lock().shutdown(Shutdown::Both);
+    let _ = control_thread.join();
+    shared.active_subscribers.fetch_sub(1, Ordering::SeqCst);
+    Ok(())
+}
+
+/// Handles in-band control messages for one subscriber.
+fn control_loop(
+    shared: &DaemonShared,
+    mut control: TcpStream,
+    writer: &Mutex<TcpStream>,
+    client_gone: &AtomicBool,
+) {
+    // Runs until disconnect or garbage input drops the client.
+    while let Ok(msg) = read_msg_body(&mut control).and_then(|b| ClientMsg::decode(&b)) {
+        match msg {
+            ClientMsg::InjectMarker { label } => {
+                let _ = shared.sensor.mark(label);
+            }
+            ClientMsg::QueryStats => {
+                let stats = StreamStats {
+                    frames_published: shared.ring.head(),
+                    active_subscribers: shared.active_subscribers.load(Ordering::SeqCst),
+                    evicted: shared.evicted.load(Ordering::SeqCst),
+                    gap_events: shared.gap_events.load(Ordering::SeqCst),
+                };
+                if write_msg(&mut *writer.lock(), &ServerMsg::Stats(stats).encode()).is_err() {
+                    break;
+                }
+            }
+            ClientMsg::Bye => break,
+            ClientMsg::Subscribe { .. } => break, // protocol violation
+        }
+    }
+    client_gone.store(true, Ordering::SeqCst);
+}
+
+/// Drains the ring into one subscriber's socket.
+fn sender_loop(
+    shared: &DaemonShared,
+    writer: &Mutex<TcpStream>,
+    pair_mask: u8,
+    divisor: u32,
+    client_gone: &AtomicBool,
+) -> SessionEnd {
+    // Expand the pair mask to a slot mask (pair p = slots 2p, 2p+1).
+    let mut slot_mask = 0u8;
+    for pair in 0..SENSOR_SLOTS / 2 {
+        if pair_mask & (1 << pair) != 0 {
+            slot_mask |= 0b11 << (2 * pair);
+        }
+    }
+    let mut downsampler = Downsampler::new(divisor);
+    // Subscribers start at the live edge, not the ring's history.
+    let mut cursor = shared.ring.head();
+    let mut my_gaps = 0u64;
+    let mut batch: Vec<StreamFrame> = Vec::with_capacity(MAX_BATCH_FRAMES);
+
+    loop {
+        if client_gone.load(Ordering::SeqCst) {
+            return SessionEnd::Disconnected;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return SessionEnd::Shutdown;
+        }
+        match shared.ring.next(cursor, Duration::from_millis(20)) {
+            ReadOutcome::Frame(frame) => {
+                cursor += 1;
+                let mut masked = frame;
+                masked.present &= slot_mask;
+                if let Some(out) = downsampler.push(&masked) {
+                    batch.push(out);
+                }
+                // Flush when full, or when the ring is drained (so the
+                // last frames of a burst are not held back).
+                let drained = cursor >= shared.ring.head();
+                if batch.len() >= MAX_BATCH_FRAMES || (drained && !batch.is_empty()) {
+                    match flush(writer, &mut batch) {
+                        Ok(()) => {}
+                        Err(e) if is_stall(&e) => return SessionEnd::Evicted,
+                        Err(_) => return SessionEnd::Disconnected,
+                    }
+                }
+            }
+            ReadOutcome::Lapped { resume_at, dropped } => {
+                cursor = resume_at;
+                downsampler.reset();
+                batch.clear();
+                my_gaps += 1;
+                shared.gap_events.fetch_add(1, Ordering::SeqCst);
+                let gap = ServerMsg::Gap { dropped }.encode();
+                match write_msg(&mut *writer.lock(), &gap) {
+                    Ok(()) => {}
+                    Err(e) if is_stall(&e) => return SessionEnd::Evicted,
+                    Err(_) => return SessionEnd::Disconnected,
+                }
+                if my_gaps > shared.config.max_gap_events {
+                    return SessionEnd::Evicted;
+                }
+            }
+            ReadOutcome::TimedOut => {
+                if !batch.is_empty() {
+                    match flush(writer, &mut batch) {
+                        Ok(()) => {}
+                        Err(e) if is_stall(&e) => return SessionEnd::Evicted,
+                        Err(_) => return SessionEnd::Disconnected,
+                    }
+                }
+            }
+            ReadOutcome::Closed => return SessionEnd::Shutdown,
+        }
+    }
+}
+
+fn flush(writer: &Mutex<TcpStream>, batch: &mut Vec<StreamFrame>) -> io::Result<()> {
+    let msg = ServerMsg::Batch {
+        frames: std::mem::take(batch),
+    }
+    .encode();
+    write_msg(&mut *writer.lock(), &msg)
+}
+
+/// A write that hit the socket's write timeout means the peer stopped
+/// reading: the stall signal.
+fn is_stall(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_default_is_sane() {
+        let config = StreamDaemonConfig::default();
+        assert!(config.ring_capacity >= 1024);
+        assert!(config.write_timeout >= Duration::from_millis(100));
+        assert!(config.max_gap_events >= 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-subscriber block-averaging downsampler.
+//!
+//! A subscriber asks for a divisor `d`: every `d` consecutive device
+//! frames become one delivered frame whose raw codes are the block
+//! mean (computed with [`ps3_analysis::block_average`], the same
+//! primitive the offline analysis uses), timestamped at the last frame
+//! of the block. Markers anywhere in the block are propagated. A gap
+//! in the stream resets the current block so partial blocks are never
+//! emitted.
+
+use ps3_analysis::block_average;
+use ps3_firmware::SENSOR_SLOTS;
+
+use crate::proto::StreamFrame;
+
+/// Block-averaging state for one subscriber.
+#[derive(Debug)]
+pub struct Downsampler {
+    divisor: usize,
+    /// Per-slot raw codes of the block under construction.
+    blocks: [Vec<f64>; SENSOR_SLOTS],
+    filled: usize,
+    /// Slots present in *every* frame of the block so far.
+    present: u8,
+    marker: bool,
+    last_time: Option<ps3_units::SimTime>,
+}
+
+impl Downsampler {
+    /// Creates a downsampler delivering one frame per `divisor` input
+    /// frames (`1` passes frames through untouched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    #[must_use]
+    pub fn new(divisor: u32) -> Self {
+        assert!(divisor > 0, "divisor must be at least 1");
+        Self {
+            divisor: divisor as usize,
+            blocks: core::array::from_fn(|_| Vec::with_capacity(divisor as usize)),
+            filled: 0,
+            present: u8::MAX,
+            marker: false,
+            last_time: None,
+        }
+    }
+
+    /// The configured divisor.
+    #[must_use]
+    pub fn divisor(&self) -> u32 {
+        self.divisor as u32
+    }
+
+    /// Feeds one device frame; returns a delivered frame when a block
+    /// completes.
+    pub fn push(&mut self, frame: &StreamFrame) -> Option<StreamFrame> {
+        if self.divisor == 1 {
+            return Some(*frame);
+        }
+        for (slot, block) in self.blocks.iter_mut().enumerate() {
+            block.push(f64::from(frame.raw[slot]));
+        }
+        self.present &= frame.present;
+        self.marker |= frame.marker;
+        self.last_time = Some(frame.time);
+        self.filled += 1;
+        if self.filled < self.divisor {
+            return None;
+        }
+        let mut out = StreamFrame {
+            time: self.last_time.expect("block not empty"),
+            raw: [0; SENSOR_SLOTS],
+            present: self.present,
+            marker: self.marker,
+        };
+        for (slot, block) in self.blocks.iter().enumerate() {
+            if out.present & (1 << slot) != 0 {
+                // One full block in, one mean out.
+                out.raw[slot] = block_average(block, self.divisor)[0].round() as u16;
+            }
+        }
+        self.reset();
+        Some(out)
+    }
+
+    /// Discards the block under construction (call after a stream gap
+    /// so means never span missing data).
+    pub fn reset(&mut self) {
+        for block in &mut self.blocks {
+            block.clear();
+        }
+        self.filled = 0;
+        self.present = u8::MAX;
+        self.marker = false;
+        self.last_time = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps3_units::SimTime;
+
+    fn frame(t_us: u64, code: u16) -> StreamFrame {
+        StreamFrame {
+            time: SimTime::from_micros(t_us),
+            raw: [code; SENSOR_SLOTS],
+            present: 0b0000_0011,
+            marker: false,
+        }
+    }
+
+    #[test]
+    fn divisor_one_passes_through() {
+        let mut ds = Downsampler::new(1);
+        let f = frame(50, 700);
+        assert_eq!(ds.push(&f), Some(f));
+    }
+
+    #[test]
+    fn averages_blocks_and_stamps_block_end() {
+        let mut ds = Downsampler::new(4);
+        assert!(ds.push(&frame(50, 100)).is_none());
+        assert!(ds.push(&frame(100, 200)).is_none());
+        assert!(ds.push(&frame(150, 300)).is_none());
+        let out = ds.push(&frame(200, 400)).expect("block complete");
+        assert_eq!(out.raw[0], 250);
+        assert_eq!(out.time.as_micros(), 200);
+        assert_eq!(out.present, 0b0000_0011);
+        // Next block is independent.
+        assert!(ds.push(&frame(250, 900)).is_none());
+    }
+
+    #[test]
+    fn marker_propagates_from_any_frame_in_block() {
+        let mut ds = Downsampler::new(2);
+        let mut marked = frame(50, 10);
+        marked.marker = true;
+        assert!(ds.push(&marked).is_none());
+        let out = ds.push(&frame(100, 20)).unwrap();
+        assert!(out.marker);
+        // Consumed: the next block starts unmarked.
+        ds.push(&frame(150, 30));
+        let out = ds.push(&frame(200, 40)).unwrap();
+        assert!(!out.marker);
+    }
+
+    #[test]
+    fn reset_discards_partial_block() {
+        let mut ds = Downsampler::new(3);
+        ds.push(&frame(50, 1000));
+        ds.push(&frame(100, 1000));
+        ds.reset();
+        ds.push(&frame(300, 10));
+        ds.push(&frame(350, 20));
+        let out = ds.push(&frame(400, 30)).unwrap();
+        // No 1000-valued samples leak across the gap.
+        assert_eq!(out.raw[0], 20);
+    }
+
+    #[test]
+    fn present_mask_is_intersection() {
+        let mut ds = Downsampler::new(2);
+        let mut partial = frame(50, 5);
+        partial.present = 0b0000_0001;
+        ds.push(&partial);
+        let out = ds.push(&frame(100, 7)).unwrap();
+        assert_eq!(out.present, 0b0000_0001);
+    }
+}

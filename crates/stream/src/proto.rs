@@ -1,0 +1,522 @@
+//! The streaming wire protocol.
+//!
+//! Every message is length-prefixed: `[u32 LE length][u8 tag][payload]`
+//! where `length` counts the tag byte plus the payload. Sample data
+//! rides inside [`ServerMsg::Batch`] as the device's native 2-byte
+//! sensor packets (see [`ps3_firmware::protocol::Packet`]), so the
+//! encoder and decoder of the USB protocol are reused verbatim on the
+//! network path; only the timestamp is lifted out of the 10-bit
+//! wrapping scheme into an absolute µs header per frame.
+
+use std::io::{self, Read, Write};
+
+use ps3_firmware::protocol::Packet;
+use ps3_firmware::{SensorConfig, CONFIG_WIRE_SIZE, SENSOR_SLOTS};
+use ps3_units::SimTime;
+
+/// Upper bound on a single message body, as a corruption guard.
+pub const MAX_MSG_LEN: usize = 1 << 20;
+
+/// Frames per [`ServerMsg::Batch`] cap (keeps messages bounded).
+pub const MAX_BATCH_FRAMES: usize = 512;
+
+/// One sample frame as it travels the stream: absolute time, the raw
+/// 10-bit code per slot, a mask of slots that are present, and the
+/// marker flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamFrame {
+    /// Absolute device timestamp.
+    pub time: SimTime,
+    /// Raw ADC code per sensor slot (only `present` slots meaningful).
+    pub raw: [u16; SENSOR_SLOTS],
+    /// Bit `i` set when slot `i` carries a sample.
+    pub present: u8,
+    /// Whether a marker is attached to this frame.
+    pub marker: bool,
+}
+
+impl StreamFrame {
+    /// A frame with no samples at the epoch.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            time: SimTime::ZERO,
+            raw: [0; SENSOR_SLOTS],
+            present: 0,
+            marker: false,
+        }
+    }
+}
+
+/// Messages a subscriber sends to the daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientMsg {
+    /// Opens the stream: which sensor pairs, and how many device frames
+    /// to average per delivered frame (1 = native 20 kHz).
+    Subscribe {
+        /// Bit `p` set selects sensor pair `p` (slots `2p` and `2p+1`).
+        pair_mask: u8,
+        /// Block-averaging divisor (≥ 1).
+        divisor: u32,
+    },
+    /// Asks the daemon to inject a time-synced marker at the device.
+    InjectMarker {
+        /// Label paired with the marker in traces and dumps.
+        label: char,
+    },
+    /// Requests a [`ServerMsg::Stats`] reply.
+    QueryStats,
+    /// Clean goodbye before closing the connection.
+    Bye,
+}
+
+/// Messages the daemon sends to a subscriber.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMsg {
+    /// First message on a stream: acquisition cadence and the sensor
+    /// configuration, so the client can convert raw codes locally.
+    Hello {
+        /// Device frame interval in microseconds (50 at 20 kHz).
+        frame_interval_us: u32,
+        /// EEPROM configuration per sensor slot.
+        configs: Box<[SensorConfig; SENSOR_SLOTS]>,
+    },
+    /// A run of consecutive sample frames.
+    Batch {
+        /// The frames, oldest first.
+        frames: Vec<StreamFrame>,
+    },
+    /// The subscriber fell behind and frames were dropped (drop-oldest
+    /// policy); the stream resumes after the gap.
+    Gap {
+        /// Number of frames this subscriber missed.
+        dropped: u64,
+    },
+    /// Daemon statistics, answering [`ClientMsg::QueryStats`].
+    Stats(StreamStats),
+    /// The daemon is closing this subscription (too slow, or daemon
+    /// shutdown).
+    Evicted,
+}
+
+/// Daemon-side counters, exposed over the wire and via
+/// `StreamDaemon::stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Frames published into the broadcast ring since start.
+    pub frames_published: u64,
+    /// Currently connected subscribers.
+    pub active_subscribers: u64,
+    /// Subscribers evicted for falling behind or stalling.
+    pub evicted: u64,
+    /// Total gap events across all subscribers.
+    pub gap_events: u64,
+}
+
+mod tag {
+    pub const SUBSCRIBE: u8 = b'S';
+    pub const MARKER: u8 = b'M';
+    pub const QUERY_STATS: u8 = b'Q';
+    pub const BYE: u8 = b'B';
+    pub const HELLO: u8 = b'H';
+    pub const BATCH: u8 = b'D';
+    pub const GAP: u8 = b'G';
+    pub const STATS: u8 = b'T';
+    pub const EVICTED: u8 = b'E';
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(bytes: &[u8]) -> io::Result<(u32, &[u8])> {
+    let (head, rest) = split(bytes, 4)?;
+    Ok((u32::from_le_bytes(head.try_into().expect("size")), rest))
+}
+
+fn get_u64(bytes: &[u8]) -> io::Result<(u64, &[u8])> {
+    let (head, rest) = split(bytes, 8)?;
+    Ok((u64::from_le_bytes(head.try_into().expect("size")), rest))
+}
+
+fn split(bytes: &[u8], n: usize) -> io::Result<(&[u8], &[u8])> {
+    if bytes.len() < n {
+        return Err(malformed("message truncated"));
+    }
+    Ok(bytes.split_at(n))
+}
+
+fn malformed(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("stream protocol: {what}"),
+    )
+}
+
+/// Encodes one frame into `out`: `[t_us u64 LE][n u8][n × 2-byte
+/// sensor packets]`.
+fn encode_frame(frame: &StreamFrame, out: &mut Vec<u8>) {
+    put_u64(out, frame.time.as_micros());
+    let count_at = out.len();
+    out.push(0);
+    let mut n = 0u8;
+    let mut marker_pending = frame.marker;
+    for slot in 0..SENSOR_SLOTS {
+        if frame.present & (1 << slot) == 0 {
+            continue;
+        }
+        // The marker rides the first present slot. Slot 7 with the
+        // marker bit would alias the timestamp packet encoding, so it
+        // never carries one.
+        let marker = marker_pending && slot != 7;
+        if marker {
+            marker_pending = false;
+        }
+        let packet = Packet::Sample {
+            sensor: slot as u8,
+            marker,
+            value: frame.raw[slot],
+        };
+        out.extend_from_slice(&packet.encode());
+        n += 1;
+    }
+    out[count_at] = n;
+}
+
+/// Decodes one frame, returning it and the remaining bytes.
+fn decode_frame(bytes: &[u8]) -> io::Result<(StreamFrame, &[u8])> {
+    let (t_us, bytes) = get_u64(bytes)?;
+    let (n, bytes) = split(bytes, 1)?;
+    let n = n[0] as usize;
+    if n > SENSOR_SLOTS {
+        return Err(malformed("too many packets in frame"));
+    }
+    let (packet_bytes, rest) = split(bytes, 2 * n)?;
+    let mut frame = StreamFrame {
+        time: SimTime::from_micros(t_us),
+        raw: [0; SENSOR_SLOTS],
+        present: 0,
+        marker: false,
+    };
+    for chunk in packet_bytes.chunks_exact(2) {
+        let packet = Packet::decode([chunk[0], chunk[1]])
+            .map_err(|e| malformed(&format!("bad sensor packet: {e}")))?;
+        match packet {
+            Packet::Sample {
+                sensor,
+                marker,
+                value,
+            } => {
+                frame.raw[sensor as usize] = value;
+                frame.present |= 1 << sensor;
+                frame.marker |= marker;
+            }
+            Packet::Timestamp { .. } => {
+                return Err(malformed("timestamp packet inside stream frame"))
+            }
+        }
+    }
+    Ok((frame, rest))
+}
+
+impl ClientMsg {
+    /// Serialises the message, including the length prefix.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        match self {
+            Self::Subscribe { pair_mask, divisor } => {
+                body.push(tag::SUBSCRIBE);
+                body.push(*pair_mask);
+                put_u32(&mut body, *divisor);
+            }
+            Self::InjectMarker { label } => {
+                body.push(tag::MARKER);
+                put_u32(&mut body, *label as u32);
+            }
+            Self::QueryStats => body.push(tag::QUERY_STATS),
+            Self::Bye => body.push(tag::BYE),
+        }
+        with_length_prefix(body)
+    }
+
+    /// Parses a message body (tag + payload, no length prefix).
+    pub fn decode(body: &[u8]) -> io::Result<Self> {
+        let (tag_byte, payload) = split(body, 1)?;
+        match tag_byte[0] {
+            tag::SUBSCRIBE => {
+                let (mask, payload) = split(payload, 1)?;
+                let (divisor, _) = get_u32(payload)?;
+                if divisor == 0 {
+                    return Err(malformed("zero divisor"));
+                }
+                Ok(Self::Subscribe {
+                    pair_mask: mask[0],
+                    divisor,
+                })
+            }
+            tag::MARKER => {
+                let (code, _) = get_u32(payload)?;
+                let label = char::from_u32(code).ok_or_else(|| malformed("bad marker char"))?;
+                Ok(Self::InjectMarker { label })
+            }
+            tag::QUERY_STATS => Ok(Self::QueryStats),
+            tag::BYE => Ok(Self::Bye),
+            t => Err(malformed(&format!("unknown client tag {t:#x}"))),
+        }
+    }
+}
+
+impl ServerMsg {
+    /// Serialises the message, including the length prefix.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        match self {
+            Self::Hello {
+                frame_interval_us,
+                configs,
+            } => {
+                body.push(tag::HELLO);
+                put_u32(&mut body, *frame_interval_us);
+                for cfg in configs.iter() {
+                    body.extend_from_slice(&cfg.to_wire());
+                }
+            }
+            Self::Batch { frames } => {
+                body.push(tag::BATCH);
+                put_u32(&mut body, frames.len() as u32);
+                for frame in frames {
+                    encode_frame(frame, &mut body);
+                }
+            }
+            Self::Gap { dropped } => {
+                body.push(tag::GAP);
+                put_u64(&mut body, *dropped);
+            }
+            Self::Stats(stats) => {
+                body.push(tag::STATS);
+                put_u64(&mut body, stats.frames_published);
+                put_u64(&mut body, stats.active_subscribers);
+                put_u64(&mut body, stats.evicted);
+                put_u64(&mut body, stats.gap_events);
+            }
+            Self::Evicted => body.push(tag::EVICTED),
+        }
+        with_length_prefix(body)
+    }
+
+    /// Parses a message body (tag + payload, no length prefix).
+    pub fn decode(body: &[u8]) -> io::Result<Self> {
+        let (tag_byte, payload) = split(body, 1)?;
+        match tag_byte[0] {
+            tag::HELLO => {
+                let (frame_interval_us, mut payload) = get_u32(payload)?;
+                let mut configs: Box<[SensorConfig; SENSOR_SLOTS]> =
+                    Box::new(core::array::from_fn(|_| SensorConfig::unpopulated()));
+                for cfg in configs.iter_mut() {
+                    let (record, rest) = split(payload, CONFIG_WIRE_SIZE)?;
+                    *cfg = SensorConfig::from_wire(record.try_into().expect("size"))
+                        .map_err(|e| malformed(&format!("bad sensor config: {e}")))?;
+                    payload = rest;
+                }
+                Ok(Self::Hello {
+                    frame_interval_us,
+                    configs,
+                })
+            }
+            tag::BATCH => {
+                let (count, mut payload) = get_u32(payload)?;
+                if count as usize > MAX_BATCH_FRAMES {
+                    return Err(malformed("oversized batch"));
+                }
+                let mut frames = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let (frame, rest) = decode_frame(payload)?;
+                    frames.push(frame);
+                    payload = rest;
+                }
+                Ok(Self::Batch { frames })
+            }
+            tag::GAP => {
+                let (dropped, _) = get_u64(payload)?;
+                Ok(Self::Gap { dropped })
+            }
+            tag::STATS => {
+                let (frames_published, payload) = get_u64(payload)?;
+                let (active_subscribers, payload) = get_u64(payload)?;
+                let (evicted, payload) = get_u64(payload)?;
+                let (gap_events, _) = get_u64(payload)?;
+                Ok(Self::Stats(StreamStats {
+                    frames_published,
+                    active_subscribers,
+                    evicted,
+                    gap_events,
+                }))
+            }
+            tag::EVICTED => Ok(Self::Evicted),
+            t => Err(malformed(&format!("unknown server tag {t:#x}"))),
+        }
+    }
+}
+
+fn with_length_prefix(body: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Reads one length-prefixed message body from `reader`.
+///
+/// # Errors
+///
+/// I/O errors from the underlying reader;
+/// [`io::ErrorKind::InvalidData`] on an oversized or empty length.
+pub fn read_msg_body<R: Read>(reader: &mut R) -> io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    reader.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len == 0 || len > MAX_MSG_LEN {
+        return Err(malformed("bad message length"));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Writes pre-encoded message bytes to `writer` and flushes.
+///
+/// # Errors
+///
+/// I/O errors from the underlying writer.
+pub fn write_msg<W: Write>(writer: &mut W, encoded: &[u8]) -> io::Result<()> {
+    writer.write_all(encoded)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(t_us: u64, present: u8, marker: bool) -> StreamFrame {
+        let mut raw = [0u16; SENSOR_SLOTS];
+        for (slot, code) in raw.iter_mut().enumerate() {
+            *code = (100 * slot as u16 + t_us as u16) & 0x3FF;
+        }
+        StreamFrame {
+            time: SimTime::from_micros(t_us),
+            raw,
+            present,
+            marker,
+        }
+    }
+
+    fn roundtrip_server(msg: &ServerMsg) -> ServerMsg {
+        let bytes = msg.encode();
+        let mut cursor = io::Cursor::new(bytes);
+        let body = read_msg_body(&mut cursor).unwrap();
+        ServerMsg::decode(&body).unwrap()
+    }
+
+    #[test]
+    fn client_messages_roundtrip() {
+        for msg in [
+            ClientMsg::Subscribe {
+                pair_mask: 0b0101,
+                divisor: 2000,
+            },
+            ClientMsg::InjectMarker { label: 'λ' },
+            ClientMsg::QueryStats,
+            ClientMsg::Bye,
+        ] {
+            let bytes = msg.encode();
+            let mut cursor = io::Cursor::new(bytes);
+            let body = read_msg_body(&mut cursor).unwrap();
+            assert_eq!(ClientMsg::decode(&body).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn batch_roundtrips_with_masked_slots() {
+        let msg = ServerMsg::Batch {
+            frames: vec![
+                frame(1000, 0b0000_0011, true),
+                frame(1050, 0b1111_1111, false),
+                frame(1100, 0b1000_0000, true), // marker on slot-7-only frame
+            ],
+        };
+        let ServerMsg::Batch { frames } = roundtrip_server(&msg) else {
+            panic!("wrong message kind");
+        };
+        assert_eq!(frames[0].present, 0b0000_0011);
+        assert!(frames[0].marker);
+        assert_eq!(frames[0].time.as_micros(), 1000);
+        // Only present slots carry data; masked raw codes are zeroed.
+        assert_eq!(frames[0].raw[2], 0);
+        assert_eq!(frames[1].present, 0b1111_1111);
+        let original = frame(1050, 0b1111_1111, false);
+        assert_eq!(frames[1].raw, original.raw);
+        // Slot 7 cannot carry a marker (would alias a timestamp
+        // packet): the flag is dropped, never mis-decoded.
+        assert_eq!(frames[2].present, 0b1000_0000);
+        assert!(!frames[2].marker);
+    }
+
+    #[test]
+    fn hello_roundtrips_configs() {
+        let mut configs: Box<[SensorConfig; SENSOR_SLOTS]> =
+            Box::new(core::array::from_fn(|_| SensorConfig::unpopulated()));
+        configs[0] = SensorConfig::new("I0", 3.3, 0.12, true);
+        configs[1] = SensorConfig::new("U0", 3.3, 5.0, true);
+        let msg = ServerMsg::Hello {
+            frame_interval_us: 50,
+            configs,
+        };
+        let ServerMsg::Hello {
+            frame_interval_us,
+            configs,
+        } = roundtrip_server(&msg)
+        else {
+            panic!("wrong message kind");
+        };
+        assert_eq!(frame_interval_us, 50);
+        assert_eq!(configs[0].name, "I0");
+        assert!((configs[1].gain - 5.0).abs() < 1e-6);
+        assert!(!configs[2].enabled);
+    }
+
+    #[test]
+    fn stats_and_gap_roundtrip() {
+        let stats = StreamStats {
+            frames_published: 123_456,
+            active_subscribers: 9,
+            evicted: 2,
+            gap_events: 17,
+        };
+        assert_eq!(
+            roundtrip_server(&ServerMsg::Stats(stats)),
+            ServerMsg::Stats(stats)
+        );
+        assert_eq!(
+            roundtrip_server(&ServerMsg::Gap { dropped: 4096 }),
+            ServerMsg::Gap { dropped: 4096 }
+        );
+        assert_eq!(roundtrip_server(&ServerMsg::Evicted), ServerMsg::Evicted);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(ServerMsg::decode(&[0xFF, 0, 0]).is_err());
+        assert!(ClientMsg::decode(&[]).is_err());
+        assert!(ClientMsg::decode(&[tag::SUBSCRIBE, 1, 0, 0, 0, 0]).is_err()); // divisor 0
+        let mut short = io::Cursor::new(vec![200u8, 0, 0, 0, 1, 2]);
+        assert!(read_msg_body(&mut short).is_err());
+        let mut huge = io::Cursor::new((u32::MAX).to_le_bytes().to_vec());
+        assert!(read_msg_body(&mut huge).is_err());
+    }
+}

@@ -2,8 +2,7 @@
 //! setups.
 
 use ps3_duts::{
-    BenchSetup, GpuModel, GpuSpec, JetsonModel, JetsonSpec, LoadProgram, RailId, SsdModel,
-    SsdSpec,
+    BenchSetup, GpuModel, GpuSpec, JetsonModel, JetsonSpec, LoadProgram, RailId, SsdModel, SsdSpec,
 };
 use ps3_sensors::ModuleKind;
 
@@ -85,7 +84,8 @@ mod tests {
             11,
         );
         let ps = tb.connect().unwrap();
-        tb.advance_and_sync(&ps, SimDuration::from_millis(20)).unwrap();
+        tb.advance_and_sync(&ps, SimDuration::from_millis(20))
+            .unwrap();
         let w = ps.read().total_watts().value();
         // ≈ 8 A × ~11.9 V (droop) = 95.5 W.
         assert!((w - 95.5).abs() < 3.0, "w {w}");
@@ -96,12 +96,14 @@ mod tests {
         let mut tb = gpu_riser(GpuSpec::rtx4000_ada(), 12);
         let gpu = tb.dut();
         let ps = tb.connect().unwrap();
-        tb.advance_and_sync(&ps, SimDuration::from_millis(20)).unwrap();
+        tb.advance_and_sync(&ps, SimDuration::from_millis(20))
+            .unwrap();
         let idle = ps.read().total_watts().value();
         assert!((idle - 18.0).abs() < 2.5, "idle {idle}");
         gpu.lock()
             .launch(GpuKernel::synthetic_fma(SimDuration::from_secs(1), 4));
-        tb.advance_and_sync(&ps, SimDuration::from_millis(500)).unwrap();
+        tb.advance_and_sync(&ps, SimDuration::from_millis(500))
+            .unwrap();
         let busy = ps.read().total_watts().value();
         assert!(busy > 100.0, "busy {busy}");
         // All three pairs enabled and contributing.
@@ -114,7 +116,8 @@ mod tests {
     fn jetson_usbc_measures_whole_board() {
         let mut tb = jetson_usbc(JetsonSpec::agx_orin(), 13);
         let ps = tb.connect().unwrap();
-        tb.advance_and_sync(&ps, SimDuration::from_millis(20)).unwrap();
+        tb.advance_and_sync(&ps, SimDuration::from_millis(20))
+            .unwrap();
         let idle = ps.read().total_watts().value();
         // Whole board ≈ 16.5 W (module + carrier).
         assert!((idle - 16.5).abs() < 2.0, "idle {idle}");
@@ -125,13 +128,15 @@ mod tests {
         let mut tb = ssd_riser(SsdSpec::samsung_980_pro(), 14);
         let ssd = tb.dut();
         let ps = tb.connect().unwrap();
-        tb.advance_and_sync(&ps, SimDuration::from_millis(10)).unwrap();
+        tb.advance_and_sync(&ps, SimDuration::from_millis(10))
+            .unwrap();
         let idle = ps.read().total_watts().value();
         ssd.lock().start_job(FioJob {
             pattern: IoPattern::RandRead { block_kib: 1024 },
             queue_depth: 32,
         });
-        tb.advance_and_sync(&ps, SimDuration::from_millis(100)).unwrap();
+        tb.advance_and_sync(&ps, SimDuration::from_millis(100))
+            .unwrap();
         let busy = ps.read().total_watts().value();
         assert!(busy > idle + 2.0, "idle {idle}, busy {busy}");
     }

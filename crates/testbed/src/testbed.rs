@@ -335,7 +335,8 @@ mod tests {
     fn end_to_end_power_readout() {
         let mut tb = twelve_volt_two_amp().build();
         let ps = tb.connect().unwrap();
-        tb.advance_and_sync(&ps, SimDuration::from_millis(20)).unwrap();
+        tb.advance_and_sync(&ps, SimDuration::from_millis(20))
+            .unwrap();
         let state = ps.read();
         let measured = state.total_watts().value();
         assert!((measured - 24.0).abs() < 1.0, "measured {measured}");
@@ -351,7 +352,8 @@ mod tests {
                 .factory_calibrated(calibrated)
                 .build();
             let ps = tb.connect().unwrap();
-            tb.advance_and_sync(&ps, SimDuration::from_millis(50)).unwrap();
+            tb.advance_and_sync(&ps, SimDuration::from_millis(50))
+                .unwrap();
             (ps.read().total_watts().value() - 24.0).abs()
         };
         let calibrated_err = measure(true);
@@ -378,7 +380,8 @@ mod tests {
         let run = |seed: u64| -> f64 {
             let mut tb = twelve_volt_two_amp().seed(seed).build();
             let ps = tb.connect().unwrap();
-            tb.advance_and_sync(&ps, SimDuration::from_millis(20)).unwrap();
+            tb.advance_and_sync(&ps, SimDuration::from_millis(20))
+                .unwrap();
             ps.read().total_watts().value()
         };
         let a = run(1);
@@ -399,7 +402,8 @@ mod tests {
         let ps = tb.connect().unwrap();
         assert_eq!(tb.frame_interval(), SimDuration::from_micros(100));
         ps.begin_trace();
-        tb.advance_and_sync(&ps, SimDuration::from_millis(20)).unwrap();
+        tb.advance_and_sync(&ps, SimDuration::from_millis(20))
+            .unwrap();
         let trace = ps.end_trace();
         let rate = trace.sample_rate().unwrap();
         assert!((rate - 10_000.0).abs() < 100.0, "rate {rate}");

@@ -112,7 +112,10 @@ mod tests {
             TransportError::Disconnected.to_string(),
             "transport peer disconnected"
         );
-        assert_eq!(TransportError::TimedOut.to_string(), "transport read timed out");
+        assert_eq!(
+            TransportError::TimedOut.to_string(),
+            "transport read timed out"
+        );
     }
 
     #[test]

@@ -213,7 +213,9 @@ mod tests {
     fn read_timeout() {
         let (a, _b) = VirtualSerial::pair();
         let mut buf = [0u8; 1];
-        let err = a.read(&mut buf, Some(Duration::from_millis(10))).unwrap_err();
+        let err = a
+            .read(&mut buf, Some(Duration::from_millis(10)))
+            .unwrap_err();
         assert_eq!(err, TransportError::TimedOut);
     }
 

@@ -24,11 +24,11 @@ mod strategy;
 mod tuner;
 
 pub use model::{BeamformerModel, BeamformerProblem, KernelEstimate};
+pub use optimizer::{hill_climb, neighbours, random_search, SearchResult};
 pub use strategy::{
     measure_with_onboard, measure_with_powersensor, Measurement, MeasurementStrategy,
 };
-pub use optimizer::{hill_climb, neighbours, random_search, SearchResult};
-pub use tuner::{TuningOutcome, TuningRecord, Tuner};
+pub use tuner::{Tuner, TuningOutcome, TuningRecord};
 
 /// One point in the tunable-parameter space (the paper's 512 variants).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

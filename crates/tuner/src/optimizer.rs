@@ -43,7 +43,10 @@ pub fn random_search<F>(
 where
     F: FnMut(&TunableParams, f64) -> f64,
 {
-    assert!(!space.is_empty() && !clocks.is_empty(), "empty search space");
+    assert!(
+        !space.is_empty() && !clocks.is_empty(),
+        "empty search space"
+    );
     assert!(budget > 0, "zero budget");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut best: Option<SearchResult> = None;
@@ -128,7 +131,10 @@ pub fn hill_climb<F>(
 where
     F: FnMut(&TunableParams, f64) -> f64,
 {
-    assert!(!space.is_empty() && !clocks.is_empty(), "empty search space");
+    assert!(
+        !space.is_empty() && !clocks.is_empty(),
+        "empty search space"
+    );
     assert!(starts > 0 && budget > 0, "zero starts/budget");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut spent = 0usize;

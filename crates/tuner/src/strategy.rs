@@ -68,8 +68,7 @@ fn plan_launch(
     // Wave durations are specified at boost clock; scale so the actual
     // execution time at `actual_clock` matches the estimate's duration
     // (the estimate already includes the clock's performance effect).
-    let total_boost_s =
-        est.duration.as_secs_f64() * (actual_clock / spec.boost_mhz);
+    let total_boost_s = est.duration.as_secs_f64() * (actual_clock / spec.boost_mhz);
     let waves = est.waves.max(1) * repeats;
     let kernel = GpuKernel {
         waves,
@@ -79,8 +78,8 @@ fn plan_launch(
         gap: WAVE_GAP,
         utilization: est.utilization,
     };
-    let wall = est.duration.as_secs_f64() * f64::from(repeats)
-        + f64::from(waves) * WAVE_GAP.as_secs_f64();
+    let wall =
+        est.duration.as_secs_f64() * f64::from(repeats) + f64::from(waves) * WAVE_GAP.as_secs_f64();
     (kernel, SimDuration::from_secs_f64(wall))
 }
 
@@ -202,7 +201,11 @@ mod tests {
         let m = measure_with_onboard(&gpu, &mut sensor, &mut cursor, &est, 2580.0, 7);
         assert!(m.tuning_cost >= ONBOARD_WINDOW + COMPILE_OVERHEAD);
         // Energy of a ~7 ms kernel at ~125 W ≈ 0.9 J.
-        assert!(m.energy_j > 0.3 && m.energy_j < 3.0, "energy {}", m.energy_j);
+        assert!(
+            m.energy_j > 0.3 && m.energy_j < 3.0,
+            "energy {}",
+            m.energy_j
+        );
         assert!(cursor > SimTime::ZERO);
     }
 

@@ -106,11 +106,7 @@ impl Tuner {
     /// variant and `clock_stride`-th clock.
     #[must_use]
     pub fn subset(mut self, stride: usize, clock_stride: usize) -> Self {
-        self.params = self
-            .params
-            .into_iter()
-            .step_by(stride.max(1))
-            .collect();
+        self.params = self.params.into_iter().step_by(stride.max(1)).collect();
         self.clocks = self
             .clocks
             .into_iter()
@@ -225,8 +221,7 @@ impl Tuner {
         for p in &self.params {
             for &clock in &self.clocks {
                 let est = self.model.estimate(p, clock);
-                let wall = est.duration
-                    + SimDuration::from_micros(150) * u64::from(est.waves);
+                let wall = est.duration + SimDuration::from_micros(150) * u64::from(est.waves);
                 let per_trial = wall + SimDuration::from_millis(1);
                 ps3 += crate::strategy::COMPILE_OVERHEAD
                     + per_trial * u64::from(self.accounted_trials);

@@ -27,9 +27,7 @@ fn main() {
     let dut = testbed.dut();
     let ps = testbed.connect().expect("connect");
 
-    let measure_error = |testbed: &powersensor3::testbed::Testbed<BenchSetup>,
-                         amps: f64|
-     -> f64 {
+    let measure_error = |testbed: &powersensor3::testbed::Testbed<BenchSetup>, amps: f64| -> f64 {
         dut.lock()
             .set_program(LoadProgram::Constant(Amps::new(amps)));
         testbed

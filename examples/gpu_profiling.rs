@@ -28,10 +28,8 @@ fn main() {
     // Launch a ~1 s kernel and record both sensors.
     ps.begin_trace();
     ps.mark('k').expect("marker");
-    gpu.lock().launch(GpuKernel::synthetic_fma(
-        SimDuration::from_millis(1000),
-        8,
-    ));
+    gpu.lock()
+        .launch(GpuKernel::synthetic_fma(SimDuration::from_millis(1000), 8));
     let mut nvml_readings = Vec::new();
     for _ in 0..120 {
         testbed
@@ -43,8 +41,8 @@ fn main() {
     let trace = ps.end_trace();
 
     let powers = trace.powers();
-    let stats = powersensor3::analysis::SampleStats::from_samples(powers.iter().copied())
-        .expect("trace");
+    let stats =
+        powersensor3::analysis::SampleStats::from_samples(powers.iter().copied()).expect("trace");
     println!(
         "PowerSensor3: {} samples, min {:.1} W, max {:.1} W, energy {:.2} J",
         trace.len(),

@@ -69,8 +69,7 @@ fn main() {
     let recorder = Arc::new(RecordingTransport::new(host_end));
     let configs;
     {
-        let ps = PowerSensor::connect(SharedRecorder(Arc::clone(&recorder)))
-            .expect("connect");
+        let ps = PowerSensor::connect(SharedRecorder(Arc::clone(&recorder))).expect("connect");
         configs = ps.configs();
         // Drain the whole session (the device stops after 1 s).
         let _ = ps.wait_for_frames(19_000, Duration::from_secs(30));

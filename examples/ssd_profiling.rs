@@ -58,7 +58,10 @@ fn main() {
             .expect("advance");
         let bytes = ssd.lock().stats(testbed.device_time()).host_write_bytes;
         let state = ps.read();
-        let wa = ssd.lock().stats(testbed.device_time()).write_amplification();
+        let wa = ssd
+            .lock()
+            .stats(testbed.device_time())
+            .write_amplification();
         println!(
             "  t={sec:>3}s  {:6.0} MB/s  {:.2} W  (WA {:.2})",
             (bytes - prev_bytes) as f64 / 1e6,

@@ -1,0 +1,150 @@
+//! `ps3-streamd` — the PowerSensor3 streaming daemon over a simulated
+//! device.
+//!
+//! Owns the (virtual) sensor and serves its 20 kHz sample stream to
+//! any number of TCP subscribers; see `examples/streaming.rs` for the
+//! client side. The virtual testbed clock is paced against wall time
+//! so remote subscribers observe a live, real-rate stream.
+//!
+//! ```text
+//! ps3-streamd [--addr HOST:PORT] [--setup bench|gpu] [--seed N] [--secs N]
+//!
+//!   --addr   listen address          (default 127.0.0.1:9421)
+//!   --setup  simulated rig           (default bench)
+//!   --seed   sensor imperfections    (default 42)
+//!   --secs   run duration, 0=forever (default 0)
+//! ```
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use powersensor3::core::SharedPowerSensor;
+use powersensor3::duts::{GpuKernel, GpuSpec, LoadProgram};
+use powersensor3::sensors::ModuleKind;
+use powersensor3::stream::{StreamDaemon, StreamDaemonConfig};
+use powersensor3::testbed::setups;
+use powersensor3::units::{Amps, SimDuration};
+
+/// Wall-clock pacing granularity for the virtual device clock.
+const TICK: Duration = Duration::from_millis(50);
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: ps3-streamd [--addr HOST:PORT] [--setup bench|gpu] [--seed N] [--secs N]"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:9421".to_owned());
+    let setup = flag_value(&args, "--setup").unwrap_or_else(|| "bench".to_owned());
+    let seed: u64 = flag_value(&args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let secs: u64 = flag_value(&args, "--secs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+
+    // Build the simulated rig and a closure that paces its clock.
+    let (sensor, mut advance, label): (SharedPowerSensor, AdvanceFn, &str) = match setup.as_str() {
+        "bench" => {
+            let mut tb = setups::accuracy_bench(
+                ModuleKind::Slot10A12V,
+                LoadProgram::SquareWave {
+                    low: Amps::new(2.0),
+                    high: Amps::new(6.0),
+                    frequency_hz: 2.0,
+                },
+                seed,
+            );
+            let ps = SharedPowerSensor::new(tb.connect().expect("connect"));
+            let sensor = ps.clone();
+            (
+                ps,
+                Box::new(move |d| tb.advance_and_sync(&sensor, d).expect("advance")),
+                "12 V bench, 2/6 A square wave",
+            )
+        }
+        "gpu" => {
+            let mut tb = setups::gpu_riser(GpuSpec::rtx4000_ada(), seed);
+            let dut = tb.dut();
+            let ps = SharedPowerSensor::new(tb.connect().expect("connect"));
+            let sensor = ps.clone();
+            let mut next_kick = SimDuration::ZERO;
+            let mut elapsed = SimDuration::ZERO;
+            (
+                ps,
+                Box::new(move |d| {
+                    // Re-launch a kernel burst every virtual second.
+                    if elapsed >= next_kick {
+                        dut.lock()
+                            .launch(GpuKernel::synthetic_fma(SimDuration::from_millis(600), 8));
+                        next_kick = elapsed + SimDuration::from_secs(1);
+                    }
+                    elapsed += d;
+                    tb.advance_and_sync(&sensor, d).expect("advance");
+                }),
+                "RTX 4000 Ada riser, 600 ms kernel bursts",
+            )
+        }
+        other => {
+            eprintln!("unknown setup '{other}' (expected bench|gpu)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let daemon = match StreamDaemon::start(sensor, &addr[..], StreamDaemonConfig::default()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot listen on {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("ps3-streamd: {label}");
+    println!(
+        "listening on {} (subscribe with powersensor3::stream::StreamClient)",
+        daemon.local_addr()
+    );
+
+    // Pace the virtual clock against wall time.
+    let start = Instant::now();
+    let mut ticks = 0u64;
+    loop {
+        if secs > 0 && start.elapsed() >= Duration::from_secs(secs) {
+            break;
+        }
+        advance(SimDuration::from_nanos(TICK.as_nanos() as u64));
+        ticks += 1;
+        // Sleep off whatever wall time this tick has not yet used.
+        let target = TICK * u32::try_from(ticks).unwrap_or(u32::MAX);
+        if let Some(lag) = target.checked_sub(start.elapsed()) {
+            std::thread::sleep(lag);
+        }
+        if ticks.is_multiple_of(200) {
+            let s = daemon.stats();
+            println!(
+                "t={:>5} s  frames={}  subscribers={}  gaps={}  evicted={}",
+                ticks / 20,
+                s.frames_published,
+                s.active_subscribers,
+                s.gap_events,
+                s.evicted
+            );
+        }
+    }
+    let s = daemon.stats();
+    println!(
+        "done: {} frames served, {} gap events, {} evictions",
+        s.frames_published, s.gap_events, s.evicted
+    );
+    ExitCode::SUCCESS
+}
+
+type AdvanceFn = Box<dyn FnMut(SimDuration)>;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

@@ -73,18 +73,16 @@ fn main() -> ExitCode {
             let out = flag_value(&args, "--out").unwrap_or_else(|| "ps3sim_dump.txt".into());
             cmd_dump(&mut rig, millis, &out)
         }
-        "version" => {
-            match rig.ps.firmware_version() {
-                Ok(v) => {
-                    println!("{v}");
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("version query failed: {e}");
-                    ExitCode::FAILURE
-                }
+        "version" => match rig.ps.firmware_version() {
+            Ok(v) => {
+                println!("{v}");
+                ExitCode::SUCCESS
             }
-        }
+            Err(e) => {
+                eprintln!("version query failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
         other => {
             eprintln!("unknown command '{other}'");
             ExitCode::FAILURE
@@ -139,7 +137,8 @@ impl Rig {
                 let dut = tb.dut();
                 wire(tb, "12 V bench, 4 A constant load", move |_d| {
                     // The "workload": step the load up for a while.
-                    dut.lock().set_program(LoadProgram::Constant(Amps::new(8.0)));
+                    dut.lock()
+                        .set_program(LoadProgram::Constant(Amps::new(8.0)));
                 })
             }
             "gpu" => {
@@ -199,9 +198,7 @@ impl Rig {
 
 fn cmd_test(rig: &mut Rig) -> ExitCode {
     println!("pstest on {}:", rig.label);
-    let intervals: Vec<SimDuration> = (0..6)
-        .map(|i| SimDuration::from_millis(5 << i))
-        .collect();
+    let intervals: Vec<SimDuration> = (0..6).map(|i| SimDuration::from_millis(5 << i)).collect();
     let Rig { ps, advance, .. } = rig;
     match tools::pstest(ps, &intervals, |d| advance(ps, d)) {
         Ok(rows) => {

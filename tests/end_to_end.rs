@@ -25,15 +25,15 @@ fn measured_error_stays_within_worst_case_budget() {
         let mut tb = accuracy_bench(kind, LoadProgram::Constant(Amps::new(8.0)), 1234);
         let bench = tb.dut();
         let ps = tb.connect().unwrap();
-        tb.advance_and_sync(&ps, SimDuration::from_millis(2)).unwrap();
+        tb.advance_and_sync(&ps, SimDuration::from_millis(2))
+            .unwrap();
         ps.begin_trace();
-        tb.advance_and_sync(&ps, SimDuration::from_millis(100)).unwrap();
+        tb.advance_and_sync(&ps, SimDuration::from_millis(100))
+            .unwrap();
         let trace = ps.end_trace();
         let truth = bench.lock().reference(tb.device_time()).watts().value();
-        let stats = SampleStats::from_samples(
-            trace.powers().iter().map(|p| (p - truth).abs()),
-        )
-        .unwrap();
+        let stats =
+            SampleStats::from_samples(trace.powers().iter().map(|p| (p - truth).abs())).unwrap();
         // Worst case is 3σ territory before 6-fold averaging; the mean
         // absolute error of averaged samples sits far below it.
         assert!(
@@ -53,11 +53,13 @@ fn interval_and_trace_modes_agree_on_energy() {
         .seed(55)
         .build();
     let ps = tb.connect().unwrap();
-    tb.advance_and_sync(&ps, SimDuration::from_millis(5)).unwrap();
+    tb.advance_and_sync(&ps, SimDuration::from_millis(5))
+        .unwrap();
 
     let first = ps.read();
     ps.begin_trace();
-    tb.advance_and_sync(&ps, SimDuration::from_millis(200)).unwrap();
+    tb.advance_and_sync(&ps, SimDuration::from_millis(200))
+        .unwrap();
     let trace = ps.end_trace();
     let second = ps.read();
 
@@ -76,11 +78,13 @@ fn multi_rail_gpu_energy_sums_across_pairs() {
     let mut tb = gpu_riser(GpuSpec::rtx4000_ada(), 77);
     let gpu = tb.dut();
     let ps = tb.connect().unwrap();
-    tb.advance_and_sync(&ps, SimDuration::from_millis(10)).unwrap();
+    tb.advance_and_sync(&ps, SimDuration::from_millis(10))
+        .unwrap();
     let first = ps.read();
     gpu.lock()
         .launch(GpuKernel::synthetic_fma(SimDuration::from_millis(300), 4));
-    tb.advance_and_sync(&ps, SimDuration::from_millis(400)).unwrap();
+    tb.advance_and_sync(&ps, SimDuration::from_millis(400))
+        .unwrap();
     let second = ps.read();
 
     let total = joules(&first, &second).value();
@@ -138,14 +142,17 @@ fn dump_file_round_trips_through_filesystem() {
         let ps = tb.connect().unwrap();
         ps.dump_to(std::fs::File::create(&path).unwrap());
         ps.mark('s').unwrap();
-        tb.advance_and_sync(&ps, SimDuration::from_millis(10)).unwrap();
+        tb.advance_and_sync(&ps, SimDuration::from_millis(10))
+            .unwrap();
         ps.stop_dump();
     }
     let text = std::fs::read_to_string(&path).unwrap();
     assert!(text.starts_with("# PowerSensor3 dump"));
     let data_lines = text.lines().filter(|l| !l.starts_with(['#', 'M'])).count();
     assert!(data_lines >= 195, "expected ≈200 frames, got {data_lines}");
-    assert!(text.lines().any(|l| l.starts_with("M ") && l.ends_with('s')));
+    assert!(text
+        .lines()
+        .any(|l| l.starts_with("M ") && l.ends_with('s')));
     std::fs::remove_file(&path).unwrap();
 }
 
@@ -170,13 +177,16 @@ fn dump_round_trips_through_parser() {
             Ok(())
         }
     }
-    tb.advance_and_sync(&ps, SimDuration::from_millis(2)).unwrap();
+    tb.advance_and_sync(&ps, SimDuration::from_millis(2))
+        .unwrap();
     ps.dump_to(SharedWriter(std::sync::Arc::clone(&buf)));
     let first = ps.read();
     ps.mark('a').unwrap();
-    tb.advance_and_sync(&ps, SimDuration::from_millis(50)).unwrap();
+    tb.advance_and_sync(&ps, SimDuration::from_millis(50))
+        .unwrap();
     ps.mark('b').unwrap();
-    tb.advance_and_sync(&ps, SimDuration::from_millis(5)).unwrap();
+    tb.advance_and_sync(&ps, SimDuration::from_millis(5))
+        .unwrap();
     let second = ps.read();
     ps.stop_dump();
 
@@ -211,12 +221,14 @@ fn firmware_version_query_mid_session() {
         .attach(ModuleKind::Slot10A12V, RailId::Slot12V)
         .build();
     let ps = tb.connect().unwrap();
-    tb.advance_and_sync(&ps, SimDuration::from_millis(5)).unwrap();
+    tb.advance_and_sync(&ps, SimDuration::from_millis(5))
+        .unwrap();
     let version = ps.firmware_version().unwrap();
     assert_eq!(version, powersensor3::firmware::FIRMWARE_VERSION);
     // Streaming resumes afterwards.
     let before = ps.frames_received();
-    tb.advance_and_sync(&ps, SimDuration::from_millis(5)).unwrap();
+    tb.advance_and_sync(&ps, SimDuration::from_millis(5))
+        .unwrap();
     assert!(ps.frames_received() > before);
 }
 
@@ -227,9 +239,11 @@ fn seconds_and_watts_are_consistent() {
         .attach(ModuleKind::Slot10A3V3, RailId::Slot3V3)
         .build();
     let ps = tb.connect().unwrap();
-    tb.advance_and_sync(&ps, SimDuration::from_millis(5)).unwrap();
+    tb.advance_and_sync(&ps, SimDuration::from_millis(5))
+        .unwrap();
     let a = ps.read();
-    tb.advance_and_sync(&ps, SimDuration::from_millis(75)).unwrap();
+    tb.advance_and_sync(&ps, SimDuration::from_millis(75))
+        .unwrap();
     let b = ps.read();
     let j = joules(&a, &b).value();
     let s = seconds(&a, &b);

@@ -64,10 +64,7 @@ fn host_survives_corrupted_stream() {
     // One byte in a thousand gets a flipped bit.
     let faulty = FaultyTransport::new(host_end, FaultPlan::NOISY, 42);
     let ps = PowerSensor::connect(faulty).unwrap();
-    target.fetch_add(
-        SimDuration::from_millis(500).as_nanos(),
-        Ordering::SeqCst,
-    );
+    target.fetch_add(SimDuration::from_millis(500).as_nanos(), Ordering::SeqCst);
     wait_frames(&ps, 9_000);
     let state = ps.read();
     // Despite corruption the bulk of the frames decode and the power
@@ -90,10 +87,7 @@ fn host_survives_byte_loss_and_keeps_time_monotonic() {
     let faulty = FaultyTransport::new(host_end, FaultPlan::LOSSY, 43);
     let ps = PowerSensor::connect(faulty).unwrap();
     ps.begin_trace();
-    target.fetch_add(
-        SimDuration::from_millis(500).as_nanos(),
-        Ordering::SeqCst,
-    );
+    target.fetch_add(SimDuration::from_millis(500).as_nanos(), Ordering::SeqCst);
     wait_frames(&ps, 9_000);
     let trace = ps.end_trace();
     // Lost bytes drop whole frames but never corrupt time ordering
@@ -128,10 +122,7 @@ fn energy_accounting_tolerates_lossy_link() {
 fn device_vanishing_mid_session_is_detected() {
     let (host_end, target, stop, handle) = spawn_device();
     let ps = PowerSensor::connect(host_end).unwrap();
-    target.fetch_add(
-        SimDuration::from_millis(10).as_nanos(),
-        Ordering::SeqCst,
-    );
+    target.fetch_add(SimDuration::from_millis(10).as_nanos(), Ordering::SeqCst);
     wait_frames(&ps, 150);
     assert!(ps.is_alive());
     // Kill the device.
@@ -161,10 +152,7 @@ fn marker_commands_pass_through_fault_injector() {
     let ps = PowerSensor::connect(faulty).unwrap();
     ps.begin_trace();
     ps.mark('z').unwrap();
-    target.fetch_add(
-        SimDuration::from_millis(100).as_nanos(),
-        Ordering::SeqCst,
-    );
+    target.fetch_add(SimDuration::from_millis(100).as_nanos(), Ordering::SeqCst);
     wait_frames(&ps, 1_900);
     let trace = ps.end_trace();
     assert_eq!(trace.markers().len(), 1);

@@ -13,6 +13,9 @@ use powersensor3::firmware::protocol::{
 };
 use powersensor3::firmware::SensorConfig;
 use powersensor3::sensors::budget::power_error;
+use powersensor3::transport::{
+    FaultPlan, FaultyTransport, Transport, TransportError, VirtualSerial,
+};
 use powersensor3::units::{Amps, SimTime, Volts, Watts};
 
 proptest! {
@@ -192,6 +195,74 @@ proptest! {
             Amps::new(ei + bump),
         );
         prop_assert!(worse >= base);
+    }
+
+    #[test]
+    fn decoder_survives_faulty_transport_and_resyncs(
+        frames in proptest::collection::vec((0u16..1024, 0u16..1024), 1..80),
+        drop_p in 0.0f64..0.05,
+        corrupt_p in 0.0f64..0.05,
+        seed in 0u64..1_000_000,
+        chunk in 1usize..64,
+        tail in 0u16..1024,
+    ) {
+        // A frame stream (timestamp + two samples each) crosses a
+        // lossy, bit-flipping link and is read in arbitrary partial
+        // chunks. The decoder must never panic, never invent more
+        // packets than the byte count allows, and resynchronise once
+        // clean bytes resume.
+        let (host, device) = VirtualSerial::pair();
+        let plan = FaultPlan {
+            drop_probability: drop_p,
+            corrupt_probability: corrupt_p,
+        };
+        let faulty = FaultyTransport::new(host, plan, seed);
+        let mut bytes = Vec::new();
+        for (i, &(v1, v2)) in frames.iter().enumerate() {
+            let micros = (i as u64 * 50 % 1024) as u16;
+            bytes.extend_from_slice(&Packet::Timestamp { micros }.encode());
+            bytes.extend_from_slice(&Packet::Sample { sensor: 0, marker: false, value: v1 }.encode());
+            bytes.extend_from_slice(&Packet::Sample { sensor: 1, marker: false, value: v2 }.encode());
+        }
+        device.write_all(&bytes).unwrap();
+        drop(device);
+
+        let mut dec = StreamDecoder::new();
+        let mut unwrapper = TimestampUnwrapper::new();
+        let mut decoded = 0usize;
+        let mut buf = vec![0u8; chunk];
+        loop {
+            match faulty.read(&mut buf, None) {
+                Ok(n) => {
+                    for p in dec.push_slice(&buf[..n]) {
+                        decoded += 1;
+                        if let Packet::Timestamp { micros } = p {
+                            // Feeding corrupted timestamps must not panic.
+                            let _ = unwrapper.unwrap(micros);
+                        }
+                    }
+                }
+                Err(TransportError::Disconnected) => break,
+                Err(e) => return Err(TestCaseError::fail(format!("transport error: {e}"))),
+            }
+        }
+        // Faults only remove or mangle bytes, never add: the decoder
+        // can at most see the packets that were sent.
+        prop_assert!(decoded <= frames.len() * 3);
+        if drop_p == 0.0 && corrupt_p == 0.0 {
+            prop_assert_eq!(decoded, frames.len() * 3);
+        }
+
+        // Resync: however mangled the stream left the decoder, a clean
+        // packet pair pushed afterwards decodes — at most the first
+        // packet is sacrificed to framing recovery.
+        let a = Packet::Sample { sensor: 2, marker: false, value: tail };
+        let b = Packet::Sample { sensor: 3, marker: false, value: 1023 - tail };
+        let mut clean = Vec::new();
+        clean.extend_from_slice(&a.encode());
+        clean.extend_from_slice(&b.encode());
+        let recovered = dec.push_slice(&clean);
+        prop_assert!(recovered.contains(&b), "decoder failed to resync: {recovered:?}");
     }
 
     #[test]
