@@ -16,4 +16,22 @@ cargo test -q --workspace
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -q -- -D warnings
 
+echo "==> bench smoke: repro determinism + BENCH_repro.json"
+# Two cheap experiments, serial then 2-way parallel, into separate
+# results directories: the run must not panic, must emit the perf
+# record, and must produce byte-identical CSV artifacts.
+rm -rf target/ci-smoke
+PS3_RESULTS_DIR=target/ci-smoke/serial \
+  ./target/release/repro --smoke --jobs 1 table2 fig4 >/dev/null
+PS3_RESULTS_DIR=target/ci-smoke/par \
+  ./target/release/repro --smoke --jobs 2 table2 fig4 >/dev/null
+for f in table2.csv fig4.csv; do
+  cmp "target/ci-smoke/serial/$f" "target/ci-smoke/par/$f" \
+    || { echo "non-deterministic output: $f"; exit 1; }
+done
+test -s target/ci-smoke/par/BENCH_repro.json \
+  || { echo "BENCH_repro.json missing"; exit 1; }
+grep -q '"jobs": 2' target/ci-smoke/par/BENCH_repro.json \
+  || { echo "BENCH_repro.json lacks jobs field"; exit 1; }
+
 echo "CI green."

@@ -1,0 +1,52 @@
+//! Serial-vs-parallel benchmarks of the experiment engine.
+//!
+//! Runs reduced versions of the sweep-style experiments once on a
+//! single-thread pool and once on the full pool, so the speedup of the
+//! parallel engine (and any regression in the batched sample hot path)
+//! shows up directly in the Criterion report. The machine-readable
+//! counterpart lives in `BENCH_repro.json`, emitted by the `repro`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ps3_bench::{fig4, table2};
+
+/// Samples per sweep point — small enough for a Criterion iteration,
+/// large enough that the per-sample hot path dominates.
+const SAMPLES: usize = 2048;
+
+const SEED: u64 = 0x5EED_2026;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel/fig4");
+    // 4 modules × 21 steps × SAMPLES samples per iteration.
+    g.throughput(Throughput::Elements(4 * 21 * SAMPLES as u64));
+    g.sample_size(10);
+    for jobs in [1usize, 0] {
+        let label = if jobs == 1 { "serial" } else { "all-cores" };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &jobs, |b, &jobs| {
+            rayon::configure_global(jobs);
+            b.iter(|| std::hint::black_box(fig4::run(SAMPLES, SEED)));
+        });
+    }
+    g.finish();
+    rayon::configure_global(0);
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel/table2");
+    g.throughput(Throughput::Elements(2 * SAMPLES as u64));
+    g.sample_size(10);
+    for jobs in [1usize, 0] {
+        let label = if jobs == 1 { "serial" } else { "all-cores" };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &jobs, |b, &jobs| {
+            rayon::configure_global(jobs);
+            b.iter(|| std::hint::black_box(table2::run(SAMPLES, SEED)));
+        });
+    }
+    g.finish();
+    rayon::configure_global(0);
+}
+
+criterion_group!(benches, bench_fig4, bench_table2);
+criterion_main!(benches);

@@ -1,420 +1,144 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--full] [experiment...]
+//! repro [--full] [--smoke] [--jobs N] [--compare-serial] [experiment...]
 //! experiments: table1 table2 fig4 fig5 stability fig7a fig7b fig8 fig10
-//!              fig12a fig12b   (default: all)
+//!              fig12a fig12b interference   (default: all)
 //! ```
 //!
 //! Default scales are reduced so a full run finishes in minutes;
 //! `--full` uses the paper's sample counts (128 k samples per point,
 //! the whole 5120-configuration sweep, 50 hours of stability, >20 min
-//! of random writes).
+//! of random writes) and `--smoke` a seconds-scale CI subset.
+//!
+//! Experiments run in parallel on `--jobs` threads (default: the
+//! `PS3_JOBS` environment variable, else all cores; `--jobs 1` is the
+//! legacy serial mode). Output is bit-identical for every thread
+//! count. `--compare-serial` first times a serial pass, so the emitted
+//! `BENCH_repro.json` carries a measured speedup instead of only the
+//! parallel wall times.
 
+use std::process::ExitCode;
 use std::time::Instant;
 
-use ps3_bench::{
-    capping, fig12, fig4, fig5, fig7, fig8, interference, noise, related, report, stability,
-    table1, table2,
-};
-use ps3_units::SimDuration;
+use ps3_bench::driver::{self, ExperimentRun, Scale};
+use ps3_bench::report;
 
-struct Scale {
-    samples_per_point: usize,
-    table2_samples: usize,
-    stability_hours: f64,
-    stability_window: usize,
-    fig7_timing: fig7::Fig7Timing,
-    tuner_stride: usize,
-    tuner_clock_stride: usize,
-    fig12a_window: SimDuration,
-    fig12b_seconds: u64,
-}
-
-impl Scale {
-    fn reduced() -> Self {
-        Self {
-            samples_per_point: 16 * 1024,
-            table2_samples: 32 * 1024,
-            stability_hours: 10.0,
-            stability_window: 16 * 1024,
-            fig7_timing: fig7::Fig7Timing::paper(),
-            tuner_stride: 8,
-            tuner_clock_stride: 1,
-            fig12a_window: SimDuration::from_secs(1),
-            fig12b_seconds: 240,
-        }
-    }
-
-    fn full() -> Self {
-        Self {
-            samples_per_point: 128 * 1024,
-            table2_samples: 128 * 1024,
-            stability_hours: 50.0,
-            stability_window: 128 * 1024,
-            fig7_timing: fig7::Fig7Timing::paper(),
-            tuner_stride: 1,
-            tuner_clock_stride: 1,
-            fig12a_window: SimDuration::from_secs(10),
-            fig12b_seconds: 1300,
-        }
-    }
-}
-
-const SEED: u64 = 0x5EED_2026;
-
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let scale = if full {
-        Scale::full()
-    } else {
-        Scale::reduced()
-    };
-    let mut wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    if wanted.is_empty() {
-        wanted = vec![
-            "table1",
-            "table2",
-            "fig4",
-            "fig5",
-            "stability",
-            "fig7a",
-            "fig7b",
-            "fig8",
-            "fig10",
-            "fig12a",
-            "fig12b",
-            "interference",
-        ];
-    }
-    for experiment in wanted {
-        let start = Instant::now();
-        println!("==============================================================");
-        println!("== {experiment}");
-        println!("==============================================================");
-        match experiment {
-            "table1" => run_table1(),
-            "table2" => run_table2(&scale),
-            "fig4" => run_fig4(&scale),
-            "fig5" => run_fig5(),
-            "stability" => run_stability(&scale),
-            "fig7a" => run_fig7a(&scale),
-            "fig7b" => run_fig7b(&scale),
-            "fig8" => run_fig8(&scale),
-            "fig10" => run_fig10(&scale),
-            "fig12a" => run_fig12a(&scale),
-            "fig12b" => run_fig12b(&scale),
-            "interference" => run_interference(&scale),
-            "related" => run_related(&scale),
-            "capping" => run_capping(),
-            "noise" => run_noise(&scale),
-            other => eprintln!("unknown experiment: {other}"),
+    let mut scale = Scale::reduced();
+    let mut jobs: Option<usize> = None;
+    let mut compare_serial = false;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => scale = Scale::full(),
+            "--smoke" => scale = Scale::smoke(),
+            "--compare-serial" => compare_serial = true,
+            "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = Some(n),
+                _ => {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                return ExitCode::FAILURE;
+            }
+            other => wanted.push(other.to_owned()),
         }
+    }
+    if wanted.is_empty() {
+        wanted = driver::DEFAULT_EXPERIMENTS
+            .iter()
+            .map(|n| (*n).to_owned())
+            .collect();
+    }
+    let names: Vec<&str> = wanted.iter().map(String::as_str).collect();
+
+    // --jobs beats PS3_JOBS beats all cores (configure_global(0)).
+    rayon::configure_global(jobs.unwrap_or(0));
+    let jobs_used = rayon::current_num_threads();
+
+    let serial_wall_s = if compare_serial && jobs_used > 1 {
+        rayon::configure_global(1);
+        let start = Instant::now();
+        let _ = driver::run_all(&names, &scale, driver::SEED);
+        let serial = start.elapsed().as_secs_f64();
+        rayon::configure_global(jobs.unwrap_or(0));
+        Some(serial)
+    } else {
+        None
+    };
+
+    let start = Instant::now();
+    let runs = driver::run_all(&names, &scale, driver::SEED);
+    let total_wall_s = start.elapsed().as_secs_f64();
+
+    let mut entries = Vec::new();
+    let mut unknown = false;
+    for (name, run) in names.iter().zip(&runs) {
+        println!("==============================================================");
+        println!("== {name}");
+        println!("==============================================================");
+        let ExperimentRun { output, wall_s } = run;
+        match output {
+            Some(out) => {
+                print!("{}", out.report);
+                for csv in &out.csvs {
+                    match report::write_csv(&csv.name, &csv.header, &csv.rows) {
+                        Ok(path) => println!("[wrote {}]", path.display()),
+                        Err(e) => eprintln!("[failed to write {}: {e}]", csv.name),
+                    }
+                }
+                entries.push(report::BenchEntry {
+                    name: out.name.clone(),
+                    wall_s: *wall_s,
+                    samples: out.samples,
+                });
+            }
+            None => {
+                eprintln!("unknown experiment: {name}");
+                unknown = true;
+            }
+        }
+        println!("[{name} took {wall_s:.1} s]\n");
+    }
+
+    println!("== timing summary ({jobs_used} jobs) ==");
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            let rate = if e.samples > 0 && e.wall_s > 0.0 {
+                format!("{:.0}", e.samples as f64 / e.wall_s)
+            } else {
+                "-".to_owned()
+            };
+            vec![e.name.clone(), format!("{:.2}", e.wall_s), rate]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::text_table(&["experiment", "wall [s]", "samples/s"], &rows)
+    );
+    println!("total: {total_wall_s:.2} s");
+    if let Some(serial) = serial_wall_s {
         println!(
-            "[{experiment} took {:.1} s]\n",
-            start.elapsed().as_secs_f64()
+            "serial reference: {serial:.2} s -> speedup {:.2}x",
+            serial / total_wall_s
         );
     }
-}
 
-fn run_table1() {
-    let rows = table1::run();
-    print!("{}", table1::render(&rows));
-    let csv: Vec<Vec<f64>> = rows
-        .iter()
-        .map(|b| {
-            vec![
-                b.rail.value(),
-                b.full_scale.value(),
-                b.voltage_error.value(),
-                b.current_error.value(),
-                b.power_error.value(),
-            ]
-        })
-        .collect();
-    save(
-        "table1.csv",
-        &["rail_v", "fullscale_a", "e_u", "e_i", "e_p"],
-        &csv,
-    );
-}
-
-fn run_table2(scale: &Scale) {
-    let loads = table2::run(scale.table2_samples, SEED);
-    print!("{}", table2::render(&loads));
-    let mut csv = Vec::new();
-    for load in &loads {
-        for r in &load.rows {
-            csv.push(vec![
-                load.amps,
-                r.rate_khz,
-                r.stats.min,
-                r.stats.max,
-                r.stats.peak_to_peak(),
-                r.stats.std,
-            ]);
-        }
-    }
-    save(
-        "table2.csv",
-        &["load_a", "rate_khz", "min_w", "max_w", "pp_w", "std_w"],
-        &csv,
-    );
-}
-
-fn run_fig4(scale: &Scale) {
-    let series = fig4::run(scale.samples_per_point, SEED);
-    let mut csv = Vec::new();
-    for s in &series {
-        println!("{}", fig4::render(s));
-        for p in &s.points {
-            csv.push(vec![
-                s.module.nominal_rail().value(),
-                p.amps,
-                p.expected_w,
-                p.mean_err,
-                p.min_err,
-                p.max_err,
-            ]);
-        }
-    }
-    save(
-        "fig4.csv",
-        &[
-            "rail_v",
-            "amps",
-            "expected_w",
-            "mean_err",
-            "min_err",
-            "max_err",
-        ],
-        &csv,
-    );
-}
-
-fn run_fig5() {
-    let r = fig5::run(30, SEED);
-    print!("{}", fig5::render(&r));
-    println!("ms-scale view:");
-    print!("{}", ps3_bench::report_plot(&r.trace));
-    let csv: Vec<Vec<f64>> = r
-        .trace
-        .iter()
-        .map(|s| vec![s.time.as_secs_f64(), s.power.value()])
-        .collect();
-    save("fig5.csv", &["t_s", "power_w"], &csv);
-}
-
-fn run_stability(scale: &Scale) {
-    let r = stability::run(
-        scale.stability_hours,
-        SimDuration::from_secs(900),
-        scale.stability_window,
-        SEED,
-    );
-    print!("{}", stability::render(&r));
-    let csv: Vec<Vec<f64>> = r
-        .probes
-        .iter()
-        .map(|p| vec![p.hours, p.avg_w, p.min_w, p.max_w])
-        .collect();
-    save("stability.csv", &["hours", "avg_w", "min_w", "max_w"], &csv);
-}
-
-fn run_fig7a(scale: &Scale) {
-    let r = fig7::run_nvidia(scale.fig7_timing, SEED);
-    print!("{}", fig7::render(&r));
-    println!("PowerSensor3 trace:");
-    print!("{}", ps3_bench::report_plot(&r.ps3));
-    save_fig7(&r, "fig7a");
-}
-
-fn run_fig7b(scale: &Scale) {
-    let r = fig7::run_amd(scale.fig7_timing, SEED);
-    print!("{}", fig7::render(&r));
-    println!("PowerSensor3 trace:");
-    print!("{}", ps3_bench::report_plot(&r.ps3));
-    save_fig7(&r, "fig7b");
-}
-
-fn save_fig7(r: &fig7::Fig7Result, name: &str) {
-    // PS3 trace decimated to 2 kHz for a manageable artifact.
-    let csv: Vec<Vec<f64>> = r
-        .ps3
-        .iter()
-        .step_by(10)
-        .map(|s| vec![s.time.as_secs_f64(), s.power.value()])
-        .collect();
-    save(&format!("{name}_ps3.csv"), &["t_s", "power_w"], &csv);
-    for (sensor_name, trace) in &r.onboard {
-        let slug: String = sensor_name
-            .chars()
-            .map(|c| {
-                if c.is_alphanumeric() {
-                    c.to_ascii_lowercase()
-                } else {
-                    '_'
-                }
-            })
-            .collect();
-        let csv: Vec<Vec<f64>> = trace
-            .iter()
-            .map(|s| vec![s.time.as_secs_f64(), s.power.value()])
-            .collect();
-        save(&format!("{name}_{slug}.csv"), &["t_s", "power_w"], &csv);
-    }
-}
-
-fn run_fig8(scale: &Scale) {
-    let f = fig8::run_rtx4000(scale.tuner_stride, scale.tuner_clock_stride, SEED);
-    print!("{}", fig8::render(&f));
-    save_tuning(&f, "fig8.csv");
-}
-
-fn run_fig10(scale: &Scale) {
-    // Jetson kernels are ~8× longer; thin the sweep accordingly.
-    let f = fig8::run_jetson(scale.tuner_stride * 4, scale.tuner_clock_stride, SEED);
-    print!("{}", fig8::render(&f));
-    save_tuning(&f, "fig10.csv");
-}
-
-fn save_tuning(f: &fig8::TuningFigure, name: &str) {
-    let csv: Vec<Vec<f64>> = f
-        .outcome
-        .records
-        .iter()
-        .enumerate()
-        .map(|(i, r)| {
-            vec![
-                r.clock_mhz,
-                r.tflops,
-                r.tflop_per_joule,
-                r.energy_j,
-                if f.pareto.contains(&i) { 1.0 } else { 0.0 },
-            ]
-        })
-        .collect();
-    save(
-        name,
-        &["clock_mhz", "tflops", "tflop_per_j", "energy_j", "pareto"],
-        &csv,
-    );
-}
-
-fn run_fig12a(scale: &Scale) {
-    let rows = fig12::run_reads(scale.fig12a_window, SEED);
-    print!("{}", fig12::render_reads(&rows));
-    let csv: Vec<Vec<f64>> = rows
-        .iter()
-        .map(|r| vec![f64::from(r.size_kib), r.bandwidth_mbps, r.power_w])
-        .collect();
-    save("fig12a.csv", &["size_kib", "bw_mbps", "power_w"], &csv);
-}
-
-fn run_fig12b(scale: &Scale) {
-    let points = fig12::run_writes(scale.fig12b_seconds, SEED);
-    print!("{}", fig12::render_writes(&points));
-    let bw: Vec<f64> = points.iter().map(|p| p.bandwidth_mbps).collect();
-    println!("bandwidth over time (MB/s):");
-    print!("{}", ps3_analysis::ascii_plot(&bw, 72, 10));
-    let csv: Vec<Vec<f64>> = points
-        .iter()
-        .map(|p| vec![p.t_s, p.bandwidth_mbps, p.power_w])
-        .collect();
-    save("fig12b.csv", &["t_s", "bw_mbps", "power_w"], &csv);
-}
-
-fn run_interference(scale: &Scale) {
-    let fields = [0.0, 1.0, 2.0, 5.0, 10.0];
-    let rows = interference::run(&fields, scale.table2_samples / 4, SEED);
-    print!("{}", interference::render(&rows));
-    let csv: Vec<Vec<f64>> = rows
-        .iter()
-        .map(|r| vec![r.field_mt, r.differential_err_w, r.single_ended_err_w])
-        .collect();
-    save(
-        "interference.csv",
-        &["field_mt", "differential_err_w", "single_ended_err_w"],
-        &csv,
-    );
-}
-
-fn run_related(scale: &Scale) {
-    let rows = related::run(scale.fig7_timing, SEED);
-    print!("{}", related::render(&rows));
-    let csv: Vec<Vec<f64>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.tool.rate_hz,
-                r.samples as f64,
-                r.min_w,
-                r.max_w,
-                r.energy_j,
-                f64::from(u8::from(r.sees_dips)),
-            ]
-        })
-        .collect();
-    save(
-        "related.csv",
-        &[
-            "rate_hz",
-            "samples",
-            "min_w",
-            "max_w",
-            "energy_j",
-            "sees_dips",
-        ],
-        &csv,
-    );
-}
-
-fn run_capping() {
-    let caps = [130.0, 115.0, 100.0, 85.0, 70.0, 55.0, 45.0, 35.0, 25.0];
-    let rows = capping::run(&caps, SEED);
-    print!("{}", capping::render(&rows));
-    let csv: Vec<Vec<f64>> = rows
-        .iter()
-        .map(|r| vec![r.cap_w, r.runtime_s, r.energy_j, r.mean_power_w])
-        .collect();
-    save(
-        "capping.csv",
-        &["cap_w", "runtime_s", "energy_j", "mean_power_w"],
-        &csv,
-    );
-}
-
-fn run_noise(scale: &Scale) {
-    let loads = [0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 9.5];
-    let rows = noise::run(&loads, scale.table2_samples / 16, SEED);
-    print!("{}", noise::render(&rows));
-    let csv: Vec<Vec<f64>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.amps,
-                r.sigma_i,
-                r.sigma_u,
-                r.current_term_w,
-                r.voltage_term_w,
-            ]
-        })
-        .collect();
-    save(
-        "noise.csv",
-        &["amps", "sigma_i", "sigma_u", "u_term_w", "i_term_w"],
-        &csv,
-    );
-}
-
-fn save(name: &str, header: &[&str], rows: &[Vec<f64>]) {
-    match report::write_csv(name, header, rows) {
+    match report::write_bench_json(jobs_used, total_wall_s, serial_wall_s, &entries) {
         Ok(path) => println!("[wrote {}]", path.display()),
-        Err(e) => eprintln!("[failed to write {name}: {e}]"),
+        Err(e) => eprintln!("[failed to write BENCH_repro.json: {e}]"),
+    }
+
+    if unknown {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }

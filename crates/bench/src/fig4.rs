@@ -40,45 +40,91 @@ pub const MODULES: [ModuleKind; 4] = [
     ModuleKind::Pcie8Pin20A,
 ];
 
+/// Load steps of the sweep: −10 A to +10 A in 1 A increments.
+const STEPS: std::ops::RangeInclusive<i32> = -10..=10;
+
 /// Runs the sweep with `samples_per_point` samples at each 1 A step
 /// (the paper uses 128 k).
+///
+/// Every (module, step) pair is an independent unit of work with its
+/// own testbed and a seed derived purely from `(seed, module, step)`,
+/// so the sweep parallelises across the global thread pool with output
+/// bit-identical to a serial run.
 #[must_use]
 pub fn run(samples_per_point: usize, seed: u64) -> Vec<Fig4Series> {
-    MODULES
+    let units: Vec<(usize, i32)> = MODULES
         .iter()
-        .map(|&module| sweep_module(module, samples_per_point, seed))
+        .enumerate()
+        .flat_map(|(mi, _)| STEPS.map(move |step| (mi, step)))
+        .collect();
+    let points = rayon::global().par_map(units, |(mi, step)| {
+        measure_point(
+            MODULES[mi],
+            step,
+            samples_per_point,
+            point_seed(seed, mi, step),
+        )
+    });
+    let per_module = STEPS.count();
+    points
+        .chunks(per_module)
+        .zip(MODULES)
+        .map(|(chunk, module)| Fig4Series {
+            module,
+            points: chunk.to_vec(),
+        })
         .collect()
 }
 
-fn sweep_module(module: ModuleKind, samples: usize, seed: u64) -> Fig4Series {
-    let mut tb = accuracy_bench(module, LoadProgram::Constant(Amps::zero()), seed);
+/// Per-unit seed: a splitmix64 mix of the experiment seed and the
+/// unit's identity, so every point gets a decorrelated noise stream
+/// that does not depend on execution order.
+fn point_seed(seed: u64, module_index: usize, step: i32) -> u64 {
+    let id = ((module_index as u64) << 32) | u64::from((step + 10) as u32);
+    let mut z = seed
+        .wrapping_add(id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Measures one sweep point on a fresh testbed programmed to the
+/// target current from t = 0 (the low-pass filters start settled on
+/// their first sample, so 2 ms of settling suffices).
+fn measure_point(module: ModuleKind, step: i32, samples: usize, seed: u64) -> Fig4Point {
+    let amps = f64::from(step);
+    let mut tb = accuracy_bench(module, LoadProgram::Constant(Amps::new(amps)), seed);
     let bench = tb.dut();
     let ps = tb.connect().expect("connect");
-    let mut points = Vec::new();
-    for step in -10i32..=10 {
-        let amps = f64::from(step);
-        bench
-            .lock()
-            .set_program(LoadProgram::Constant(Amps::new(amps)));
-        // Settle the sensor bandwidth filters on the new level.
-        tb.advance_and_sync(&ps, SimDuration::from_millis(2))
-            .expect("settle");
-        let expected = bench.lock().reference(tb.device_time()).watts().value();
-        ps.begin_trace();
-        tb.advance_and_sync(&ps, SimDuration::from_micros(samples as u64 * 50))
-            .expect("measure");
-        let trace = ps.end_trace();
-        let errs: Vec<f64> = trace.powers().iter().map(|p| p - expected).collect();
-        let stats =
-            ps3_analysis::SampleStats::from_samples(errs.iter().copied()).expect("non-empty trace");
-        points.push(Fig4Point {
-            amps,
-            expected_w: expected,
-            mean_err: stats.mean,
-            min_err: stats.min,
-            max_err: stats.max,
-        });
+    tb.advance_and_sync(&ps, SimDuration::from_millis(2))
+        .expect("settle");
+    let expected = bench.lock().reference(tb.device_time()).watts().value();
+    ps.begin_trace_with_capacity(samples);
+    tb.advance_and_sync(&ps, SimDuration::from_micros(samples as u64 * 50))
+        .expect("measure");
+    let trace = ps.end_trace();
+    // Error stats stream straight out of the trace — no scratch vector.
+    let stats =
+        ps3_analysis::SampleStats::from_samples(trace.iter().map(|s| s.power.value() - expected))
+            .expect("non-empty trace");
+    Fig4Point {
+        amps,
+        expected_w: expected,
+        mean_err: stats.mean,
+        min_err: stats.min,
+        max_err: stats.max,
     }
+}
+
+/// Serial sweep of one module (tests and focused runs); same per-point
+/// units as [`run`].
+#[must_use]
+pub fn sweep_module(module: ModuleKind, samples: usize, seed: u64) -> Fig4Series {
+    let mi = MODULES.iter().position(|&m| m == module).unwrap_or(0);
+    let points = STEPS
+        .map(|step| measure_point(module, step, samples, point_seed(seed, mi, step)))
+        .collect();
     Fig4Series { module, points }
 }
 

@@ -36,23 +36,33 @@ pub struct TuningFigure {
     pub speedup: f64,
 }
 
+/// Variants per parallel sweep chunk. Each chunk owns a full testbed,
+/// so this balances spawn overhead against load-balancing granularity:
+/// 8 variants × 10 clocks ≈ 80 kernel measurements per chunk keeps
+/// even the full 512-variant sweep at 64 well-mixed units of work.
+const CHUNK_PARAMS: usize = 8;
+
 /// Runs the Fig 8 experiment on the RTX-4000-Ada-like GPU. `stride` /
 /// `clock_stride` subsample the 512 × 10 space (1/1 = the full 5120
 /// configurations).
 #[must_use]
 pub fn run_rtx4000(stride: usize, clock_stride: usize, seed: u64) -> TuningFigure {
     let spec = GpuSpec::rtx4000_ada();
-    let mut tb = gpu_riser(spec.clone(), seed);
-    let gpu: Arc<Mutex<GpuModel>> = tb.dut();
-    let ps = tb.connect().expect("connect");
-    run_impl(
+    run_parallel(
         "RTX 4000 Ada (model)",
-        spec,
+        spec.clone(),
         stride,
         clock_stride,
-        &gpu,
-        &tb,
-        ps,
+        move |chunk| {
+            let mut tb = gpu_riser(spec.clone(), seed);
+            let gpu: Arc<Mutex<GpuModel>> = tb.dut();
+            let ps = tb.connect().expect("connect");
+            chunk
+                .run_with_powersensor(&gpu, &ps, &mut |d| {
+                    tb.advance_and_sync(&ps, d).expect("advance");
+                })
+                .expect("tuning sweep")
+        },
     )
 }
 
@@ -61,55 +71,51 @@ pub fn run_rtx4000(stride: usize, clock_stride: usize, seed: u64) -> TuningFigur
 /// whole board, carrier included.
 #[must_use]
 pub fn run_jetson(stride: usize, clock_stride: usize, seed: u64) -> TuningFigure {
-    let mut tb = jetson_usbc(JetsonSpec::agx_orin(), seed);
-    let gpu = tb.dut().lock().gpu();
-    let ps = tb.connect().expect("connect");
-    let spec = GpuSpec::orin_igpu();
-    run_impl_generic(
+    run_parallel(
         "Jetson AGX Orin (model)",
-        spec,
+        GpuSpec::orin_igpu(),
         stride,
         clock_stride,
-        &gpu,
-        &mut |d| tb.advance_and_sync(&ps, d).expect("advance"),
-        &ps,
+        move |chunk| {
+            let mut tb = jetson_usbc(JetsonSpec::agx_orin(), seed);
+            let gpu = tb.dut().lock().gpu();
+            let ps = tb.connect().expect("connect");
+            chunk
+                .run_with_powersensor(&gpu, &ps, &mut |d| {
+                    tb.advance_and_sync(&ps, d).expect("advance");
+                })
+                .expect("tuning sweep")
+        },
     )
 }
 
-fn run_impl(
+/// Shared sweep driver: splits the (possibly subsampled) sweep into
+/// [`CHUNK_PARAMS`]-variant chunks and farms the chunks out over the
+/// global pool. Every chunk builds its own testbed with the *same*
+/// seed, so each is a pure function of `(chunk, seed)` and the merged
+/// record list is bit-identical no matter how many threads run it.
+fn run_parallel(
     device: &'static str,
     spec: GpuSpec,
     stride: usize,
     clock_stride: usize,
-    gpu: &Arc<Mutex<GpuModel>>,
-    tb: &ps3_testbed::Testbed<GpuModel>,
-    ps: ps3_core::PowerSensor,
-) -> TuningFigure {
-    run_impl_generic(
-        device,
-        spec,
-        stride,
-        clock_stride,
-        gpu,
-        &mut |d| tb.advance_and_sync(&ps, d).expect("advance"),
-        &ps,
-    )
-}
-
-fn run_impl_generic(
-    device: &'static str,
-    spec: GpuSpec,
-    stride: usize,
-    clock_stride: usize,
-    gpu: &Arc<Mutex<GpuModel>>,
-    advance: &mut dyn FnMut(SimDuration),
-    ps: &ps3_core::PowerSensor,
+    run_chunk: impl Fn(&Tuner) -> TuningOutcome + Sync,
 ) -> TuningFigure {
     let model = BeamformerModel::new(spec, BeamformerProblem::paper());
     let tuner = Tuner::new(model.clone()).subset(stride, clock_stride);
-    let outcome = tuner
-        .run_with_powersensor(gpu, ps, advance)
-        .expect("tuning sweep");
+    let chunks = tuner.split(CHUNK_PARAMS);
+    let outcomes = rayon::global().par_map(chunks, |chunk| run_chunk(&chunk));
+    let mut records = Vec::with_capacity(tuner.configurations());
+    let mut total = SimDuration::ZERO;
+    for o in outcomes {
+        records.extend(o.records);
+        total += o.total_tuning_time;
+    }
+    let outcome = TuningOutcome {
+        strategy: "PowerSensor3",
+        records,
+        total_tuning_time: total,
+    };
     let pareto = outcome.pareto_indices();
     let fastest = *outcome.fastest().expect("non-empty sweep");
     let most_efficient = *outcome.most_efficient().expect("non-empty sweep");

@@ -29,6 +29,7 @@ pub fn report_plot(trace: &ps3_analysis::Trace) -> String {
 }
 
 pub mod capping;
+pub mod driver;
 pub mod fig12;
 pub mod fig4;
 pub mod fig5;

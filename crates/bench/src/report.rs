@@ -36,15 +36,20 @@ pub fn text_table(header: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Where CSV artifacts land (`results/` at the workspace root, or the
-/// current directory as a fallback).
+/// Where CSV artifacts land: `$PS3_RESULTS_DIR` when set (CI smoke
+/// runs point serial and parallel passes at separate directories),
+/// otherwise `results/` at the workspace root.
 #[must_use]
 pub fn results_dir() -> PathBuf {
-    let candidate = Path::new(env!("CARGO_MANIFEST_DIR"))
+    if let Some(dir) = std::env::var_os("PS3_RESULTS_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("..")
         .join("..")
-        .join("results");
-    candidate
+        .join("results")
 }
 
 /// Writes rows of `f64` values (with a string header) as a CSV file in
@@ -63,6 +68,86 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<f64>]) -> io::Result<P
     for row in rows {
         w.write_f64_row(row.iter().copied(), 6)?;
     }
+    Ok(path)
+}
+
+/// One experiment's entry in `BENCH_repro.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Experiment name.
+    pub name: String,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// Device samples processed (0 where the experiment has no
+    /// natural sample count).
+    pub samples: u64,
+}
+
+/// Writes the machine-readable perf record `BENCH_repro.json` into the
+/// results directory: thread count, total and per-experiment wall
+/// time, samples/sec where defined, and — when a serial reference run
+/// was taken — the measured speedup.
+///
+/// The format is a small fixed schema written by hand (the workspace
+/// vendors no JSON library), e.g.:
+///
+/// ```json
+/// {
+///   "jobs": 8,
+///   "total_wall_s": 12.41,
+///   "serial_wall_s": 55.03,
+///   "speedup_vs_serial": 4.43,
+///   "experiments": [
+///     {"name": "fig4", "wall_s": 3.1, "samples": 1376256,
+///      "samples_per_sec": 443953.5}
+///   ]
+/// }
+/// ```
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_bench_json(
+    jobs: usize,
+    total_wall_s: f64,
+    serial_wall_s: Option<f64>,
+    entries: &[BenchEntry],
+) -> io::Result<PathBuf> {
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"jobs\": {jobs},");
+    let _ = writeln!(json, "  \"total_wall_s\": {total_wall_s:.6},");
+    if let Some(serial) = serial_wall_s {
+        let _ = writeln!(json, "  \"serial_wall_s\": {serial:.6},");
+        let speedup = if total_wall_s > 0.0 {
+            serial / total_wall_s
+        } else {
+            0.0
+        };
+        let _ = writeln!(json, "  \"speedup_vs_serial\": {speedup:.4},");
+    }
+    let _ = writeln!(json, "  \"experiments\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let rate = if e.samples > 0 && e.wall_s > 0.0 {
+            e.samples as f64 / e.wall_s
+        } else {
+            0.0
+        };
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"wall_s\": {:.6}, \"samples\": {}, \
+             \"samples_per_sec\": {:.1}}}{comma}",
+            e.name, e.wall_s, e.samples, rate
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_repro.json");
+    fs::write(&path, json)?;
     Ok(path)
 }
 
@@ -86,6 +171,35 @@ mod tests {
         // All lines equal width (trailing spaces aside).
         let w: Vec<usize> = lines.iter().map(|l| l.trim_end().len()).collect();
         assert!(w[2] >= w[0] - 2);
+    }
+
+    #[test]
+    fn bench_json_has_fixed_schema() {
+        let path = write_bench_json(
+            4,
+            2.5,
+            Some(10.0),
+            &[
+                BenchEntry {
+                    name: "fig4".into(),
+                    wall_s: 2.0,
+                    samples: 1000,
+                },
+                BenchEntry {
+                    name: "table1".into(),
+                    wall_s: 0.5,
+                    samples: 0,
+                },
+            ],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"jobs\": 4"), "{text}");
+        assert!(text.contains("\"speedup_vs_serial\": 4.0000"), "{text}");
+        assert!(text.contains("\"samples_per_sec\": 500.0"), "{text}");
+        // Exactly one trailing comma pattern: the list is valid JSON.
+        assert!(!text.contains(",\n  ]"), "{text}");
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

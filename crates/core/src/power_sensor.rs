@@ -273,6 +273,13 @@ impl PowerSensor {
         self.shared.inner.lock().trace = Some(Trace::new());
     }
 
+    /// Like [`PowerSensor::begin_trace`], but pre-allocates room for
+    /// `samples` frames so a capture of known length never reallocates
+    /// on the reader thread.
+    pub fn begin_trace_with_capacity(&self, samples: usize) {
+        self.shared.inner.lock().trace = Some(Trace::with_capacity(samples));
+    }
+
     /// Stops recording and returns the captured trace (empty if
     /// [`PowerSensor::begin_trace`] was never called).
     #[must_use]
@@ -584,43 +591,53 @@ fn reader_loop(transport: &dyn Transport, shared: &Shared) {
             Err(_) => break,
         };
         let mut bytes = &buf[..n];
-        // A version reply may be interleaved when the stream is paused.
-        while !bytes.is_empty() {
-            if let Some((want, partial)) = &mut version_pending {
-                let take = bytes.len().min(*want - partial.len());
-                partial.extend_from_slice(&bytes[..take]);
-                bytes = &bytes[take..];
-                if partial.len() == *want {
-                    let text = String::from_utf8_lossy(partial).into_owned();
-                    *shared.version.lock() = Some(text);
-                    shared.changed.notify_all();
-                    version_pending = None;
+        // One state lock and one waiter wakeup per read chunk — a
+        // chunk carries hundreds of packets under streaming load, so
+        // per-packet locking would dominate the reader.
+        let frames_before = shared.frames.load(Ordering::SeqCst);
+        {
+            let mut inner = shared.inner.lock();
+            // A version reply may be interleaved when the stream is
+            // paused.
+            while !bytes.is_empty() {
+                if let Some((want, partial)) = &mut version_pending {
+                    let take = bytes.len().min(*want - partial.len());
+                    partial.extend_from_slice(&bytes[..take]);
+                    bytes = &bytes[take..];
+                    if partial.len() == *want {
+                        let text = String::from_utf8_lossy(partial).into_owned();
+                        *shared.version.lock() = Some(text);
+                        shared.changed.notify_all();
+                        version_pending = None;
+                    }
+                    continue;
                 }
-                continue;
+                if bytes[0] == opcode::VERSION_REPLY && bytes.len() >= 2 {
+                    let len = bytes[1] as usize;
+                    version_pending = Some((len, Vec::with_capacity(len)));
+                    bytes = &bytes[2..];
+                    continue;
+                }
+                let byte = bytes[0];
+                bytes = &bytes[1..];
+                if let Some(packet) = decoder.push(byte) {
+                    handle_packet(shared, &mut inner, packet);
+                }
             }
-            if bytes[0] == opcode::VERSION_REPLY && bytes.len() >= 2 {
-                let len = bytes[1] as usize;
-                version_pending = Some((len, Vec::with_capacity(len)));
-                bytes = &bytes[2..];
-                continue;
-            }
-            let byte = bytes[0];
-            bytes = &bytes[1..];
-            if let Some(packet) = decoder.push(byte) {
-                handle_packet(shared, packet);
-            }
+        }
+        if shared.frames.load(Ordering::SeqCst) != frames_before {
+            shared.changed.notify_all();
         }
     }
     shared.alive.store(false, Ordering::SeqCst);
     shared.changed.notify_all();
 }
 
-fn handle_packet(shared: &Shared, packet: Packet) {
-    let mut inner = shared.inner.lock();
+fn handle_packet(shared: &Shared, inner: &mut Inner, packet: Packet) {
     match packet {
         Packet::Timestamp { micros } => {
             // A timestamp opens a new frame; finalise the previous one.
-            finalize_frame(shared, &mut inner);
+            finalize_frame(shared, inner);
             let abs = inner.unwrapper.unwrap(micros);
             inner.frame.time = Some(SimTime::from_micros(abs));
         }
@@ -640,7 +657,7 @@ fn handle_packet(shared: &Shared, packet: Packet) {
                 && (0..SENSOR_SLOTS)
                     .all(|s| !inner.configs[s].enabled || inner.frame.values[s].is_some());
             if complete {
-                finalize_frame(shared, &mut inner);
+                finalize_frame(shared, inner);
             }
         }
     }
@@ -767,8 +784,8 @@ fn finalize_frame(shared: &Shared, inner: &mut Inner) {
         };
         inner.sinks.retain_mut(|sink| sink(&record));
     }
-
-    shared.changed.notify_all();
+    // Waiters are woken once per read chunk (in `reader_loop`), keyed
+    // off the frame counter bumped above — not per frame here.
 }
 
 #[cfg(test)]

@@ -30,6 +30,23 @@ pub const ADC_CLOCK_HZ: u64 = 24_000_000;
 pub trait AnalogSource: Send {
     /// The instantaneous voltage at ADC input `channel` at time `now`.
     fn sample_channel(&mut self, channel: usize, now: SimTime) -> f64;
+
+    /// Samples one whole scan sequence: conversion `k` reads channel
+    /// `k % 8` at `times[k]`, writing the voltage into `out[k]`.
+    ///
+    /// The default forwards to [`sample_channel`] conversion by
+    /// conversion; sources that pay a per-call cost (the testbed locks
+    /// the DUT model on every read) override this to amortise it over
+    /// the frame. Implementations must preserve the per-conversion
+    /// evaluation order — sensor transfer functions are stateful.
+    ///
+    /// [`sample_channel`]: AnalogSource::sample_channel
+    fn sample_frame(&mut self, times: &[SimTime], out: &mut [f64]) {
+        debug_assert_eq!(times.len(), out.len());
+        for (k, (t, o)) in times.iter().zip(out.iter_mut()).enumerate() {
+            *o = self.sample_channel(k % 8, *t);
+        }
+    }
 }
 
 impl<F> AnalogSource for F
@@ -70,6 +87,13 @@ pub struct Frame {
 pub struct AdcSequencer {
     spec: AdcSpec,
     averages: u32,
+    /// Conversion-time offsets within one frame, cached once per
+    /// averaging config (they never change between frames).
+    offsets: Vec<SimDuration>,
+    /// Scratch buffers reused across frames so the hot path never
+    /// allocates.
+    scratch_times: Vec<SimTime>,
+    scratch_samples: Vec<f64>,
 }
 
 impl AdcSequencer {
@@ -77,10 +101,7 @@ impl AdcSequencer {
     /// averaging).
     #[must_use]
     pub fn new() -> Self {
-        Self {
-            spec: AdcSpec::POWERSENSOR3,
-            averages: 6,
-        }
+        Self::with_averages(6)
     }
 
     /// A sequencer with a custom averaging depth (ablation benches).
@@ -91,10 +112,19 @@ impl AdcSequencer {
     #[must_use]
     pub fn with_averages(averages: u32) -> Self {
         assert!(averages > 0, "averaging depth must be non-zero");
-        Self {
+        let conversions = averages as usize * 8;
+        let mut seq = Self {
             spec: AdcSpec::POWERSENSOR3,
             averages,
+            offsets: Vec::with_capacity(conversions),
+            scratch_times: vec![SimTime::ZERO; conversions],
+            scratch_samples: vec![0.0; conversions],
+        };
+        for n in 0..conversions as u64 {
+            let offset = seq.conversion_offset(n);
+            seq.offsets.push(offset);
         }
+        seq
     }
 
     /// The ADC spec used for quantisation.
@@ -119,30 +149,46 @@ impl AdcSequencer {
     /// Runs one frame starting at `start`: 8 channels × `averages`
     /// conversions, each at its exact conversion instant, then averages
     /// per channel.
+    ///
+    /// The source sees one [`AnalogSource::sample_frame`] call covering
+    /// the whole scan sequence; the timestamp is latched after round
+    /// `averages / 2` ("after processing 3 out of the 6 samples to be
+    /// averaged").
     pub fn run_frame(&mut self, source: &mut dyn AnalogSource, start: SimTime) -> Frame {
-        let mut sums = [0u32; 8];
-        let mut conversion = 0u64;
-        let mut timestamp_at = start;
-        let half_rounds = self.averages / 2;
-        for round in 0..self.averages {
-            if round == half_rounds {
-                // "The timestamp is generated after processing 3 out of
-                // the 6 samples to be averaged."
-                timestamp_at = start + self.conversion_offset(conversion);
-            }
-            for (ch, sum) in sums.iter_mut().enumerate() {
-                let t = start + self.conversion_offset(conversion);
-                let volts = source.sample_channel(ch, t);
-                *sum += u32::from(self.spec.quantize(volts));
-                conversion += 1;
-            }
+        for (t, offset) in self.scratch_times.iter_mut().zip(&self.offsets) {
+            *t = start + *offset;
         }
+        source.sample_frame(&self.scratch_times, &mut self.scratch_samples);
+        let mut sums = [0u32; 8];
+        for (k, &volts) in self.scratch_samples.iter().enumerate() {
+            sums[k % 8] += u32::from(self.spec.quantize(volts));
+        }
+        let timestamp_at = start + self.offsets[(self.averages / 2) as usize * 8];
         let values =
             core::array::from_fn(|ch| ((sums[ch] + self.averages / 2) / self.averages) as u16);
         Frame {
             values,
             timestamp_at,
             end: start + self.frame_interval(),
+        }
+    }
+
+    /// Runs `frames` consecutive frames starting at `start`, appending
+    /// each to `out`. `out` is not cleared, so a caller-owned buffer
+    /// can be reused across batches without reallocating.
+    pub fn run_frames_into(
+        &mut self,
+        source: &mut dyn AnalogSource,
+        start: SimTime,
+        frames: usize,
+        out: &mut Vec<Frame>,
+    ) {
+        out.reserve(frames);
+        let mut cursor = start;
+        for _ in 0..frames {
+            let frame = self.run_frame(source, cursor);
+            cursor = frame.end;
+            out.push(frame);
         }
     }
 

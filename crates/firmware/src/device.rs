@@ -11,6 +11,13 @@ use crate::protocol::{opcode, Command, CommandParser, Packet, VALUE_MASK};
 /// Version string returned by the `Version` command.
 pub const FIRMWARE_VERSION: &str = "PowerSensor3-rs 1.0.0-sim";
 
+/// Frames sampled per command poll when streaming through
+/// [`Device::run_until`] — the batch size of the hot path. 64 frames is
+/// 3.2 ms of stream at the default 20 kHz rate: long enough to
+/// amortise dispatch, short enough that host commands are still seen
+/// promptly.
+pub const COMMAND_POLL_FRAMES: usize = 64;
+
 /// Operating mode of the device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeviceMode {
@@ -56,6 +63,10 @@ pub struct Device<S> {
     parser: CommandParser,
     frames_emitted: u64,
     host_connected: bool,
+    /// Frame and wire buffers reused across batches (hot path never
+    /// allocates).
+    frame_buf: Vec<crate::adc::Frame>,
+    tx_buf: Vec<u8>,
 }
 
 impl<S: AnalogSource> Device<S> {
@@ -74,6 +85,8 @@ impl<S: AnalogSource> Device<S> {
             parser: CommandParser::new(),
             frames_emitted: 0,
             host_connected: true,
+            frame_buf: Vec::with_capacity(COMMAND_POLL_FRAMES),
+            tx_buf: Vec::with_capacity(COMMAND_POLL_FRAMES * 2 * (1 + SENSOR_SLOTS)),
         }
     }
 
@@ -141,13 +154,24 @@ impl<S: AnalogSource> Device<S> {
     }
 
     /// Advances the firmware until its clock reaches `target`,
-    /// processing commands between frames and streaming sample packets
-    /// when enabled.
+    /// processing commands between frame batches and streaming sample
+    /// packets when enabled.
+    ///
+    /// Frames are sampled, encoded, and written in batches of up to
+    /// [`COMMAND_POLL_FRAMES`] — one transport write per batch instead
+    /// of one per frame — with the command queue drained between
+    /// batches.
     pub fn run_until(&mut self, transport: &dyn Transport, target: SimTime) {
         self.process_commands(transport);
         while self.clock < target {
             if self.streaming && self.mode == DeviceMode::Normal {
-                self.step_frame(transport);
+                // Same frame count as stepping one frame at a time:
+                // keep sampling while the clock is short of the target,
+                // so the last frame may overshoot it.
+                let remaining = target.saturating_duration_since(self.clock).as_nanos();
+                let interval = self.sequencer.frame_interval().as_nanos().max(1);
+                let frames = remaining.div_ceil(interval).min(COMMAND_POLL_FRAMES as u64);
+                self.run_frame_batch(transport, frames as usize);
             } else {
                 // Nothing to sample: fast-forward. (Long idle gaps —
                 // e.g. between probes of the 50-hour stability run —
@@ -161,49 +185,71 @@ impl<S: AnalogSource> Device<S> {
     /// Runs exactly one 50 µs frame (or idles one frame interval when
     /// not streaming).
     pub fn step_frame(&mut self, transport: &dyn Transport) {
-        let frame_start = self.clock;
         if self.streaming && self.mode == DeviceMode::Normal {
-            let frame = self.sequencer.run_frame(&mut self.source, frame_start);
-            self.emit_frame(transport, &frame);
-            self.update_display(&frame);
-            self.clock = frame.end;
-            self.frames_emitted += 1;
+            self.run_frame_batch(transport, 1);
         } else {
-            self.clock = frame_start + self.sequencer.frame_interval();
+            self.clock += self.sequencer.frame_interval();
         }
     }
 
-    fn emit_frame(&mut self, transport: &dyn Transport, frame: &crate::adc::Frame) {
-        let mut bytes = Vec::with_capacity(2 * (1 + SENSOR_SLOTS));
-        let ts = Packet::Timestamp {
-            micros: (frame.timestamp_at.as_micros() & u64::from(VALUE_MASK)) as u16,
-        };
-        bytes.extend_from_slice(&ts.encode());
-        for (slot, &value) in frame.values.iter().enumerate() {
-            if !self.eeprom.read(slot).enabled {
-                continue;
-            }
-            let marker = slot == 0 && self.marker_pending;
-            if marker {
-                self.marker_pending = false;
-            }
-            let pkt = Packet::Sample {
-                sensor: slot as u8,
-                marker,
-                value,
+    /// Samples `frames` consecutive frames, encodes them into one wire
+    /// buffer, writes it in a single transport call, and feeds the
+    /// display. Buffers are reused across calls.
+    fn run_frame_batch(&mut self, transport: &dyn Transport, frames: usize) {
+        self.frame_buf.clear();
+        self.sequencer
+            .run_frames_into(&mut self.source, self.clock, frames, &mut self.frame_buf);
+        self.tx_buf.clear();
+        for i in 0..self.frame_buf.len() {
+            let frame = self.frame_buf[i];
+            let ts = Packet::Timestamp {
+                micros: (frame.timestamp_at.as_micros() & u64::from(VALUE_MASK)) as u16,
             };
-            bytes.extend_from_slice(&pkt.encode());
+            self.tx_buf.extend_from_slice(&ts.encode());
+            for (slot, &value) in frame.values.iter().enumerate() {
+                if !self.eeprom.read(slot).enabled {
+                    continue;
+                }
+                // A pending marker rides on the first sensor-0 sample.
+                let marker = slot == 0 && self.marker_pending;
+                if marker {
+                    self.marker_pending = false;
+                }
+                let pkt = Packet::Sample {
+                    sensor: slot as u8,
+                    marker,
+                    value,
+                };
+                self.tx_buf.extend_from_slice(&pkt.encode());
+            }
         }
-        if transport.write_all(&bytes).is_err() {
+        if transport.write_all(&self.tx_buf).is_err() {
             // Host is gone: stop streaming, keep the clock running.
             self.streaming = false;
             self.host_connected = false;
         }
+        for i in 0..self.frame_buf.len() {
+            let frame = self.frame_buf[i];
+            self.update_display(&frame);
+        }
+        if let Some(last) = self.frame_buf.last() {
+            self.clock = last.end;
+            self.frames_emitted += self.frame_buf.len() as u64;
+        }
     }
 
     fn update_display(&mut self, frame: &crate::adc::Frame) {
+        // The display self-throttles to 2 Hz; skip the readout math
+        // entirely for frames it will ignore.
+        if !self.display.due(frame.end) {
+            return;
+        }
         let adc = *self.sequencer.spec();
-        let mut pairs = Vec::with_capacity(SENSOR_SLOTS / 2);
+        let mut pairs = [PairReadout {
+            volts: 0.0,
+            amps: 0.0,
+        }; SENSOR_SLOTS / 2];
+        let mut used = 0;
         let mut total = 0.0;
         for pair in 0..SENSOR_SLOTS / 2 {
             let i_cfg = self.eeprom.read(2 * pair);
@@ -216,9 +262,10 @@ impl<S: AnalogSource> Device<S> {
             let amps = (v_i - f64::from(i_cfg.vref) / 2.0) / f64::from(i_cfg.gain);
             let volts = v_u * f64::from(u_cfg.gain);
             total += volts * amps;
-            pairs.push(PairReadout { volts, amps });
+            pairs[used] = PairReadout { volts, amps };
+            used += 1;
         }
-        self.display.update(frame.end, total, &pairs);
+        self.display.update(frame.end, total, &pairs[..used]);
     }
 
     /// Drains pending host bytes and executes completed commands.

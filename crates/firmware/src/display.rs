@@ -156,14 +156,21 @@ impl Display {
         self.prerendered_fonts = enabled;
     }
 
+    /// Whether readings offered at `now` would trigger a redraw —
+    /// callers on the hot path use this to skip preparing readout data
+    /// the display would discard anyway.
+    #[must_use]
+    pub fn due(&self, now: SimTime) -> bool {
+        match self.last_update {
+            None => true,
+            Some(last) => now.saturating_duration_since(last) >= self.update_interval,
+        }
+    }
+
     /// Offers new readings; redraws if the update interval elapsed.
     /// Returns `true` when a redraw happened.
     pub fn update(&mut self, now: SimTime, total_watts: f64, pairs: &[PairReadout]) -> bool {
-        let due = match self.last_update {
-            None => true,
-            Some(last) => now.saturating_duration_since(last) >= self.update_interval,
-        };
-        if !due {
+        if !self.due(now) {
             return false;
         }
         self.last_update = Some(now);

@@ -33,7 +33,7 @@ mod eeprom;
 pub mod font;
 pub mod protocol;
 
-pub use adc::{AdcSequencer, AnalogSource, FRAME_INTERVAL};
-pub use device::{Device, DeviceMode, FIRMWARE_VERSION};
+pub use adc::{AdcSequencer, AnalogSource, Frame, FRAME_INTERVAL};
+pub use device::{Device, DeviceMode, COMMAND_POLL_FRAMES, FIRMWARE_VERSION};
 pub use display::{Display, Framebuffer, PairReadout, DISPLAY_H, DISPLAY_W};
 pub use eeprom::{Eeprom, SensorConfig, CONFIG_WIRE_SIZE, NAME_SIZE, SENSOR_SLOTS};

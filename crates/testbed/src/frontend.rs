@@ -40,17 +40,39 @@ impl<D: Dut> AnalogFrontend<D> {
     }
 }
 
+/// Shared per-conversion math: rail state at the conversion instant
+/// through the pair's sensor transfer function.
+fn convert<D: Dut>(
+    dut: &mut D,
+    modules: &mut [(SensorModule, RailId)],
+    channel: usize,
+    now: SimTime,
+) -> f64 {
+    let pair = channel / 2;
+    let Some((module, rail)) = modules.get_mut(pair) else {
+        return 0.0;
+    };
+    let state = dut.rail_state(*rail, now);
+    if channel.is_multiple_of(2) {
+        module.hall_mut().output_voltage(state.amps, now)
+    } else {
+        module.voltage_sensor_mut().output_voltage(state.volts, now)
+    }
+}
+
 impl<D: Dut> AnalogSource for AnalogFrontend<D> {
     fn sample_channel(&mut self, channel: usize, now: SimTime) -> f64 {
-        let pair = channel / 2;
-        let Some((module, rail)) = self.modules.get_mut(pair) else {
-            return 0.0;
-        };
-        let state = self.dut.lock().rail_state(*rail, now);
-        if channel.is_multiple_of(2) {
-            module.hall_mut().output_voltage(state.amps, now)
-        } else {
-            module.voltage_sensor_mut().output_voltage(state.volts, now)
+        convert(&mut *self.dut.lock(), &mut self.modules, channel, now)
+    }
+
+    /// Batched scan: one DUT lock per frame instead of one per
+    /// conversion. The per-conversion evaluation order (and therefore
+    /// every stateful sensor/DUT result) is identical to the
+    /// channel-by-channel path.
+    fn sample_frame(&mut self, times: &[SimTime], out: &mut [f64]) {
+        let mut dut = self.dut.lock();
+        for (k, (t, o)) in times.iter().zip(out.iter_mut()).enumerate() {
+            *o = convert(&mut *dut, &mut self.modules, k % 8, *t);
         }
     }
 }

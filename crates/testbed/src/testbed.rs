@@ -9,16 +9,21 @@ use parking_lot::Mutex;
 
 use ps3_core::{PowerSensor, PowerSensorError};
 use ps3_duts::{Dut, RailId};
-use ps3_firmware::{AdcSequencer, Device, Eeprom, SensorConfig};
+use ps3_firmware::{AdcSequencer, Device, Eeprom, SensorConfig, COMMAND_POLL_FRAMES};
 use ps3_sensors::{ModuleKind, SensorModule};
 use ps3_transport::{SerialEndpoint, VirtualSerial};
 use ps3_units::{SimDuration, SimTime, Watts};
 
 use crate::frontend::AnalogFrontend;
 
-/// How finely the device thread chunks long advances (commands are
-/// polled between chunks).
-const ADVANCE_CHUNK: SimDuration = SimDuration::from_millis(10);
+/// How finely the device thread chunks long advances: a few firmware
+/// batches' worth of frames at the testbed's actual output rate, so the
+/// chunk size adapts to the configured averaging depth instead of a
+/// fixed wall of virtual time. Commands and the shared clock are
+/// published between chunks, and the stop flag is honoured promptly.
+fn advance_chunk(frame_interval: SimDuration) -> SimDuration {
+    frame_interval * (4 * COMMAND_POLL_FRAMES) as u64
+}
 
 /// Builder for a [`Testbed`].
 pub struct TestbedBuilder<D> {
@@ -142,13 +147,14 @@ impl<D: Dut + 'static> TestbedBuilder<D> {
             let clock_ns = Arc::clone(&clock_ns);
             let frames = Arc::clone(&frames);
             let stop = Arc::clone(&stop);
+            let chunk = advance_chunk(frame_interval);
             std::thread::Builder::new()
                 .name("ps3-device".into())
                 .spawn(move || {
                     while !stop.load(Ordering::SeqCst) {
                         let target = SimTime::from_nanos(target_ns.load(Ordering::SeqCst));
                         if device.clock() < target {
-                            let chunk_end = (device.clock() + ADVANCE_CHUNK).min(target);
+                            let chunk_end = (device.clock() + chunk).min(target);
                             device.run_until(&dev_end, chunk_end);
                             clock_ns.store(device.clock().as_nanos(), Ordering::SeqCst);
                             frames.store(device.frames_emitted(), Ordering::SeqCst);

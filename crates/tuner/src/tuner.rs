@@ -115,6 +115,25 @@ impl Tuner {
         self
     }
 
+    /// Splits the sweep into sub-tuners of at most `chunk_params`
+    /// variants each (every chunk keeps the full clock list), in sweep
+    /// order. Concatenating the chunks' records reproduces the record
+    /// order of a single-tuner sweep, so a harness can run the chunks
+    /// on independent testbeds — in parallel — and merge the outcomes.
+    #[must_use]
+    pub fn split(&self, chunk_params: usize) -> Vec<Tuner> {
+        self.params
+            .chunks(chunk_params.max(1))
+            .map(|chunk| Tuner {
+                model: self.model.clone(),
+                params: chunk.to_vec(),
+                clocks: self.clocks.clone(),
+                accounted_trials: self.accounted_trials,
+                sim_trials: self.sim_trials,
+            })
+            .collect()
+    }
+
     /// Number of configurations in the sweep.
     #[must_use]
     pub fn configurations(&self) -> usize {
@@ -289,6 +308,31 @@ mod tests {
         let efficient = out.most_efficient().unwrap();
         assert!(fastest.tflops >= efficient.tflops);
         assert!(efficient.tflop_per_joule >= fastest.tflop_per_joule);
+    }
+
+    #[test]
+    fn split_preserves_sweep_order() {
+        let t = tuner().subset(64, 5); // 8 variants × 2 clocks
+        let chunks = t.split(3); // 3 + 3 + 2 variants
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(
+            chunks.iter().map(Tuner::configurations).sum::<usize>(),
+            t.configurations()
+        );
+        // Each chunk on its own identically-seeded GPU visits the same
+        // configurations, in the same order, as one contiguous sweep.
+        let run = |t: &Tuner| {
+            let gpu = Arc::new(Mutex::new(GpuModel::new(GpuSpec::rtx4000_ada(), 41)));
+            let mut sensor = NvmlSensor::instantaneous(Arc::clone(&gpu));
+            t.run_with_onboard(&gpu, &mut sensor).records
+        };
+        let whole = run(&t);
+        let merged: Vec<_> = chunks.iter().flat_map(&run).collect();
+        assert_eq!(whole.len(), merged.len());
+        for (a, b) in whole.iter().zip(&merged) {
+            assert_eq!(a.params, b.params);
+            assert!((a.clock_mhz - b.clock_mhz).abs() < f64::EPSILON);
+        }
     }
 
     #[test]
