@@ -17,15 +17,15 @@ echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -q -- -D warnings
 
 echo "==> bench smoke: repro determinism + BENCH_repro.json"
-# Two cheap experiments, serial then 2-way parallel, into separate
+# Three cheap experiments, serial then 2-way parallel, into separate
 # results directories: the run must not panic, must emit the perf
 # record, and must produce byte-identical CSV artifacts.
 rm -rf target/ci-smoke
 PS3_RESULTS_DIR=target/ci-smoke/serial \
-  ./target/release/repro --smoke --jobs 1 table2 fig4 >/dev/null
+  ./target/release/repro --smoke --jobs 1 table2 fig4 archive >/dev/null
 PS3_RESULTS_DIR=target/ci-smoke/par \
-  ./target/release/repro --smoke --jobs 2 table2 fig4 >/dev/null
-for f in table2.csv fig4.csv; do
+  ./target/release/repro --smoke --jobs 2 table2 fig4 archive >/dev/null
+for f in table2.csv fig4.csv archive.csv; do
   cmp "target/ci-smoke/serial/$f" "target/ci-smoke/par/$f" \
     || { echo "non-deterministic output: $f"; exit 1; }
 done
@@ -33,5 +33,36 @@ test -s target/ci-smoke/par/BENCH_repro.json \
   || { echo "BENCH_repro.json missing"; exit 1; }
 grep -q '"jobs": 2' target/ci-smoke/par/BENCH_repro.json \
   || { echo "BENCH_repro.json lacks jobs field"; exit 1; }
+grep -q '"archive_bytes_per_sample"' target/ci-smoke/par/BENCH_repro.json \
+  || { echo "BENCH_repro.json lacks archive metrics"; exit 1; }
+
+echo "==> archive smoke: record, kill-and-recover, verify, cat-vs-dump"
+# Record a capture through the background archive writer, with the
+# live continuous-mode dump of the same frames riding along. The
+# archived view must diff clean against the live dump, verify must
+# pass, and a torn tail (as a crash would leave) must fail verify
+# while the sealed prefix still opens.
+rm -rf target/ci-arc && mkdir -p target/ci-arc
+./target/release/ps3-arc record --out target/ci-arc/cap.ps3a \
+  --dump target/ci-arc/cap-live.txt --frames 4000 --seed 9 \
+  --segment-frames 1024 >/dev/null
+./target/release/ps3-arc verify target/ci-arc/cap.ps3a >/dev/null \
+  || { echo "verify failed on intact archive"; exit 1; }
+./target/release/ps3-arc cat target/ci-arc/cap.ps3a >target/ci-arc/cap-cat.txt
+diff target/ci-arc/cap-live.txt target/ci-arc/cap-cat.txt \
+  || { echo "archived cat differs from the live dump"; exit 1; }
+./target/release/ps3-arc export-csv target/ci-arc/cap.ps3a \
+  --divisor 100 --out target/ci-arc/cap.csv 2>/dev/null
+test -s target/ci-arc/cap.csv || { echo "export-csv produced nothing"; exit 1; }
+# Tear the tail off the archive (simulated crash mid-write): verify
+# must flag it with a nonzero exit; info must still open the file.
+cp target/ci-arc/cap.ps3a target/ci-arc/torn.ps3a
+truncate -s -37 target/ci-arc/torn.ps3a
+if ./target/release/ps3-arc verify target/ci-arc/torn.ps3a >/dev/null; then
+  echo "verify passed on a torn archive"; exit 1
+fi
+./target/release/ps3-arc info target/ci-arc/torn.ps3a >target/ci-arc/torn-info.txt
+grep -q 'unsealed trailing bytes' target/ci-arc/torn-info.txt \
+  || { echo "recovery did not report the torn tail"; exit 1; }
 
 echo "CI green."

@@ -69,10 +69,54 @@ impl fmt::Display for ParseDumpError {
 
 impl Error for ParseDumpError {}
 
+/// One successfully parsed dump line.
+enum DumpLine {
+    /// Blank line or `#` comment.
+    Skip,
+    /// `M t_us <label>` marker line.
+    Marker(u64, char),
+    /// Data line: timestamp plus per-pair and total power columns.
+    Data(u64, Vec<f64>),
+}
+
+fn parse_line(trimmed: &str, line: usize) -> Result<DumpLine, ParseDumpError> {
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(DumpLine::Skip);
+    }
+    if let Some(rest) = trimmed.strip_prefix("M ") {
+        let mut parts = rest.split_whitespace();
+        let t: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(ParseDumpError::BadMarker { line })?;
+        let label = parts
+            .next()
+            .and_then(|s| s.chars().next())
+            .ok_or(ParseDumpError::BadMarker { line })?;
+        return Ok(DumpLine::Marker(t, label));
+    }
+    let fields: Vec<&str> = trimmed.split_whitespace().collect();
+    if fields.len() < 2 {
+        return Err(ParseDumpError::BadNumber { line });
+    }
+    let t: u64 = fields[0]
+        .parse()
+        .map_err(|_| ParseDumpError::BadNumber { line })?;
+    let mut values = Vec::with_capacity(fields.len() - 1);
+    for f in &fields[1..] {
+        let v: f64 = f.parse().map_err(|_| ParseDumpError::BadNumber { line })?;
+        values.push(v);
+    }
+    Ok(DumpLine::Data(t, values))
+}
+
 /// Parses a dump file's text.
 ///
 /// Comment lines (`#`) are skipped; marker lines attach to the total
-/// trace; blank lines are ignored.
+/// trace; blank lines are ignored. Both `\n` and `\r\n` line endings
+/// are accepted. If the text does not end in a newline, its final line
+/// is treated as a torn tail from an interrupted write: a parse
+/// failure there drops the fragment instead of failing the whole dump.
 ///
 /// # Errors
 ///
@@ -80,54 +124,45 @@ impl Error for ParseDumpError {}
 pub fn parse_dump(text: &str) -> Result<ParsedDump, ParseDumpError> {
     let mut out = ParsedDump::default();
     let mut columns: Option<usize> = None;
+    let complete = text.is_empty() || text.ends_with('\n');
+    let last_idx = text.lines().count().saturating_sub(1);
     for (idx, raw) in text.lines().enumerate() {
         let line = idx + 1;
-        let trimmed = raw.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        if let Some(rest) = trimmed.strip_prefix("M ") {
-            let mut parts = rest.split_whitespace();
-            let t: u64 = parts
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or(ParseDumpError::BadMarker { line })?;
-            let label = parts
-                .next()
-                .and_then(|s| s.chars().next())
-                .ok_or(ParseDumpError::BadMarker { line })?;
-            out.total.mark(SimTime::from_micros(t), label);
-            continue;
-        }
-        let fields: Vec<&str> = trimmed.split_whitespace().collect();
-        if fields.len() < 2 {
-            return Err(ParseDumpError::BadNumber { line });
-        }
-        match columns {
-            None => columns = Some(fields.len()),
-            Some(n) if n != fields.len() => {
-                return Err(ParseDumpError::InconsistentColumns { line })
+        let torn_tail = !complete && idx == last_idx;
+        let parsed = match parse_line(raw.trim(), line) {
+            Ok(parsed) => parsed,
+            Err(_) if torn_tail => break,
+            Err(e) => return Err(e),
+        };
+        match parsed {
+            DumpLine::Skip => {}
+            DumpLine::Marker(t, label) => out.total.mark(SimTime::from_micros(t), label),
+            DumpLine::Data(t, values) => {
+                let fields = values.len() + 1;
+                match columns {
+                    None => columns = Some(fields),
+                    Some(n) if n != fields => {
+                        // A data line torn mid-write looks like a line
+                        // with too few columns.
+                        if torn_tail {
+                            break;
+                        }
+                        return Err(ParseDumpError::InconsistentColumns { line });
+                    }
+                    _ => {}
+                }
+                let time = SimTime::from_micros(t);
+                // Last column is the total; the rest are per-pair.
+                let total = *values.last().expect("len >= 1");
+                out.total.push(time, Watts::new(total));
+                let pair_count = values.len() - 1;
+                while out.pairs.len() < pair_count {
+                    out.pairs.push(Trace::new());
+                }
+                for (pair, v) in values[..pair_count].iter().enumerate() {
+                    out.pairs[pair].push(time, Watts::new(*v));
+                }
             }
-            _ => {}
-        }
-        let t: u64 = fields[0]
-            .parse()
-            .map_err(|_| ParseDumpError::BadNumber { line })?;
-        let time = SimTime::from_micros(t);
-        let mut values = Vec::with_capacity(fields.len() - 1);
-        for f in &fields[1..] {
-            let v: f64 = f.parse().map_err(|_| ParseDumpError::BadNumber { line })?;
-            values.push(v);
-        }
-        // Last column is the total; the rest are per-pair.
-        let total = *values.last().expect("len >= 1");
-        out.total.push(time, Watts::new(total));
-        let pair_count = values.len() - 1;
-        while out.pairs.len() < pair_count {
-            out.pairs.push(Trace::new());
-        }
-        for (pair, v) in values[..pair_count].iter().enumerate() {
-            out.pairs[pair].push(time, Watts::new(*v));
         }
     }
     Ok(out)
@@ -181,6 +216,43 @@ M 75 k
     fn malformed_marker_rejected() {
         let err = parse_dump("M nope\n").unwrap_err();
         assert_eq!(err, ParseDumpError::BadMarker { line: 1 });
+    }
+
+    #[test]
+    fn crlf_line_endings_are_accepted() {
+        let dos = SAMPLE.replace('\n', "\r\n");
+        assert_eq!(parse_dump(&dos).unwrap(), parse_dump(SAMPLE).unwrap());
+    }
+
+    #[test]
+    fn torn_trailing_data_line_is_dropped() {
+        // Killed mid-write: the final line stops in the middle of a
+        // number and has no trailing newline.
+        let torn = "25 10.5000 2.0000 12.5000\n75 10.6000 2.1000 12.7000\n125 10.7";
+        let dump = parse_dump(torn).unwrap();
+        assert_eq!(dump.total.len(), 2);
+        assert_eq!(dump.pairs.len(), 2);
+
+        // Same fragment with a newline is a real (complete) bad line.
+        let sealed = format!("{torn}\n");
+        assert_eq!(
+            parse_dump(&sealed).unwrap_err(),
+            ParseDumpError::InconsistentColumns { line: 3 }
+        );
+    }
+
+    #[test]
+    fn torn_trailing_marker_is_dropped() {
+        let dump = parse_dump("25 1.0 2.0\nM 7").unwrap();
+        assert_eq!(dump.total.len(), 1);
+        assert!(dump.total.markers().is_empty());
+    }
+
+    #[test]
+    fn mid_file_errors_still_reported() {
+        // Only the *final* unterminated line gets the torn-tail pass.
+        let err = parse_dump("25 1.0 2.0\n99 oops 3.0\n125 1.1 2.1").unwrap_err();
+        assert_eq!(err, ParseDumpError::BadNumber { line: 2 });
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! PMT integration: replaying an archive through the
+//! [`PowerMeter`](ps3_pmt::PowerMeter) interface, so archived captures
+//! drop into any harness built on [`ps3_pmt::Monitor`].
+
+use std::sync::Arc;
+
+use ps3_pmt::PowerMeter;
+use ps3_units::{SimDuration, SimTime, Watts};
+
+use crate::archive::Archive;
+use crate::segment::frame_total;
+
+/// A [`PowerMeter`] backed by an archived capture: polling it at `now`
+/// returns the power of the latest archived frame at or before `now`
+/// (hold-last semantics, like every hardware meter in `ps3-pmt`).
+/// Decoded segments are cached one at a time, so a forward-moving
+/// monitor decodes each segment once.
+pub struct ArchiveMeter {
+    archive: Arc<Archive>,
+    /// `(segment index, per-frame (time µs, watts))` of the segment
+    /// decoded most recently.
+    cached: Option<(usize, Vec<(u64, f64)>)>,
+    held: Watts,
+}
+
+impl ArchiveMeter {
+    /// Wraps an open archive.
+    #[must_use]
+    pub fn new(archive: Arc<Archive>) -> Self {
+        Self {
+            archive,
+            cached: None,
+            held: Watts::zero(),
+        }
+    }
+
+    /// The watts of the latest archived frame at or before `now`, or
+    /// `None` when `now` precedes the archive (or decoding fails —
+    /// a meter poll has no error channel, so damage reads as a hold).
+    fn lookup(&mut self, now: SimTime) -> Option<f64> {
+        let now_us = now.as_micros();
+        let segments = self.archive.segments();
+        // Last segment starting at or before `now`.
+        let si = segments
+            .partition_point(|s| s.header.start_us <= now_us)
+            .checked_sub(1)?;
+        let frames = self.frames_of(si)?;
+        let fi = frames.partition_point(|&(t, _)| t <= now_us);
+        match fi.checked_sub(1) {
+            Some(fi) => Some(frames[fi].1),
+            // `now` falls before this segment's first frame (can only
+            // happen through time gaps): use the previous segment's
+            // last frame.
+            None => si
+                .checked_sub(1)
+                .and_then(|prev| self.frames_of(prev)?.last().map(|&(_, w)| w)),
+        }
+    }
+
+    /// The decoded `(time µs, watts)` list of segment `si`, via the
+    /// one-segment cache.
+    fn frames_of(&mut self, si: usize) -> Option<&Vec<(u64, f64)>> {
+        if self.cached.as_ref().is_none_or(|(i, _)| *i != si) {
+            let meta = &self.archive.segments()[si];
+            let frames = self.archive.decode_segment_frames(meta).ok()?;
+            let configs = self.archive.configs().clone();
+            let adc = *self.archive.adc();
+            let decoded = frames
+                .iter()
+                .map(|f| (f.time.as_micros(), frame_total(&configs, &adc, f).value()))
+                .collect();
+            self.cached = Some((si, decoded));
+        }
+        self.cached.as_ref().map(|(_, f)| f)
+    }
+}
+
+impl PowerMeter for ArchiveMeter {
+    fn name(&self) -> &str {
+        "PowerSensor3 archive"
+    }
+
+    fn read_watts(&mut self, now: SimTime) -> Watts {
+        if let Some(w) = self.lookup(now) {
+            self.held = Watts::new(w);
+        }
+        self.held
+    }
+
+    fn native_interval(&self) -> SimDuration {
+        ps3_firmware::FRAME_INTERVAL
+    }
+}
+
+impl std::fmt::Debug for ArchiveMeter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArchiveMeter")
+            .field("path", &self.archive.path())
+            .finish_non_exhaustive()
+    }
+}

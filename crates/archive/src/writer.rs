@@ -1,0 +1,385 @@
+//! Archive writers: a synchronous segmented file writer and a
+//! background writer with a bounded queue that taps a live
+//! [`PowerSensor`](ps3_core::PowerSensor) frame sink.
+//!
+//! Crash-safety discipline (see the crate docs): a segment is built in
+//! memory, appended in one write, and flushed *before* the sidecar
+//! index is rewritten to cover it. A crash at any point leaves a file
+//! whose sealed prefix is a complete, valid archive.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use ps3_core::{FrameRecord, PowerSensor};
+use ps3_firmware::{SensorConfig, SENSOR_SLOTS};
+use ps3_sensors::AdcSpec;
+
+use crate::format::{encode_file_header, ArchiveError, DEFAULT_SEGMENT_FRAMES, FILE_HEADER_SIZE};
+use crate::index::{index_path_for, ArchiveIndex, IndexSegment};
+use crate::segment::{build_segment, frame_total, ArchiveFrame};
+
+/// Counters reported when a writer finishes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriterStats {
+    /// Frames written into sealed segments.
+    pub frames: u64,
+    /// Sealed segments.
+    pub segments: u64,
+    /// Total archive size on disk, header included (bytes).
+    pub bytes: u64,
+    /// Frames dropped because the background queue was full (always 0
+    /// for the synchronous writer).
+    pub dropped: u64,
+}
+
+/// Synchronous archive writer: frames in, sealed segments out.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    file: File,
+    index_path: PathBuf,
+    configs: [SensorConfig; SENSOR_SLOTS],
+    adc: AdcSpec,
+    index: ArchiveIndex,
+    pending: Vec<ArchiveFrame>,
+    pending_watts: Vec<f64>,
+    segment_frames: usize,
+    next_seq: u32,
+    stats: WriterStats,
+}
+
+impl SegmentWriter {
+    /// Creates (truncating) an archive at `path` with the default
+    /// segment size of [`DEFAULT_SEGMENT_FRAMES`] frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(
+        path: impl AsRef<Path>,
+        configs: [SensorConfig; SENSOR_SLOTS],
+    ) -> Result<Self, ArchiveError> {
+        Self::create_with(path, configs, DEFAULT_SEGMENT_FRAMES)
+    }
+
+    /// Like [`SegmentWriter::create`] with an explicit segment size
+    /// (frames per sealed segment; smaller segments lose less on a
+    /// crash and cost a little compression).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_frames` is zero.
+    pub fn create_with(
+        path: impl AsRef<Path>,
+        configs: [SensorConfig; SENSOR_SLOTS],
+        segment_frames: usize,
+    ) -> Result<Self, ArchiveError> {
+        assert!(segment_frames > 0, "segments hold at least one frame");
+        let path = path.as_ref();
+        let mut file = File::create(path)?;
+        file.write_all(&encode_file_header(&configs))?;
+        file.sync_data()?;
+        let writer = Self {
+            file,
+            index_path: index_path_for(path),
+            configs,
+            adc: AdcSpec::POWERSENSOR3,
+            index: ArchiveIndex {
+                data_len: FILE_HEADER_SIZE as u64,
+                segments: Vec::new(),
+                markers: Vec::new(),
+            },
+            pending: Vec::with_capacity(segment_frames),
+            pending_watts: Vec::with_capacity(segment_frames),
+            segment_frames,
+            next_seq: 0,
+            stats: WriterStats {
+                bytes: FILE_HEADER_SIZE as u64,
+                ..WriterStats::default()
+            },
+        };
+        writer.rewrite_index();
+        Ok(writer)
+    }
+
+    /// Appends one frame, sealing a segment when the configured size
+    /// is reached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from sealing.
+    pub fn push(&mut self, frame: ArchiveFrame) -> Result<(), ArchiveError> {
+        let watts = frame_total(&self.configs, &self.adc, &frame).value();
+        self.pending.push(frame);
+        self.pending_watts.push(watts);
+        if self.pending.len() >= self.segment_frames {
+            self.seal_segment()?;
+        }
+        Ok(())
+    }
+
+    /// Frames accepted so far (sealed or pending).
+    #[must_use]
+    pub fn frames(&self) -> u64 {
+        self.stats.frames + self.pending.len() as u64
+    }
+
+    /// Seals all pending frames and returns the final counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn finish(mut self) -> Result<WriterStats, ArchiveError> {
+        if !self.pending.is_empty() {
+            self.seal_segment()?;
+        }
+        self.file.sync_all()?;
+        Ok(self.stats)
+    }
+
+    fn seal_segment(&mut self) -> Result<(), ArchiveError> {
+        let bytes = build_segment(self.next_seq, &self.pending, &self.pending_watts);
+        self.file.write_all(&bytes)?;
+        self.file.sync_data()?;
+        let first = self.pending[0].time.as_micros();
+        let last = self.pending[self.pending.len() - 1].time.as_micros();
+        self.index.segments.push(IndexSegment {
+            offset: self.index.data_len,
+            seq: self.next_seq,
+            frame_count: self.pending.len() as u32,
+            start_us: first,
+            end_us: last,
+        });
+        self.index.markers.extend(
+            self.pending
+                .iter()
+                .filter_map(|f| f.marker.map(|label| (f.time.as_micros(), label))),
+        );
+        self.index.data_len += bytes.len() as u64;
+        self.stats.frames += self.pending.len() as u64;
+        self.stats.segments += 1;
+        self.stats.bytes = self.index.data_len;
+        self.next_seq += 1;
+        self.pending.clear();
+        self.pending_watts.clear();
+        // The index is derived data: written only after the segment is
+        // durable, and a torn index write just forces a rescan on open.
+        self.rewrite_index();
+        Ok(())
+    }
+
+    fn rewrite_index(&self) {
+        let _ = std::fs::write(&self.index_path, self.index.encode());
+    }
+}
+
+/// Options for [`ArchiveWriter::spawn`].
+#[derive(Debug, Clone, Copy)]
+pub struct ArchiveWriterOptions {
+    /// Frames per sealed segment.
+    pub segment_frames: usize,
+    /// Bounded queue depth in frames; at 20 kHz the default (65536)
+    /// buffers ~3 s of backlog before frames are dropped (and counted).
+    pub queue_capacity: usize,
+}
+
+impl Default for ArchiveWriterOptions {
+    fn default() -> Self {
+        Self {
+            segment_frames: DEFAULT_SEGMENT_FRAMES,
+            queue_capacity: 65_536,
+        }
+    }
+}
+
+struct QueueState {
+    queue: VecDeque<ArchiveFrame>,
+    closed: bool,
+    dropped: u64,
+}
+
+struct WriterShared {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    failed: AtomicBool,
+    capacity: usize,
+}
+
+/// Background archive writer: a worker thread drains a bounded frame
+/// queue into a [`SegmentWriter`], so the 20 kHz acquisition path
+/// never blocks on disk I/O. Feed it through [`ArchiveWriter::sink`]
+/// (attachable to a live sensor via
+/// [`PowerSensor::add_frame_sink`]) and close it with
+/// [`ArchiveWriter::finish`].
+pub struct ArchiveWriter {
+    shared: Arc<WriterShared>,
+    worker: Option<JoinHandle<Result<WriterStats, ArchiveError>>>,
+}
+
+impl ArchiveWriter {
+    /// Creates the archive file and starts the worker thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating the archive.
+    pub fn spawn(
+        path: impl AsRef<Path>,
+        configs: [SensorConfig; SENSOR_SLOTS],
+        options: ArchiveWriterOptions,
+    ) -> Result<Self, ArchiveError> {
+        let writer = SegmentWriter::create_with(path, configs, options.segment_frames)?;
+        let shared = Arc::new(WriterShared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::with_capacity(options.queue_capacity.min(65_536)),
+                closed: false,
+                dropped: 0,
+            }),
+            cond: Condvar::new(),
+            failed: AtomicBool::new(false),
+            capacity: options.queue_capacity.max(1),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = thread::Builder::new()
+            .name("ps3-archive-writer".into())
+            .spawn(move || Self::worker_loop(&worker_shared, writer))
+            .map_err(ArchiveError::Io)?;
+        Ok(Self {
+            shared,
+            worker: Some(worker),
+        })
+    }
+
+    fn worker_loop(
+        shared: &WriterShared,
+        mut writer: SegmentWriter,
+    ) -> Result<WriterStats, ArchiveError> {
+        loop {
+            let (batch, closed) = {
+                let mut st = shared.state.lock();
+                while st.queue.is_empty() && !st.closed {
+                    shared.cond.wait_for(&mut st, Duration::from_millis(100));
+                }
+                (st.queue.drain(..).collect::<Vec<_>>(), st.closed)
+            };
+            if batch.is_empty() && closed {
+                break;
+            }
+            for frame in batch {
+                if let Err(e) = writer.push(frame) {
+                    shared.failed.store(true, Ordering::Relaxed);
+                    return Err(e);
+                }
+            }
+        }
+        let dropped = shared.state.lock().dropped;
+        let mut stats = match writer.finish() {
+            Ok(stats) => stats,
+            Err(e) => {
+                shared.failed.store(true, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        stats.dropped = dropped;
+        Ok(stats)
+    }
+
+    /// Enqueues one frame directly (the sink does the same). Returns
+    /// `false` once the writer has failed or been closed.
+    pub fn push(&self, frame: ArchiveFrame) -> bool {
+        Self::enqueue(&self.shared, frame)
+    }
+
+    fn enqueue(shared: &WriterShared, frame: ArchiveFrame) -> bool {
+        if shared.failed.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut st = shared.state.lock();
+        if st.closed {
+            return false;
+        }
+        if st.queue.len() >= shared.capacity {
+            st.dropped += 1;
+        } else {
+            st.queue.push_back(frame);
+            shared.cond.notify_one();
+        }
+        true
+    }
+
+    /// A frame sink that feeds this writer; pass it to
+    /// [`PowerSensor::add_frame_sink`]. The sink detaches itself (by
+    /// returning `false`) once the writer fails or is finished.
+    pub fn sink(&self) -> impl FnMut(&FrameRecord) -> bool + Send + 'static {
+        let shared = Arc::clone(&self.shared);
+        move |record: &FrameRecord| {
+            Self::enqueue(
+                &shared,
+                ArchiveFrame {
+                    time: record.time,
+                    raw: record.raw,
+                    present: record.present,
+                    marker: record.marker,
+                },
+            )
+        }
+    }
+
+    /// Attaches this writer to a live sensor's acquisition path.
+    pub fn attach(&self, sensor: &PowerSensor) {
+        sensor.add_frame_sink(self.sink());
+    }
+
+    /// Frames dropped so far because the queue was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.shared.state.lock().dropped
+    }
+
+    /// Closes the queue, drains it, seals the tail segment, and
+    /// returns the final counters.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces any filesystem error the worker hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker thread itself panicked.
+    pub fn finish(mut self) -> Result<WriterStats, ArchiveError> {
+        self.close();
+        let worker = self.worker.take().expect("finish runs once");
+        worker.join().expect("archive writer thread panicked")
+    }
+
+    fn close(&self) {
+        self.shared.state.lock().closed = true;
+        self.shared.cond.notify_all();
+    }
+}
+
+impl Drop for ArchiveWriter {
+    fn drop(&mut self) {
+        self.close();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ArchiveWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArchiveWriter")
+            .field("dropped", &self.dropped())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,175 @@
+//! Crash-safety: truncate an archive at every possible byte offset and
+//! prove that the sealed prefix always survives, the torn tail is
+//! flagged, and corruption never decodes silently.
+
+use std::path::PathBuf;
+
+use ps3_archive::{index_path_for, Archive, ArchiveError, ArchiveFrame, SegmentWriter};
+use ps3_firmware::{SensorConfig, SENSOR_SLOTS};
+use ps3_units::SimTime;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ps3-archive-rec-{}-{tag}.ps3a", std::process::id()))
+}
+
+fn test_configs() -> [SensorConfig; SENSOR_SLOTS] {
+    let mut configs: [SensorConfig; SENSOR_SLOTS] =
+        core::array::from_fn(|_| SensorConfig::unpopulated());
+    configs[0] = SensorConfig::new("I0", 3.3, 0.105, true);
+    configs[1] = SensorConfig::new("U0", 3.3, 0.2171, true);
+    configs
+}
+
+/// A small archive: 3 sealed segments of 30 frames each, with markers.
+fn write_archive(path: &PathBuf, frames_total: u64, segment_frames: usize) -> Vec<u64> {
+    let mut writer = SegmentWriter::create_with(path, test_configs(), segment_frames).unwrap();
+    let mut seals = Vec::new();
+    for i in 0..frames_total {
+        let mut raw = [0u16; SENSOR_SLOTS];
+        raw[0] = 500 + (i % 13) as u16;
+        raw[1] = 700 + (i % 7) as u16;
+        writer
+            .push(ArchiveFrame {
+                time: SimTime::from_micros(25 + i * 50),
+                raw,
+                present: 0b11,
+                marker: (i % 40 == 10).then_some('m'),
+            })
+            .unwrap();
+        if (i + 1) % segment_frames as u64 == 0 {
+            seals.push(i + 1);
+        }
+    }
+    writer.finish().unwrap();
+    seals
+}
+
+#[test]
+fn truncation_at_every_offset_keeps_sealed_prefix() {
+    let path = temp_path("every-offset");
+    write_archive(&path, 90, 30);
+    let bytes = std::fs::read(&path).unwrap();
+    let archive = Archive::open(&path).unwrap();
+    // Byte offset where each segment ends (header → seg0 → seg1 → seg2).
+    let mut seal_offsets = vec![ps3_archive::format::FILE_HEADER_SIZE as u64];
+    for meta in archive.segments() {
+        seal_offsets.push(meta.offset + meta.header.disk_size());
+    }
+    assert_eq!(seal_offsets.len(), 4);
+    assert_eq!(*seal_offsets.last().unwrap(), bytes.len() as u64);
+    drop(archive);
+
+    let torn = temp_path("torn");
+    let torn_index = index_path_for(&torn);
+    for len in 0..=bytes.len() {
+        std::fs::write(&torn, &bytes[..len]).unwrap();
+        // No sidecar: force the recovery scan.
+        std::fs::remove_file(&torn_index).ok();
+        let sealed = seal_offsets
+            .iter()
+            .rev()
+            .find(|&&o| o <= len as u64)
+            .copied();
+        match Archive::open(&torn) {
+            Ok(archive) => {
+                let sealed = sealed
+                    .unwrap_or_else(|| panic!("open succeeded below the file header at len {len}"));
+                let segments_expected = seal_offsets
+                    .iter()
+                    .filter(|&&o| o > seal_offsets[0] && o <= len as u64)
+                    .count();
+                assert_eq!(
+                    archive.segments().len(),
+                    segments_expected,
+                    "truncated at {len}"
+                );
+                assert_eq!(
+                    archive.frames(),
+                    segments_expected as u64 * 30,
+                    "truncated at {len}"
+                );
+                assert_eq!(
+                    archive.recovery().trailing_bytes,
+                    len as u64 - sealed,
+                    "truncated at {len}"
+                );
+                // Sealed data reads back fully.
+                let trace = archive.read_all().unwrap();
+                assert_eq!(trace.len(), segments_expected * 30);
+                // Verify flags the tail and nothing else.
+                let report = archive.verify().unwrap();
+                assert!(
+                    report.errors.is_empty(),
+                    "truncated at {len}: {:?}",
+                    report.errors
+                );
+                assert_eq!(report.trailing_bytes, len as u64 - sealed);
+                assert_eq!(report.is_clean(), len as u64 == sealed);
+            }
+            Err(e) => {
+                // Only acceptable below a complete file header.
+                assert!(
+                    len < ps3_archive::format::FILE_HEADER_SIZE,
+                    "open failed at len {len}: {e}"
+                );
+            }
+        }
+    }
+    std::fs::remove_file(&torn).ok();
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(index_path_for(&path)).ok();
+}
+
+#[test]
+fn stale_index_after_crash_is_bypassed() {
+    let path = temp_path("stale-index");
+    write_archive(&path, 90, 30);
+    let bytes = std::fs::read(&path).unwrap();
+    // Crash scenario: the file lost its tail but the sidecar still
+    // describes the full-length archive.
+    std::fs::write(&path, &bytes[..bytes.len() - 37]).unwrap();
+    let archive = Archive::open(&path).unwrap();
+    assert!(
+        !archive.recovery().used_index,
+        "stale index must not be trusted"
+    );
+    assert_eq!(archive.segments().len(), 2);
+    assert_eq!(archive.frames(), 60);
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(index_path_for(&path)).ok();
+}
+
+#[test]
+fn mid_file_corruption_stops_the_scan_without_lying() {
+    let path = temp_path("flip");
+    write_archive(&path, 90, 30);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let archive = Archive::open(&path).unwrap();
+    let second = &archive.segments()[1];
+    // Flip one payload byte of segment 1.
+    let target = (second.offset + ps3_archive::format::SEGMENT_HEADER_SIZE as u64 + 60) as usize;
+    drop(archive);
+    bytes[target] ^= 0x10;
+    std::fs::write(&path, &bytes).unwrap();
+    std::fs::remove_file(index_path_for(&path)).ok();
+
+    let archive = Archive::open(&path).unwrap();
+    // Only the first segment survives; nothing after the damage is served.
+    assert_eq!(archive.segments().len(), 1);
+    assert_eq!(archive.read_all().unwrap().len(), 30);
+    let report = archive.verify().unwrap();
+    assert!(!report.is_clean());
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(index_path_for(&path)).ok();
+}
+
+#[test]
+fn unrelated_file_is_rejected() {
+    let path = temp_path("not-an-archive");
+    std::fs::write(&path, vec![0x42u8; 4096]).unwrap();
+    assert!(matches!(
+        Archive::open(&path),
+        Err(ArchiveError::NotAnArchive)
+    ));
+    std::fs::remove_file(&path).ok();
+}

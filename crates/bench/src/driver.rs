@@ -16,7 +16,8 @@ use std::time::Instant;
 use ps3_units::SimDuration;
 
 use crate::{
-    capping, fig12, fig4, fig5, fig7, fig8, interference, noise, related, stability, table1, table2,
+    archive, capping, fig12, fig4, fig5, fig7, fig8, interference, noise, related, stability,
+    table1, table2,
 };
 
 /// The seed every `repro` run uses, so artifacts are comparable
@@ -25,7 +26,7 @@ pub const SEED: u64 = 0x5EED_2026;
 
 /// The default experiment list (the paper's tables and figures, in
 /// paper order, plus the interference ablation).
-pub const DEFAULT_EXPERIMENTS: [&str; 12] = [
+pub const DEFAULT_EXPERIMENTS: [&str; 13] = [
     "table1",
     "table2",
     "fig4",
@@ -38,6 +39,7 @@ pub const DEFAULT_EXPERIMENTS: [&str; 12] = [
     "fig12a",
     "fig12b",
     "interference",
+    "archive",
 ];
 
 /// Sample counts and sweep sizes for one run.
@@ -138,6 +140,10 @@ pub struct ExperimentOutput {
     /// Device samples processed, where the experiment has a natural
     /// sample count (0 otherwise); feeds the samples/sec metric.
     pub samples: u64,
+    /// Named scalar results worth recording in `BENCH_repro.json`
+    /// (e.g. the archive store's bytes/sample). Empty for most
+    /// experiments.
+    pub metrics: Vec<(String, f64)>,
 }
 
 /// One experiment's result plus its wall-clock cost.
@@ -181,6 +187,7 @@ pub fn run_experiment(name: &str, scale: &Scale, seed: u64) -> Option<Experiment
         "fig12a" => run_fig12a(scale, seed),
         "fig12b" => run_fig12b(scale, seed),
         "interference" => run_interference(scale, seed),
+        "archive" => run_archive(scale, seed),
         "related" => run_related(scale, seed),
         "capping" => run_capping(seed),
         "noise" => run_noise(scale, seed),
@@ -199,6 +206,7 @@ fn output(report: String, csvs: Vec<Csv>, samples: u64) -> ExperimentOutput {
         report,
         csvs,
         samples,
+        metrics: Vec::new(),
     }
 }
 
@@ -521,6 +529,46 @@ fn run_capping(seed: u64) -> ExperimentOutput {
     )
 }
 
+fn run_archive(scale: &Scale, seed: u64) -> ExperimentOutput {
+    let r = archive::run(scale.samples_per_point, seed);
+    let csv: Vec<Vec<f64>> = r
+        .segments
+        .iter()
+        .map(|s| {
+            vec![
+                f64::from(s.seq),
+                s.frames as f64,
+                s.bytes as f64,
+                if s.frames == 0 {
+                    0.0
+                } else {
+                    s.bytes as f64 / s.frames as f64
+                },
+            ]
+        })
+        .collect();
+    let mut out = output(
+        archive::render(&r),
+        vec![Csv {
+            name: "archive.csv".into(),
+            header: vec!["seq", "frames", "bytes", "bytes_per_sample"],
+            rows: csv,
+        }],
+        r.frames,
+    );
+    out.metrics = vec![
+        ("archive_bytes_per_sample".into(), r.bytes_per_sample()),
+        ("archive_compression_ratio".into(), r.ratio()),
+        (
+            "archive_roundtrip_exact".into(),
+            f64::from(r.roundtrip_exact),
+        ),
+        ("archive_stats_bit_exact".into(), f64::from(r.stats_exact)),
+        ("archive_verify_clean".into(), f64::from(r.verify_clean)),
+    ];
+    out
+}
+
 fn run_noise(scale: &Scale, seed: u64) -> ExperimentOutput {
     let loads = [0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 9.5];
     let samples = scale.table2_samples / 16;
@@ -590,6 +638,7 @@ mod tests {
                     "fig12a",
                     "fig12b",
                     "interference",
+                    "archive",
                 ]
                 .contains(&name),
                 "{name} missing from the dispatch table"

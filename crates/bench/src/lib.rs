@@ -20,6 +20,7 @@
 //! | §II tool-landscape comparison (beyond the paper) | [`related`] |
 //! | Power-capping study (beyond the paper) | [`capping`] |
 //! | §IV-A noise decomposition | [`noise`] |
+//! | Archive store cost/exactness (beyond the paper) | [`archive`] |
 
 /// Renders a trace as a 72×12 ASCII chart (shared by the `repro`
 /// binary's figure output).
@@ -28,6 +29,7 @@ pub fn report_plot(trace: &ps3_analysis::Trace) -> String {
     ps3_analysis::ascii_trace(trace, 72, 12)
 }
 
+pub mod archive;
 pub mod capping;
 pub mod driver;
 pub mod fig12;

@@ -81,6 +81,9 @@ pub struct BenchEntry {
     /// Device samples processed (0 where the experiment has no
     /// natural sample count).
     pub samples: u64,
+    /// Named scalar results (e.g. the archive experiment's
+    /// bytes/sample); emitted as a `"metrics"` object when non-empty.
+    pub metrics: Vec<(String, f64)>,
 }
 
 /// Writes the machine-readable perf record `BENCH_repro.json` into the
@@ -134,10 +137,19 @@ pub fn write_bench_json(
             0.0
         };
         let comma = if i + 1 < entries.len() { "," } else { "" };
+        let mut metrics = String::new();
+        if !e.metrics.is_empty() {
+            metrics.push_str(", \"metrics\": {");
+            for (j, (key, value)) in e.metrics.iter().enumerate() {
+                let sep = if j == 0 { "" } else { ", " };
+                let _ = write!(metrics, "{sep}\"{key}\": {value:.6}");
+            }
+            metrics.push('}');
+        }
         let _ = writeln!(
             json,
             "    {{\"name\": \"{}\", \"wall_s\": {:.6}, \"samples\": {}, \
-             \"samples_per_sec\": {:.1}}}{comma}",
+             \"samples_per_sec\": {:.1}{metrics}}}{comma}",
             e.name, e.wall_s, e.samples, rate
         );
     }
@@ -184,11 +196,16 @@ mod tests {
                     name: "fig4".into(),
                     wall_s: 2.0,
                     samples: 1000,
+                    metrics: Vec::new(),
                 },
                 BenchEntry {
-                    name: "table1".into(),
+                    name: "archive".into(),
                     wall_s: 0.5,
                     samples: 0,
+                    metrics: vec![
+                        ("archive_bytes_per_sample".into(), 0.875),
+                        ("archive_compression_ratio".into(), 6.857),
+                    ],
                 },
             ],
         )
@@ -197,6 +214,12 @@ mod tests {
         assert!(text.contains("\"jobs\": 4"), "{text}");
         assert!(text.contains("\"speedup_vs_serial\": 4.0000"), "{text}");
         assert!(text.contains("\"samples_per_sec\": 500.0"), "{text}");
+        // Metrics only appear on entries that have them.
+        assert!(
+            text.contains("\"metrics\": {\"archive_bytes_per_sample\": 0.875000, \"archive_compression_ratio\": 6.857000}"),
+            "{text}"
+        );
+        assert_eq!(text.matches("\"metrics\"").count(), 1, "{text}");
         // Exactly one trailing comma pattern: the list is valid JSON.
         assert!(!text.contains(",\n  ]"), "{text}");
         let _ = std::fs::remove_file(path);

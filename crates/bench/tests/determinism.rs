@@ -12,8 +12,10 @@
 use ps3_bench::driver::{run_all, Scale};
 
 /// Experiments covering all intra-experiment parallel paths plus a
-/// serial-by-nature one (table1) for the experiment-level fan-out.
-const NAMES: [&str; 5] = ["table1", "table2", "fig4", "fig8", "fig10"];
+/// serial-by-nature one (table1) for the experiment-level fan-out and
+/// the archive store (whose on-disk byte counts must also be
+/// reproducible run to run).
+const NAMES: [&str; 6] = ["table1", "table2", "fig4", "fig8", "fig10", "archive"];
 
 const SEED: u64 = 0xD57E_4213;
 
@@ -50,5 +52,6 @@ fn outputs_identical_for_one_and_eight_jobs() {
             assert_eq!(sc.rows, pc.rows, "{}: rows differ across jobs", sc.name);
         }
         assert_eq!(s.samples, p.samples);
+        assert_eq!(s.metrics, p.metrics, "{name}: metrics differ across jobs");
     }
 }

@@ -41,7 +41,10 @@ pub mod tools;
 pub use calibration::{calibrate_pair, CalibrationReport, DEFAULT_CALIBRATION_FRAMES};
 pub use convert::pair_readings;
 pub use error::PowerSensorError;
-pub use offline::{decode_stream, OfflineDecode};
+pub use offline::{
+    decode_stream, decode_stream_with_labels, parse_label_sidecar, write_label_sidecar,
+    OfflineDecode,
+};
 pub use power_sensor::{
     FrameRecord, FrameSink, PowerSensor, RawCapture, SharedPowerSensor, SENSOR_PAIRS,
 };

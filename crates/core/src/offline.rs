@@ -19,9 +19,9 @@ use crate::state::SENSOR_PAIRS;
 /// Result of decoding a capture.
 #[derive(Debug, Clone)]
 pub struct OfflineDecode {
-    /// Total power over time; markers appear with the placeholder
-    /// label `'?'` (the wire carries only the marker bit — labels live
-    /// host-side).
+    /// Total power over time. Markers carry the labels supplied to
+    /// [`decode_stream_with_labels`], or the placeholder `'?'` (the
+    /// wire carries only the marker bit — labels live host-side).
     pub total: Trace,
     /// Per-pair power traces (enabled pairs only, in pair order).
     pub pairs: Vec<(usize, Trace)>,
@@ -38,9 +38,29 @@ pub struct OfflineDecode {
 /// configuration that was active when it was recorded.
 ///
 /// Incomplete frames (e.g. a capture cut mid-frame) are dropped;
-/// corrupted bytes cost at most the frame they occur in.
+/// corrupted bytes cost at most the frame they occur in. Markers get
+/// the placeholder label `'?'`; use
+/// [`decode_stream_with_labels`] to restore the host-side labels from
+/// a sidecar.
 #[must_use]
 pub fn decode_stream(bytes: &[u8], configs: &[SensorConfig; SENSOR_SLOTS]) -> OfflineDecode {
+    decode_stream_with_labels(bytes, configs, &[])
+}
+
+/// Decodes a capture like [`decode_stream`], restoring marker labels
+/// from a host-side sidecar (see [`write_label_sidecar`]).
+///
+/// The wire protocol carries only a marker *bit*; the labels live on
+/// the host. `labels` is consumed in marker order — the first marked
+/// frame gets `labels[0]` and so on, falling back to `'?'` once the
+/// list is exhausted (mirroring the live reader when `mark` labels run
+/// out).
+#[must_use]
+pub fn decode_stream_with_labels(
+    bytes: &[u8],
+    configs: &[SensorConfig; SENSOR_SLOTS],
+    labels: &[char],
+) -> OfflineDecode {
     let adc = AdcSpec::POWERSENSOR3;
     let mut decoder = StreamDecoder::new();
     let mut unwrapper = TimestampUnwrapper::new();
@@ -51,6 +71,7 @@ pub fn decode_stream(bytes: &[u8], configs: &[SensorConfig; SENSOR_SLOTS]) -> Of
     let mut pairs: Vec<(usize, Trace)> = enabled_pairs.iter().map(|&p| (p, Trace::new())).collect();
     let mut energy = Joules::zero();
     let mut frames = 0u64;
+    let mut next_label = labels.iter().copied();
 
     let mut frame_time: Option<SimTime> = None;
     let mut prev_time: Option<SimTime> = None;
@@ -87,7 +108,7 @@ pub fn decode_stream(bytes: &[u8], configs: &[SensorConfig; SENSOR_SLOTS]) -> Of
         energy += frame_total * dt;
         total.push(time, frame_total);
         if marker {
-            total.mark(time, '?');
+            total.mark(time, next_label.next().unwrap_or('?'));
         }
         for ((_, trace), (_, w)) in pairs.iter_mut().zip(pair_watts) {
             trace.push(time, w);
@@ -138,6 +159,37 @@ pub fn decode_stream(bytes: &[u8], configs: &[SensorConfig; SENSOR_SLOTS]) -> Of
     }
 }
 
+/// Serialises marker labels into the text sidecar format: a header
+/// comment followed by one label per line, in marker order.
+///
+/// Written next to a raw capture, the sidecar lets
+/// [`decode_stream_with_labels`] round-trip the labels the wire
+/// protocol cannot carry.
+#[must_use]
+pub fn write_label_sidecar(labels: &[char]) -> String {
+    let mut out = String::from("# PowerSensor3 marker labels (one per line, marker order)\n");
+    for &label in labels {
+        out.push(label);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a sidecar produced by [`write_label_sidecar`].
+///
+/// Blank lines and `#` comments are skipped; each remaining line
+/// contributes its first non-whitespace character. Unknown content
+/// never fails — a mangled line simply yields whatever character it
+/// starts with, keeping the label stream aligned.
+#[must_use]
+pub fn parse_label_sidecar(text: &str) -> Vec<char> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| l.chars().next())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,8 +202,9 @@ mod tests {
         configs
     }
 
-    /// Synthesises `n` wire frames carrying exactly 2 A / 12 V.
-    fn synthetic_stream(n: u64) -> Vec<u8> {
+    /// Synthesises `n` wire frames carrying exactly 2 A / 12 V, with
+    /// the marker bit set on the listed frames.
+    fn synthetic_stream_with_markers(n: u64, marked: &[u64]) -> Vec<u8> {
         let adc = AdcSpec::POWERSENSOR3;
         let raw_i = adc.quantize(1.65 + 2.0 * 0.12);
         let raw_u = adc.quantize(12.0 / 5.0);
@@ -163,7 +216,7 @@ mod tests {
                 bytes.extend_from_slice(
                     &Packet::Sample {
                         sensor,
-                        marker: false,
+                        marker: sensor == 0 && marked.contains(&frame),
                         value,
                     }
                     .encode(),
@@ -171,6 +224,11 @@ mod tests {
             }
         }
         bytes
+    }
+
+    /// Synthesises `n` wire frames carrying exactly 2 A / 12 V.
+    fn synthetic_stream(n: u64) -> Vec<u8> {
+        synthetic_stream_with_markers(n, &[])
     }
 
     #[test]
@@ -206,6 +264,39 @@ mod tests {
         assert!(decoded.frames >= 95, "frames {}", decoded.frames);
         let mean = decoded.total.mean_power().unwrap().value();
         assert!((mean - 24.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn labels_attach_in_marker_order_and_exhaust_to_placeholder() {
+        let bytes = synthetic_stream_with_markers(50, &[5, 20, 40]);
+        // Without labels: the legacy placeholder behaviour.
+        let plain = decode_stream(&bytes, &configs_one_pair());
+        let labels: Vec<char> = plain.total.markers().iter().map(|m| m.label).collect();
+        assert_eq!(labels, vec!['?', '?', '?']);
+
+        // With a sidecar: labels round-trip in order; the third marker
+        // falls back to '?' because only two labels were recorded.
+        let decoded = decode_stream_with_labels(&bytes, &configs_one_pair(), &['k', 'e']);
+        let labels: Vec<char> = decoded.total.markers().iter().map(|m| m.label).collect();
+        assert_eq!(labels, vec!['k', 'e', '?']);
+        assert_eq!(decoded.frames, plain.frames);
+        assert_eq!(decoded.total.samples(), plain.total.samples());
+    }
+
+    #[test]
+    fn label_sidecar_round_trips() {
+        let labels = vec!['k', 'e', '#', 'x'];
+        let text = write_label_sidecar(&labels);
+        assert!(text.starts_with("# PowerSensor3 marker labels"));
+        // '#' as a *label* collides with the comment syntax: it is the
+        // one character the text sidecar cannot carry.
+        assert_eq!(parse_label_sidecar(&text), vec!['k', 'e', 'x']);
+        let clean = vec!['a', 'b', 'c'];
+        assert_eq!(parse_label_sidecar(&write_label_sidecar(&clean)), clean);
+        assert!(parse_label_sidecar("# only comments\n\n").is_empty());
+        // CRLF sidecars parse the same.
+        let dos = write_label_sidecar(&clean).replace('\n', "\r\n");
+        assert_eq!(parse_label_sidecar(&dos), clean);
     }
 
     #[test]

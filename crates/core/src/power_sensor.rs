@@ -82,7 +82,7 @@ struct Inner {
     frame: FrameAssembly,
     marker_labels: VecDeque<char>,
     trace: Option<Trace>,
-    dump: Option<Box<dyn Write + Send>>,
+    dump: Option<DumpState>,
     raw_capture: Option<RawCaptureState>,
     sinks: Vec<FrameSink>,
 }
@@ -101,6 +101,22 @@ impl core::fmt::Debug for Inner {
         f.debug_struct("Inner")
             .field("state", &self.state)
             .finish_non_exhaustive()
+    }
+}
+
+/// Continuous-mode dump writer plus the line count it has produced,
+/// so the seal record can state how many frames a complete dump holds.
+struct DumpState {
+    writer: std::io::BufWriter<Box<dyn Write + Send>>,
+    frames: u64,
+}
+
+impl DumpState {
+    /// Writes the seal record and flushes. A dump without this final
+    /// `# end frames=N` line was cut short (process killed mid-write).
+    fn seal(mut self) {
+        let _ = writeln!(self.writer, "# end frames={}", self.frames);
+        let _ = self.writer.flush();
     }
 }
 
@@ -290,15 +306,20 @@ impl PowerSensor {
     /// Streams every frame as a text line into `writer` (continuous
     /// mode dump file): `t_us p0_W p1_W p2_W p3_W total_W`, with
     /// `M t_us <label>` lines for markers.
-    pub fn dump_to<W: Write + Send + 'static>(&self, mut writer: W) {
+    ///
+    /// Output is buffered; [`PowerSensor::stop_dump`] (or dropping the
+    /// sensor) flushes it and appends a `# end frames=N` seal line so
+    /// readers can tell a complete dump from one cut short by a crash.
+    pub fn dump_to<W: Write + Send + 'static>(&self, writer: W) {
+        let mut writer = std::io::BufWriter::new(Box::new(writer) as Box<dyn Write + Send>);
         let _ = writeln!(writer, "# PowerSensor3 dump (times in device µs)");
-        self.shared.inner.lock().dump = Some(Box::new(writer));
+        self.shared.inner.lock().dump = Some(DumpState { writer, frames: 0 });
     }
 
-    /// Stops dumping and flushes the writer.
+    /// Stops dumping, appends the seal line, and flushes the writer.
     pub fn stop_dump(&self) {
-        if let Some(mut w) = self.shared.inner.lock().dump.take() {
-            let _ = w.flush();
+        if let Some(state) = self.shared.inner.lock().dump.take() {
+            state.seal();
         }
     }
 
@@ -513,8 +534,8 @@ impl Drop for PowerSensor {
         if let Some(handle) = self.reader.take() {
             let _ = handle.join();
         }
-        if let Some(mut dump) = self.shared.inner.lock().dump.take() {
-            let _ = dump.flush();
+        if let Some(dump) = self.shared.inner.lock().dump.take() {
+            dump.seal();
         }
     }
 }
@@ -761,10 +782,11 @@ fn finalize_frame(shared: &Shared, inner: &mut Inner) {
             }
         }
         let _ = writeln!(line, " {:.4}", total_power.value());
-        let _ = dump.write_all(line.as_bytes());
+        let _ = dump.writer.write_all(line.as_bytes());
         if let Some(label) = marker_label {
-            let _ = writeln!(dump, "M {} {label}", time.as_micros());
+            let _ = writeln!(dump.writer, "M {} {label}", time.as_micros());
         }
+        dump.frames += 1;
     }
     if !inner.sinks.is_empty() {
         let mut raw = [0u16; SENSOR_SLOTS];
@@ -914,7 +936,51 @@ mod tests {
         let data_line = text.lines().nth(1).unwrap();
         let fields: Vec<&str> = data_line.split_whitespace().collect();
         assert_eq!(fields.len(), 3);
+        // The dump is sealed: the last line states the frame count.
+        let data_lines = text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.starts_with("M "))
+            .count();
+        assert_eq!(
+            text.lines().last().unwrap(),
+            format!("# end frames={data_lines}")
+        );
         drop(ps);
+        drop(h);
+    }
+
+    #[test]
+    fn dropping_the_sensor_seals_the_dump() {
+        let (h, host_end) = Harness::spawn(two_amp_source(), one_pair_eeprom());
+        let ps = PowerSensor::connect(host_end).unwrap();
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct SharedWriter(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedWriter {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        ps.dump_to(SharedWriter(Arc::clone(&buf)));
+        h.advance(SimDuration::from_millis(2));
+        ps.wait_for_frames(40, Duration::from_secs(10)).unwrap();
+        // No stop_dump: dropping the sensor must flush and seal anyway.
+        drop(ps);
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        let data_lines = text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.starts_with("M "))
+            .count();
+        assert!(data_lines >= 40, "buffered data lost on drop: {data_lines}");
+        assert!(
+            text.ends_with('\n')
+                && text.lines().last().unwrap() == format!("# end frames={data_lines}"),
+            "dump not sealed on drop: {:?}",
+            text.lines().last()
+        );
         drop(h);
     }
 

@@ -15,12 +15,14 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use ps3_archive::Archive;
 use ps3_core::SharedPowerSensor;
 use ps3_firmware::{FRAME_INTERVAL, SENSOR_SLOTS};
+use ps3_units::SimTime;
 
 use crate::downsample::Downsampler;
 use crate::proto::{
@@ -102,17 +104,26 @@ fn set_send_buffer(_stream: &TcpStream, _bytes: usize) -> io::Result<()> {
     Ok(())
 }
 
+/// Where a daemon's frames come from.
+enum FrameSource {
+    /// Live acquisition: a tap on the sensor's reader thread.
+    Live(SharedPowerSensor),
+    /// Replay: a pump thread publishing an archived range.
+    Replay,
+}
+
 /// Handle to a running streaming daemon. Dropping it shuts the daemon
 /// down and joins all its threads.
 pub struct StreamDaemon {
     shared: Arc<DaemonShared>,
     local_addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
+    pump: Option<JoinHandle<()>>,
 }
 
 struct DaemonShared {
     ring: Arc<BroadcastRing>,
-    sensor: SharedPowerSensor,
+    source: FrameSource,
     config: StreamDaemonConfig,
     /// Pre-encoded `Hello`, identical for every subscriber.
     hello: Vec<u8>,
@@ -169,7 +180,7 @@ impl StreamDaemon {
 
         let shared = Arc::new(DaemonShared {
             ring,
-            sensor,
+            source: FrameSource::Live(sensor),
             config,
             hello,
             shutdown,
@@ -191,6 +202,78 @@ impl StreamDaemon {
             shared,
             local_addr,
             accept: Some(accept),
+            pump: None,
+        })
+    }
+
+    /// Starts a daemon that replays an archived capture instead of
+    /// tapping a live sensor.
+    ///
+    /// The replay covers `range` (half-open, `None` for the whole
+    /// archive) and begins once the first subscriber attaches. `speed`
+    /// scales the pacing: `1.0` replays at the recorded rate, `2.0`
+    /// twice as fast, and `0.0` (or any non-positive value) publishes
+    /// as fast as subscribers can drain. When the range is exhausted
+    /// the stream closes and subscribers observe end-of-stream.
+    ///
+    /// Marker *bits* ride along at their archived positions;
+    /// [`ClientMsg::InjectMarker`] is ignored (there is no live sensor
+    /// to mark).
+    ///
+    /// # Errors
+    ///
+    /// Socket bind errors.
+    pub fn start_replay<A: ToSocketAddrs>(
+        archive: Arc<Archive>,
+        range: Option<(SimTime, SimTime)>,
+        speed: f64,
+        addr: A,
+        config: StreamDaemonConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let ring = Arc::new(BroadcastRing::new(config.ring_capacity));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let hello = ServerMsg::Hello {
+            frame_interval_us: FRAME_INTERVAL.as_micros() as u32,
+            configs: Box::new(archive.configs().clone()),
+        }
+        .encode();
+
+        let shared = Arc::new(DaemonShared {
+            ring,
+            source: FrameSource::Replay,
+            config,
+            hello,
+            shutdown,
+            active_subscribers: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            gap_events: AtomicU64::new(0),
+            clients: Mutex::new(Vec::new()),
+        });
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ps3-stream-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn accept thread")
+        };
+        let pump = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ps3-stream-replay".into())
+                .spawn(move || replay_pump(&shared, &archive, range, speed))
+                .expect("spawn replay thread")
+        };
+
+        Ok(Self {
+            shared,
+            local_addr,
+            accept: Some(accept),
+            pump: Some(pump),
         })
     }
 
@@ -211,10 +294,20 @@ impl StreamDaemon {
         }
     }
 
-    /// The sensor this daemon is serving.
+    /// The sensor this daemon is serving, or `None` in replay mode.
     #[must_use]
-    pub fn sensor(&self) -> &SharedPowerSensor {
-        &self.shared.sensor
+    pub fn sensor(&self) -> Option<&SharedPowerSensor> {
+        match &self.shared.source {
+            FrameSource::Live(sensor) => Some(sensor),
+            FrameSource::Replay => None,
+        }
+    }
+
+    /// Whether this daemon replays an archive rather than serving a
+    /// live sensor.
+    #[must_use]
+    pub fn is_replay(&self) -> bool {
+        matches!(self.shared.source, FrameSource::Replay)
     }
 
     /// Stops accepting, disconnects all subscribers, and joins every
@@ -223,6 +316,9 @@ impl StreamDaemon {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.ring.close();
         if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.pump.take() {
             let _ = handle.join();
         }
         let clients = std::mem::take(&mut *self.shared.clients.lock());
@@ -245,6 +341,78 @@ impl core::fmt::Debug for StreamDaemon {
             .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
+}
+
+/// Publishes an archived range into the ring, paced against wall
+/// clock, then closes the ring so subscribers see end-of-stream.
+///
+/// Waits for the first subscriber before starting (plus a short settle
+/// so its cursor is parked at the ring head) — a replay nobody
+/// watches would otherwise finish before anyone could attach.
+fn replay_pump(
+    shared: &Arc<DaemonShared>,
+    archive: &Archive,
+    range: Option<(SimTime, SimTime)>,
+    speed: f64,
+) {
+    while shared.active_subscribers.load(Ordering::SeqCst) == 0 {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            shared.ring.close();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(50));
+
+    let start_wall = Instant::now();
+    let mut first_time: Option<SimTime> = None;
+    'outer: for meta in archive.segments() {
+        if let Some((start, end)) = range {
+            if meta.header.end_us < start.as_micros() || meta.header.start_us >= end.as_micros() {
+                continue;
+            }
+        }
+        // A segment that was readable at open time can only fail here
+        // if the file changed underneath us; end the replay cleanly.
+        let Ok(frames) = archive.decode_segment_frames(meta) else {
+            break;
+        };
+        for frame in frames {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break 'outer;
+            }
+            if let Some((start, end)) = range {
+                if frame.time < start {
+                    continue;
+                }
+                if frame.time >= end {
+                    break 'outer;
+                }
+            }
+            let t0 = *first_time.get_or_insert(frame.time);
+            if speed > 0.0 {
+                let offset = frame.time.saturating_duration_since(t0);
+                let target = Duration::from_secs_f64(offset.as_secs_f64() / speed);
+                loop {
+                    let elapsed = start_wall.elapsed();
+                    if elapsed >= target {
+                        break;
+                    }
+                    std::thread::sleep((target - elapsed).min(Duration::from_millis(50)));
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break 'outer;
+                    }
+                }
+            }
+            shared.ring.publish(&StreamFrame {
+                time: frame.time,
+                raw: frame.raw,
+                present: frame.present,
+                marker: frame.marker.is_some(),
+            });
+        }
+    }
+    shared.ring.close();
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<DaemonShared>) {
@@ -346,7 +514,12 @@ fn control_loop(
     while let Ok(msg) = read_msg_body(&mut control).and_then(|b| ClientMsg::decode(&b)) {
         match msg {
             ClientMsg::InjectMarker { label } => {
-                let _ = shared.sensor.mark(label);
+                // Markers only make sense against a live sensor; in
+                // replay mode the archived marker bits are replayed
+                // as-is and injections are ignored.
+                if let FrameSource::Live(sensor) = &shared.source {
+                    let _ = sensor.mark(label);
+                }
             }
             ClientMsg::QueryStats => {
                 let stats = StreamStats {

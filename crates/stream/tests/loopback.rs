@@ -303,3 +303,90 @@ fn marker_injected_by_client_reaches_host_trace() {
     let labels: Vec<char> = trace.markers().iter().map(|m| m.label).collect();
     assert_eq!(labels, vec!['z'], "network-injected marker in host trace");
 }
+
+/// Replay mode: a daemon serving an archived range must deliver the
+/// stored frames bit-for-bit (raw codes, presence, marker positions)
+/// and close the stream when the range is exhausted.
+#[test]
+fn replay_daemon_serves_archived_range_exactly() {
+    use ps3_archive::{Archive, ArchiveFrame, SegmentWriter};
+    use ps3_firmware::{SensorConfig, SENSOR_SLOTS};
+    use ps3_stream::StreamFrame;
+    use ps3_units::SimTime;
+
+    let mut configs: [SensorConfig; SENSOR_SLOTS] =
+        core::array::from_fn(|_| SensorConfig::unpopulated());
+    configs[0] = SensorConfig::new("I0", 3.3, 0.105, true);
+    configs[1] = SensorConfig::new("U0", 3.3, 0.2171, true);
+
+    let path = std::env::temp_dir().join(format!("ps3-stream-replay-{}.ps3a", std::process::id()));
+    let frames: Vec<ArchiveFrame> = (0..400u64)
+        .map(|i| {
+            let mut raw = [0u16; SENSOR_SLOTS];
+            raw[0] = 400 + (i % 37) as u16;
+            raw[1] = 600 + (i % 11) as u16;
+            ArchiveFrame {
+                time: SimTime::from_micros(25 + i * 50),
+                raw,
+                present: 0b11,
+                marker: (i == 150 || i == 250).then_some('r'),
+            }
+        })
+        .collect();
+    {
+        let mut writer = SegmentWriter::create_with(&path, configs, 100).unwrap();
+        for &frame in &frames {
+            writer.push(frame).unwrap();
+        }
+        writer.finish().unwrap();
+    }
+
+    // Replay only frames 100..300, unpaced.
+    let archive = Arc::new(Archive::open(&path).unwrap());
+    let range = Some((frames[100].time, frames[300].time));
+    let mut daemon = StreamDaemon::start_replay(
+        archive,
+        range,
+        0.0,
+        "127.0.0.1:0",
+        StreamDaemonConfig::default(),
+    )
+    .unwrap();
+    assert!(daemon.is_replay());
+    assert!(daemon.sensor().is_none());
+
+    let client = StreamClient::connect(
+        daemon.local_addr(),
+        StreamClientConfig {
+            pair_mask: 0x0F,
+            divisor: 1,
+        },
+    )
+    .unwrap();
+    let received: Arc<Mutex<Vec<StreamFrame>>> = Arc::new(Mutex::new(Vec::new()));
+    {
+        let received = Arc::clone(&received);
+        client.set_frame_callback(move |frame| received.lock().unwrap().push(*frame));
+    }
+    // InjectMarker is accepted but ignored in replay mode.
+    client.inject_marker('x').unwrap();
+
+    // End of range closes the stream; the client observes it.
+    assert!(
+        wait_until(Duration::from_secs(30), || !client.is_alive()),
+        "replay should end the stream"
+    );
+    let got = received.lock().unwrap().clone();
+    assert_eq!(got.len(), 200, "half-open range [100, 300)");
+    for (frame, want) in got.iter().zip(&frames[100..300]) {
+        assert_eq!(frame.time, want.time);
+        assert_eq!(frame.raw, want.raw);
+        assert_eq!(frame.present, want.present);
+        assert_eq!(frame.marker, want.marker.is_some());
+    }
+    assert_eq!(client.gap_events(), 0);
+
+    daemon.shutdown();
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(ps3_archive::index_path_for(&path)).ok();
+}

@@ -1,0 +1,121 @@
+//! Archiving: capture a run into the compressed trace store, then
+//! query it without ever holding the full trace in memory.
+//!
+//! ```text
+//! cargo run --release --example archive
+//! ```
+//!
+//! A simulated 12 V bench run is archived live by the background
+//! [`ArchiveWriter`] while the host also keeps an in-memory trace.
+//! The example then reopens the `.ps3a` file and shows the three
+//! query flavours: an exact range read (byte-identical to the live
+//! trace), summary-accelerated stats and marker-window energy, and a
+//! downsampled read exported as CSV.
+
+use powersensor3::archive::{Archive, ArchiveWriter, ArchiveWriterOptions};
+use powersensor3::duts::LoadProgram;
+use powersensor3::sensors::ModuleKind;
+use powersensor3::testbed::setups::accuracy_bench;
+use powersensor3::units::{Amps, SimDuration, SimTime};
+
+fn main() {
+    // 1. A simulated rig: 12 V bench stepping between 2 A and 6 A.
+    let mut testbed = accuracy_bench(
+        ModuleKind::Slot10A12V,
+        LoadProgram::SquareWave {
+            low: Amps::new(2.0),
+            high: Amps::new(6.0),
+            frequency_hz: 10.0,
+        },
+        42,
+    );
+    let sensor = testbed.connect().expect("connect");
+    testbed
+        .advance_and_sync(&sensor, SimDuration::from_millis(2))
+        .expect("settle");
+
+    // 2. Attach the background archive writer: every acquired frame
+    //    is queued, compressed, and sealed into crash-safe segments.
+    let path = std::env::temp_dir().join("ps3-example.ps3a");
+    let writer = ArchiveWriter::spawn(
+        &path,
+        sensor.configs(),
+        ArchiveWriterOptions {
+            segment_frames: 4096,
+            ..ArchiveWriterOptions::default()
+        },
+    )
+    .expect("create archive");
+    writer.attach(&sensor);
+
+    // 3. Run half a simulated second with a marked kernel window,
+    //    keeping a live trace for comparison.
+    sensor.begin_trace_with_capacity(10_000);
+    testbed
+        .advance_and_sync(&sensor, SimDuration::from_millis(100))
+        .expect("advance");
+    sensor.mark('k').expect("mark");
+    testbed
+        .advance_and_sync(&sensor, SimDuration::from_millis(300))
+        .expect("advance");
+    sensor.mark('e').expect("mark");
+    testbed
+        .advance_and_sync(&sensor, SimDuration::from_millis(100))
+        .expect("advance");
+    let live = sensor.end_trace();
+    let stats = writer.finish().expect("seal archive");
+    println!(
+        "archived {} frames -> {} bytes in {} segments ({:.3} bytes/sample, raw wire is 6)",
+        stats.frames,
+        stats.bytes,
+        stats.segments,
+        stats.bytes as f64 / stats.frames as f64
+    );
+
+    // 4. Reopen and query.
+    let archive = Archive::open(&path).expect("open archive");
+
+    // Exact: the re-read range equals the live trace bit for bit.
+    let end = SimTime::from_micros(archive.end_time().unwrap().as_micros() + 1);
+    let reread = archive
+        .read_range(archive.start_time().unwrap(), end)
+        .expect("read_range");
+    println!(
+        "exact re-read: {} samples, identical to live trace: {}",
+        reread.len(),
+        reread == live
+    );
+
+    // Fast: stats and marker-window energy from summary blocks alone.
+    let st = archive
+        .stats(archive.start_time().unwrap(), end)
+        .expect("stats");
+    println!(
+        "summary stats: mean {:.2} W, min {:.2} W, max {:.2} W over {} samples",
+        st.mean_w().unwrap(),
+        st.min_w,
+        st.max_w,
+        st.count
+    );
+    let kernel_j = archive.energy_between('k', 'e').expect("energy");
+    let live_j = live.between_markers('k', 'e').expect("window").energy();
+    println!(
+        "kernel window energy: archive {:.6} J vs live {:.6} J",
+        kernel_j.value(),
+        live_j.value()
+    );
+
+    // Downsampled: a 200 Hz view of the 20 kHz capture.
+    let coarse = archive
+        .downsample(archive.start_time().unwrap(), end, 100)
+        .expect("downsample");
+    println!("downsampled 100x: {} points, e.g.:", coarse.len());
+    for s in coarse.samples().iter().take(3) {
+        println!("  {} us  {:.3} W", s.time.as_micros(), s.power.value());
+    }
+
+    // 5. Tidy up the temp files.
+    drop(archive);
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(powersensor3::archive::index_path_for(&path)).ok();
+}

@@ -8,16 +8,22 @@
 //!
 //! ```text
 //! ps3-streamd [--addr HOST:PORT] [--setup bench|gpu] [--seed N] [--secs N]
+//!             [--persist FILE] [--replay FILE [--speed X]]
 //!
-//!   --addr   listen address          (default 127.0.0.1:9421)
-//!   --setup  simulated rig           (default bench)
-//!   --seed   sensor imperfections    (default 42)
-//!   --secs   run duration, 0=forever (default 0)
+//!   --addr     listen address          (default 127.0.0.1:9421)
+//!   --setup    simulated rig           (default bench)
+//!   --seed     sensor imperfections    (default 42)
+//!   --secs     run duration, 0=forever (default 0)
+//!   --persist  archive the live stream to a .ps3a trace store
+//!   --replay   serve an archived .ps3a capture instead of a live rig
+//!   --speed    replay pacing factor, 0=as fast as possible (default 1)
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use powersensor3::archive::{Archive, ArchiveWriter, ArchiveWriterOptions};
 use powersensor3::core::SharedPowerSensor;
 use powersensor3::duts::{GpuKernel, GpuSpec, LoadProgram};
 use powersensor3::sensors::ModuleKind;
@@ -32,7 +38,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: ps3-streamd [--addr HOST:PORT] [--setup bench|gpu] [--seed N] [--secs N]"
+            "usage: ps3-streamd [--addr HOST:PORT] [--setup bench|gpu] [--seed N] [--secs N]\n\
+             \x20                  [--persist FILE] [--replay FILE [--speed X]]"
         );
         return ExitCode::SUCCESS;
     }
@@ -44,6 +51,10 @@ fn main() -> ExitCode {
     let secs: u64 = flag_value(&args, "--secs")
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
+
+    if let Some(path) = flag_value(&args, "--replay") {
+        return run_replay(&path, &addr, &args, secs);
+    }
 
     // Build the simulated rig and a closure that paces its clock.
     let (sensor, mut advance, label): (SharedPowerSensor, AdvanceFn, &str) = match setup.as_str() {
@@ -93,6 +104,25 @@ fn main() -> ExitCode {
         }
     };
 
+    // Persist mode: archive every acquired frame to a .ps3a trace
+    // store alongside serving the live stream.
+    let writer = match flag_value(&args, "--persist") {
+        Some(path) => {
+            match ArchiveWriter::spawn(&path, sensor.configs(), ArchiveWriterOptions::default()) {
+                Ok(w) => {
+                    w.attach(&sensor);
+                    println!("ps3-streamd: persisting to {path}");
+                    Some(w)
+                }
+                Err(e) => {
+                    eprintln!("cannot create archive {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+
     let daemon = match StreamDaemon::start(sensor, &addr[..], StreamDaemonConfig::default()) {
         Ok(d) => d,
         Err(e) => {
@@ -129,6 +159,71 @@ fn main() -> ExitCode {
                 s.active_subscribers,
                 s.gap_events,
                 s.evicted
+            );
+        }
+    }
+    let s = daemon.stats();
+    println!(
+        "done: {} frames served, {} gap events, {} evictions",
+        s.frames_published, s.gap_events, s.evicted
+    );
+    if let Some(w) = writer {
+        match w.finish() {
+            Ok(ws) => println!(
+                "archived {} frames in {} segments ({} bytes, {} dropped)",
+                ws.frames, ws.segments, ws.bytes, ws.dropped
+            ),
+            Err(e) => {
+                eprintln!("archive finalisation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Replay mode: serves an archived capture's frames over the same
+/// stream protocol, paced by `--speed` (1 = real rate, 0 = unpaced).
+fn run_replay(path: &str, addr: &str, args: &[String], secs: u64) -> ExitCode {
+    let speed: f64 = flag_value(args, "--speed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let archive = match Archive::open(path) {
+        Ok(a) => Arc::new(a),
+        Err(e) => {
+            eprintln!("cannot open archive {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let frames = archive.frames();
+    let daemon =
+        match StreamDaemon::start_replay(archive, None, speed, addr, StreamDaemonConfig::default())
+        {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("cannot listen on {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    println!("ps3-streamd: replaying {path} ({frames} frames at {speed}x)");
+    println!(
+        "listening on {} (subscribe with powersensor3::stream::StreamClient)",
+        daemon.local_addr()
+    );
+    let start = Instant::now();
+    let mut last_report = 0u64;
+    loop {
+        if secs > 0 && start.elapsed() >= Duration::from_secs(secs) {
+            break;
+        }
+        std::thread::sleep(TICK);
+        let elapsed = start.elapsed().as_secs();
+        if elapsed >= last_report + 10 {
+            last_report = elapsed;
+            let s = daemon.stats();
+            println!(
+                "t={elapsed:>5} s  frames={}  subscribers={}  gaps={}",
+                s.frames_published, s.active_subscribers, s.gap_events
             );
         }
     }

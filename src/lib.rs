@@ -6,6 +6,7 @@
 //! overview and DESIGN.md for the paper-to-module map.
 
 pub use ps3_analysis as analysis;
+pub use ps3_archive as archive;
 pub use ps3_core as core;
 pub use ps3_duts as duts;
 pub use ps3_firmware as firmware;
