@@ -65,4 +65,36 @@ fi
 grep -q 'unsealed trailing bytes' target/ci-arc/torn-info.txt \
   || { echo "recovery did not report the torn tail"; exit 1; }
 
+echo "==> sim smoke: fixed-seed fault-injection sweep + planted violation"
+# A short deterministic sweep across every scenario must come back
+# clean, and a replay must be bit-exact. Then a deliberately planted
+# defect (unsealed archive tail) must be caught, shrunk to a minimal
+# fault plan (<= 5 events), and written out as a failure artifact.
+rm -rf target/ci-sim && mkdir -p target/ci-sim
+./target/release/ps3-sim sweep --seeds 4 --out target/ci-sim/sweep \
+  || { echo "sim sweep found invariant violations"
+       cat target/ci-sim/sweep/failure-*.json 2>/dev/null; exit 1; }
+./target/release/ps3-sim replay --seed 7 >/dev/null \
+  || { echo "sim replay is not bit-exact"; exit 1; }
+if ./target/release/ps3-sim sweep --seeds 1 --scenario pipeline \
+    --sabotage unsealed-tail --out target/ci-sim/planted >/dev/null; then
+  echo "planted unsealed-tail sabotage went undetected"; exit 1
+fi
+artifact=$(ls target/ci-sim/planted/failure-*.json 2>/dev/null | head -1)
+test -n "$artifact" || { echo "no failure artifact written"; exit 1; }
+grep -q '"invariant": "archive-seal"' "$artifact" \
+  || { echo "artifact lacks the archive-seal violation"; exit 1; }
+plan=$(grep -o '"plan": "[^"]*"' "$artifact" | head -1 | cut -d'"' -f4)
+if [ "$plan" = "-" ]; then events=0; else
+  events=$(($(echo "$plan" | tr -cd ',' | wc -c) + 1)); fi
+test "$events" -le 5 \
+  || { echo "shrunk plan still has $events events: $plan"; exit 1; }
+# Nightly (or on demand): a much longer sweep.
+if [ "${PS3_SIM_NIGHTLY:-0}" != "0" ]; then
+  echo "==> sim nightly: extended sweep"
+  ./target/release/ps3-sim sweep --seeds 64 --out target/ci-sim/nightly \
+    || { echo "nightly sim sweep found invariant violations"
+         cat target/ci-sim/nightly/failure-*.json 2>/dev/null; exit 1; }
+fi
+
 echo "CI green."

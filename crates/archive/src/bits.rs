@@ -111,7 +111,6 @@ impl BitWriter {
     }
 
     /// Bits written so far.
-    #[cfg(test)]
     #[must_use]
     pub fn bit_len(&self) -> usize {
         match self.used {

@@ -67,7 +67,7 @@
 //! ```
 
 mod archive;
-mod bits;
+pub mod bits;
 mod crc;
 pub mod format;
 mod index;

@@ -11,7 +11,7 @@ use std::collections::VecDeque;
 use std::fs::File;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -134,6 +134,12 @@ impl SegmentWriter {
         self.stats.frames + self.pending.len() as u64
     }
 
+    /// Segments sealed so far.
+    #[must_use]
+    pub fn segments(&self) -> u64 {
+        self.stats.segments
+    }
+
     /// Seals all pending frames and returns the final counters.
     ///
     /// # Errors
@@ -205,7 +211,6 @@ impl Default for ArchiveWriterOptions {
 struct QueueState {
     queue: VecDeque<ArchiveFrame>,
     closed: bool,
-    dropped: u64,
 }
 
 struct WriterShared {
@@ -213,6 +218,11 @@ struct WriterShared {
     cond: Condvar,
     failed: AtomicBool,
     capacity: usize,
+    /// Live counters, readable at any time without touching the queue
+    /// lock the acquisition path contends on.
+    dropped: AtomicU64,
+    frames_written: AtomicU64,
+    segments_sealed: AtomicU64,
 }
 
 /// Background archive writer: a worker thread drains a bounded frame
@@ -242,11 +252,13 @@ impl ArchiveWriter {
             state: Mutex::new(QueueState {
                 queue: VecDeque::with_capacity(options.queue_capacity.min(65_536)),
                 closed: false,
-                dropped: 0,
             }),
             cond: Condvar::new(),
             failed: AtomicBool::new(false),
             capacity: options.queue_capacity.max(1),
+            dropped: AtomicU64::new(0),
+            frames_written: AtomicU64::new(0),
+            segments_sealed: AtomicU64::new(0),
         });
         let worker_shared = Arc::clone(&shared);
         let worker = thread::Builder::new()
@@ -280,8 +292,14 @@ impl ArchiveWriter {
                     return Err(e);
                 }
             }
+            shared
+                .frames_written
+                .store(writer.frames(), Ordering::Relaxed);
+            shared
+                .segments_sealed
+                .store(writer.segments(), Ordering::Relaxed);
         }
-        let dropped = shared.state.lock().dropped;
+        let dropped = shared.dropped.load(Ordering::Relaxed);
         let mut stats = match writer.finish() {
             Ok(stats) => stats,
             Err(e) => {
@@ -308,7 +326,7 @@ impl ArchiveWriter {
             return false;
         }
         if st.queue.len() >= shared.capacity {
-            st.dropped += 1;
+            shared.dropped.fetch_add(1, Ordering::Relaxed);
         } else {
             st.queue.push_back(frame);
             shared.cond.notify_one();
@@ -339,10 +357,25 @@ impl ArchiveWriter {
         sensor.add_frame_sink(self.sink());
     }
 
-    /// Frames dropped so far because the queue was full.
+    /// Frames dropped so far because the queue was full. Live and
+    /// lock-free: readable while the capture runs, not just from the
+    /// final [`WriterStats`].
     #[must_use]
     pub fn dropped(&self) -> u64 {
-        self.shared.state.lock().dropped
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Frames the worker has accepted into the archive so far (sealed
+    /// or pending in the current segment). Live and lock-free.
+    #[must_use]
+    pub fn frames_written(&self) -> u64 {
+        self.shared.frames_written.load(Ordering::Relaxed)
+    }
+
+    /// Segments sealed on disk so far. Live and lock-free.
+    #[must_use]
+    pub fn segments_sealed(&self) -> u64 {
+        self.shared.segments_sealed.load(Ordering::Relaxed)
     }
 
     /// Closes the queue, drains it, seals the tail segment, and

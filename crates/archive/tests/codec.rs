@@ -1,0 +1,220 @@
+//! Adversarial property tests for the two payload codecs: the Rice
+//! coder (per-slot sample deltas) and the delta-of-delta timestamp
+//! scheme — max deltas, all-equal runs, alternating extremes, and the
+//! empty segment, plus randomized sweeps over the whole input space.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use ps3_archive::bits::{
+    unzigzag64, zigzag64, BitReader, BitWriter, RICE_ESCAPE_BITS, RICE_ESCAPE_Q,
+};
+use ps3_archive::{Archive, ArchiveFrame, SegmentWriter};
+use ps3_firmware::{SensorConfig, SENSOR_SLOTS};
+use ps3_units::SimTime;
+
+fn temp_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "ps3-archive-codec-{}-{tag}-{n}.ps3a",
+        std::process::id()
+    ))
+}
+
+fn test_configs() -> [SensorConfig; SENSOR_SLOTS] {
+    let mut configs: [SensorConfig; SENSOR_SLOTS] =
+        core::array::from_fn(|_| SensorConfig::unpopulated());
+    configs[0] = SensorConfig::new("I0", 3.3, 0.105, true);
+    configs[1] = SensorConfig::new("U0", 3.3, 0.2171, true);
+    configs
+}
+
+/// The largest value a Rice codeword can carry: zigzagged 10-bit
+/// sample deltas span 0..=2046, and the escape path is
+/// `RICE_ESCAPE_BITS` wide.
+const RICE_MAX: u32 = (1 << RICE_ESCAPE_BITS) - 1;
+
+fn rice_roundtrip(values: &[u32], k: u8) {
+    let mut writer = BitWriter::new();
+    let mut expect_bits = 0usize;
+    for &v in values {
+        writer.push_rice(v, k);
+        expect_bits += BitWriter::rice_cost(v, k) as usize;
+    }
+    assert_eq!(writer.bit_len(), expect_bits, "rice_cost must be exact");
+    let bytes = writer.finish();
+    let mut reader = BitReader::new(&bytes);
+    for &v in values {
+        assert_eq!(reader.read_rice(k).unwrap(), v, "k={k}");
+    }
+}
+
+/// Hand-picked adversarial Rice inputs, at every k the encoder uses.
+#[test]
+fn rice_adversarial_inputs_roundtrip_at_every_k() {
+    let all_equal_zero = vec![0u32; 257];
+    let all_equal_max = vec![2046u32; 257];
+    let alternating: Vec<u32> = (0..256)
+        .map(|i| if i % 2 == 0 { 0 } else { 2046 })
+        .collect();
+    let escape_edge: Vec<u32> = (0..=10u32)
+        .flat_map(|k| {
+            // Around the unary→escape boundary for this k (clamped:
+            // values above RICE_MAX don't fit the escape word and are
+            // never produced by the delta stage).
+            let edge = RICE_ESCAPE_Q << k;
+            [
+                edge.saturating_sub(1).min(RICE_MAX),
+                edge.min(RICE_MAX),
+                (edge + 1).min(RICE_MAX),
+            ]
+        })
+        .collect();
+    let max_everything = vec![RICE_MAX; 64];
+    for k in 0..=10u8 {
+        rice_roundtrip(&all_equal_zero, k);
+        rice_roundtrip(&all_equal_max, k);
+        rice_roundtrip(&alternating, k);
+        rice_roundtrip(&escape_edge, k);
+        rice_roundtrip(&max_everything, k);
+        rice_roundtrip(&[], k);
+    }
+}
+
+#[test]
+fn zigzag_maps_extremes_without_loss() {
+    for v in [0i64, 1, -1, i64::MAX, i64::MIN, i64::MIN + 1, 50, -50] {
+        assert_eq!(unzigzag64(zigzag64(v)), v);
+    }
+    // Zigzag keeps small magnitudes small (the property the Rice stage
+    // depends on for its k tuning).
+    assert_eq!(zigzag64(0), 0);
+    assert_eq!(zigzag64(-1), 1);
+    assert_eq!(zigzag64(1), 2);
+    assert_eq!(zigzag64(-1023), 2045);
+    assert_eq!(zigzag64(1023), 2046);
+}
+
+/// Writes `times` (µs, non-decreasing) through the real segment codec
+/// and reads them back through the real decoder.
+fn dod_roundtrip(times_us: &[u64], tag: &str) {
+    let path = temp_path(tag);
+    let mut writer = SegmentWriter::create_with(&path, test_configs(), 100).unwrap();
+    for (i, &t) in times_us.iter().enumerate() {
+        let mut raw = [0u16; SENSOR_SLOTS];
+        raw[0] = 500 + (i % 13) as u16;
+        raw[1] = 300;
+        writer
+            .push(ArchiveFrame {
+                time: SimTime::from_micros(t),
+                raw,
+                present: 0b11,
+                marker: None,
+            })
+            .unwrap();
+    }
+    let stats = writer.finish().unwrap();
+    assert_eq!(stats.frames, times_us.len() as u64);
+
+    let archive = Archive::open(&path).unwrap();
+    let mut decoded = Vec::new();
+    for meta in archive.segments() {
+        decoded.extend(archive.decode_segment_frames(meta).unwrap());
+    }
+    let got: Vec<u64> = decoded.iter().map(|f| f.time.as_micros()).collect();
+    assert_eq!(got, times_us, "{tag}");
+    assert!(archive.verify().unwrap().is_clean());
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(ps3_archive::index_path_for(&path)).ok();
+}
+
+/// `SimTime::from_micros` multiplies by 1000 internally, so keep
+/// timestamps below u64::MAX / 1000.
+const T_MAX_US: u64 = u64::MAX / 1000 - 1;
+
+#[test]
+fn dod_adversarial_timestamp_patterns_roundtrip() {
+    // Perfect cadence: the all-dod-zero fast path.
+    let cadence: Vec<u64> = (0..250).map(|i| 25 + 50 * i).collect();
+    dod_roundtrip(&cadence, "cadence");
+
+    // All-equal timestamps: first delta -50 (against the assumed
+    // cadence), then delta 0 forever.
+    dod_roundtrip(&vec![123_456u64; 250], "all-equal");
+
+    // Alternating extremes: 50 µs steps alternating with jumps big
+    // enough to force the 64-bit raw-delta class, repeatedly flipping
+    // the delta-of-delta sign at maximum magnitude.
+    let mut t = 25u64;
+    let mut alternating = vec![t];
+    for i in 0..120 {
+        t += if i % 2 == 0 { 1u64 << 42 } else { 50 };
+        alternating.push(t);
+    }
+    dod_roundtrip(&alternating, "alternating");
+
+    // Maximum single delta: epoch straight to the far end of the
+    // representable range.
+    dod_roundtrip(&[0, T_MAX_US], "max-delta");
+
+    // One frame, and one frame at the extreme.
+    dod_roundtrip(&[25], "single");
+    dod_roundtrip(&[T_MAX_US], "single-max");
+
+    // Empty segment: zero frames must produce a valid, empty archive.
+    let path = temp_path("empty");
+    let writer = SegmentWriter::create_with(&path, test_configs(), 100).unwrap();
+    let stats = writer.finish().unwrap();
+    assert_eq!(stats.frames, 0);
+    assert_eq!(stats.segments, 0);
+    let archive = Archive::open(&path).unwrap();
+    assert!(archive.segments().is_empty());
+    assert!(archive.verify().unwrap().is_clean());
+    assert!(archive.read_all().unwrap().is_empty());
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(ps3_archive::index_path_for(&path)).ok();
+}
+
+proptest! {
+    /// Random values at random k: decode inverts encode and the cost
+    /// model stays exact.
+    #[test]
+    fn rice_random_values_roundtrip(
+        values in proptest::collection::vec(0u32..=RICE_MAX, 0..200),
+        k in 0u8..=10,
+    ) {
+        rice_roundtrip(&values, k);
+    }
+
+    /// Random zigzag round trip across the full i64 domain.
+    #[test]
+    fn zigzag_random_roundtrip(v in proptest::prelude::any::<i64>()) {
+        prop_assert_eq!(unzigzag64(zigzag64(v)), v);
+    }
+
+    /// Random timestamp walks biased to hit every delta-of-delta
+    /// class: zero deltas, small jitter, and jumps out to the 16-, 32-
+    /// and 64-bit encodings.
+    #[test]
+    fn dod_random_walks_roundtrip(
+        steps in proptest::collection::vec((0u8..=4, 0u64..=u64::MAX), 1..120),
+    ) {
+        let mut t = 25u64;
+        let mut times = vec![t];
+        for &(class, magnitude) in &steps {
+            let delta = match class {
+                0 => 0,
+                1 => magnitude % 256,              // 8-bit dod region
+                2 => magnitude % 65_536,           // 16-bit dod region
+                3 => magnitude % (1u64 << 32),     // 32-bit dod region
+                _ => magnitude % (1u64 << 44),     // 64-bit raw deltas
+            };
+            t = t.saturating_add(delta).min(T_MAX_US);
+            times.push(t);
+        }
+        dod_roundtrip(&times, "prop");
+    }
+}

@@ -121,6 +121,58 @@ fn bench_capture_compresses_at_least_4x_vs_wire() {
     std::fs::remove_file(ps3_archive::index_path_for(&cap.path)).ok();
 }
 
+/// The background writer's counters are observable while the capture
+/// is still running — not just from the final `WriterStats`.
+#[test]
+fn live_counters_track_progress_during_capture() {
+    use ps3_archive::ArchiveFrame;
+    use ps3_firmware::{SensorConfig, SENSOR_SLOTS};
+
+    let mut configs: [SensorConfig; SENSOR_SLOTS] =
+        core::array::from_fn(|_| SensorConfig::unpopulated());
+    configs[0] = SensorConfig::new("I0", 3.3, 0.12, true);
+    configs[1] = SensorConfig::new("U0", 3.3, 5.0, true);
+
+    let path = temp_path("live-counters");
+    let writer = ArchiveWriter::spawn(
+        &path,
+        configs,
+        ArchiveWriterOptions {
+            segment_frames: 100,
+            queue_capacity: 1 << 16,
+        },
+    )
+    .expect("spawn writer");
+    for i in 0..350u64 {
+        let mut raw = [0u16; SENSOR_SLOTS];
+        raw[0] = 500 + (i % 7) as u16;
+        raw[1] = 600;
+        assert!(writer.push(ArchiveFrame {
+            time: SimTime::from_micros(25 + 50 * i),
+            raw,
+            present: 0b11,
+            marker: None,
+        }));
+    }
+    // The worker drains asynchronously; the live counters converge on
+    // everything fed so far while the writer is still open.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while writer.frames_written() < 350 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(writer.frames_written(), 350);
+    assert_eq!(writer.segments_sealed(), 3, "3 full segments of 100");
+    assert_eq!(writer.dropped(), 0);
+
+    let stats = writer.finish().expect("finish");
+    assert_eq!(stats.frames, 350);
+    assert_eq!(stats.segments, 4, "finish seals the 50-frame tail");
+    assert_eq!(stats.dropped, 0);
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(ps3_archive::index_path_for(&path)).ok();
+}
+
 #[test]
 fn archive_meter_replays_through_pmt() {
     let cap = capture(8_192, 2_048, 99, "meter");

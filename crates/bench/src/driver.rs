@@ -16,7 +16,7 @@ use std::time::Instant;
 use ps3_units::SimDuration;
 
 use crate::{
-    archive, capping, fig12, fig4, fig5, fig7, fig8, interference, noise, related, stability,
+    archive, capping, fig12, fig4, fig5, fig7, fig8, interference, noise, related, sim, stability,
     table1, table2,
 };
 
@@ -26,7 +26,7 @@ pub const SEED: u64 = 0x5EED_2026;
 
 /// The default experiment list (the paper's tables and figures, in
 /// paper order, plus the interference ablation).
-pub const DEFAULT_EXPERIMENTS: [&str; 13] = [
+pub const DEFAULT_EXPERIMENTS: [&str; 14] = [
     "table1",
     "table2",
     "fig4",
@@ -40,6 +40,7 @@ pub const DEFAULT_EXPERIMENTS: [&str; 13] = [
     "fig12b",
     "interference",
     "archive",
+    "sim",
 ];
 
 /// Sample counts and sweep sizes for one run.
@@ -188,6 +189,7 @@ pub fn run_experiment(name: &str, scale: &Scale, seed: u64) -> Option<Experiment
         "fig12b" => run_fig12b(scale, seed),
         "interference" => run_interference(scale, seed),
         "archive" => run_archive(scale, seed),
+        "sim" => run_sim(seed),
         "related" => run_related(scale, seed),
         "capping" => run_capping(seed),
         "noise" => run_noise(scale, seed),
@@ -569,6 +571,49 @@ fn run_archive(scale: &Scale, seed: u64) -> ExperimentOutput {
     out
 }
 
+fn run_sim(seed: u64) -> ExperimentOutput {
+    let r = sim::run(seed);
+    let csv: Vec<Vec<f64>> = r
+        .rows
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            vec![
+                i as f64,
+                row.seed as f64,
+                row.frames as f64,
+                row.violations as f64,
+                // A u64 fingerprint does not fit an f64 exactly; split
+                // it so the CSV still pins the replay identity.
+                f64::from((row.fingerprint >> 32) as u32),
+                f64::from(row.fingerprint as u32),
+            ]
+        })
+        .collect();
+    let mut out = output(
+        sim::render(&r),
+        vec![Csv {
+            name: "sim.csv".into(),
+            header: vec![
+                "run",
+                "seed",
+                "frames",
+                "violations",
+                "fingerprint_hi",
+                "fingerprint_lo",
+            ],
+            rows: csv,
+        }],
+        r.total_frames(),
+    );
+    out.metrics = vec![
+        ("sim_scenarios".into(), r.rows.len() as f64),
+        ("sim_violations".into(), r.total_violations() as f64),
+        ("sim_sabotage_caught".into(), f64::from(r.sabotage_caught)),
+    ];
+    out
+}
+
 fn run_noise(scale: &Scale, seed: u64) -> ExperimentOutput {
     let loads = [0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 9.5];
     let samples = scale.table2_samples / 16;
@@ -639,6 +684,7 @@ mod tests {
                     "fig12b",
                     "interference",
                     "archive",
+                    "sim",
                 ]
                 .contains(&name),
                 "{name} missing from the dispatch table"

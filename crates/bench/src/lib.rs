@@ -41,6 +41,7 @@ pub mod interference;
 pub mod noise;
 pub mod related;
 pub mod report;
+pub mod sim;
 pub mod stability;
 pub mod table1;
 pub mod table2;

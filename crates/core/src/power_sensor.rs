@@ -69,6 +69,9 @@ struct Shared {
     stop: AtomicBool,
     frames: AtomicU64,
     alive: AtomicBool,
+    /// Why the reader thread exited, when it exited on a transport
+    /// fault rather than a clean stop.
+    link_error: Mutex<Option<TransportError>>,
     /// Parking place for an in-flight version reply (reader → caller).
     version: Mutex<Option<String>>,
 }
@@ -220,6 +223,7 @@ impl PowerSensor {
             stop: AtomicBool::new(false),
             frames: AtomicU64::new(0),
             alive: AtomicBool::new(true),
+            link_error: Mutex::new(None),
             version: Mutex::new(None),
         });
 
@@ -257,6 +261,15 @@ impl PowerSensor {
     #[must_use]
     pub fn is_alive(&self) -> bool {
         self.shared.alive.load(Ordering::SeqCst)
+    }
+
+    /// The transport fault that killed the reader thread, if one did.
+    /// `None` while the link is healthy and after a clean stop —
+    /// so `!is_alive() && link_error().is_some()` distinguishes a
+    /// dead device from an ordinary shutdown.
+    #[must_use]
+    pub fn link_error(&self) -> Option<TransportError> {
+        self.shared.link_error.lock().clone()
     }
 
     /// The sensor configuration read from the device EEPROM at connect
@@ -609,7 +622,10 @@ fn reader_loop(transport: &dyn Transport, shared: &Shared) {
         let n = match transport.read(&mut buf, Some(READER_POLL)) {
             Ok(n) => n,
             Err(TransportError::TimedOut) => continue,
-            Err(_) => break,
+            Err(e) => {
+                *shared.link_error.lock() = Some(e);
+                break;
+            }
         };
         let mut bytes = &buf[..n];
         // One state lock and one waiter wakeup per read chunk — a
@@ -1084,11 +1100,14 @@ mod tests {
         let (h, host_end) = Harness::spawn(two_amp_source(), one_pair_eeprom());
         let ps = PowerSensor::connect(host_end).unwrap();
         assert!(ps.is_alive());
+        assert_eq!(ps.link_error(), None);
         drop(h); // device thread exits, endpoint drops, link dies
         let deadline = Instant::now() + Duration::from_secs(5);
         while ps.is_alive() && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(10));
         }
         assert!(!ps.is_alive());
+        // The fault surface records why the reader died.
+        assert_eq!(ps.link_error(), Some(TransportError::Disconnected));
     }
 }

@@ -63,6 +63,10 @@ pub struct Device<S> {
     parser: CommandParser,
     frames_emitted: u64,
     host_connected: bool,
+    /// Virtual time at which the device hard-crashes (simulation
+    /// fault-injection hook).
+    crash_at: Option<SimTime>,
+    crashed: bool,
     /// Frame and wire buffers reused across batches (hot path never
     /// allocates).
     frame_buf: Vec<crate::adc::Frame>,
@@ -85,6 +89,8 @@ impl<S: AnalogSource> Device<S> {
             parser: CommandParser::new(),
             frames_emitted: 0,
             host_connected: true,
+            crash_at: None,
+            crashed: false,
             frame_buf: Vec::with_capacity(COMMAND_POLL_FRAMES),
             tx_buf: Vec::with_capacity(COMMAND_POLL_FRAMES * 2 * (1 + SENSOR_SLOTS)),
         }
@@ -153,6 +159,29 @@ impl<S: AnalogSource> Device<S> {
         self.host_connected
     }
 
+    /// Schedules a hard crash: once the firmware clock reaches `at`,
+    /// the device freezes — no more frames, no command processing —
+    /// exactly as a sudden power loss or firmware fault would look to
+    /// the host. Simulation fault-injection hook.
+    pub fn schedule_crash(&mut self, at: SimTime) {
+        self.crash_at = Some(at);
+    }
+
+    /// `true` once a scheduled crash has fired.
+    #[must_use]
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Fires the scheduled crash if the clock has reached it.
+    fn check_crash(&mut self) -> bool {
+        if !self.crashed && self.crash_at.is_some_and(|at| self.clock >= at) {
+            self.crashed = true;
+            self.streaming = false;
+        }
+        self.crashed
+    }
+
     /// Advances the firmware until its clock reaches `target`,
     /// processing commands between frame batches and streaming sample
     /// packets when enabled.
@@ -162,7 +191,17 @@ impl<S: AnalogSource> Device<S> {
     /// of one per frame — with the command queue drained between
     /// batches.
     pub fn run_until(&mut self, transport: &dyn Transport, target: SimTime) {
+        if self.check_crash() {
+            return;
+        }
         self.process_commands(transport);
+        // A scheduled crash caps how far this call may run, so the
+        // device dies within one frame of its crash time rather than
+        // at batch granularity.
+        let target = match self.crash_at {
+            Some(at) if at < target => at,
+            _ => target,
+        };
         while self.clock < target {
             if self.streaming && self.mode == DeviceMode::Normal {
                 // Same frame count as stepping one frame at a time:
@@ -178,13 +217,20 @@ impl<S: AnalogSource> Device<S> {
                 // would otherwise cost one loop iteration per 50 µs.)
                 self.clock = target;
             }
+            if self.check_crash() {
+                return;
+            }
             self.process_commands(transport);
         }
+        self.check_crash();
     }
 
     /// Runs exactly one 50 µs frame (or idles one frame interval when
     /// not streaming).
     pub fn step_frame(&mut self, transport: &dyn Transport) {
+        if self.check_crash() {
+            return;
+        }
         if self.streaming && self.mode == DeviceMode::Normal {
             self.run_frame_batch(transport, 1);
         } else {
@@ -270,6 +316,9 @@ impl<S: AnalogSource> Device<S> {
 
     /// Drains pending host bytes and executes completed commands.
     pub fn process_commands(&mut self, transport: &dyn Transport) {
+        if self.crashed {
+            return;
+        }
         let mut buf = [0u8; 256];
         while transport.available() > 0 {
             match transport.read(&mut buf, Some(std::time::Duration::ZERO)) {
@@ -576,6 +625,28 @@ mod tests {
         assert_eq!(frames, 100);
         let packets = StreamDecoder::new().push_slice(&bytes);
         assert_eq!(packets.len(), 100 * 9);
+    }
+
+    #[test]
+    fn scheduled_crash_freezes_the_device() {
+        let (host, dev_end) = VirtualSerial::pair();
+        let mut dev = midscale_device();
+        host.write_all(b"S").unwrap();
+        dev.schedule_crash(SimTime::from_micros(500));
+        dev.run_until(&dev_end, SimTime::from_micros(2_000));
+        assert!(dev.is_crashed());
+        assert!(!dev.is_streaming());
+        // The device ran up to (within one frame of) the crash time and
+        // no further: 500 µs / 50 µs = 10 frames.
+        assert_eq!(dev.frames_emitted(), 10);
+        assert!(dev.clock() <= SimTime::from_micros(550));
+        // A crashed device is inert: no frames, no command replies.
+        let before = host.available();
+        host.write_all(b"V").unwrap();
+        dev.run_until(&dev_end, SimTime::from_micros(10_000));
+        dev.step_frame(&dev_end);
+        assert_eq!(host.available(), before);
+        assert_eq!(dev.frames_emitted(), 10);
     }
 
     #[test]

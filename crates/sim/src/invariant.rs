@@ -1,0 +1,319 @@
+//! The invariant catalogue: global properties every scenario checks
+//! after quiescing, no matter which faults were injected.
+//!
+//! Every check is **scheduling-independent**: it only constrains facts
+//! that are pure functions of `(seed, plan)` after a quiesce, or
+//! inequalities that hold for any thread interleaving. That is what
+//! lets a violation replay bit-exactly from the failure artifact.
+
+use std::fmt;
+
+use ps3_analysis::Trace;
+use ps3_archive::Archive;
+use ps3_units::{Joules, SimTime};
+
+/// One invariant violation, as recorded in failure artifacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable invariant name (`archive-matches-live`, …).
+    pub invariant: String,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+/// Collects violations across a scenario run.
+#[derive(Debug, Default)]
+pub struct Checker {
+    violations: Vec<Violation>,
+}
+
+impl Checker {
+    /// An empty checker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a violation of `invariant` unless `ok` holds.
+    pub fn expect(&mut self, invariant: &str, ok: bool, detail: impl FnOnce() -> String) {
+        if !ok {
+            self.violations.push(Violation {
+                invariant: invariant.to_owned(),
+                detail: detail(),
+            });
+        }
+    }
+
+    /// The violations recorded so far.
+    #[must_use]
+    pub fn into_violations(self) -> Vec<Violation> {
+        self.violations
+    }
+
+    /// `monotonic-timestamps` — trace timestamps never decrease, and
+    /// strictly increase when no fault can duplicate a timestamp.
+    pub fn check_monotonic(&mut self, trace: &Trace, strict: bool) {
+        for pair in trace.samples().windows(2) {
+            let (a, b) = (pair[0].time, pair[1].time);
+            let ok = if strict { a < b } else { a <= b };
+            self.expect("monotonic-timestamps", ok, || {
+                format!(
+                    "time went {} at {} -> {}",
+                    if strict {
+                        "non-increasing"
+                    } else {
+                        "backwards"
+                    },
+                    a,
+                    b
+                )
+            });
+            if a > b {
+                return; // one report per run is enough
+            }
+        }
+    }
+
+    /// `energy-accounting` — the sensor's cumulative energy equals the
+    /// trace re-integrated in the acquisition path's own order
+    /// (right-rectangle per frame), within float-rounding slack.
+    pub fn check_energy(&mut self, trace: &Trace, total_energy: Joules) {
+        let mut recomputed = Joules::zero();
+        let mut prev: Option<SimTime> = None;
+        for s in trace.samples() {
+            if let Some(p) = prev {
+                recomputed += s.power * s.time.saturating_duration_since(p);
+            }
+            prev = Some(s.time);
+        }
+        let got = total_energy.value();
+        let want = recomputed.value();
+        let tol = 1e-9 * want.abs().max(1e-12);
+        self.expect("energy-accounting", (got - want).abs() <= tol, || {
+            format!("state energy {got} J vs trace re-integration {want} J")
+        });
+    }
+
+    /// `archive-matches-live` — re-querying the archive over the full
+    /// captured span returns the live trace bit-for-bit (the torn tail
+    /// of a crashed capture is declared, never silent).
+    pub fn check_archive_matches(&mut self, archive: &Archive, live: &Trace, dropped: u64) {
+        if dropped > 0 {
+            // The writer itself declared queue-overflow drops; the
+            // equality claim is void but the declaration must exist.
+            return;
+        }
+        if live.samples().is_empty() {
+            self.expect("archive-matches-live", archive.frames() == 0, || {
+                format!(
+                    "empty live trace but archive holds {} frames",
+                    archive.frames()
+                )
+            });
+            return;
+        }
+        let t0 = live.samples()[0].time;
+        let end =
+            SimTime::from_micros(live.samples()[live.samples().len() - 1].time.as_micros() + 1);
+        match archive.read_range(t0, end) {
+            Ok(requeried) => {
+                self.expect("archive-matches-live", &requeried == live, || {
+                    format!(
+                        "archive returned {} samples vs live {} (first divergence at index {:?})",
+                        requeried.samples().len(),
+                        live.samples().len(),
+                        requeried
+                            .samples()
+                            .iter()
+                            .zip(live.samples())
+                            .position(|(a, b)| a != b)
+                    )
+                });
+            }
+            Err(e) => self.expect("archive-matches-live", false, || {
+                format!("read_range failed: {e:?}")
+            }),
+        }
+    }
+
+    /// `archive-seal` — a capture that finished cleanly verifies clean
+    /// with no unsealed trailing bytes.
+    pub fn check_archive_sealed(&mut self, archive: &Archive) {
+        match archive.verify() {
+            Ok(report) => self.expect("archive-seal", report.is_clean(), || {
+                format!("clean finish but verify reports: {report:?}")
+            }),
+            Err(e) => self.expect("archive-seal", false, || format!("verify failed: {e:?}")),
+        }
+        let recovery = archive.recovery();
+        self.expect("archive-seal", recovery.trailing_bytes == 0, || {
+            format!(
+                "clean finish but {} unsealed trailing bytes",
+                recovery.trailing_bytes
+            )
+        });
+    }
+
+    /// `gap-accounting` — an undivided, never-evicted subscriber
+    /// accounts for every published frame: received + reported-dropped
+    /// equals frames published.
+    pub fn check_gap_accounting(&mut self, published: u64, received: u64, dropped: u64) {
+        self.expect("gap-accounting", received + dropped == published, || {
+            format!("received {received} + dropped {dropped} != published {published}")
+        });
+    }
+
+    /// `gap-accounting` bounds for a divisor-`div` subscriber: it sees
+    /// at most every `div`-th frame, and no fewer than the undropped
+    /// frames allow.
+    pub fn check_divided_bounds(&mut self, published: u64, received: u64, dropped: u64, div: u64) {
+        let upper = published / div + 1;
+        let lower = (published.saturating_sub(dropped)) / div;
+        let lower = lower.saturating_sub(1);
+        self.expect(
+            "gap-accounting",
+            (lower..=upper).contains(&received),
+            || {
+                format!(
+                    "divisor-{div} subscriber received {received}, outside [{lower}, {upper}] \
+                     (published {published}, dropped {dropped})"
+                )
+            },
+        );
+    }
+}
+
+/// FNV-1a over the facts that must replay bit-exactly; scenario
+/// reports carry this as their fingerprint.
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// The FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds raw bytes in.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// Folds a word in.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Folds a whole trace in (times and power bit patterns, markers).
+    pub fn update_trace(&mut self, trace: &Trace) {
+        self.update_u64(trace.samples().len() as u64);
+        for s in trace.samples() {
+            self.update_u64(s.time.as_nanos());
+            self.update_u64(s.power.value().to_bits());
+        }
+        for m in trace.markers() {
+            self.update_u64(m.time.as_nanos());
+            self.update(&u32::from(m.label).to_le_bytes());
+        }
+    }
+
+    /// The digest.
+    #[must_use]
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps3_units::Watts;
+
+    #[test]
+    fn checker_records_and_formats_violations() {
+        let mut c = Checker::new();
+        c.expect("demo", true, || unreachable!("not evaluated when ok"));
+        c.expect("demo", false, || "broken".to_owned());
+        let v = c.into_violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].to_string(), "[demo] broken");
+    }
+
+    #[test]
+    fn monotonic_check_distinguishes_strict_from_lax() {
+        // `Trace::push` itself rejects backwards time, so only the
+        // equal-timestamp case can reach the checker.
+        let mut c = Checker::new();
+        let mut flat = Trace::new();
+        flat.push(SimTime::from_micros(100), Watts::new(1.0));
+        flat.push(SimTime::from_micros(100), Watts::new(1.0));
+        c.check_monotonic(&flat, false);
+        assert!(c.into_violations().is_empty(), "equal times allowed lax");
+        let mut c = Checker::new();
+        c.check_monotonic(&flat, true);
+        assert_eq!(c.into_violations().len(), 1, "equal times rejected strict");
+    }
+
+    #[test]
+    fn energy_check_accepts_own_reintegration() {
+        let mut trace = Trace::new();
+        let mut energy = Joules::zero();
+        let mut prev: Option<SimTime> = None;
+        for i in 0..1000u64 {
+            let t = SimTime::from_micros(25 + 50 * i);
+            let w = Watts::new(24.0 + (i % 7) as f64 * 0.01);
+            if let Some(p) = prev {
+                energy += w * t.saturating_duration_since(p);
+            }
+            prev = Some(t);
+            trace.push(t, w);
+        }
+        let mut c = Checker::new();
+        c.check_energy(&trace, energy);
+        assert!(c.into_violations().is_empty());
+        let mut c = Checker::new();
+        c.check_energy(&trace, energy + Joules::new(0.001));
+        assert_eq!(c.into_violations().len(), 1);
+    }
+
+    #[test]
+    fn gap_accounting_identities() {
+        let mut c = Checker::new();
+        c.check_gap_accounting(1000, 900, 100);
+        c.check_divided_bounds(1000, 250, 0, 4);
+        c.check_divided_bounds(1000, 200, 200, 4);
+        assert!(c.into_violations().is_empty());
+        let mut c = Checker::new();
+        c.check_gap_accounting(1000, 900, 99);
+        c.check_divided_bounds(1000, 500, 0, 4);
+        assert_eq!(c.into_violations().len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let mut a = Fingerprint::new();
+        a.update(&[1, 2, 3]);
+        let mut b = Fingerprint::new();
+        b.update(&[3, 2, 1]);
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fingerprint::new();
+        c.update(&[1, 2, 3]);
+        assert_eq!(a.finish(), c.finish());
+    }
+}

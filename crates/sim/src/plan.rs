@@ -1,0 +1,353 @@
+//! Seeded fault plans: the replayable unit of the simulation harness.
+//!
+//! A [`SimPlan`] is a list of byte-level [`FaultEvent`]s keyed to
+//! offsets of a byte stream (device→host over the virtual serial link,
+//! or daemon→client over TCP). Because both streams are deterministic
+//! functions of `(seed, command sequence)`, a failure observed under a
+//! plan replays bit-exactly from `(seed, plan)` alone — the harness's
+//! FoundationDB-style contract.
+//!
+//! Plans serialise to a compact one-line form (`drop@4096,flip@5000:3`)
+//! that rides inside failure artifacts and on the `ps3-sim` command
+//! line.
+
+use std::fmt;
+
+/// What happens to the stream byte at a [`FaultEvent`]'s offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The byte is silently discarded.
+    Drop,
+    /// The byte is delivered twice.
+    Duplicate,
+    /// Bit `0..=7` of the byte is inverted.
+    BitFlip(u8),
+    /// Delivery pauses for this many wall-clock milliseconds before
+    /// the byte is handed over (models a USB/TCP hiccup).
+    Stall(u16),
+    /// The read returns early just after this byte (short read); the
+    /// remainder is delivered on the next call.
+    ShortRead,
+    /// The link dies at this byte: nothing at or after this offset is
+    /// delivered and every later operation fails with `Disconnected`.
+    Crash,
+}
+
+impl FaultKind {
+    fn tag(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Duplicate => "dup",
+            FaultKind::BitFlip(_) => "flip",
+            FaultKind::Stall(_) => "stall",
+            FaultKind::ShortRead => "short",
+            FaultKind::Crash => "crash",
+        }
+    }
+}
+
+/// One fault, pinned to a byte offset of the faulted stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Byte offset (counted from the first byte the faulted side ever
+    /// produced) at which the fault fires.
+    pub offset: u64,
+    /// What the fault does.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FaultKind::BitFlip(bit) => write!(f, "flip@{}:{bit}", self.offset),
+            FaultKind::Stall(ms) => write!(f, "stall@{}:{ms}", self.offset),
+            kind => write!(f, "{}@{}", kind.tag(), self.offset),
+        }
+    }
+}
+
+/// A deterministic, replayable fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SimPlan {
+    events: Vec<FaultEvent>,
+}
+
+/// Knobs for [`SimPlan::generate`].
+#[derive(Debug, Clone, Copy)]
+pub struct PlanOptions {
+    /// No fault fires below this offset — spares the connect/subscribe
+    /// handshake so scenarios always reach the streaming phase.
+    pub guard: u64,
+    /// Offsets are drawn from `guard..horizon`.
+    pub horizon: u64,
+    /// Upper bound on the number of events.
+    pub max_events: usize,
+    /// Permit [`FaultKind::Crash`] events (a crash ends the stream, so
+    /// some scenarios exclude it to keep their full horizon).
+    pub allow_crash: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        Self {
+            guard: 2048,
+            horizon: 16 * 1024,
+            max_events: 6,
+            allow_crash: true,
+        }
+    }
+}
+
+/// `splitmix64` — the harness's only randomness source. Fixed
+/// algorithm, so a seed means the same plan on every machine forever.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimPlan {
+    /// The empty plan (no faults).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A plan from explicit events (sorted by offset, order among
+    /// equal offsets preserved).
+    #[must_use]
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.offset);
+        Self { events }
+    }
+
+    /// Derives a plan from a seed. The same `(seed, opts)` always
+    /// yields the same plan.
+    #[must_use]
+    pub fn generate(seed: u64, opts: &PlanOptions) -> Self {
+        let mut rng = seed ^ PLAN_SALT;
+        let span = opts.horizon.saturating_sub(opts.guard).max(1);
+        let count = (splitmix64(&mut rng) as usize) % (opts.max_events + 1);
+        let mut events = Vec::with_capacity(count);
+        let mut crashed = false;
+        for _ in 0..count {
+            let offset = opts.guard + splitmix64(&mut rng) % span;
+            let roll = splitmix64(&mut rng) % 100;
+            let kind = match roll {
+                0..=24 => FaultKind::Drop,
+                25..=44 => FaultKind::Duplicate,
+                45..=69 => FaultKind::BitFlip((splitmix64(&mut rng) % 8) as u8),
+                70..=84 => FaultKind::Stall(5 + (splitmix64(&mut rng) % 25) as u16),
+                85..=94 => FaultKind::ShortRead,
+                _ if opts.allow_crash && !crashed => {
+                    crashed = true;
+                    FaultKind::Crash
+                }
+                _ => FaultKind::Drop,
+            };
+            events.push(FaultEvent { offset, kind });
+        }
+        Self::from_events(events)
+    }
+
+    /// The events, sorted by offset.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// `true` when any event rewrites, removes or duplicates stream
+    /// bytes (as opposed to only delaying or ending the stream).
+    /// Invariants about decoded *values* only hold without these.
+    #[must_use]
+    pub fn mutates_bytes(&self) -> bool {
+        self.events.iter().any(|e| {
+            matches!(
+                e.kind,
+                FaultKind::Drop | FaultKind::Duplicate | FaultKind::BitFlip(_)
+            )
+        })
+    }
+
+    /// `true` when the plan contains a [`FaultKind::Crash`].
+    #[must_use]
+    pub fn crashes(&self) -> bool {
+        self.events.iter().any(|e| e.kind == FaultKind::Crash)
+    }
+
+    /// The plan minus the event at `index` (for shrinking).
+    #[must_use]
+    pub fn without(&self, index: usize) -> Self {
+        let mut events = self.events.clone();
+        events.remove(index);
+        Self { events }
+    }
+
+    /// The compact one-line form: events comma-joined as
+    /// `kind@offset[:arg]`, or `-` for the empty plan.
+    #[must_use]
+    pub fn to_compact(&self) -> String {
+        if self.events.is_empty() {
+            return "-".to_owned();
+        }
+        self.events
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Parses [`SimPlan::to_compact`] output.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the malformed event.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let text = text.trim();
+        if text.is_empty() || text == "-" {
+            return Ok(Self::empty());
+        }
+        let mut events = Vec::new();
+        for part in text.split(',') {
+            let (head, arg) = match part.split_once(':') {
+                Some((h, a)) => (h, Some(a)),
+                None => (part, None),
+            };
+            let (tag, offset) = head
+                .split_once('@')
+                .ok_or_else(|| format!("event '{part}': expected kind@offset"))?;
+            let offset: u64 = offset
+                .parse()
+                .map_err(|_| format!("event '{part}': bad offset"))?;
+            let arg_num = |what: &str| -> Result<u64, String> {
+                arg.ok_or_else(|| format!("event '{part}': {tag} needs :{what}"))?
+                    .parse()
+                    .map_err(|_| format!("event '{part}': bad {what}"))
+            };
+            let kind = match tag {
+                "drop" => FaultKind::Drop,
+                "dup" => FaultKind::Duplicate,
+                "flip" => {
+                    let bit = arg_num("bit")?;
+                    if bit > 7 {
+                        return Err(format!("event '{part}': bit must be 0..=7"));
+                    }
+                    FaultKind::BitFlip(bit as u8)
+                }
+                "stall" => FaultKind::Stall(arg_num("ms")?.min(u64::from(u16::MAX)) as u16),
+                "short" => FaultKind::ShortRead,
+                "crash" => FaultKind::Crash,
+                other => return Err(format!("event '{part}': unknown kind '{other}'")),
+            };
+            events.push(FaultEvent { offset, kind });
+        }
+        Ok(Self::from_events(events))
+    }
+}
+
+impl fmt::Display for SimPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+/// Seed-mixing constant ("PS3SIM_1"), so plan generation and the
+/// scenarios' own seed streams never collide on the same seed.
+const PLAN_SALT: u64 = 0x5053_3353_494D_5F31;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_form_round_trips() {
+        let plan = SimPlan::from_events(vec![
+            FaultEvent {
+                offset: 4096,
+                kind: FaultKind::Drop,
+            },
+            FaultEvent {
+                offset: 5000,
+                kind: FaultKind::BitFlip(3),
+            },
+            FaultEvent {
+                offset: 6000,
+                kind: FaultKind::Stall(20),
+            },
+            FaultEvent {
+                offset: 7000,
+                kind: FaultKind::Duplicate,
+            },
+            FaultEvent {
+                offset: 8000,
+                kind: FaultKind::ShortRead,
+            },
+            FaultEvent {
+                offset: 9000,
+                kind: FaultKind::Crash,
+            },
+        ]);
+        let text = plan.to_compact();
+        assert_eq!(
+            text,
+            "drop@4096,flip@5000:3,stall@6000:20,dup@7000,short@8000,crash@9000"
+        );
+        assert_eq!(SimPlan::parse(&text).unwrap(), plan);
+        assert_eq!(SimPlan::parse("-").unwrap(), SimPlan::empty());
+        assert_eq!(SimPlan::empty().to_compact(), "-");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_events() {
+        assert!(SimPlan::parse("drop").is_err());
+        assert!(SimPlan::parse("drop@x").is_err());
+        assert!(SimPlan::parse("flip@10").is_err());
+        assert!(SimPlan::parse("flip@10:9").is_err());
+        assert!(SimPlan::parse("explode@10").is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_guarded() {
+        let opts = PlanOptions::default();
+        for seed in 0..64u64 {
+            let a = SimPlan::generate(seed, &opts);
+            let b = SimPlan::generate(seed, &opts);
+            assert_eq!(a, b, "seed {seed} not reproducible");
+            assert!(a.len() <= opts.max_events);
+            for e in a.events() {
+                assert!(
+                    (opts.guard..opts.horizon).contains(&e.offset),
+                    "seed {seed}: {e} outside guard window"
+                );
+            }
+        }
+        // Different seeds disagree somewhere (sanity, not a law).
+        let distinct = (0..64u64)
+            .map(|s| SimPlan::generate(s, &opts).to_compact())
+            .collect::<std::collections::BTreeSet<_>>();
+        assert!(distinct.len() > 32);
+    }
+
+    #[test]
+    fn without_removes_one_event() {
+        let plan = SimPlan::parse("drop@100,dup@200,crash@300").unwrap();
+        let smaller = plan.without(1);
+        assert_eq!(smaller.to_compact(), "drop@100,crash@300");
+        assert!(plan.crashes() && smaller.crashes());
+        assert!(plan.mutates_bytes() && !smaller.without(0).mutates_bytes());
+    }
+}

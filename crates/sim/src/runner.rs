@@ -1,0 +1,356 @@
+//! The sweep driver: runs scenarios over seed ranges, shrinks failing
+//! plans to minimal reproducers, and emits one JSON artifact per
+//! failure so a violation can be replayed bit-exactly from
+//! `(scenario, seed, plan)` alone.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::plan::SimPlan;
+use crate::scenario::{self, default_options, Sabotage, ScenarioReport, SCENARIOS};
+
+/// One failing run, with its shrunk reproducer.
+#[derive(Debug)]
+pub struct Failure {
+    /// The report of the run under the *shrunk* plan.
+    pub report: ScenarioReport,
+    /// The plan the failure was first observed under.
+    pub original_plan: SimPlan,
+    /// The planted defect, if any.
+    pub sabotage: Sabotage,
+    /// Where the artifact was written (when an output dir was given).
+    pub artifact: Option<PathBuf>,
+}
+
+/// Aggregate result of a sweep.
+#[derive(Debug, Default)]
+pub struct SweepOutcome {
+    /// Scenario runs executed (excluding shrink re-runs).
+    pub scenarios_run: u64,
+    /// Total invariant violations across all failing runs.
+    pub violations: u64,
+    /// The failing runs, shrunk.
+    pub failures: Vec<Failure>,
+}
+
+/// Runs one scenario with its seed-derived plan (or `plan` when given).
+///
+/// # Errors
+///
+/// An unknown scenario name.
+pub fn run_one(
+    scenario: &str,
+    seed: u64,
+    plan: Option<&SimPlan>,
+    sabotage: Sabotage,
+) -> Result<ScenarioReport, String> {
+    let plan = plan
+        .cloned()
+        .unwrap_or_else(|| SimPlan::generate(seed, &default_options(scenario)));
+    scenario::run(scenario, seed, &plan, sabotage)
+}
+
+/// Greedily removes plan events while the violation persists, to a
+/// fixpoint: the returned plan still fails, but no single event can be
+/// removed from it.
+#[must_use]
+pub fn shrink(scenario: &str, seed: u64, plan: &SimPlan, sabotage: Sabotage) -> SimPlan {
+    let mut current = plan.clone();
+    loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < current.len() {
+            let candidate = current.without(i);
+            let still_fails = scenario::run(scenario, seed, &candidate, sabotage)
+                .map(|r| !r.violations.is_empty())
+                .unwrap_or(false);
+            if still_fails {
+                current = candidate;
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !progressed {
+            return current;
+        }
+    }
+}
+
+/// Sweeps `seeds` over `scenarios` (all known scenarios when empty),
+/// shrinking every failure and writing a JSON artifact per failure
+/// into `out_dir` when given.
+///
+/// # Errors
+///
+/// Artifact I/O errors; unknown scenario names.
+pub fn sweep(
+    scenarios: &[&str],
+    seeds: impl IntoIterator<Item = u64>,
+    sabotage: Sabotage,
+    out_dir: Option<&Path>,
+) -> Result<SweepOutcome, String> {
+    let names: Vec<&str> = if scenarios.is_empty() {
+        SCENARIOS.to_vec()
+    } else {
+        scenarios.to_vec()
+    };
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+    let mut outcome = SweepOutcome::default();
+    for seed in seeds {
+        for name in &names {
+            let report = run_one(name, seed, None, sabotage)?;
+            outcome.scenarios_run += 1;
+            if report.violations.is_empty() {
+                continue;
+            }
+            outcome.violations += report.violations.len() as u64;
+            let original_plan = report.plan.clone();
+            let shrunk = shrink(name, seed, &original_plan, sabotage);
+            // Re-run under the shrunk plan so the artifact carries the
+            // reproducer's own violations and fingerprint.
+            let report = scenario::run(name, seed, &shrunk, sabotage)?;
+            let mut failure = Failure {
+                report,
+                original_plan,
+                sabotage,
+                artifact: None,
+            };
+            if let Some(dir) = out_dir {
+                let path = dir.join(format!("failure-{name}-{seed}.json"));
+                std::fs::write(&path, failure_json(&failure))
+                    .map_err(|e| format!("write {}: {e}", path.display()))?;
+                failure.artifact = Some(path);
+            }
+            outcome.failures.push(failure);
+        }
+    }
+    Ok(outcome)
+}
+
+/// Renders a failure artifact: everything needed to replay the run
+/// (`ps3-sim run --scenario S --seed N --plan P [--sabotage X]`).
+#[must_use]
+pub fn failure_json(failure: &Failure) -> String {
+    let r = &failure.report;
+    let mut out = String::from("{\n");
+    push_field(&mut out, "scenario", r.scenario, true);
+    push_raw(&mut out, "seed", &r.seed.to_string(), true);
+    push_field(&mut out, "sabotage", failure.sabotage.name(), true);
+    push_field(
+        &mut out,
+        "original_plan",
+        &failure.original_plan.to_compact(),
+        true,
+    );
+    push_field(&mut out, "plan", &r.plan.to_compact(), true);
+    push_raw(&mut out, "frames", &r.frames.to_string(), true);
+    push_field(
+        &mut out,
+        "fingerprint",
+        &format!("{:016x}", r.fingerprint),
+        true,
+    );
+    out.push_str("  \"facts\": {");
+    for (i, (k, v)) in r.facts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&json_string(k));
+        out.push_str(": ");
+        out.push_str(&json_string(v));
+    }
+    out.push_str("\n  },\n");
+    out.push_str("  \"violations\": [");
+    for (i, v) in r.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"invariant\": ");
+        out.push_str(&json_string(&v.invariant));
+        out.push_str(", \"detail\": ");
+        out.push_str(&json_string(&v.detail));
+        out.push('}');
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn push_field(out: &mut String, key: &str, value: &str, comma: bool) {
+    push_raw(out, key, &json_string(value), comma);
+}
+
+fn push_raw(out: &mut String, key: &str, value: &str, comma: bool) {
+    out.push_str("  ");
+    out.push_str(&json_string(key));
+    out.push_str(": ");
+    out.push_str(value);
+    if comma {
+        out.push(',');
+    }
+    out.push('\n');
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Convenience for CI: writes `summary.json` describing a sweep.
+///
+/// # Errors
+///
+/// Filesystem errors.
+pub fn write_summary(outcome: &SweepOutcome, dir: &Path) -> io::Result<PathBuf> {
+    let mut out = String::from("{\n");
+    push_raw(
+        &mut out,
+        "scenarios_run",
+        &outcome.scenarios_run.to_string(),
+        true,
+    );
+    push_raw(
+        &mut out,
+        "violations",
+        &outcome.violations.to_string(),
+        true,
+    );
+    out.push_str("  \"failures\": [");
+    for (i, f) in outcome.failures.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&json_string(&format!(
+            "{}-{}: {}",
+            f.report.scenario,
+            f.report.seed,
+            f.report.plan.to_compact()
+        )));
+    }
+    out.push_str("\n  ]\n}\n");
+    let path = dir.join("summary.json");
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_seeds_have_no_violations() {
+        for scenario in SCENARIOS {
+            let report = run_one(scenario, 1, None, Sabotage::None).expect("known scenario");
+            assert!(
+                report.violations.is_empty(),
+                "{scenario} seed 1 (plan {}): {:?}",
+                report.plan,
+                report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_empty_plan_is_clean_and_deterministic() {
+        let empty = SimPlan::empty();
+        let a = run_one("pipeline", 9, Some(&empty), Sabotage::None).unwrap();
+        let b = run_one("pipeline", 9, Some(&empty), Sabotage::None).unwrap();
+        assert!(a.violations.is_empty(), "{:?}", a.violations);
+        assert_eq!(a.fingerprint, b.fingerprint, "replay is not bit-exact");
+        assert!(a.frames > 4000, "expected ~5000 frames, got {}", a.frames);
+    }
+
+    #[test]
+    fn faulted_run_replays_bit_exactly() {
+        let plan = SimPlan::parse("drop@2500,flip@3000:2,dup@4000,stall@5000:5").unwrap();
+        let a = run_one("pipeline", 11, Some(&plan), Sabotage::None).unwrap();
+        let b = run_one("pipeline", 11, Some(&plan), Sabotage::None).unwrap();
+        assert!(a.violations.is_empty(), "{:?}", a.violations);
+        assert_eq!(
+            a.fingerprint, b.fingerprint,
+            "faulted replay is not bit-exact"
+        );
+    }
+
+    #[test]
+    fn planted_unsealed_tail_is_caught_and_shrunk() {
+        let plan = SimPlan::generate(5, &default_options("pipeline"));
+        let report = scenario::run("pipeline", 5, &plan, Sabotage::UnsealedTail).unwrap();
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.invariant == "archive-seal"),
+            "planted unsealed tail not caught: {:?}",
+            report.violations
+        );
+        let shrunk = shrink("pipeline", 5, &plan, Sabotage::UnsealedTail);
+        assert!(
+            shrunk.len() <= 5,
+            "shrunk plan still has {} events: {shrunk}",
+            shrunk.len()
+        );
+        // The defect is plan-independent, so greedy removal drains it.
+        assert!(shrunk.is_empty(), "expected the empty plan, got {shrunk}");
+    }
+
+    #[test]
+    fn planted_uncounted_drop_is_caught() {
+        let report = run_one(
+            "pipeline",
+            6,
+            Some(&SimPlan::empty()),
+            Sabotage::UncountedDrop,
+        )
+        .unwrap();
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.invariant == "archive-matches-live"),
+            "planted uncounted drop not caught: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn failure_json_is_well_formed() {
+        let report = run_one(
+            "archive-crash",
+            3,
+            Some(&SimPlan::parse("crash@5000").unwrap()),
+            Sabotage::None,
+        )
+        .unwrap();
+        let failure = Failure {
+            original_plan: report.plan.clone(),
+            report,
+            sabotage: Sabotage::None,
+            artifact: None,
+        };
+        let json = failure_json(&failure);
+        assert!(json.contains("\"scenario\": \"archive-crash\""));
+        assert!(json.contains("\"seed\": 3"));
+        assert!(json.contains("\"violations\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

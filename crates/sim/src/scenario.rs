@@ -1,0 +1,757 @@
+//! End-to-end scenarios: each wires a slice of the real stack —
+//! emulated device, fault injector, host reader, stream daemon with
+//! subscribers, archive writer — runs it under a [`SimPlan`], quiesces,
+//! and checks the invariant catalogue.
+//!
+//! Every fact a scenario reports (and folds into its fingerprint) is a
+//! pure function of `(seed, plan, sabotage)`. Wall-clock-dependent
+//! quantities (client counters mid-flight, queue depths) feed
+//! *inequalities* or bounded-convergence checks only.
+
+use std::fs::OpenOptions;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use ps3_analysis::Trace;
+use ps3_archive::{
+    index_path_for, Archive, ArchiveFrame, ArchiveWriter, ArchiveWriterOptions, SegmentWriter,
+};
+use ps3_core::{PowerSensor, SharedPowerSensor};
+use ps3_firmware::SENSOR_SLOTS;
+use ps3_stream::{StreamClient, StreamClientConfig, StreamDaemon, StreamDaemonConfig};
+use ps3_transport::TransportError;
+use ps3_units::{SimDuration, SimTime};
+
+use crate::inject::{FaultInjector, FaultProxy};
+use crate::invariant::{Checker, Fingerprint, Violation};
+use crate::plan::{splitmix64, FaultKind, PlanOptions, SimPlan};
+use crate::world::{quiesce, sim_eeprom, SimDevice};
+
+/// Every scenario the harness knows, in sweep order.
+pub const SCENARIOS: [&str; 4] = ["pipeline", "device-crash", "tcp-faults", "archive-crash"];
+
+/// Virtual time the streaming scenarios run for: 250 ms at 20 kHz is
+/// 5000 frames — past every generated plan's fault horizon, and small
+/// enough that the broadcast ring (8192 slots) can never lap a
+/// subscriber, which is what makes the client counters deterministic.
+const STREAM_MS: u64 = 250;
+
+/// Frames the archive-crash scenario writes before damaging the file.
+const ARCHIVE_FRAMES: u64 = 600;
+
+/// Seed mix for the device-crash time ("DEVCRASH").
+const CRASH_SALT: u64 = 0x4445_5643_5241_5348;
+/// Seed mix for the archive-crash payload ("ARCHIVE_").
+const ARCHIVE_SALT: u64 = 0x4152_4348_4956_455F;
+
+/// A deliberately planted defect, used to prove the harness catches
+/// real violations (and that shrinking converges).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sabotage {
+    /// No planted defect.
+    #[default]
+    None,
+    /// The archive sink silently skips every 5th frame without
+    /// counting it — `archive-matches-live` must fire.
+    UncountedDrop,
+    /// The last byte of the finished archive is flipped, as if the
+    /// final seal never hit disk — `archive-seal` must fire.
+    UnsealedTail,
+}
+
+impl Sabotage {
+    /// Stable name for artifacts and the CLI.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Sabotage::None => "none",
+            Sabotage::UncountedDrop => "uncounted-drop",
+            Sabotage::UnsealedTail => "unsealed-tail",
+        }
+    }
+
+    /// Parses [`Sabotage::name`] output.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "none" => Some(Sabotage::None),
+            "uncounted-drop" => Some(Sabotage::UncountedDrop),
+            "unsealed-tail" => Some(Sabotage::UnsealedTail),
+            _ => None,
+        }
+    }
+}
+
+/// Everything one scenario run produced.
+#[derive(Debug)]
+pub struct ScenarioReport {
+    /// Which scenario ran.
+    pub scenario: &'static str,
+    /// Seed the run derives from.
+    pub seed: u64,
+    /// The fault plan that was applied.
+    pub plan: SimPlan,
+    /// Frames the host decoded (0 where not applicable).
+    pub frames: u64,
+    /// Digest over every deterministic fact; equal across replays of
+    /// the same `(seed, plan, sabotage)`.
+    pub fingerprint: u64,
+    /// Deterministic facts, for artifacts and the bench report.
+    pub facts: Vec<(String, String)>,
+    /// Invariant violations (empty on a healthy stack).
+    pub violations: Vec<Violation>,
+}
+
+/// Plan-generation knobs appropriate for `scenario`.
+#[must_use]
+pub fn default_options(scenario: &str) -> PlanOptions {
+    match scenario {
+        // The device crash is the scenario's crash; a link crash on
+        // top would mask the frame-count law.
+        "device-crash" => PlanOptions {
+            allow_crash: false,
+            ..PlanOptions::default()
+        },
+        // Offsets are taken modulo the file length, so the whole file
+        // is in scope and the guard is meaningless.
+        "archive-crash" => PlanOptions {
+            guard: 0,
+            horizon: 1 << 20,
+            max_events: 4,
+            allow_crash: true,
+        },
+        _ => PlanOptions::default(),
+    }
+}
+
+/// Runs one scenario.
+///
+/// # Errors
+///
+/// An unknown scenario name.
+pub fn run(
+    scenario: &str,
+    seed: u64,
+    plan: &SimPlan,
+    sabotage: Sabotage,
+) -> Result<ScenarioReport, String> {
+    match scenario {
+        "pipeline" => Ok(run_pipeline(seed, plan, sabotage)),
+        "device-crash" => Ok(run_device_crash(seed, plan)),
+        "tcp-faults" => Ok(run_tcp_faults(seed, plan)),
+        "archive-crash" => Ok(run_archive_crash(seed, plan)),
+        other => Err(format!(
+            "unknown scenario '{other}' (known: {})",
+            SCENARIOS.join(", ")
+        )),
+    }
+}
+
+/// Virtual time at which the device-crash scenario's board dies
+/// (5–35 ms, seed-derived).
+#[must_use]
+pub fn crash_time_us(seed: u64) -> u64 {
+    let mut rng = seed ^ CRASH_SALT;
+    5_000 + splitmix64(&mut rng) % 30_000
+}
+
+fn scratch_path(tag: &str, seed: u64) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "ps3-sim-{}-{tag}-{seed}-{n}.ps3a",
+        std::process::id()
+    ))
+}
+
+fn cleanup(path: &Path) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(index_path_for(path));
+}
+
+fn wait_for(timeout: Duration, mut done: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if done() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn finish_report(
+    scenario: &'static str,
+    seed: u64,
+    plan: &SimPlan,
+    frames: u64,
+    facts: Vec<(String, String)>,
+    checker: Checker,
+) -> ScenarioReport {
+    let mut fp = Fingerprint::new();
+    fp.update(scenario.as_bytes());
+    fp.update_u64(seed);
+    fp.update(plan.to_compact().as_bytes());
+    fp.update_u64(frames);
+    for (k, v) in &facts {
+        fp.update(k.as_bytes());
+        fp.update(v.as_bytes());
+    }
+    ScenarioReport {
+        scenario,
+        seed,
+        plan: plan.clone(),
+        frames,
+        fingerprint: fp.finish(),
+        facts,
+        violations: checker.into_violations(),
+    }
+}
+
+/// The full stack: device → faulted serial → `PowerSensor` (trace +
+/// energy) → archive writer and stream daemon → two TCP subscribers
+/// (native rate and divisor 4).
+fn run_pipeline(seed: u64, plan: &SimPlan, sabotage: Sabotage) -> ScenarioReport {
+    let mut checker = Checker::new();
+    let mut facts: Vec<(String, String)> = Vec::new();
+    let archive_path = scratch_path("pipeline", seed);
+
+    let (device, host) = SimDevice::spawn(seed, None);
+    let injector = FaultInjector::new(host, plan);
+    let tap = injector.clone();
+
+    let ps = match PowerSensor::connect(injector) {
+        Ok(ps) => SharedPowerSensor::new(ps),
+        Err(e) => {
+            // A plan that kills the link inside the handshake is a
+            // legal outcome, not a violation; it is still replayable.
+            facts.push(("connect_error".into(), format!("{e:?}")));
+            drop(device);
+            cleanup(&archive_path);
+            return finish_report("pipeline", seed, plan, 0, facts, checker);
+        }
+    };
+    ps.begin_trace();
+
+    let writer = ArchiveWriter::spawn(&archive_path, ps.configs(), ArchiveWriterOptions::default())
+        .expect("create sim archive");
+    if sabotage == Sabotage::UncountedDrop {
+        let mut inner = writer.sink();
+        let mut count = 0u64;
+        ps.add_frame_sink(move |record| {
+            count += 1;
+            if count.is_multiple_of(5) {
+                true // swallow the frame without telling anyone
+            } else {
+                inner(record)
+            }
+        });
+    } else {
+        writer.attach(&ps);
+    }
+
+    let mut daemon = StreamDaemon::start(ps.clone(), "127.0.0.1:0", StreamDaemonConfig::default())
+        .expect("start sim stream daemon");
+    let c1 = StreamClient::connect(daemon.local_addr(), StreamClientConfig::default())
+        .expect("connect div-1 client");
+    let c4 = StreamClient::connect(
+        daemon.local_addr(),
+        StreamClientConfig {
+            pair_mask: 0x0F,
+            divisor: 4,
+        },
+    )
+    .expect("connect div-4 client");
+    // Subscribers pin their ring cursors once their sender loops start;
+    // settle while the device is parked so the cursors pin at head 0
+    // and no frame can slip past an unpinned subscriber.
+    let subscribed = wait_for(Duration::from_secs(5), || {
+        daemon.stats().active_subscribers == 2
+    });
+    checker.expect("harness-quiesce", subscribed, || {
+        "subscribers failed to register within 5 s".into()
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    device.advance(SimDuration::from_millis(STREAM_MS));
+    let quiesced = quiesce(&ps, &device, &tap, Duration::from_secs(30));
+    checker.expect("harness-quiesce", quiesced, || {
+        "pipeline failed to quiesce within 30 s".into()
+    });
+
+    let trace = ps.end_trace();
+    let state = ps.read();
+    let frames = ps.frames_received();
+    let published = daemon.stats().frames_published;
+
+    // Every sink attached while the device was parked, so the trace,
+    // the daemon and the archive all saw every decoded frame.
+    checker.expect("gap-accounting", trace.len() as u64 == frames, || {
+        format!(
+            "trace holds {} samples but host decoded {frames}",
+            trace.len()
+        )
+    });
+    checker.expect("gap-accounting", published == frames, || {
+        format!("daemon published {published} of {frames} decoded frames")
+    });
+    checker.check_monotonic(&trace, !plan.mutates_bytes());
+    checker.check_energy(&trace, state.total_energy);
+
+    // The ring never laps (5000 frames < 8192 slots), so both clients
+    // converge on exact counts; give them bounded wall time to drain.
+    let _ = wait_for(Duration::from_secs(10), || {
+        (c1.is_evicted() || c1.frames_received() + c1.dropped_frames() == published)
+            && (c4.is_evicted() || c4.frames_received() == published / 4)
+    });
+    if !c1.is_evicted() {
+        checker.check_gap_accounting(published, c1.frames_received(), c1.dropped_frames());
+    }
+    if !c4.is_evicted() {
+        checker.check_divided_bounds(published, c4.frames_received(), c4.dropped_frames(), 4);
+    }
+
+    daemon.shutdown();
+    for (name, client) in [("div1", &c1), ("div4", &c4)] {
+        let dead = wait_for(Duration::from_secs(5), || !client.is_alive());
+        checker.expect("evict-reason", dead, || {
+            format!("{name} client still alive after daemon shutdown")
+        });
+        checker.expect(
+            "evict-reason",
+            !client.is_evicted() || client.eviction_reason().is_some(),
+            || format!("{name} client evicted without a reason"),
+        );
+    }
+
+    // The queue (65536) dwarfs the run (5000 frames): any drop here is
+    // an accounting bug, not backpressure.
+    let writer_dropped = writer.dropped();
+    checker.expect("archive-accounting", writer_dropped == 0, || {
+        format!("archive writer dropped {writer_dropped} frames with an oversized queue")
+    });
+    match writer.finish() {
+        Ok(stats) => {
+            facts.push(("archive_frames".into(), stats.frames.to_string()));
+            facts.push(("archive_segments".into(), stats.segments.to_string()));
+        }
+        Err(e) => checker.expect("archive-accounting", false, || {
+            format!("archive writer failed: {e:?}")
+        }),
+    }
+    if sabotage == Sabotage::UnsealedTail {
+        flip_last_byte(&archive_path);
+    }
+    match Archive::open(&archive_path) {
+        Ok(archive) => {
+            checker.check_archive_sealed(&archive);
+            checker.check_archive_matches(&archive, &trace, writer_dropped);
+        }
+        Err(e) => checker.expect("archive-seal", false, || {
+            format!("finished archive failed to reopen: {e:?}")
+        }),
+    }
+
+    facts.push(("published".into(), published.to_string()));
+    facts.push((
+        "energy_bits".into(),
+        format!("{:016x}", state.total_energy.value().to_bits()),
+    ));
+    facts.push(("faults_applied".into(), tap.faults_applied().to_string()));
+    let mut fp_trace = Fingerprint::new();
+    fp_trace.update_trace(&trace);
+    facts.push(("trace_fp".into(), format!("{:016x}", fp_trace.finish())));
+
+    drop(daemon);
+    drop(device);
+    cleanup(&archive_path);
+    finish_report("pipeline", seed, plan, frames, facts, checker)
+}
+
+/// The board dies mid-capture: the host must notice (dead link,
+/// `Disconnected`), keep exactly the pre-crash frames, and the archive
+/// must close cleanly over the truncated capture.
+fn run_device_crash(seed: u64, plan: &SimPlan) -> ScenarioReport {
+    let mut checker = Checker::new();
+    let mut facts: Vec<(String, String)> = Vec::new();
+    let archive_path = scratch_path("crash", seed);
+    let crash_us = crash_time_us(seed);
+
+    let (device, host) = SimDevice::spawn(seed, Some(SimTime::from_micros(crash_us)));
+    let injector = FaultInjector::new(host, plan);
+    let tap = injector.clone();
+
+    let ps = match PowerSensor::connect(injector) {
+        Ok(ps) => SharedPowerSensor::new(ps),
+        Err(e) => {
+            facts.push(("connect_error".into(), format!("{e:?}")));
+            drop(device);
+            cleanup(&archive_path);
+            return finish_report("device-crash", seed, plan, 0, facts, checker);
+        }
+    };
+    ps.begin_trace();
+    let writer = ArchiveWriter::spawn(&archive_path, ps.configs(), ArchiveWriterOptions::default())
+        .expect("create sim archive");
+    writer.attach(&ps);
+
+    // Advance well past the crash time; the device dies on the way.
+    device.advance(SimDuration::from_millis(40));
+    let quiesced = quiesce(&ps, &device, &tap, Duration::from_secs(30));
+    checker.expect("harness-quiesce", quiesced, || {
+        "device-crash failed to quiesce within 30 s".into()
+    });
+    let noticed = wait_for(Duration::from_secs(5), || !ps.is_alive());
+    checker.expect("crash-detected", noticed, || {
+        "host reader still alive after the board crashed".into()
+    });
+    checker.expect(
+        "crash-detected",
+        matches!(ps.link_error(), Some(TransportError::Disconnected)),
+        || {
+            format!(
+                "expected a Disconnected link error, got {:?}",
+                ps.link_error()
+            )
+        },
+    );
+
+    let trace = ps.end_trace();
+    let state = ps.read();
+    let frames = ps.frames_received();
+    checker.expect("gap-accounting", trace.len() as u64 == frames, || {
+        format!(
+            "trace holds {} samples but host decoded {frames}",
+            trace.len()
+        )
+    });
+    if plan.is_empty() {
+        // 50 µs frames from clock zero, batches overshoot the crash by
+        // less than one frame: the count is exact.
+        let expected = crash_us.div_ceil(50);
+        checker.expect("crash-frame-count", frames == expected, || {
+            format!("crash at {crash_us} µs: decoded {frames} frames, expected {expected}")
+        });
+    }
+    checker.check_monotonic(&trace, !plan.mutates_bytes());
+    checker.check_energy(&trace, state.total_energy);
+
+    let writer_dropped = writer.dropped();
+    checker.expect("archive-accounting", writer_dropped == 0, || {
+        format!("archive writer dropped {writer_dropped} frames with an oversized queue")
+    });
+    if let Err(e) = writer.finish() {
+        checker.expect("archive-accounting", false, || {
+            format!("archive writer failed: {e:?}")
+        });
+    }
+    match Archive::open(&archive_path) {
+        Ok(archive) => {
+            checker.check_archive_sealed(&archive);
+            checker.check_archive_matches(&archive, &trace, writer_dropped);
+        }
+        Err(e) => checker.expect("archive-seal", false, || {
+            format!("finished archive failed to reopen: {e:?}")
+        }),
+    }
+
+    facts.push(("crash_us".into(), crash_us.to_string()));
+    facts.push((
+        "energy_bits".into(),
+        format!("{:016x}", state.total_energy.value().to_bits()),
+    ));
+    let mut fp_trace = Fingerprint::new();
+    fp_trace.update_trace(&trace);
+    facts.push(("trace_fp".into(), format!("{:016x}", fp_trace.finish())));
+
+    drop(device);
+    cleanup(&archive_path);
+    finish_report("device-crash", seed, plan, frames, facts, checker)
+}
+
+/// Clean acquisition, hostile network: one subscriber connects
+/// directly, a second through a TCP proxy that applies the plan to the
+/// daemon→client bytes. Faults past the proxy must never corrupt the
+/// daemon-side facts.
+fn run_tcp_faults(seed: u64, plan: &SimPlan) -> ScenarioReport {
+    let mut checker = Checker::new();
+    let mut facts: Vec<(String, String)> = Vec::new();
+
+    let (device, host) = SimDevice::spawn(seed, None);
+    // Clean USB: the tap injector carries an empty plan.
+    let injector = FaultInjector::new(host, &SimPlan::empty());
+    let tap = injector.clone();
+    let ps =
+        SharedPowerSensor::new(PowerSensor::connect(injector).expect("connect over clean serial"));
+    ps.begin_trace();
+
+    let mut daemon = StreamDaemon::start(ps.clone(), "127.0.0.1:0", StreamDaemonConfig::default())
+        .expect("start sim stream daemon");
+    let direct = StreamClient::connect(daemon.local_addr(), StreamClientConfig::default())
+        .expect("connect direct client");
+    let proxy = FaultProxy::start(daemon.local_addr(), plan).expect("start fault proxy");
+    let faulted = StreamClient::connect(proxy.addr(), StreamClientConfig::default())
+        .expect("connect faulted client");
+
+    let subscribed = wait_for(Duration::from_secs(5), || {
+        daemon.stats().active_subscribers == 2
+    });
+    checker.expect("harness-quiesce", subscribed, || {
+        "subscribers failed to register within 5 s".into()
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    device.advance(SimDuration::from_millis(STREAM_MS));
+    let quiesced = quiesce(&ps, &device, &tap, Duration::from_secs(30));
+    checker.expect("harness-quiesce", quiesced, || {
+        "tcp-faults failed to quiesce within 30 s".into()
+    });
+
+    let trace = ps.end_trace();
+    let state = ps.read();
+    let frames = ps.frames_received();
+    let published = daemon.stats().frames_published;
+    checker.expect(
+        "gap-accounting",
+        trace.len() as u64 == frames && published == frames,
+        || {
+            format!(
+                "trace {} / decoded {frames} / published {published} disagree on a clean link",
+                trace.len()
+            )
+        },
+    );
+    // The serial link is clean here, so strict monotonicity holds no
+    // matter what the TCP plan does.
+    checker.check_monotonic(&trace, true);
+    checker.check_energy(&trace, state.total_energy);
+
+    let _ = wait_for(Duration::from_secs(10), || {
+        direct.is_evicted() || direct.frames_received() + direct.dropped_frames() == published
+    });
+    if !direct.is_evicted() {
+        checker.check_gap_accounting(published, direct.frames_received(), direct.dropped_frames());
+    }
+    // The faulted client's exact counts depend on what the plan did to
+    // its bytes; only scheduling-independent claims are checked.
+    if plan.crashes() {
+        let died = wait_for(Duration::from_secs(10), || !faulted.is_alive());
+        checker.expect("gap-accounting", died, || {
+            "faulted client survived a severed proxy".into()
+        });
+    } else if !plan.mutates_bytes() {
+        // Stalls and short reads only delay bytes; the client still
+        // converges on full accounting.
+        let _ = wait_for(Duration::from_secs(10), || {
+            faulted.is_evicted()
+                || faulted.frames_received() + faulted.dropped_frames() == published
+        });
+        if !faulted.is_evicted() {
+            checker.check_gap_accounting(
+                published,
+                faulted.frames_received(),
+                faulted.dropped_frames(),
+            );
+        }
+    }
+
+    daemon.shutdown();
+    for (name, client) in [("direct", &direct), ("faulted", &faulted)] {
+        let _ = wait_for(Duration::from_secs(5), || !client.is_alive());
+        checker.expect(
+            "evict-reason",
+            !client.is_evicted() || client.eviction_reason().is_some(),
+            || format!("{name} client evicted without a reason"),
+        );
+    }
+
+    facts.push(("published".into(), published.to_string()));
+    facts.push((
+        "energy_bits".into(),
+        format!("{:016x}", state.total_energy.value().to_bits()),
+    ));
+    let mut fp_trace = Fingerprint::new();
+    fp_trace.update_trace(&trace);
+    facts.push(("trace_fp".into(), format!("{:016x}", fp_trace.finish())));
+
+    drop(daemon);
+    drop(device);
+    finish_report("tcp-faults", seed, plan, frames, facts, checker)
+}
+
+/// Crash-consistency of the archive alone: write a capture, damage the
+/// file the way a power cut or bad sector would (truncation or a
+/// flipped bit, derived from the plan's first event), reopen, and
+/// demand the recovered data is an exact, declared prefix — never torn
+/// garbage, never silently wrong.
+fn run_archive_crash(seed: u64, plan: &SimPlan) -> ScenarioReport {
+    let mut checker = Checker::new();
+    let mut facts: Vec<(String, String)> = Vec::new();
+    let path = scratch_path("archive", seed);
+
+    let eeprom = sim_eeprom();
+    let configs = std::array::from_fn::<_, SENSOR_SLOTS, _>(|slot| eeprom.read(slot).clone());
+    let mut writer = SegmentWriter::create_with(&path, configs, 100).expect("create sim archive");
+    let mut rng = seed ^ ARCHIVE_SALT;
+    for i in 0..ARCHIVE_FRAMES {
+        let mut raw = [0u16; SENSOR_SLOTS];
+        raw[0] = (splitmix64(&mut rng) % 1024) as u16;
+        raw[1] = (splitmix64(&mut rng) % 1024) as u16;
+        writer
+            .push(ArchiveFrame {
+                time: SimTime::from_micros(25 + 50 * i),
+                raw,
+                present: 0b11,
+                marker: i.is_multiple_of(127).then_some('m'),
+            })
+            .expect("push sim frame");
+    }
+    writer.finish().expect("finish sim archive");
+
+    let original = Archive::open(&path)
+        .expect("reopen undamaged archive")
+        .read_all()
+        .expect("read undamaged archive");
+    let file_len = std::fs::metadata(&path).expect("stat archive").len();
+
+    // The plan's first event picks the damage; shrinking to the empty
+    // plan removes it.
+    let damage = plan.events().first().map(|e| (e.offset, e.kind));
+    let damage_desc = match damage {
+        None => "none".to_owned(),
+        Some((offset, kind)) => match kind {
+            FaultKind::Crash | FaultKind::Drop | FaultKind::ShortRead => {
+                let cut = offset % (file_len - 1) + 1;
+                OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .and_then(|f| f.set_len(cut))
+                    .expect("truncate archive");
+                format!("truncate@{cut}")
+            }
+            FaultKind::BitFlip(bit) => {
+                flip_byte(&path, offset % file_len, bit);
+                format!("flip@{}:{bit}", offset % file_len)
+            }
+            FaultKind::Duplicate => {
+                flip_byte(&path, offset % file_len, 0);
+                format!("flip@{}:0", offset % file_len)
+            }
+            FaultKind::Stall(_) => "none".to_owned(),
+        },
+    };
+    let truncated = damage_desc.starts_with("truncate");
+    let damaged = damage_desc != "none";
+
+    let mut recovered_frames = 0u64;
+    let mut recovered_fp = 0u64;
+    match Archive::open(&path) {
+        Ok(archive) => {
+            recovered_frames = archive.frames();
+            match archive.read_all() {
+                Ok(trace) => {
+                    let mut fp = Fingerprint::new();
+                    fp.update_trace(&trace);
+                    recovered_fp = fp.finish();
+                    if !damaged {
+                        checker.expect(
+                            "archive-seal",
+                            recovered_frames == ARCHIVE_FRAMES && trace == original,
+                            || {
+                                format!(
+                                    "undamaged archive recovered {recovered_frames}/{ARCHIVE_FRAMES} frames"
+                                )
+                            },
+                        );
+                        match archive.verify() {
+                            Ok(report) => checker.expect("archive-seal", report.is_clean(), || {
+                                format!("undamaged archive verifies dirty: {report:?}")
+                            }),
+                            Err(e) => checker.expect("archive-seal", false, || {
+                                format!("undamaged archive verify failed: {e:?}")
+                            }),
+                        }
+                    } else if truncated {
+                        checker.expect("archive-recovery", is_prefix(&trace, &original), || {
+                            format!(
+                                "truncated archive returned {} frames that are not a prefix \
+                                     of the original capture",
+                                trace.len()
+                            )
+                        });
+                    } else {
+                        // A flipped byte: the archive may lose data but
+                        // must never serve wrong data while claiming to
+                        // be clean and complete.
+                        let clean = archive.verify().map(|r| r.is_clean()).unwrap_or(false);
+                        if clean && recovered_frames == ARCHIVE_FRAMES {
+                            checker.expect("archive-recovery", trace == original, || {
+                                "corrupted archive verifies clean and complete but returns \
+                                 different data"
+                                    .to_owned()
+                            });
+                        }
+                    }
+                }
+                Err(e) => checker.expect("archive-recovery", damaged, || {
+                    format!("undamaged archive unreadable: {e:?}")
+                }),
+            }
+        }
+        Err(e) => checker.expect("archive-recovery", damaged, || {
+            format!("undamaged archive failed to open: {e:?}")
+        }),
+    }
+
+    facts.push(("damage".into(), damage_desc));
+    facts.push(("recovered_frames".into(), recovered_frames.to_string()));
+    facts.push(("recovered_fp".into(), format!("{recovered_fp:016x}")));
+
+    cleanup(&path);
+    finish_report(
+        "archive-crash",
+        seed,
+        plan,
+        recovered_frames,
+        facts,
+        checker,
+    )
+}
+
+/// `shorter` is an exact frame-and-marker prefix of `longer`.
+fn is_prefix(shorter: &Trace, longer: &Trace) -> bool {
+    let k = shorter.samples().len();
+    if k > longer.samples().len() || shorter.samples() != &longer.samples()[..k] {
+        return false;
+    }
+    let cutoff = shorter.samples().last().map(|s| s.time);
+    shorter.markers().iter().eq(longer
+        .markers()
+        .iter()
+        .filter(|m| cutoff.is_some_and(|c| m.time <= c)))
+}
+
+fn flip_byte(path: &Path, offset: u64, bit: u8) {
+    let mut file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .expect("open archive for damage");
+    let mut byte = [0u8; 1];
+    file.seek(SeekFrom::Start(offset)).expect("seek");
+    file.read_exact(&mut byte).expect("read byte");
+    byte[0] ^= 1 << (bit & 7);
+    file.seek(SeekFrom::Start(offset)).expect("seek");
+    file.write_all(&byte).expect("write byte");
+}
+
+fn flip_last_byte(path: &Path) {
+    let len = std::fs::metadata(path).expect("stat archive").len();
+    if len > 0 {
+        flip_byte(path, len - 1, 0);
+    }
+}

@@ -22,7 +22,9 @@ use ps3_pmt::PowerMeter;
 use ps3_sensors::AdcSpec;
 use ps3_units::{SimDuration, SimTime, Watts};
 
-use crate::proto::{read_msg_body, write_msg, ClientMsg, ServerMsg, StreamFrame, StreamStats};
+use crate::proto::{
+    read_msg_body, write_msg, ClientMsg, EvictReason, ServerMsg, StreamFrame, StreamStats,
+};
 
 /// Subscription parameters for [`StreamClient::connect`].
 #[derive(Debug, Clone, Copy)]
@@ -51,6 +53,7 @@ struct ClientShared {
     gap_events: AtomicU64,
     dropped_frames: AtomicU64,
     evicted: AtomicBool,
+    eviction: Mutex<Option<EvictReason>>,
     alive: AtomicBool,
     /// Latest frame with its converted total power.
     last: Mutex<Option<(StreamFrame, Watts)>>,
@@ -105,6 +108,7 @@ impl StreamClient {
             gap_events: AtomicU64::new(0),
             dropped_frames: AtomicU64::new(0),
             evicted: AtomicBool::new(false),
+            eviction: Mutex::new(None),
             alive: AtomicBool::new(true),
             last: Mutex::new(None),
             callback: Mutex::new(None),
@@ -162,10 +166,20 @@ impl StreamClient {
         self.shared.dropped_frames.load(Ordering::SeqCst)
     }
 
-    /// `true` once the daemon has evicted this subscriber.
+    /// `true` once the daemon has evicted this subscriber *for cause*
+    /// (too many gaps or a stalled write). A clean daemon shutdown
+    /// ends the stream without setting this; see
+    /// [`StreamClient::eviction_reason`].
     #[must_use]
     pub fn is_evicted(&self) -> bool {
         self.shared.evicted.load(Ordering::SeqCst)
+    }
+
+    /// Why the daemon closed this subscription, once it has (including
+    /// [`EvictReason::Shutdown`] for a clean daemon shutdown).
+    #[must_use]
+    pub fn eviction_reason(&self) -> Option<EvictReason> {
+        *self.shared.eviction.lock()
     }
 
     /// `false` once the connection is gone (eviction, daemon shutdown,
@@ -331,8 +345,11 @@ fn reader_loop(
                 *shared.stats_reply.lock() = Some(stats);
                 shared.stats_cv.notify_all();
             }
-            ServerMsg::Evicted => {
-                shared.evicted.store(true, Ordering::SeqCst);
+            ServerMsg::Evicted { reason } => {
+                *shared.eviction.lock() = Some(reason);
+                if reason != EvictReason::Shutdown {
+                    shared.evicted.store(true, Ordering::SeqCst);
+                }
                 break;
             }
             ServerMsg::Hello { .. } => { /* duplicate hello: ignore */ }

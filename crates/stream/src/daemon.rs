@@ -26,7 +26,8 @@ use ps3_units::SimTime;
 
 use crate::downsample::Downsampler;
 use crate::proto::{
-    read_msg_body, write_msg, ClientMsg, ServerMsg, StreamFrame, StreamStats, MAX_BATCH_FRAMES,
+    read_msg_body, write_msg, ClientMsg, EvictReason, ServerMsg, StreamFrame, StreamStats,
+    MAX_BATCH_FRAMES,
 };
 use crate::ring::{BroadcastRing, ReadOutcome};
 
@@ -442,8 +443,8 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<DaemonShared>) {
 enum SessionEnd {
     /// The client said `Bye` or closed its socket.
     Disconnected,
-    /// Evicted: too many gaps, or a stalled TCP write.
-    Evicted,
+    /// Evicted for cause: too many gaps, or a stalled TCP write.
+    Evicted(EvictReason),
     /// Daemon shutdown.
     Shutdown,
 }
@@ -486,13 +487,19 @@ fn serve_client(shared: &Arc<DaemonShared>, stream: TcpStream) -> io::Result<()>
 
     let end = sender_loop(shared, &writer, pair_mask, divisor, &client_gone);
     match end {
-        SessionEnd::Evicted => {
+        SessionEnd::Evicted(reason) => {
             shared.evicted.fetch_add(1, Ordering::SeqCst);
             // Best effort: a stalled client will not read this.
-            let _ = write_msg(&mut *writer.lock(), &ServerMsg::Evicted.encode());
+            let _ = write_msg(&mut *writer.lock(), &ServerMsg::Evicted { reason }.encode());
         }
         SessionEnd::Shutdown => {
-            let _ = write_msg(&mut *writer.lock(), &ServerMsg::Evicted.encode());
+            let _ = write_msg(
+                &mut *writer.lock(),
+                &ServerMsg::Evicted {
+                    reason: EvictReason::Shutdown,
+                }
+                .encode(),
+            );
         }
         SessionEnd::Disconnected => {}
     }
@@ -581,7 +588,9 @@ fn sender_loop(
                 if batch.len() >= MAX_BATCH_FRAMES || (drained && !batch.is_empty()) {
                     match flush(writer, &mut batch) {
                         Ok(()) => {}
-                        Err(e) if is_stall(&e) => return SessionEnd::Evicted,
+                        Err(e) if is_stall(&e) => {
+                            return SessionEnd::Evicted(EvictReason::StalledWrite)
+                        }
                         Err(_) => return SessionEnd::Disconnected,
                     }
                 }
@@ -595,18 +604,25 @@ fn sender_loop(
                 let gap = ServerMsg::Gap { dropped }.encode();
                 match write_msg(&mut *writer.lock(), &gap) {
                     Ok(()) => {}
-                    Err(e) if is_stall(&e) => return SessionEnd::Evicted,
+                    Err(e) if is_stall(&e) => {
+                        return SessionEnd::Evicted(EvictReason::StalledWrite)
+                    }
                     Err(_) => return SessionEnd::Disconnected,
                 }
                 if my_gaps > shared.config.max_gap_events {
-                    return SessionEnd::Evicted;
+                    return SessionEnd::Evicted(EvictReason::TooManyGaps {
+                        gaps: my_gaps,
+                        limit: shared.config.max_gap_events,
+                    });
                 }
             }
             ReadOutcome::TimedOut => {
                 if !batch.is_empty() {
                     match flush(writer, &mut batch) {
                         Ok(()) => {}
-                        Err(e) if is_stall(&e) => return SessionEnd::Evicted,
+                        Err(e) if is_stall(&e) => {
+                            return SessionEnd::Evicted(EvictReason::StalledWrite)
+                        }
                         Err(_) => return SessionEnd::Disconnected,
                     }
                 }

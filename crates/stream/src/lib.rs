@@ -39,5 +39,5 @@ mod ring;
 pub use client::{FrameCallback, StreamClient, StreamClientConfig};
 pub use daemon::{StreamDaemon, StreamDaemonConfig};
 pub use downsample::Downsampler;
-pub use proto::{ClientMsg, ServerMsg, StreamFrame, StreamStats};
+pub use proto::{ClientMsg, EvictReason, ServerMsg, StreamFrame, StreamStats};
 pub use ring::{BroadcastRing, ReadOutcome};

@@ -94,9 +94,49 @@ pub enum ServerMsg {
     },
     /// Daemon statistics, answering [`ClientMsg::QueryStats`].
     Stats(StreamStats),
-    /// The daemon is closing this subscription (too slow, or daemon
-    /// shutdown).
-    Evicted,
+    /// The daemon is closing this subscription; the reason says why,
+    /// so clients (and the simulation harness) can distinguish a
+    /// for-cause eviction from a clean shutdown.
+    Evicted {
+        /// Why the subscription ended.
+        reason: EvictReason,
+    },
+}
+
+/// Why the daemon closed a subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictReason {
+    /// The subscriber was lapped by the ring more often than the
+    /// daemon's configured `max_gap_events`.
+    TooManyGaps {
+        /// Gap events this subscriber accumulated.
+        gaps: u64,
+        /// The configured limit it exceeded.
+        limit: u64,
+    },
+    /// A TCP write to the subscriber hit the stall timeout: the peer
+    /// stopped reading.
+    StalledWrite,
+    /// The daemon shut down (or the replayed range ended).
+    Shutdown,
+}
+
+impl core::fmt::Display for EvictReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::TooManyGaps { gaps, limit } => {
+                write!(f, "too many gaps ({gaps} > limit {limit})")
+            }
+            Self::StalledWrite => write!(f, "stalled write"),
+            Self::Shutdown => write!(f, "daemon shutdown"),
+        }
+    }
+}
+
+mod reason_code {
+    pub const TOO_MANY_GAPS: u8 = 0;
+    pub const STALLED_WRITE: u8 = 1;
+    pub const SHUTDOWN: u8 = 2;
 }
 
 /// Daemon-side counters, exposed over the wire and via
@@ -305,7 +345,19 @@ impl ServerMsg {
                 put_u64(&mut body, stats.evicted);
                 put_u64(&mut body, stats.gap_events);
             }
-            Self::Evicted => body.push(tag::EVICTED),
+            Self::Evicted { reason } => {
+                body.push(tag::EVICTED);
+                let (code, gaps, limit) = match reason {
+                    EvictReason::TooManyGaps { gaps, limit } => {
+                        (reason_code::TOO_MANY_GAPS, *gaps, *limit)
+                    }
+                    EvictReason::StalledWrite => (reason_code::STALLED_WRITE, 0, 0),
+                    EvictReason::Shutdown => (reason_code::SHUTDOWN, 0, 0),
+                };
+                body.push(code);
+                put_u64(&mut body, gaps);
+                put_u64(&mut body, limit);
+            }
         }
         with_length_prefix(body)
     }
@@ -358,7 +410,25 @@ impl ServerMsg {
                     gap_events,
                 }))
             }
-            tag::EVICTED => Ok(Self::Evicted),
+            tag::EVICTED => {
+                // A payload-less Evicted (the pre-reason wire form) is
+                // read as a shutdown notice.
+                if payload.is_empty() {
+                    return Ok(Self::Evicted {
+                        reason: EvictReason::Shutdown,
+                    });
+                }
+                let (code, payload) = split(payload, 1)?;
+                let (gaps, payload) = get_u64(payload)?;
+                let (limit, _) = get_u64(payload)?;
+                let reason = match code[0] {
+                    reason_code::TOO_MANY_GAPS => EvictReason::TooManyGaps { gaps, limit },
+                    reason_code::STALLED_WRITE => EvictReason::StalledWrite,
+                    reason_code::SHUTDOWN => EvictReason::Shutdown,
+                    c => return Err(malformed(&format!("unknown evict reason {c:#x}"))),
+                };
+                Ok(Self::Evicted { reason })
+            }
             t => Err(malformed(&format!("unknown server tag {t:#x}"))),
         }
     }
@@ -506,7 +576,26 @@ mod tests {
             roundtrip_server(&ServerMsg::Gap { dropped: 4096 }),
             ServerMsg::Gap { dropped: 4096 }
         );
-        assert_eq!(roundtrip_server(&ServerMsg::Evicted), ServerMsg::Evicted);
+        for reason in [
+            EvictReason::TooManyGaps {
+                gaps: 17,
+                limit: 16,
+            },
+            EvictReason::StalledWrite,
+            EvictReason::Shutdown,
+        ] {
+            assert_eq!(
+                roundtrip_server(&ServerMsg::Evicted { reason }),
+                ServerMsg::Evicted { reason }
+            );
+        }
+        // The legacy payload-less form decodes as a shutdown notice.
+        assert_eq!(
+            ServerMsg::decode(&[tag::EVICTED]).unwrap(),
+            ServerMsg::Evicted {
+                reason: EvictReason::Shutdown
+            }
+        );
     }
 
     #[test]

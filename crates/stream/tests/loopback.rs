@@ -279,6 +279,15 @@ fn persistently_lapped_subscriber_is_evicted() {
         wait_until(Duration::from_secs(10), || client.is_evicted()),
         "client should learn of its eviction: {client:?}"
     );
+    // The eviction notice carries the cause: the configured gap budget
+    // it blew through.
+    match client.eviction_reason() {
+        Some(ps3_stream::EvictReason::TooManyGaps { gaps, limit }) => {
+            assert_eq!(limit, 2, "limit echoes the daemon config");
+            assert!(gaps > limit, "reported gaps exceed the limit");
+        }
+        other => panic!("expected TooManyGaps eviction, got {other:?}"),
+    }
     assert_eq!(sensor.frames_received(), tb.frames_emitted());
 }
 
@@ -385,6 +394,12 @@ fn replay_daemon_serves_archived_range_exactly() {
         assert_eq!(frame.marker, want.marker.is_some());
     }
     assert_eq!(client.gap_events(), 0);
+    // End-of-replay is a clean shutdown, not a for-cause eviction.
+    assert!(!client.is_evicted());
+    assert_eq!(
+        client.eviction_reason(),
+        Some(ps3_stream::EvictReason::Shutdown)
+    );
 
     daemon.shutdown();
     std::fs::remove_file(&path).ok();

@@ -12,6 +12,7 @@ pub use ps3_duts as duts;
 pub use ps3_firmware as firmware;
 pub use ps3_pmt as pmt;
 pub use ps3_sensors as sensors;
+pub use ps3_sim as sim;
 pub use ps3_stream as stream;
 pub use ps3_testbed as testbed;
 pub use ps3_transport as transport;
