@@ -97,4 +97,54 @@ if [ "${PS3_SIM_NIGHTLY:-0}" != "0" ]; then
          cat target/ci-sim/nightly/failure-*.json 2>/dev/null; exit 1; }
 fi
 
+echo "==> fleet smoke: 4-rig coordinator, merged subscribe, aggregate query"
+# A 4-rig fleet serves for a few seconds on an OS-assigned port; a
+# fleet-wide subscriber at reduced rate must drain the merged stream
+# gap-free from all 4 rigs, the roster must answer over the wire, and
+# after shutdown the archive shards must answer an aggregate query.
+rm -rf target/ci-fleet && mkdir -p target/ci-fleet
+./target/release/ps3-fleet serve --rigs 4 --bind 127.0.0.1:0 \
+  --data target/ci-fleet/data --secs 6 >target/ci-fleet/serve.txt &
+fleet_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+  addr=$(grep -o 'listening on [0-9.:]*' target/ci-fleet/serve.txt 2>/dev/null \
+    | awk '{print $3}' || true)
+  test -n "$addr" && break
+  sleep 0.1
+done
+test -n "$addr" || { echo "fleet coordinator never came up"; kill "$fleet_pid"; exit 1; }
+./target/release/ps3-fleet watch --connect "$addr" --secs 2 --divisor 20 \
+  >target/ci-fleet/watch.txt \
+  || { echo "fleet-wide subscribe failed"; cat target/ci-fleet/watch.txt
+       kill "$fleet_pid"; exit 1; }
+grep -q 'gaps=0 dropped=0 rigs=4' target/ci-fleet/watch.txt \
+  || { echo "merged stream was not gap-free across 4 rigs"
+       cat target/ci-fleet/watch.txt; kill "$fleet_pid"; exit 1; }
+./target/release/ps3-fleet status --connect "$addr" >target/ci-fleet/status.txt \
+  || { echo "fleet status query failed"; kill "$fleet_pid"; exit 1; }
+test "$(grep -c ' up ' target/ci-fleet/status.txt)" -eq 4 \
+  || { echo "roster does not list 4 live rigs"
+       cat target/ci-fleet/status.txt; kill "$fleet_pid"; exit 1; }
+wait "$fleet_pid" || { echo "fleet coordinator exited nonzero"; exit 1; }
+./target/release/ps3-fleet query --data target/ci-fleet/data --json \
+  >target/ci-fleet/query.json
+grep -q '"rigs":\[0,1,2,3\]' target/ci-fleet/query.json \
+  || { echo "aggregate query lacks the 4-rig roster"
+       cat target/ci-fleet/query.json; exit 1; }
+grep -q '"energy_j":[0-9]' target/ci-fleet/query.json \
+  || { echo "aggregate query reported no energy"
+       cat target/ci-fleet/query.json; exit 1; }
+# The fleet bench experiment's deterministic artifact must be
+# byte-identical across thread counts (throughput lives only in
+# BENCH_repro.json).
+PS3_RESULTS_DIR=target/ci-fleet/serial \
+  ./target/release/repro --smoke --jobs 1 fleet >/dev/null
+PS3_RESULTS_DIR=target/ci-fleet/par \
+  ./target/release/repro --smoke --jobs 2 fleet >/dev/null
+cmp target/ci-fleet/serial/fleet.csv target/ci-fleet/par/fleet.csv \
+  || { echo "non-deterministic fleet bench artifact"; exit 1; }
+grep -q '"fleet_8_rigs_frames_per_sec"' target/ci-fleet/par/BENCH_repro.json \
+  || { echo "BENCH_repro.json lacks the fleet throughput curve"; exit 1; }
+
 echo "CI green."

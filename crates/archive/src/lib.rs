@@ -81,4 +81,4 @@ pub use format::ArchiveError;
 pub use index::{index_path_for, ArchiveIndex, IndexSegment};
 pub use meter::ArchiveMeter;
 pub use segment::{frame_total, ArchiveFrame, SegmentHeader, SummaryBlock};
-pub use writer::{ArchiveWriter, ArchiveWriterOptions, SegmentWriter, WriterStats};
+pub use writer::{stats_path_for, ArchiveWriter, ArchiveWriterOptions, SegmentWriter, WriterStats};

@@ -39,11 +39,65 @@ pub struct WriterStats {
     pub dropped: u64,
 }
 
+impl WriterStats {
+    /// Sidecar text form: `key=value` lines.
+    #[must_use]
+    pub fn encode_text(&self) -> String {
+        format!(
+            "frames={}\nsegments={}\nbytes={}\ndropped={}\n",
+            self.frames, self.segments, self.bytes, self.dropped
+        )
+    }
+
+    /// Parses [`WriterStats::encode_text`] output; `None` on any
+    /// malformed or missing field.
+    #[must_use]
+    pub fn decode_text(text: &str) -> Option<Self> {
+        let mut stats = Self::default();
+        let mut seen = 0u8;
+        for line in text.lines() {
+            let (key, value) = line.split_once('=')?;
+            let value: u64 = value.trim().parse().ok()?;
+            match key {
+                "frames" => (stats.frames, seen) = (value, seen | 1),
+                "segments" => (stats.segments, seen) = (value, seen | 2),
+                "bytes" => (stats.bytes, seen) = (value, seen | 4),
+                "dropped" => (stats.dropped, seen) = (value, seen | 8),
+                _ => {} // forward compatibility: ignore unknown keys
+            }
+        }
+        (seen == 0b1111).then_some(stats)
+    }
+
+    /// Loads the stats sidecar written when the archive's writer
+    /// finished. `None` when absent (the capture crashed before
+    /// finishing, or predates stats sidecars) or unparsable.
+    #[must_use]
+    pub fn load_for(archive: &Path) -> Option<Self> {
+        let text = std::fs::read_to_string(stats_path_for(archive)).ok()?;
+        Self::decode_text(&text)
+    }
+}
+
+/// Sidecar path holding a finished writer's [`WriterStats`]
+/// (`trace.ps3a` → `trace.ps3s`), mirroring [`index_path_for`].
+#[must_use]
+pub fn stats_path_for(archive: &Path) -> PathBuf {
+    if archive.extension().is_some_and(|e| e == "ps3a") {
+        archive.with_extension("ps3s")
+    } else {
+        let mut name = archive.as_os_str().to_os_string();
+        name.push(".ps3s");
+        PathBuf::from(name)
+    }
+}
+
 /// Synchronous archive writer: frames in, sealed segments out.
 #[derive(Debug)]
 pub struct SegmentWriter {
     file: File,
     index_path: PathBuf,
+    stats_path: PathBuf,
     configs: [SensorConfig; SENSOR_SLOTS],
     adc: AdcSpec,
     index: ArchiveIndex,
@@ -89,9 +143,14 @@ impl SegmentWriter {
         let mut file = File::create(path)?;
         file.write_all(&encode_file_header(&configs))?;
         file.sync_data()?;
+        // A finished capture leaves a stats sidecar; scrub any stale
+        // one now so its presence always means *this* capture finished.
+        let stats_path = stats_path_for(path);
+        let _ = std::fs::remove_file(&stats_path);
         let writer = Self {
             file,
             index_path: index_path_for(path),
+            stats_path,
             configs,
             adc: AdcSpec::POWERSENSOR3,
             index: ArchiveIndex {
@@ -145,11 +204,26 @@ impl SegmentWriter {
     /// # Errors
     ///
     /// Propagates filesystem errors.
-    pub fn finish(mut self) -> Result<WriterStats, ArchiveError> {
+    pub fn finish(self) -> Result<WriterStats, ArchiveError> {
+        self.finish_with_dropped(0)
+    }
+
+    /// [`SegmentWriter::finish`] with an externally tracked drop count
+    /// folded into the stats (the background writer's queue drops).
+    /// On success, writes the stats sidecar (best effort — the sidecar
+    /// is advisory metadata, never worth failing a durable archive
+    /// over).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn finish_with_dropped(mut self, dropped: u64) -> Result<WriterStats, ArchiveError> {
         if !self.pending.is_empty() {
             self.seal_segment()?;
         }
         self.file.sync_all()?;
+        self.stats.dropped = dropped;
+        let _ = std::fs::write(&self.stats_path, self.stats.encode_text());
         Ok(self.stats)
     }
 
@@ -300,15 +374,13 @@ impl ArchiveWriter {
                 .store(writer.segments(), Ordering::Relaxed);
         }
         let dropped = shared.dropped.load(Ordering::Relaxed);
-        let mut stats = match writer.finish() {
-            Ok(stats) => stats,
+        match writer.finish_with_dropped(dropped) {
+            Ok(stats) => Ok(stats),
             Err(e) => {
                 shared.failed.store(true, Ordering::Relaxed);
-                return Err(e);
+                Err(e)
             }
-        };
-        stats.dropped = dropped;
-        Ok(stats)
+        }
     }
 
     /// Enqueues one frame directly (the sink does the same). Returns
@@ -414,5 +486,38 @@ impl std::fmt::Debug for ArchiveWriter {
         f.debug_struct("ArchiveWriter")
             .field("dropped", &self.dropped())
             .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_stats_sidecar_roundtrips() {
+        let stats = WriterStats {
+            frames: 12_345,
+            segments: 13,
+            bytes: 987_654,
+            dropped: 7,
+        };
+        assert_eq!(WriterStats::decode_text(&stats.encode_text()), Some(stats));
+        // Unknown keys are tolerated; missing required keys are not.
+        let extended = format!("{}future=1\n", stats.encode_text());
+        assert_eq!(WriterStats::decode_text(&extended), Some(stats));
+        assert_eq!(WriterStats::decode_text("frames=1\nsegments=2\n"), None);
+        assert_eq!(WriterStats::decode_text("frames=x\n"), None);
+    }
+
+    #[test]
+    fn stats_path_mirrors_index_naming() {
+        assert_eq!(
+            stats_path_for(Path::new("/x/trace.ps3a")),
+            PathBuf::from("/x/trace.ps3s")
+        );
+        assert_eq!(
+            stats_path_for(Path::new("/x/trace")),
+            PathBuf::from("/x/trace.ps3s")
+        );
     }
 }

@@ -16,8 +16,8 @@ use std::time::Instant;
 use ps3_units::SimDuration;
 
 use crate::{
-    archive, capping, fig12, fig4, fig5, fig7, fig8, interference, noise, related, sim, stability,
-    table1, table2,
+    archive, capping, fig12, fig4, fig5, fig7, fig8, fleet, interference, noise, related, sim,
+    stability, table1, table2,
 };
 
 /// The seed every `repro` run uses, so artifacts are comparable
@@ -26,7 +26,7 @@ pub const SEED: u64 = 0x5EED_2026;
 
 /// The default experiment list (the paper's tables and figures, in
 /// paper order, plus the interference ablation).
-pub const DEFAULT_EXPERIMENTS: [&str; 14] = [
+pub const DEFAULT_EXPERIMENTS: [&str; 15] = [
     "table1",
     "table2",
     "fig4",
@@ -41,6 +41,7 @@ pub const DEFAULT_EXPERIMENTS: [&str; 14] = [
     "interference",
     "archive",
     "sim",
+    "fleet",
 ];
 
 /// Sample counts and sweep sizes for one run.
@@ -64,6 +65,8 @@ pub struct Scale {
     pub fig12a_window: SimDuration,
     /// Simulated seconds of random writes for Fig 12b.
     pub fig12b_seconds: u64,
+    /// Rig counts the fleet scaling experiment sweeps.
+    pub fleet_rigs: Vec<u16>,
 }
 
 impl Scale {
@@ -80,6 +83,7 @@ impl Scale {
             tuner_clock_stride: 1,
             fig12a_window: SimDuration::from_secs(1),
             fig12b_seconds: 240,
+            fleet_rigs: vec![1, 8, 32],
         }
     }
 
@@ -98,6 +102,7 @@ impl Scale {
             tuner_clock_stride: 1,
             fig12a_window: SimDuration::from_secs(10),
             fig12b_seconds: 1300,
+            fleet_rigs: vec![1, 8, 32, 100],
         }
     }
 
@@ -114,6 +119,7 @@ impl Scale {
             tuner_clock_stride: 5,
             fig12a_window: SimDuration::from_millis(250),
             fig12b_seconds: 60,
+            fleet_rigs: vec![1, 4, 8],
         }
     }
 }
@@ -190,6 +196,7 @@ pub fn run_experiment(name: &str, scale: &Scale, seed: u64) -> Option<Experiment
         "interference" => run_interference(scale, seed),
         "archive" => run_archive(scale, seed),
         "sim" => run_sim(seed),
+        "fleet" => run_fleet(scale, seed),
         "related" => run_related(scale, seed),
         "capping" => run_capping(seed),
         "noise" => run_noise(scale, seed),
@@ -614,6 +621,59 @@ fn run_sim(seed: u64) -> ExperimentOutput {
     out
 }
 
+fn run_fleet(scale: &Scale, seed: u64) -> ExperimentOutput {
+    let points = fleet::run(&scale.fleet_rigs, seed);
+    let csv: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                f64::from(p.rigs),
+                p.published as f64,
+                p.received as f64,
+                p.gap_events as f64,
+                p.dropped as f64,
+                p.archive_samples as f64,
+                p.energy_j,
+                f64::from(u8::from(p.energy_exact)),
+            ]
+        })
+        .collect();
+    let samples: u64 = points.iter().map(|p| p.published).sum();
+    let mut out = output(
+        fleet::render(&points),
+        vec![Csv {
+            name: "fleet.csv".into(),
+            header: vec![
+                "rigs",
+                "published",
+                "received",
+                "gap_events",
+                "dropped",
+                "archive_samples",
+                "energy_j",
+                "energy_exact",
+            ],
+            rows: csv,
+        }],
+        samples,
+    );
+    // The rigs-vs-throughput curve: wall-clock, so it belongs in the
+    // perf record, never in the deterministic report or CSV.
+    out.metrics = points
+        .iter()
+        .flat_map(|p| {
+            [
+                (
+                    format!("fleet_{}_rigs_frames_per_sec", p.rigs),
+                    p.frames_per_sec(),
+                ),
+                (format!("fleet_{}_rigs_query_s", p.rigs), p.query_wall_s),
+            ]
+        })
+        .collect();
+    out
+}
+
 fn run_noise(scale: &Scale, seed: u64) -> ExperimentOutput {
     let loads = [0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 9.5];
     let samples = scale.table2_samples / 16;
@@ -685,6 +745,7 @@ mod tests {
                     "interference",
                     "archive",
                     "sim",
+                    "fleet",
                 ]
                 .contains(&name),
                 "{name} missing from the dispatch table"

@@ -21,6 +21,7 @@
 //! | Power-capping study (beyond the paper) | [`capping`] |
 //! | §IV-A noise decomposition | [`noise`] |
 //! | Archive store cost/exactness (beyond the paper) | [`archive`] |
+//! | Fleet coordinator scaling (beyond the paper) | [`fleet`] |
 
 /// Renders a trace as a 72×12 ASCII chart (shared by the `repro`
 /// binary's figure output).
@@ -37,6 +38,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig7;
 pub mod fig8;
+pub mod fleet;
 pub mod interference;
 pub mod noise;
 pub mod related;

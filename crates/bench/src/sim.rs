@@ -139,7 +139,10 @@ mod tests {
     #[test]
     fn sweep_slice_is_clean_and_deterministic() {
         let a = run(0x5EED);
-        assert_eq!(a.rows.len() as u64, 4 * SEEDS_PER_SCENARIO);
+        assert_eq!(
+            a.rows.len() as u64,
+            SCENARIOS.len() as u64 * SEEDS_PER_SCENARIO
+        );
         assert_eq!(a.total_violations(), 0, "{}", render(&a));
         assert!(a.sabotage_caught);
         let b = run(0x5EED);

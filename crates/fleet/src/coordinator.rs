@@ -1,0 +1,795 @@
+//! The fleet coordinator: N supervised rigs behind one TCP endpoint.
+//!
+//! Each rig is a full acquisition stack — sensor, per-rig
+//! [`StreamDaemon`], and an [`ArchiveWriter`] persisting to its own
+//! shard under the fleet data dir (`rig-{id:03}-g{gen}.ps3a`; the
+//! generation counts restarts, so a crash never appends to a
+//! possibly-torn file). The coordinator additionally taps every rig
+//! into a per-rig broadcast ring and serves rig-routed subscriptions
+//! off those rings:
+//!
+//! * a legacy subscription (no [`RigSelector`]) streams rig 0 with
+//!   plain `Batch`/`Gap` messages — old clients work unchanged;
+//! * `One`/`Set`/`All` subscriptions stream rig-tagged
+//!   `RigBatch`/`RigGap` messages, k-way merged on sample timestamps
+//!   across the selected rigs with per-rig gap propagation.
+//!
+//! Merge ordering: a frame is emitted once every other selected,
+//! alive, non-closed rig has a frame queued (so the true minimum
+//! timestamp is known); ties break toward the lowest rig id. A rig
+//! restart starts a fresh device timeline, which appears as a
+//! documented timestamp discontinuity in the merged stream — frames
+//! are still delivered and accounted, never silently skipped.
+//!
+//! Supervision is poll-driven and deterministic: [`Fleet::advance`]
+//! moves every healthy rig's virtual clock, [`Fleet::supervise`]
+//! restarts crashed rigs (fresh sensor, fresh shard, tap resumed into
+//! the *same* ring so per-rig publish counters continue).
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use ps3_archive::{ArchiveWriter, ArchiveWriterOptions};
+use ps3_firmware::{FRAME_INTERVAL, SENSOR_SLOTS};
+use ps3_stream::proto::{read_msg_body, write_msg, MAX_BATCH_FRAMES};
+use ps3_stream::{
+    bind_reusable, BroadcastRing, ClientMsg, Downsampler, EvictReason, FleetHello, ReadOutcome,
+    RigSelector, RigStatus, ServerMsg, StreamDaemon, StreamDaemonConfig, StreamFrame, StreamStats,
+};
+use ps3_units::SimDuration;
+
+use crate::rig::{RigFactory, RigParts};
+use crate::FLEET_PROTO_VERSION;
+
+/// Tuning for [`Fleet::start`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Where per-rig archive shards live (created if absent).
+    pub data_dir: PathBuf,
+    /// Stream tuning, shared by the coordinator's subscriber sessions
+    /// and every per-rig daemon.
+    pub stream: StreamDaemonConfig,
+    /// Archive writer tuning for the per-rig shards.
+    pub archive: ArchiveWriterOptions,
+}
+
+impl FleetConfig {
+    /// Defaults with shards under `data_dir`.
+    #[must_use]
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            data_dir: data_dir.into(),
+            stream: StreamDaemonConfig::default(),
+            archive: ArchiveWriterOptions::default(),
+        }
+    }
+}
+
+/// Shard filename for one rig generation.
+#[must_use]
+pub fn shard_name(rig: u16, generation: u32) -> String {
+    format!("rig-{rig:03}-g{generation}.ps3a")
+}
+
+/// Per-rig state shared with subscriber sessions.
+struct RigShared {
+    ring: Arc<BroadcastRing>,
+    alive: AtomicBool,
+    restarts: AtomicU32,
+    shards: AtomicU32,
+    gap_events: AtomicU64,
+    writer_dropped: AtomicU64,
+}
+
+struct FleetShared {
+    stream: StreamDaemonConfig,
+    rigs: Vec<RigShared>,
+    /// Pre-encoded `Hello` without the fleet suffix (legacy clients).
+    hello_legacy: Vec<u8>,
+    /// Pre-encoded `Hello` with the fleet suffix (rig-routed clients).
+    hello_fleet: Vec<u8>,
+    shutdown: AtomicBool,
+    active_subscribers: AtomicU64,
+    evicted: AtomicU64,
+    gap_events: AtomicU64,
+    clients: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Owner-side state for one rig generation.
+struct RigRuntime {
+    id: u16,
+    generation: u32,
+    sensor: ps3_core::SharedPowerSensor,
+    advance: Box<dyn FnMut(SimDuration) + Send>,
+    crashed: Box<dyn Fn() -> bool + Send>,
+    daemon: StreamDaemon,
+    writer: Option<ArchiveWriter>,
+    tap_alive: Arc<AtomicBool>,
+    /// Drops accumulated from already-finished writers of this rig.
+    writer_dropped_acc: u64,
+}
+
+/// A running fleet coordinator. Dropping it shuts everything down.
+pub struct Fleet {
+    shared: Arc<FleetShared>,
+    rigs: Mutex<Vec<RigRuntime>>,
+    factory: Mutex<RigFactory>,
+    config: FleetConfig,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Fleet {
+    /// Spawns `rig_count` rigs (generation 0 each) and starts serving
+    /// `addr` (port 0 for ephemeral).
+    ///
+    /// # Errors
+    ///
+    /// Rig construction, shard creation, or socket bind errors.
+    pub fn start<A: ToSocketAddrs>(
+        rig_count: u16,
+        mut factory: RigFactory,
+        addr: A,
+        config: FleetConfig,
+    ) -> io::Result<Self> {
+        assert!(rig_count > 0, "a fleet needs at least one rig");
+        std::fs::create_dir_all(&config.data_dir)?;
+
+        let rig_shared: Vec<RigShared> = (0..rig_count)
+            .map(|_| RigShared {
+                ring: Arc::new(BroadcastRing::new(config.stream.ring_capacity)),
+                alive: AtomicBool::new(true),
+                restarts: AtomicU32::new(0),
+                shards: AtomicU32::new(1),
+                gap_events: AtomicU64::new(0),
+                writer_dropped: AtomicU64::new(0),
+            })
+            .collect();
+
+        let shared = Arc::new(FleetShared {
+            stream: config.stream.clone(),
+            rigs: rig_shared,
+            hello_legacy: Vec::new(),
+            hello_fleet: Vec::new(),
+            shutdown: AtomicBool::new(false),
+            active_subscribers: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            gap_events: AtomicU64::new(0),
+            clients: Mutex::new(Vec::new()),
+        });
+
+        let mut runtimes = Vec::with_capacity(usize::from(rig_count));
+        for id in 0..rig_count {
+            runtimes.push(build_rig(&mut factory, id, 0, &shared, &config)?);
+        }
+
+        // Both Hello forms carry rig 0's sensor configuration (the
+        // factory gives every rig the same module layout).
+        let configs = Box::new(runtimes[0].sensor.configs());
+        let hello = |fleet: Option<FleetHello>| {
+            ServerMsg::Hello {
+                frame_interval_us: FRAME_INTERVAL.as_micros() as u32,
+                configs: configs.clone(),
+                fleet,
+            }
+            .encode()
+        };
+        let shared = Arc::new(FleetShared {
+            hello_legacy: hello(None),
+            hello_fleet: hello(Some(FleetHello {
+                version: FLEET_PROTO_VERSION,
+                rigs: rig_count,
+            })),
+            ..match Arc::try_unwrap(shared) {
+                Ok(s) => s,
+                Err(_) => unreachable!("no other owner yet"),
+            }
+        });
+
+        let listener = bind_reusable(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ps3-fleet-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn fleet accept thread")
+        };
+
+        Ok(Self {
+            shared,
+            rigs: Mutex::new(runtimes),
+            factory: Mutex::new(factory),
+            config,
+            local_addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The coordinator's listening address.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of rigs in the fleet.
+    #[must_use]
+    pub fn rig_count(&self) -> u16 {
+        self.shared.rigs.len() as u16
+    }
+
+    /// Where the per-rig archive shards live.
+    #[must_use]
+    pub fn data_dir(&self) -> &Path {
+        &self.config.data_dir
+    }
+
+    /// The per-rig daemon's own listening address (for direct
+    /// attachment bypassing the coordinator), if the rig is up.
+    #[must_use]
+    pub fn rig_daemon_addr(&self, id: u16) -> Option<SocketAddr> {
+        self.rigs
+            .lock()
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.daemon.local_addr())
+    }
+
+    /// Advances every healthy rig's virtual clock by `d`. A rig that
+    /// has crashed is skipped (and marked dead for subscribers) until
+    /// [`Fleet::supervise`] restarts it.
+    pub fn advance(&self, d: SimDuration) {
+        let mut rigs = self.rigs.lock();
+        for rig in rigs.iter_mut() {
+            if (rig.crashed)() || !rig.sensor.is_alive() {
+                self.shared.rigs[usize::from(rig.id)]
+                    .alive
+                    .store(false, Ordering::SeqCst);
+                continue;
+            }
+            (rig.advance)(d);
+        }
+        refresh_writer_counters(&self.shared, &rigs);
+    }
+
+    /// Restarts every crashed rig: its writer is finished (sealing the
+    /// old shard), a fresh sensor generation is built, its tap resumes
+    /// into the same per-rig ring, and archiving continues into a new
+    /// shard. Returns how many rigs were restarted.
+    ///
+    /// # Errors
+    ///
+    /// Factory or shard-creation failure for a replacement rig.
+    pub fn supervise(&self) -> io::Result<u32> {
+        let mut rigs = self.rigs.lock();
+        let mut factory = self.factory.lock();
+        let mut restarted = 0u32;
+        for rig in rigs.iter_mut() {
+            if !(rig.crashed)() && rig.sensor.is_alive() {
+                continue;
+            }
+            let rs = &self.shared.rigs[usize::from(rig.id)];
+            rig.tap_alive.store(false, Ordering::SeqCst);
+            if let Some(writer) = rig.writer.take() {
+                // A failed finish means the shard tail is torn; the
+                // sealed prefix remains readable via recovery.
+                if let Ok(stats) = writer.finish() {
+                    rig.writer_dropped_acc += stats.dropped;
+                }
+            }
+            rig.daemon.shutdown();
+
+            let generation = rig.generation + 1;
+            let fresh = build_rig(&mut factory, rig.id, generation, &self.shared, &self.config)?;
+            let writer_dropped_acc = rig.writer_dropped_acc;
+            *rig = fresh;
+            rig.writer_dropped_acc = writer_dropped_acc;
+
+            rs.alive.store(true, Ordering::SeqCst);
+            rs.restarts.fetch_add(1, Ordering::SeqCst);
+            rs.shards.fetch_add(1, Ordering::SeqCst);
+            restarted += 1;
+        }
+        refresh_writer_counters(&self.shared, &rigs);
+        Ok(restarted)
+    }
+
+    /// Per-rig status roster (what `fleet status` and `QueryFleet`
+    /// report).
+    #[must_use]
+    pub fn status(&self) -> Vec<RigStatus> {
+        refresh_writer_counters(&self.shared, &self.rigs.lock());
+        snapshot(&self.shared)
+    }
+
+    /// Aggregate counters across the coordinator endpoint.
+    #[must_use]
+    pub fn stats(&self) -> StreamStats {
+        aggregate_stats(&self.shared)
+    }
+
+    /// Stops serving, disconnects subscribers, seals every shard, and
+    /// joins all threads. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for rig in &self.shared.rigs {
+            rig.ring.close();
+        }
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let clients = std::mem::take(&mut *self.shared.clients.lock());
+        for handle in clients {
+            let _ = handle.join();
+        }
+        let mut rigs = self.rigs.lock();
+        for rig in rigs.iter_mut() {
+            rig.tap_alive.store(false, Ordering::SeqCst);
+            if let Some(writer) = rig.writer.take() {
+                if let Ok(stats) = writer.finish() {
+                    rig.writer_dropped_acc += stats.dropped;
+                    self.shared.rigs[usize::from(rig.id)]
+                        .writer_dropped
+                        .store(rig.writer_dropped_acc, Ordering::SeqCst);
+                }
+            }
+            rig.daemon.shutdown();
+        }
+        rigs.clear();
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl core::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("local_addr", &self.local_addr)
+            .field("rigs", &self.shared.rigs.len())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builds one rig generation: sensor, shard writer, ring tap, per-rig
+/// daemon.
+fn build_rig(
+    factory: &mut RigFactory,
+    id: u16,
+    generation: u32,
+    shared: &FleetShared,
+    config: &FleetConfig,
+) -> io::Result<RigRuntime> {
+    let RigParts {
+        sensor,
+        advance,
+        crashed,
+    } = factory(id, generation)?;
+
+    let shard = config.data_dir.join(shard_name(id, generation));
+    let writer = ArchiveWriter::spawn(&shard, sensor.configs(), config.archive)
+        .map_err(|e| io::Error::other(format!("rig {id} shard {}: {e}", shard.display())))?;
+    writer.attach(&sensor);
+
+    // Tap the sensor into the coordinator's per-rig ring. The kill
+    // switch detaches a dead generation's tap so a restarted rig's tap
+    // is the ring's only producer (the ring is single-producer).
+    let tap_alive = Arc::new(AtomicBool::new(true));
+    {
+        let ring = Arc::clone(&shared.rigs[usize::from(id)].ring);
+        let alive = Arc::clone(&tap_alive);
+        sensor.add_frame_sink(move |record| {
+            if !alive.load(Ordering::SeqCst) || ring.is_closed() {
+                return false;
+            }
+            ring.publish(&StreamFrame {
+                time: record.time,
+                raw: record.raw,
+                present: record.present,
+                marker: record.marker.is_some(),
+            });
+            true
+        });
+    }
+
+    let daemon = StreamDaemon::start(sensor.clone(), "127.0.0.1:0", config.stream.clone())?;
+
+    Ok(RigRuntime {
+        id,
+        generation,
+        sensor,
+        advance,
+        crashed,
+        daemon,
+        writer: Some(writer),
+        tap_alive,
+        writer_dropped_acc: 0,
+    })
+}
+
+/// Publishes the owner-side writer drop counters into the shared
+/// per-rig atomics, where subscriber sessions can report them.
+fn refresh_writer_counters(shared: &FleetShared, rigs: &[RigRuntime]) {
+    for rig in rigs {
+        let live = rig.writer.as_ref().map_or(0, ArchiveWriter::dropped);
+        shared.rigs[usize::from(rig.id)]
+            .writer_dropped
+            .store(rig.writer_dropped_acc + live, Ordering::SeqCst);
+    }
+}
+
+fn snapshot(shared: &FleetShared) -> Vec<RigStatus> {
+    shared
+        .rigs
+        .iter()
+        .enumerate()
+        .map(|(id, rig)| RigStatus {
+            id: id as u16,
+            alive: rig.alive.load(Ordering::SeqCst),
+            restarts: rig.restarts.load(Ordering::SeqCst),
+            shards: rig.shards.load(Ordering::SeqCst),
+            frames_published: rig.ring.head(),
+            gap_events: rig.gap_events.load(Ordering::SeqCst),
+            writer_dropped: rig.writer_dropped.load(Ordering::SeqCst),
+        })
+        .collect()
+}
+
+fn aggregate_stats(shared: &FleetShared) -> StreamStats {
+    StreamStats {
+        frames_published: shared.rigs.iter().map(|r| r.ring.head()).sum(),
+        active_subscribers: shared.active_subscribers.load(Ordering::SeqCst),
+        evicted: shared.evicted.load(Ordering::SeqCst),
+        gap_events: shared.gap_events.load(Ordering::SeqCst),
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<FleetShared>) {
+    let mut client_id = 0u64;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                client_id += 1;
+                let shared_for_client = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("ps3-fleet-sub-{client_id}"))
+                    .spawn(move || {
+                        let _ = serve_client(&shared_for_client, stream);
+                    })
+                    .expect("spawn fleet subscriber thread");
+                shared.clients.lock().push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Why a subscriber session ended (mirrors the daemon's semantics).
+enum SessionEnd {
+    Disconnected,
+    Evicted(EvictReason),
+    Shutdown,
+}
+
+fn serve_client(shared: &Arc<FleetShared>, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(shared.stream.handshake_timeout))?;
+    let mut control = stream;
+    let body = read_msg_body(&mut control)?;
+    let ClientMsg::Subscribe {
+        pair_mask,
+        divisor,
+        rig,
+    } = ClientMsg::decode(&body)?
+    else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "first message must be Subscribe",
+        ));
+    };
+
+    // Resolve the selector to rig ids; legacy clients stream rig 0.
+    let n = shared.rigs.len() as u16;
+    let legacy = rig.is_none();
+    let mut rig_ids: Vec<u16> = match rig {
+        None => vec![0],
+        Some(RigSelector::All) => (0..n).collect(),
+        Some(RigSelector::One(id)) => vec![id],
+        Some(RigSelector::Set(ids)) => ids,
+    };
+    rig_ids.sort_unstable();
+    rig_ids.dedup();
+    if rig_ids.iter().any(|&id| id >= n) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("rig selector out of range (fleet has {n} rigs)"),
+        ));
+    }
+
+    let writer = Arc::new(Mutex::new(control.try_clone()?));
+    control.set_read_timeout(None)?;
+    writer
+        .lock()
+        .set_write_timeout(Some(shared.stream.write_timeout))?;
+    let hello = if legacy {
+        &shared.hello_legacy
+    } else {
+        &shared.hello_fleet
+    };
+    write_msg(&mut *writer.lock(), hello)?;
+
+    shared.active_subscribers.fetch_add(1, Ordering::SeqCst);
+    let client_gone = Arc::new(AtomicBool::new(false));
+    let control_thread = {
+        let shared = Arc::clone(shared);
+        let writer = Arc::clone(&writer);
+        let client_gone = Arc::clone(&client_gone);
+        std::thread::Builder::new()
+            .name("ps3-fleet-ctl".into())
+            .spawn(move || control_loop(&shared, control, &writer, &client_gone))
+            .expect("spawn fleet control thread")
+    };
+
+    let end = merge_loop(
+        shared,
+        &writer,
+        pair_mask,
+        divisor,
+        &rig_ids,
+        legacy,
+        &client_gone,
+    );
+    match end {
+        SessionEnd::Evicted(reason) => {
+            shared.evicted.fetch_add(1, Ordering::SeqCst);
+            let _ = write_msg(&mut *writer.lock(), &ServerMsg::Evicted { reason }.encode());
+        }
+        SessionEnd::Shutdown => {
+            let _ = write_msg(
+                &mut *writer.lock(),
+                &ServerMsg::Evicted {
+                    reason: EvictReason::Shutdown,
+                }
+                .encode(),
+            );
+        }
+        SessionEnd::Disconnected => {}
+    }
+    let _ = writer.lock().shutdown(NetShutdown::Both);
+    let _ = control_thread.join();
+    shared.active_subscribers.fetch_sub(1, Ordering::SeqCst);
+    Ok(())
+}
+
+fn control_loop(
+    shared: &FleetShared,
+    mut control: TcpStream,
+    writer: &Mutex<TcpStream>,
+    client_gone: &AtomicBool,
+) {
+    while let Ok(msg) = read_msg_body(&mut control).and_then(|b| ClientMsg::decode(&b)) {
+        match msg {
+            // Markers are a single-rig concept; against a fleet the
+            // client should attach to the rig's own daemon to inject.
+            ClientMsg::InjectMarker { .. } => {}
+            ClientMsg::QueryStats => {
+                let stats = aggregate_stats(shared);
+                if write_msg(&mut *writer.lock(), &ServerMsg::Stats(stats).encode()).is_err() {
+                    break;
+                }
+            }
+            ClientMsg::QueryFleet => {
+                let reply = ServerMsg::FleetStatus {
+                    rigs: snapshot(shared),
+                };
+                if write_msg(&mut *writer.lock(), &reply.encode()).is_err() {
+                    break;
+                }
+            }
+            ClientMsg::Bye => break,
+            ClientMsg::Subscribe { .. } => break, // protocol violation
+        }
+    }
+    client_gone.store(true, Ordering::SeqCst);
+}
+
+/// Safety valve: emit past an empty-but-alive rig once this many
+/// frames are queued across the session (a stalled rig must not let a
+/// subscriber's buffers grow without bound).
+const FORCE_EMIT_QUEUED: usize = 65_536;
+
+/// K-way timestamp merge of the selected rigs' rings into one socket.
+#[allow(clippy::too_many_lines)]
+fn merge_loop(
+    shared: &FleetShared,
+    writer: &Mutex<TcpStream>,
+    pair_mask: u8,
+    divisor: u32,
+    rig_ids: &[u16],
+    legacy: bool,
+    client_gone: &AtomicBool,
+) -> SessionEnd {
+    // Expand the pair mask to a slot mask (pair p = slots 2p, 2p+1).
+    let mut slot_mask = 0u8;
+    for pair in 0..SENSOR_SLOTS / 2 {
+        if pair_mask & (1 << pair) != 0 {
+            slot_mask |= 0b11 << (2 * pair);
+        }
+    }
+    let k = rig_ids.len();
+    let rigs: Vec<&RigShared> = rig_ids
+        .iter()
+        .map(|&id| &shared.rigs[usize::from(id)])
+        .collect();
+    // Subscribers start at each ring's live edge.
+    let mut cursors: Vec<u64> = rigs.iter().map(|r| r.ring.head()).collect();
+    let mut downsamplers: Vec<Downsampler> = (0..k).map(|_| Downsampler::new(divisor)).collect();
+    let mut queues: Vec<VecDeque<StreamFrame>> = (0..k).map(|_| VecDeque::new()).collect();
+    let mut ring_closed = vec![false; k];
+    let mut my_gaps = 0u64;
+    let mut batch: Vec<StreamFrame> = Vec::with_capacity(MAX_BATCH_FRAMES);
+    let mut batch_rig = rig_ids[0];
+
+    let flush = |batch: &mut Vec<StreamFrame>, rig: u16| -> io::Result<()> {
+        let frames = std::mem::take(batch);
+        let msg = if legacy {
+            ServerMsg::Batch { frames }
+        } else {
+            ServerMsg::RigBatch { rig, frames }
+        };
+        write_msg(&mut *writer.lock(), &msg.encode())
+    };
+
+    macro_rules! try_write {
+        ($expr:expr) => {
+            match $expr {
+                Ok(()) => {}
+                Err(e) if is_stall(&e) => return SessionEnd::Evicted(EvictReason::StalledWrite),
+                Err(_) => return SessionEnd::Disconnected,
+            }
+        };
+    }
+
+    loop {
+        if client_gone.load(Ordering::SeqCst) {
+            return SessionEnd::Disconnected;
+        }
+
+        // Phase 1: drain whatever each selected ring has ready.
+        let mut progressed = false;
+        for i in 0..k {
+            if ring_closed[i] {
+                continue;
+            }
+            loop {
+                match rigs[i].ring.next(cursors[i], Duration::ZERO) {
+                    ReadOutcome::Frame(frame) => {
+                        cursors[i] += 1;
+                        progressed = true;
+                        let mut masked = frame;
+                        masked.present &= slot_mask;
+                        if let Some(out) = downsamplers[i].push(&masked) {
+                            queues[i].push_back(out);
+                        }
+                        if queues[i].len() >= MAX_BATCH_FRAMES * 4 {
+                            break;
+                        }
+                    }
+                    ReadOutcome::Lapped { resume_at, dropped } => {
+                        cursors[i] = resume_at;
+                        downsamplers[i].reset();
+                        my_gaps += 1;
+                        shared.gap_events.fetch_add(1, Ordering::SeqCst);
+                        rigs[i].gap_events.fetch_add(1, Ordering::SeqCst);
+                        if !batch.is_empty() {
+                            try_write!(flush(&mut batch, batch_rig));
+                        }
+                        let gap = if legacy {
+                            ServerMsg::Gap { dropped }
+                        } else {
+                            ServerMsg::RigGap {
+                                rig: rig_ids[i],
+                                dropped,
+                            }
+                        };
+                        try_write!(write_msg(&mut *writer.lock(), &gap.encode()));
+                        if my_gaps > shared.stream.max_gap_events {
+                            return SessionEnd::Evicted(EvictReason::TooManyGaps {
+                                gaps: my_gaps,
+                                limit: shared.stream.max_gap_events,
+                            });
+                        }
+                    }
+                    ReadOutcome::TimedOut => break,
+                    ReadOutcome::Closed => {
+                        ring_closed[i] = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Phase 2: emit merged frames while the global minimum is
+        // known. An empty queue whose rig is alive and un-closed may
+        // still produce the next-oldest frame, so it blocks the merge
+        // (unless the safety valve trips). An idle pass (no ring had
+        // anything) means every rig is drained to its head — rigs
+        // advance their virtual clocks in lockstep, so what is queued
+        // is complete for the current window and can be emitted
+        // without waiting on the blocked rigs.
+        let all_closed = ring_closed.iter().all(|&c| c);
+        let force = !progressed;
+        loop {
+            let mut min: Option<(usize, u64)> = None;
+            let mut blocked = false;
+            let mut total_queued = 0usize;
+            for i in 0..k {
+                total_queued += queues[i].len();
+                match queues[i].front() {
+                    Some(frame) => {
+                        let t = frame.time.as_nanos();
+                        if min.is_none_or(|(_, mt)| t < mt) {
+                            min = Some((i, t));
+                        }
+                    }
+                    None => {
+                        if !ring_closed[i] && rigs[i].alive.load(Ordering::SeqCst) {
+                            blocked = true;
+                        }
+                    }
+                }
+            }
+            let Some((i, _)) = min else { break };
+            if blocked && !all_closed && !force && total_queued < FORCE_EMIT_QUEUED {
+                break;
+            }
+            let frame = queues[i].pop_front().expect("front was Some");
+            let rig = rig_ids[i];
+            if rig != batch_rig && !batch.is_empty() {
+                try_write!(flush(&mut batch, batch_rig));
+            }
+            batch_rig = rig;
+            batch.push(frame);
+            if batch.len() >= MAX_BATCH_FRAMES {
+                try_write!(flush(&mut batch, batch_rig));
+            }
+        }
+
+        if !progressed {
+            // Idle: push out whatever is pending so quiescent captures
+            // deliver their tails promptly, then wait for new frames.
+            if !batch.is_empty() {
+                try_write!(flush(&mut batch, batch_rig));
+            }
+            if all_closed {
+                return SessionEnd::Shutdown;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+/// A write that hit the socket's write timeout means the peer stopped
+/// reading: the stall signal.
+fn is_stall(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}

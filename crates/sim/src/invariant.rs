@@ -10,6 +10,7 @@ use std::fmt;
 
 use ps3_analysis::Trace;
 use ps3_archive::Archive;
+use ps3_stream::RigCounts;
 use ps3_units::{Joules, SimTime};
 
 /// One invariant violation, as recorded in failure artifacts.
@@ -167,6 +168,40 @@ impl Checker {
         self.expect("gap-accounting", received + dropped == published, || {
             format!("received {received} + dropped {dropped} != published {published}")
         });
+    }
+
+    /// `merged-gap-sum` — a merged fleet subscription's session-level
+    /// gap accounting equals the sum of its per-rig accounting: every
+    /// gap event and every dropped frame is attributed to exactly one
+    /// rig, so nothing is lost or double-counted in the merge.
+    pub fn check_merged_gap_sum(&mut self, gap_events: u64, dropped: u64, per_rig: &[RigCounts]) {
+        let rig_gaps: u64 = per_rig.iter().map(|c| c.gap_events).sum();
+        let rig_dropped: u64 = per_rig.iter().map(|c| c.dropped).sum();
+        self.expect("merged-gap-sum", gap_events == rig_gaps, || {
+            format!("session saw {gap_events} gap events, per-rig attribution sums to {rig_gaps}")
+        });
+        self.expect("merged-gap-sum", dropped == rig_dropped, || {
+            format!("session dropped {dropped} frames, per-rig attribution sums to {rig_dropped}")
+        });
+    }
+
+    /// `cross-rig-energy` — the fleet-wide energy query returns
+    /// *bit-exactly* the per-shard energies folded in shard order
+    /// (rig, then generation): parallel fan-out must never change the
+    /// arithmetic.
+    pub fn check_cross_rig_energy(&mut self, query_j: f64, folded_j: f64) {
+        self.expect(
+            "cross-rig-energy",
+            query_j.to_bits() == folded_j.to_bits(),
+            || {
+                format!(
+                    "fleet energy query {query_j} J ({:016x}) != per-shard fold {folded_j} J \
+                     ({:016x})",
+                    query_j.to_bits(),
+                    folded_j.to_bits()
+                )
+            },
+        );
     }
 
     /// `gap-accounting` bounds for a divisor-`div` subscriber: it sees

@@ -11,16 +11,21 @@
 use std::fs::OpenOptions;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ps3_analysis::Trace;
 use ps3_archive::{
-    index_path_for, Archive, ArchiveFrame, ArchiveWriter, ArchiveWriterOptions, SegmentWriter,
+    index_path_for, Archive, ArchiveError, ArchiveFrame, ArchiveWriter, ArchiveWriterOptions,
+    SegmentWriter,
 };
 use ps3_core::{PowerSensor, SharedPowerSensor};
 use ps3_firmware::SENSOR_SLOTS;
-use ps3_stream::{StreamClient, StreamClientConfig, StreamDaemon, StreamDaemonConfig};
+use ps3_fleet::{
+    parse_shard_name, testbed_rig_factory, Fleet, FleetConfig, FleetQuery, RigFactory,
+};
+use ps3_stream::{RigSelector, StreamClient, StreamClientConfig, StreamDaemon, StreamDaemonConfig};
 use ps3_transport::TransportError;
 use ps3_units::{SimDuration, SimTime};
 
@@ -30,7 +35,13 @@ use crate::plan::{splitmix64, FaultKind, PlanOptions, SimPlan};
 use crate::world::{quiesce, sim_eeprom, SimDevice};
 
 /// Every scenario the harness knows, in sweep order.
-pub const SCENARIOS: [&str; 4] = ["pipeline", "device-crash", "tcp-faults", "archive-crash"];
+pub const SCENARIOS: [&str; 5] = [
+    "pipeline",
+    "device-crash",
+    "tcp-faults",
+    "archive-crash",
+    "fleet",
+];
 
 /// Virtual time the streaming scenarios run for: 250 ms at 20 kHz is
 /// 5000 frames — past every generated plan's fault horizon, and small
@@ -45,6 +56,18 @@ const ARCHIVE_FRAMES: u64 = 600;
 const CRASH_SALT: u64 = 0x4445_5643_5241_5348;
 /// Seed mix for the archive-crash payload ("ARCHIVE_").
 const ARCHIVE_SALT: u64 = 0x4152_4348_4956_455F;
+/// Seed mix for the fleet crash point ("FLEETSIM").
+const FLEET_SALT: u64 = 0x464C_4545_5453_494D;
+
+/// Rigs in the fleet scenario — enough fan-in to make the k-way merge
+/// earn its keep.
+const FLEET_RIGS: u16 = 32;
+/// Virtual-time ticks the fleet scenario advances, 5 ms each: 100 ms
+/// total is 2000 frames per healthy rig, well under the 8192-slot
+/// broadcast ring, so zero gaps is a hard requirement, not a hope.
+const FLEET_TICKS: u64 = 20;
+/// Frames one rig publishes per 5 ms tick at 20 kHz.
+const FLEET_FRAMES_PER_TICK: u64 = 100;
 
 /// A deliberately planted defect, used to prove the harness catches
 /// real violations (and that shrinking converges).
@@ -142,6 +165,7 @@ pub fn run(
         "device-crash" => Ok(run_device_crash(seed, plan)),
         "tcp-faults" => Ok(run_tcp_faults(seed, plan)),
         "archive-crash" => Ok(run_archive_crash(seed, plan)),
+        "fleet" => Ok(run_fleet(seed, plan)),
         other => Err(format!(
             "unknown scenario '{other}' (known: {})",
             SCENARIOS.join(", ")
@@ -164,6 +188,12 @@ fn scratch_path(tag: &str, seed: u64) -> PathBuf {
         "ps3-sim-{}-{tag}-{seed}-{n}.ps3a",
         std::process::id()
     ))
+}
+
+fn scratch_dir(tag: &str, seed: u64) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("ps3-sim-{}-{tag}-{seed}-{n}", std::process::id()))
 }
 
 fn cleanup(path: &Path) {
@@ -263,6 +293,7 @@ fn run_pipeline(seed: u64, plan: &SimPlan, sabotage: Sabotage) -> ScenarioReport
         StreamClientConfig {
             pair_mask: 0x0F,
             divisor: 4,
+            ..StreamClientConfig::default()
         },
     )
     .expect("connect div-4 client");
@@ -581,6 +612,339 @@ fn run_tcp_faults(seed: u64, plan: &SimPlan) -> ScenarioReport {
     drop(daemon);
     drop(device);
     finish_report("tcp-faults", seed, plan, frames, facts, checker)
+}
+
+/// Many rigs behind one coordinator: 32 simulated rigs stream through
+/// the fleet endpoint to one merged subscriber, eight per-rig
+/// subscribers and one merged subscriber behind a fault proxy, while a
+/// seed-chosen rig crashes mid-capture and is restarted into a fresh
+/// archive shard. The headline invariants: the merged stream's gap
+/// accounting equals the sum of its per-rig accounting, and the
+/// cross-rig energy query equals the per-shard energies folded in
+/// shard order, bit-exactly.
+fn run_fleet(seed: u64, plan: &SimPlan) -> ScenarioReport {
+    let mut checker = Checker::new();
+    let mut facts: Vec<(String, String)> = Vec::new();
+    let data_dir = scratch_dir("fleet", seed);
+
+    let mut rng = seed ^ FLEET_SALT;
+    let crash_rig = (splitmix64(&mut rng) % u64::from(FLEET_RIGS)) as u16;
+    let crash_tick = 5 + splitmix64(&mut rng) % 10;
+
+    // Generation 0 of the chosen rig reports crashed once the flag
+    // flips; every other rig — and the restarted generation — stays
+    // healthy.
+    let crash_flag = Arc::new(AtomicBool::new(false));
+    let factory: RigFactory = {
+        let flag = Arc::clone(&crash_flag);
+        let mut base = testbed_rig_factory(seed);
+        Box::new(move |id, generation| {
+            let mut parts = base(id, generation)?;
+            if id == crash_rig && generation == 0 {
+                let flag = Arc::clone(&flag);
+                parts.crashed = Box::new(move || flag.load(Ordering::SeqCst));
+            }
+            Ok(parts)
+        })
+    };
+
+    let mut fleet = Fleet::start(
+        FLEET_RIGS,
+        factory,
+        "127.0.0.1:0",
+        FleetConfig::new(&data_dir),
+    )
+    .expect("start sim fleet");
+
+    let merged = StreamClient::connect(
+        fleet.local_addr(),
+        StreamClientConfig {
+            rig: Some(RigSelector::All),
+            ..StreamClientConfig::default()
+        },
+    )
+    .expect("connect merged client");
+    let per_rig: Vec<StreamClient> = (0..8u16)
+        .map(|r| {
+            StreamClient::connect(
+                fleet.local_addr(),
+                StreamClientConfig {
+                    rig: Some(RigSelector::One(r)),
+                    ..StreamClientConfig::default()
+                },
+            )
+            .expect("connect per-rig client")
+        })
+        .collect();
+    let proxy = FaultProxy::start(fleet.local_addr(), plan).expect("start fault proxy");
+    let faulted = StreamClient::connect(
+        proxy.addr(),
+        StreamClientConfig {
+            rig: Some(RigSelector::All),
+            ..StreamClientConfig::default()
+        },
+    )
+    .expect("connect faulted client");
+
+    let subscribed = wait_for(Duration::from_secs(5), || {
+        fleet.stats().active_subscribers == 10
+    });
+    checker.expect("harness-quiesce", subscribed, || {
+        "fleet subscribers failed to register within 5 s".into()
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut restarts = 0u32;
+    for tick in 0..FLEET_TICKS {
+        if tick == crash_tick {
+            crash_flag.store(true, Ordering::SeqCst);
+        }
+        fleet.advance(SimDuration::from_millis(5));
+        restarts += fleet.supervise().expect("restart crashed rig");
+    }
+    checker.expect("fleet-supervision", restarts == 1, || {
+        format!("expected exactly one restart, supervisor performed {restarts}")
+    });
+
+    // `advance` is synchronous through the acquisition stack, so the
+    // published totals are final here and purely seed-derived: the
+    // crashed rig loses exactly the one tick it spent dead between its
+    // two generations.
+    let expected_total = (u64::from(FLEET_RIGS) * FLEET_TICKS - 1) * FLEET_FRAMES_PER_TICK;
+    let roster = fleet.status();
+    let published: u64 = roster.iter().map(|r| r.frames_published).sum();
+    checker.expect("gap-accounting", published == expected_total, || {
+        format!("fleet published {published} frames, expected {expected_total}")
+    });
+    for rig in &roster {
+        let (want_restarts, want_shards, want_frames) = if rig.id == crash_rig {
+            (1, 2, (FLEET_TICKS - 1) * FLEET_FRAMES_PER_TICK)
+        } else {
+            (0, 1, FLEET_TICKS * FLEET_FRAMES_PER_TICK)
+        };
+        checker.expect(
+            "fleet-supervision",
+            rig.alive
+                && rig.restarts == want_restarts
+                && rig.shards == want_shards
+                && rig.frames_published == want_frames,
+            || {
+                format!(
+                    "rig {}: alive={} restarts={} shards={} frames={}, expected alive \
+                     restarts={want_restarts} shards={want_shards} frames={want_frames}",
+                    rig.id, rig.alive, rig.restarts, rig.shards, rig.frames_published
+                )
+            },
+        );
+        checker.expect("archive-accounting", rig.writer_dropped == 0, || {
+            format!(
+                "rig {} writer dropped {} frames with an oversized queue",
+                rig.id, rig.writer_dropped
+            )
+        });
+    }
+
+    // No ring ever holds more than 2000 frames, so the merged stream
+    // must account for every published frame with zero gaps — and its
+    // session totals must equal its per-rig attribution.
+    let _ = wait_for(Duration::from_secs(20), || {
+        merged.is_evicted() || merged.frames_received() + merged.dropped_frames() == published
+    });
+    if !merged.is_evicted() {
+        checker.check_gap_accounting(published, merged.frames_received(), merged.dropped_frames());
+        checker.check_merged_gap_sum(
+            merged.gap_events(),
+            merged.dropped_frames(),
+            &merged.rig_counts(),
+        );
+        checker.expect(
+            "gap-accounting",
+            merged.gap_events() == 0 && merged.dropped_frames() == 0,
+            || {
+                format!(
+                    "merged subscriber saw {} gap events / {} dropped frames on rings that \
+                     never lap",
+                    merged.gap_events(),
+                    merged.dropped_frames()
+                )
+            },
+        );
+        let counts = merged.rig_counts();
+        checker.expect(
+            "merged-gap-sum",
+            counts.len() == usize::from(FLEET_RIGS),
+            || {
+                format!(
+                    "merged subscriber heard from {} rigs, expected {FLEET_RIGS}",
+                    counts.len()
+                )
+            },
+        );
+        for c in &counts {
+            let want = roster
+                .iter()
+                .find(|r| r.id == c.rig)
+                .map_or(0, |r| r.frames_published);
+            checker.expect("gap-accounting", c.frames == want, || {
+                format!(
+                    "merged subscriber received {} frames from rig {}, which published {want}",
+                    c.frames, c.rig
+                )
+            });
+        }
+    }
+
+    for (r, client) in per_rig.iter().enumerate() {
+        let want = roster[r].frames_published;
+        let _ = wait_for(Duration::from_secs(10), || {
+            client.is_evicted() || client.frames_received() + client.dropped_frames() == want
+        });
+        if !client.is_evicted() {
+            checker.check_gap_accounting(want, client.frames_received(), client.dropped_frames());
+        }
+    }
+
+    // The faulted merged subscriber mirrors tcp-faults: coordinator
+    // facts never depend on what the proxy did to its bytes.
+    if plan.crashes() {
+        let died = wait_for(Duration::from_secs(10), || !faulted.is_alive());
+        checker.expect("gap-accounting", died, || {
+            "faulted client survived a severed proxy".into()
+        });
+    } else if !plan.mutates_bytes() {
+        let _ = wait_for(Duration::from_secs(20), || {
+            faulted.is_evicted()
+                || faulted.frames_received() + faulted.dropped_frames() == published
+        });
+        if !faulted.is_evicted() {
+            checker.check_gap_accounting(
+                published,
+                faulted.frames_received(),
+                faulted.dropped_frames(),
+            );
+            checker.check_merged_gap_sum(
+                faulted.gap_events(),
+                faulted.dropped_frames(),
+                &faulted.rig_counts(),
+            );
+        }
+    }
+
+    // The roster over the wire must agree with the coordinator's own.
+    if merged.is_alive() && !merged.is_evicted() {
+        match merged.query_fleet(Duration::from_secs(5)) {
+            Ok(wire) => {
+                let wire_total: u64 = wire.iter().map(|r| r.frames_published).sum();
+                checker.expect(
+                    "fleet-supervision",
+                    wire.len() == usize::from(FLEET_RIGS) && wire_total == published,
+                    || {
+                        format!(
+                            "wire roster lists {} rigs / {wire_total} frames, coordinator \
+                             holds {FLEET_RIGS} / {published}",
+                            wire.len()
+                        )
+                    },
+                );
+            }
+            Err(e) => checker.expect("fleet-supervision", false, || {
+                format!("fleet status query failed: {e}")
+            }),
+        }
+    }
+
+    fleet.shutdown();
+    for client in per_rig.iter().chain([&merged, &faulted]) {
+        let _ = wait_for(Duration::from_secs(5), || !client.is_alive());
+        checker.expect(
+            "evict-reason",
+            !client.is_evicted() || client.eviction_reason().is_some(),
+            || "fleet client evicted without a reason".into(),
+        );
+    }
+
+    // Shutdown sealed every shard; the query plane must now agree with
+    // per-shard ground truth to the last bit.
+    let (start, end) = (SimTime::from_micros(0), SimTime::from_micros(10_000_000));
+    match FleetQuery::open(&data_dir) {
+        Ok(query) => {
+            checker.expect(
+                "fleet-supervision",
+                query.shard_count() == usize::from(FLEET_RIGS) + 1
+                    && query.rigs().len() == usize::from(FLEET_RIGS),
+                || {
+                    format!(
+                        "query plane found {} shards / {} rigs, expected {} / {FLEET_RIGS}",
+                        query.shard_count(),
+                        query.rigs().len(),
+                        usize::from(FLEET_RIGS) + 1
+                    )
+                },
+            );
+            match (
+                query.total_energy(start, end),
+                fold_shard_energies(&data_dir, start, end),
+            ) {
+                (Ok(total), Ok(folded)) => {
+                    checker.check_cross_rig_energy(total.value(), folded);
+                    facts.push((
+                        "energy_bits".into(),
+                        format!("{:016x}", total.value().to_bits()),
+                    ));
+                }
+                (q, f) => checker.expect("cross-rig-energy", false, || {
+                    format!("energy queries failed: query={q:?} fold={f:?}")
+                }),
+            }
+            match query.fleet_stats(start, end) {
+                Ok(stats) => checker.expect("archive-accounting", stats.count == published, || {
+                    format!(
+                        "archive shards hold {} samples, fleet published {published}",
+                        stats.count
+                    )
+                }),
+                Err(e) => checker.expect("archive-accounting", false, || {
+                    format!("fleet stats query failed: {e:?}")
+                }),
+            }
+        }
+        Err(e) => checker.expect("fleet-supervision", false, || {
+            format!("fleet data dir failed to open: {e:?}")
+        }),
+    }
+
+    facts.push(("crash_rig".into(), crash_rig.to_string()));
+    facts.push(("crash_tick".into(), crash_tick.to_string()));
+    facts.push(("published".into(), published.to_string()));
+
+    drop(per_rig);
+    drop(merged);
+    drop(faulted);
+    drop(proxy);
+    let _ = std::fs::remove_dir_all(&data_dir);
+    finish_report("fleet", seed, plan, published, facts, checker)
+}
+
+/// Ground truth for [`Checker::check_cross_rig_energy`]: open every
+/// shard independently and fold the per-shard energies in shard order
+/// (rig, then generation) — the order the query plane documents.
+fn fold_shard_energies(dir: &Path, start: SimTime, end: SimTime) -> Result<f64, ArchiveError> {
+    let mut shards: Vec<(u16, u32, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some((rig, generation)) = parse_shard_name(name) {
+            shards.push((rig, generation, path));
+        }
+    }
+    shards.sort_by_key(|&(rig, generation, _)| (rig, generation));
+    let mut total = 0.0f64;
+    for (_, _, path) in shards {
+        total += Archive::open(&path)?.energy(start, end)?.value();
+    }
+    Ok(total)
 }
 
 /// Crash-consistency of the archive alone: write a capture, damage the

@@ -1,4 +1,5 @@
-//! TCP subscriber to a [`StreamDaemon`](crate::StreamDaemon).
+//! TCP subscriber to a [`StreamDaemon`](crate::StreamDaemon) or a
+//! `ps3-fleet` coordinator.
 //!
 //! A [`StreamClient`] subscribes with a pair mask and a rate divisor,
 //! converts raw codes to physical readings locally (using the sensor
@@ -6,9 +7,29 @@
 //! [`ps3_core::pair_readings`] math the host library uses), and
 //! implements [`ps3_pmt::PowerMeter`] so a networked sensor plugs into
 //! everything PMT-based.
+//!
+//! Against a fleet coordinator the client can additionally route its
+//! subscription to one rig, a rig set, or the fleet-wide merged stream
+//! (see [`RigSelector`]); merged frames arrive rig-tagged and the
+//! client keeps per-rig gap accounting alongside the totals.
+//!
+//! # Reconnect semantics
+//!
+//! With [`StreamClientConfig::reconnect`] set, a client whose
+//! connection is lost (network error, daemon restart, clean daemon
+//! shutdown) redials with exponential backoff and re-sends its
+//! original subscription. The new subscription attaches at the
+//! server's **live head** — there is no server-side replay cursor, so
+//! frames published while the client was disconnected are simply never
+//! seen: they are *not* counted in [`StreamClient::dropped_frames`]
+//! (that counter is reserved for ring laps the server reported). The
+//! discontinuity is visible to the application as a jump in frame
+//! timestamps and a bump of [`StreamClient::reconnects`]. An eviction
+//! *for cause* (too many gaps, stalled write) is not retried.
 
+use std::collections::BTreeMap;
 use std::io;
-use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -23,17 +44,46 @@ use ps3_sensors::AdcSpec;
 use ps3_units::{SimDuration, SimTime, Watts};
 
 use crate::proto::{
-    read_msg_body, write_msg, ClientMsg, EvictReason, ServerMsg, StreamFrame, StreamStats,
+    read_msg_body, write_msg, ClientMsg, EvictReason, FleetHello, RigSelector, RigStatus,
+    ServerMsg, StreamFrame, StreamStats,
 };
 
+/// Bounded-retry reconnect behaviour for [`StreamClientConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// Redial attempts per disconnect before giving up.
+    pub max_retries: u32,
+    /// Delay before the first redial; doubles per failed attempt.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 5,
+            initial_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+}
+
 /// Subscription parameters for [`StreamClient::connect`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct StreamClientConfig {
     /// Bit `p` selects sensor pair `p`. Default: all four pairs.
     pub pair_mask: u8,
     /// Device frames averaged per delivered frame (1 = native 20 kHz,
     /// 20 = 1 kHz, 2000 = 10 Hz).
     pub divisor: u32,
+    /// Rig routing against a fleet coordinator. `None` (default) is a
+    /// plain legacy subscription — a coordinator serves it from rig 0,
+    /// a plain daemon ignores the distinction entirely.
+    pub rig: Option<RigSelector>,
+    /// Redial on connection loss. `None` (default): a lost connection
+    /// ends the stream, as before.
+    pub reconnect: Option<ReconnectPolicy>,
 }
 
 impl Default for StreamClientConfig {
@@ -41,6 +91,8 @@ impl Default for StreamClientConfig {
         Self {
             pair_mask: 0x0F,
             divisor: 1,
+            rig: None,
+            reconnect: None,
         }
     }
 }
@@ -48,26 +100,48 @@ impl Default for StreamClientConfig {
 /// Per-frame observer; runs on the client's reader thread.
 pub type FrameCallback = Box<dyn FnMut(&StreamFrame) + Send>;
 
+/// Rig-tagged observer for merged streams; runs on the reader thread.
+pub type RigFrameCallback = Box<dyn FnMut(u16, &StreamFrame) + Send>;
+
+/// Per-rig delivery accounting for a rig-routed subscription.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RigCounts {
+    pub rig: u16,
+    pub frames: u64,
+    pub gap_events: u64,
+    pub dropped: u64,
+}
+
 struct ClientShared {
     frames_received: AtomicU64,
     gap_events: AtomicU64,
     dropped_frames: AtomicU64,
+    reconnects: AtomicU64,
     evicted: AtomicBool,
     eviction: Mutex<Option<EvictReason>>,
     alive: AtomicBool,
+    /// Set by `close()` so the reader never redials a socket we shut
+    /// down on purpose.
+    closing: AtomicBool,
     /// Latest frame with its converted total power.
     last: Mutex<Option<(StreamFrame, Watts)>>,
     callback: Mutex<Option<FrameCallback>>,
+    rig_callback: Mutex<Option<RigFrameCallback>>,
+    /// Per-rig counters, keyed by rig id (rig-tagged messages only).
+    rig_counts: Mutex<BTreeMap<u16, RigCounts>>,
     stats_reply: Mutex<Option<StreamStats>>,
     stats_cv: Condvar,
+    fleet_reply: Mutex<Option<Vec<RigStatus>>>,
+    fleet_cv: Condvar,
 }
 
 /// A connected stream subscriber.
 pub struct StreamClient {
-    writer: Mutex<TcpStream>,
+    writer: Arc<Mutex<TcpStream>>,
     shared: Arc<ClientShared>,
     reader: Option<JoinHandle<()>>,
     configs: Box<[SensorConfig; SENSOR_SLOTS]>,
+    fleet: Option<FleetHello>,
     frame_interval: SimDuration,
     divisor: u32,
 }
@@ -79,58 +153,56 @@ impl StreamClient {
     ///
     /// Connection failures, or a malformed daemon handshake.
     pub fn connect<A: ToSocketAddrs>(addr: A, config: StreamClientConfig) -> io::Result<Self> {
-        let mut stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-        write_msg(
-            &mut stream,
-            &ClientMsg::Subscribe {
-                pair_mask: config.pair_mask,
-                divisor: config.divisor,
-            }
-            .encode(),
-        )?;
-        let body = read_msg_body(&mut stream)?;
-        let ServerMsg::Hello {
-            frame_interval_us,
-            configs,
-        } = ServerMsg::decode(&body)?
-        else {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "daemon did not send Hello",
-            ));
-        };
-        stream.set_read_timeout(None)?;
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let subscribe = ClientMsg::Subscribe {
+            pair_mask: config.pair_mask,
+            divisor: config.divisor,
+            rig: config.rig.clone(),
+        }
+        .encode();
+        let (stream, frame_interval_us, configs, fleet) = handshake(&addrs, &subscribe)?;
 
         let shared = Arc::new(ClientShared {
             frames_received: AtomicU64::new(0),
             gap_events: AtomicU64::new(0),
             dropped_frames: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
             evicted: AtomicBool::new(false),
             eviction: Mutex::new(None),
             alive: AtomicBool::new(true),
+            closing: AtomicBool::new(false),
             last: Mutex::new(None),
             callback: Mutex::new(None),
+            rig_callback: Mutex::new(None),
+            rig_counts: Mutex::new(BTreeMap::new()),
             stats_reply: Mutex::new(None),
             stats_cv: Condvar::new(),
+            fleet_reply: Mutex::new(None),
+            fleet_cv: Condvar::new(),
         });
 
+        let writer = Arc::new(Mutex::new(stream.try_clone()?));
         let reader = {
             let shared = Arc::clone(&shared);
             let configs = configs.clone();
-            let stream = stream.try_clone()?;
+            let writer = Arc::clone(&writer);
+            let reconnect = config.reconnect;
             std::thread::Builder::new()
                 .name("ps3-stream-client".into())
-                .spawn(move || reader_loop(stream, &shared, &configs))
+                .spawn(move || {
+                    reader_thread(
+                        stream, &shared, &configs, &writer, &subscribe, &addrs, reconnect,
+                    );
+                })
                 .expect("spawn client reader")
         };
 
         Ok(Self {
-            writer: Mutex::new(stream),
+            writer,
             shared,
             reader: Some(reader),
             configs,
+            fleet,
             frame_interval: SimDuration::from_micros(u64::from(frame_interval_us)),
             divisor: config.divisor,
         })
@@ -142,10 +214,27 @@ impl StreamClient {
         *self.shared.callback.lock() = Some(Box::new(callback));
     }
 
+    /// Registers a rig-tagged observer for merged-stream frames
+    /// ([`ServerMsg::RigBatch`]), on the reader thread. Plain batches
+    /// do not reach it. Replaces any previous rig callback.
+    pub fn set_rig_frame_callback<F: FnMut(u16, &StreamFrame) + Send + 'static>(
+        &self,
+        callback: F,
+    ) {
+        *self.shared.rig_callback.lock() = Some(Box::new(callback));
+    }
+
     /// Sensor configuration announced by the daemon.
     #[must_use]
     pub fn configs(&self) -> &[SensorConfig; SENSOR_SLOTS] {
         &self.configs
+    }
+
+    /// The coordinator's fleet extension announcement, when the
+    /// subscription was rig-routed and the server understood it.
+    #[must_use]
+    pub fn fleet(&self) -> Option<FleetHello> {
+        self.fleet
     }
 
     /// Frames delivered to this subscriber so far (after downsampling).
@@ -166,6 +255,20 @@ impl StreamClient {
         self.shared.dropped_frames.load(Ordering::SeqCst)
     }
 
+    /// Successful redials so far (see the module docs for what a
+    /// reconnect means for the frame cursor).
+    #[must_use]
+    pub fn reconnects(&self) -> u64 {
+        self.shared.reconnects.load(Ordering::SeqCst)
+    }
+
+    /// Per-rig delivery accounting, one entry per rig that has sent
+    /// this subscriber a rig-tagged batch or gap, ordered by rig id.
+    #[must_use]
+    pub fn rig_counts(&self) -> Vec<RigCounts> {
+        self.shared.rig_counts.lock().values().copied().collect()
+    }
+
     /// `true` once the daemon has evicted this subscriber *for cause*
     /// (too many gaps or a stalled write). A clean daemon shutdown
     /// ends the stream without setting this; see
@@ -183,7 +286,8 @@ impl StreamClient {
     }
 
     /// `false` once the connection is gone (eviction, daemon shutdown,
-    /// or network error).
+    /// or network error) and any configured reconnect attempts have
+    /// been exhausted.
     #[must_use]
     pub fn is_alive(&self) -> bool {
         self.shared.alive.load(Ordering::SeqCst)
@@ -248,8 +352,42 @@ impl StreamClient {
         }
     }
 
+    /// Round-trips a fleet roster query. A plain (non-fleet) daemon
+    /// answers with an empty roster.
+    ///
+    /// # Errors
+    ///
+    /// Write failure, or [`io::ErrorKind::TimedOut`] when no reply
+    /// arrives in time.
+    pub fn query_fleet(&self, timeout: Duration) -> io::Result<Vec<RigStatus>> {
+        let mut reply = self.shared.fleet_reply.lock();
+        *reply = None;
+        write_msg(&mut *self.writer.lock(), &ClientMsg::QueryFleet.encode())?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(rigs) = reply.take() {
+                return Ok(rigs);
+            }
+            if !self.is_alive() {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    "stream connection lost",
+                ));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "no fleet reply from daemon",
+                ));
+            }
+            self.shared.fleet_cv.wait_for(&mut reply, deadline - now);
+        }
+    }
+
     /// Says goodbye and closes the connection. Also runs on drop.
     pub fn close(&mut self) {
+        self.shared.closing.store(true, Ordering::SeqCst);
         {
             let mut writer = self.writer.lock();
             let _ = write_msg(&mut *writer, &ClientMsg::Bye.encode());
@@ -313,48 +451,193 @@ fn frame_watts(frame: &StreamFrame, configs: &[SensorConfig; SENSOR_SLOTS]) -> W
     total
 }
 
-fn reader_loop(
+/// Dials the first address that answers and completes the
+/// Subscribe → Hello handshake.
+#[allow(clippy::type_complexity)]
+fn handshake(
+    addrs: &[SocketAddr],
+    subscribe: &[u8],
+) -> io::Result<(
+    TcpStream,
+    u32,
+    Box<[SensorConfig; SENSOR_SLOTS]>,
+    Option<FleetHello>,
+)> {
+    let mut stream = TcpStream::connect(addrs)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write_msg(&mut stream, subscribe)?;
+    let body = read_msg_body(&mut stream)?;
+    let ServerMsg::Hello {
+        frame_interval_us,
+        configs,
+        fleet,
+    } = ServerMsg::decode(&body)?
+    else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "daemon did not send Hello",
+        ));
+    };
+    stream.set_read_timeout(None)?;
+    Ok((stream, frame_interval_us, configs, fleet))
+}
+
+/// How one reader session ended.
+enum SessionEnd {
+    /// For-cause eviction: never redialled.
+    Closed,
+    /// Network loss or clean server shutdown: redialled when a
+    /// [`ReconnectPolicy`] is configured.
+    Lost,
+}
+
+fn reader_thread(
     mut stream: TcpStream,
+    shared: &Arc<ClientShared>,
+    configs: &[SensorConfig; SENSOR_SLOTS],
+    writer: &Arc<Mutex<TcpStream>>,
+    subscribe: &[u8],
+    addrs: &[SocketAddr],
+    reconnect: Option<ReconnectPolicy>,
+) {
+    loop {
+        let end = reader_loop(&mut stream, shared, configs);
+        let lost = matches!(end, SessionEnd::Lost) && !shared.closing.load(Ordering::SeqCst);
+        let Some(policy) = reconnect.filter(|_| lost) else {
+            break;
+        };
+        match redial(&policy, addrs, subscribe, shared) {
+            Some(new_stream) => {
+                let Ok(clone) = new_stream.try_clone() else {
+                    break;
+                };
+                *writer.lock() = clone;
+                stream = new_stream;
+                shared.reconnects.fetch_add(1, Ordering::SeqCst);
+            }
+            None => break,
+        }
+    }
+    shared.alive.store(false, Ordering::SeqCst);
+    shared.stats_cv.notify_all();
+    shared.fleet_cv.notify_all();
+}
+
+/// Bounded exponential-backoff redial; `None` when retries are
+/// exhausted or the client is closing.
+fn redial(
+    policy: &ReconnectPolicy,
+    addrs: &[SocketAddr],
+    subscribe: &[u8],
+    shared: &ClientShared,
+) -> Option<TcpStream> {
+    let mut backoff = policy.initial_backoff;
+    for _ in 0..policy.max_retries {
+        // Sleep in small slices so close() never waits out a long
+        // backoff.
+        let deadline = Instant::now() + backoff;
+        loop {
+            if shared.closing.load(Ordering::SeqCst) {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10).min(deadline - now));
+        }
+        if let Ok((stream, _, _, _)) = handshake(addrs, subscribe) {
+            return Some(stream);
+        }
+        backoff = (backoff * 2).min(policy.max_backoff);
+    }
+    None
+}
+
+fn reader_loop(
+    stream: &mut TcpStream,
     shared: &ClientShared,
     configs: &[SensorConfig; SENSOR_SLOTS],
-) {
-    while let Ok(msg) = read_msg_body(&mut stream).and_then(|b| ServerMsg::decode(&b)) {
+) -> SessionEnd {
+    while let Ok(msg) = read_msg_body(stream).and_then(|b| ServerMsg::decode(&b)) {
         match msg {
             ServerMsg::Batch { frames } => {
-                let mut callback = shared.callback.lock();
-                for frame in &frames {
-                    if let Some(cb) = callback.as_mut() {
-                        cb(frame);
-                    }
-                }
-                drop(callback);
-                if let Some(frame) = frames.last() {
-                    *shared.last.lock() = Some((*frame, frame_watts(frame, configs)));
-                }
-                // Counted last, so `frames_received` only covers frames
-                // the callback has already observed.
-                shared
-                    .frames_received
-                    .fetch_add(frames.len() as u64, Ordering::SeqCst);
+                deliver(shared, configs, None, &frames);
+            }
+            ServerMsg::RigBatch { rig, frames } => {
+                deliver(shared, configs, Some(rig), &frames);
             }
             ServerMsg::Gap { dropped } => {
                 shared.gap_events.fetch_add(1, Ordering::SeqCst);
                 shared.dropped_frames.fetch_add(dropped, Ordering::SeqCst);
             }
+            ServerMsg::RigGap { rig, dropped } => {
+                shared.gap_events.fetch_add(1, Ordering::SeqCst);
+                shared.dropped_frames.fetch_add(dropped, Ordering::SeqCst);
+                let mut counts = shared.rig_counts.lock();
+                let entry = counts.entry(rig).or_insert(RigCounts {
+                    rig,
+                    ..RigCounts::default()
+                });
+                entry.gap_events += 1;
+                entry.dropped += dropped;
+            }
             ServerMsg::Stats(stats) => {
                 *shared.stats_reply.lock() = Some(stats);
                 shared.stats_cv.notify_all();
+            }
+            ServerMsg::FleetStatus { rigs } => {
+                *shared.fleet_reply.lock() = Some(rigs);
+                shared.fleet_cv.notify_all();
             }
             ServerMsg::Evicted { reason } => {
                 *shared.eviction.lock() = Some(reason);
                 if reason != EvictReason::Shutdown {
                     shared.evicted.store(true, Ordering::SeqCst);
+                    return SessionEnd::Closed;
                 }
-                break;
+                return SessionEnd::Lost;
             }
             ServerMsg::Hello { .. } => { /* duplicate hello: ignore */ }
         }
     }
-    shared.alive.store(false, Ordering::SeqCst);
-    shared.stats_cv.notify_all();
+    SessionEnd::Lost
+}
+
+/// Runs the callbacks and counters for one batch of frames.
+fn deliver(
+    shared: &ClientShared,
+    configs: &[SensorConfig; SENSOR_SLOTS],
+    rig: Option<u16>,
+    frames: &[StreamFrame],
+) {
+    {
+        let mut callback = shared.callback.lock();
+        let mut rig_callback = shared.rig_callback.lock();
+        for frame in frames {
+            if let Some(cb) = callback.as_mut() {
+                cb(frame);
+            }
+            if let (Some(rig), Some(cb)) = (rig, rig_callback.as_mut()) {
+                cb(rig, frame);
+            }
+        }
+    }
+    if let Some(frame) = frames.last() {
+        *shared.last.lock() = Some((*frame, frame_watts(frame, configs)));
+    }
+    if let Some(rig) = rig {
+        let mut counts = shared.rig_counts.lock();
+        let entry = counts.entry(rig).or_insert(RigCounts {
+            rig,
+            ..RigCounts::default()
+        });
+        entry.frames += frames.len() as u64;
+    }
+    // Counted last, so `frames_received` only covers frames the
+    // callback has already observed.
+    shared
+        .frames_received
+        .fetch_add(frames.len() as u64, Ordering::SeqCst);
 }

@@ -25,6 +25,7 @@ use ps3_firmware::{FRAME_INTERVAL, SENSOR_SLOTS};
 use ps3_units::SimTime;
 
 use crate::downsample::Downsampler;
+use crate::net::bind_reusable;
 use crate::proto::{
     read_msg_body, write_msg, ClientMsg, EvictReason, ServerMsg, StreamFrame, StreamStats,
     MAX_BATCH_FRAMES,
@@ -147,7 +148,7 @@ impl StreamDaemon {
         addr: A,
         config: StreamDaemonConfig,
     ) -> io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
+        let listener = bind_reusable(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
@@ -156,6 +157,7 @@ impl StreamDaemon {
         let hello = ServerMsg::Hello {
             frame_interval_us: FRAME_INTERVAL.as_micros() as u32,
             configs: Box::new(sensor.configs()),
+            fleet: None,
         }
         .encode();
 
@@ -231,7 +233,7 @@ impl StreamDaemon {
         addr: A,
         config: StreamDaemonConfig,
     ) -> io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
+        let listener = bind_reusable(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
@@ -240,6 +242,7 @@ impl StreamDaemon {
         let hello = ServerMsg::Hello {
             frame_interval_us: FRAME_INTERVAL.as_micros() as u32,
             configs: Box::new(archive.configs().clone()),
+            fleet: None,
         }
         .encode();
 
@@ -458,7 +461,14 @@ fn serve_client(shared: &Arc<DaemonShared>, stream: TcpStream) -> io::Result<()>
     stream.set_read_timeout(Some(shared.config.handshake_timeout))?;
     let mut control = stream;
     let body = read_msg_body(&mut control)?;
-    let ClientMsg::Subscribe { pair_mask, divisor } = ClientMsg::decode(&body)? else {
+    let ClientMsg::Subscribe {
+        pair_mask,
+        divisor,
+        // A plain single-rig daemon serves the same stream whatever
+        // rig the client asked for; routing lives in `ps3-fleet`.
+        rig: _,
+    } = ClientMsg::decode(&body)?
+    else {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "first message must be Subscribe",
@@ -536,6 +546,14 @@ fn control_loop(
                     gap_events: shared.gap_events.load(Ordering::SeqCst),
                 };
                 if write_msg(&mut *writer.lock(), &ServerMsg::Stats(stats).encode()).is_err() {
+                    break;
+                }
+            }
+            ClientMsg::QueryFleet => {
+                // Not a coordinator: answer with an empty roster so
+                // fleet-aware tools degrade gracefully.
+                let reply = ServerMsg::FleetStatus { rigs: Vec::new() };
+                if write_msg(&mut *writer.lock(), &reply.encode()).is_err() {
                     break;
                 }
             }

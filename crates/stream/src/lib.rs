@@ -33,11 +33,17 @@
 mod client;
 mod daemon;
 mod downsample;
+pub mod net;
 pub mod proto;
 mod ring;
 
-pub use client::{FrameCallback, StreamClient, StreamClientConfig};
+pub use client::{
+    FrameCallback, ReconnectPolicy, RigCounts, RigFrameCallback, StreamClient, StreamClientConfig,
+};
 pub use daemon::{StreamDaemon, StreamDaemonConfig};
 pub use downsample::Downsampler;
-pub use proto::{ClientMsg, EvictReason, ServerMsg, StreamFrame, StreamStats};
+pub use net::{bind_error, bind_reusable, resolve_bind};
+pub use proto::{
+    ClientMsg, EvictReason, FleetHello, RigSelector, RigStatus, ServerMsg, StreamFrame, StreamStats,
+};
 pub use ring::{BroadcastRing, ReadOutcome};

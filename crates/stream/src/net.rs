@@ -1,0 +1,206 @@
+//! Socket plumbing shared by the stream daemon and the fleet
+//! coordinator.
+//!
+//! The one non-trivial piece is [`bind_reusable`]: binding a listener
+//! with `SO_REUSEADDR` set *before* `bind`. A daemon that is bounced
+//! (stopped and immediately restarted on the same port — exactly what
+//! the fleet coordinator does when it restarts a crashed rig, and what
+//! the reconnect tests do on purpose) would otherwise race the kernel's
+//! `TIME_WAIT` hold on the old listening socket and fail with
+//! `EADDRINUSE`. `std::net::TcpListener::bind` offers no hook to set
+//! the option first, so on Linux this goes through the raw socket
+//! calls; elsewhere it falls back to the plain `std` bind.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+
+/// Binds a TCP listener with `SO_REUSEADDR`, so a just-closed listener
+/// on the same address does not block the new bind.
+///
+/// Resolves `addr` like [`TcpListener::bind`] (first address that
+/// binds wins). The returned listener is in the default blocking mode.
+///
+/// # Errors
+///
+/// Address resolution and socket bind errors; the error for a bind
+/// failure is the raw OS error (callers prepend the address).
+pub fn bind_reusable<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+    let mut last_err = None;
+    for addr in addr.to_socket_addrs()? {
+        match bind_one(addr) {
+            Ok(listener) => return Ok(listener),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "could not resolve any address")
+    }))
+}
+
+#[cfg(target_os = "linux")]
+fn bind_one(addr: SocketAddr) -> io::Result<TcpListener> {
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd};
+
+    // IPv6 listeners are rare here (every in-repo caller uses v4
+    // loopback); take the std path rather than growing a second raw
+    // sockaddr layout.
+    let SocketAddr::V4(v4) = addr else {
+        return TcpListener::bind(addr);
+    };
+
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_CLOEXEC: i32 = 0x8_0000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+    const BACKLOG: i32 = 128;
+
+    /// `struct sockaddr_in`: family, port (network order), address
+    /// (network order), 8 bytes of zero padding.
+    #[repr(C)]
+    struct SockAddrIn {
+        family: u16,
+        port: u16,
+        addr: u32,
+        zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const core::ffi::c_void,
+            optlen: u32,
+        ) -> i32;
+        fn bind(fd: i32, addr: *const core::ffi::c_void, addrlen: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+    }
+
+    // SAFETY: plain socket creation; a negative return is an error.
+    let fd = unsafe { socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: fd was just returned by socket() and is owned by nobody
+    // else; OwnedFd closes it on every error path below.
+    let fd = unsafe { OwnedFd::from_raw_fd(fd) };
+
+    let on: i32 = 1;
+    // SAFETY: valid fd; optval points at an i32 whose size is optlen.
+    let rc = unsafe {
+        setsockopt(
+            fd.as_raw_fd(),
+            SOL_SOCKET,
+            SO_REUSEADDR,
+            (&raw const on).cast(),
+            core::mem::size_of::<i32>() as u32,
+        )
+    };
+    if rc != 0 {
+        return Err(io::Error::last_os_error());
+    }
+
+    let sa = SockAddrIn {
+        family: AF_INET as u16,
+        port: v4.port().to_be(),
+        addr: u32::from_be_bytes(v4.ip().octets()).to_be(),
+        zero: [0; 8],
+    };
+    // SAFETY: valid fd; sa is a properly laid-out sockaddr_in whose
+    // size is passed as addrlen.
+    let rc = unsafe {
+        bind(
+            fd.as_raw_fd(),
+            (&raw const sa).cast(),
+            core::mem::size_of::<SockAddrIn>() as u32,
+        )
+    };
+    if rc != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: valid, bound fd.
+    if unsafe { listen(fd.as_raw_fd(), BACKLOG) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(TcpListener::from(fd))
+}
+
+#[cfg(not(target_os = "linux"))]
+fn bind_one(addr: SocketAddr) -> io::Result<TcpListener> {
+    TcpListener::bind(addr)
+}
+
+/// Resolves a daemon's listen address: an explicit CLI value wins,
+/// then the `PS3_BIND` environment variable, then `default`. Shared by
+/// `ps3-streamd` and `ps3-fleet` so both honour the same conventions.
+#[must_use]
+pub fn resolve_bind(explicit: Option<String>, default: &str) -> String {
+    explicit
+        .or_else(|| std::env::var("PS3_BIND").ok().filter(|v| !v.is_empty()))
+        .unwrap_or_else(|| default.to_owned())
+}
+
+/// Formats a bind failure so the colliding address is named (an
+/// `EADDRINUSE` without the address is useless in fleet logs).
+#[must_use]
+pub fn bind_error(addr: &str, e: &io::Error) -> String {
+    if e.kind() == io::ErrorKind::AddrInUse {
+        format!("cannot bind {addr}: address already in use (another daemon on {addr}?)")
+    } else {
+        format!("cannot bind {addr}: {e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binds_and_accepts() {
+        let listener = bind_reusable("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::net::TcpStream::connect(addr).unwrap();
+        let (_conn, peer) = listener.accept().unwrap();
+        assert_eq!(peer, client.local_addr().unwrap());
+    }
+
+    #[test]
+    fn rebinds_immediately_after_close() {
+        let listener = bind_reusable("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Leave a connection half-open so the old listener's port
+        // lingers, then rebind the exact same address straight away.
+        let _client = std::net::TcpStream::connect(addr).unwrap();
+        let (_conn, _) = listener.accept().unwrap();
+        drop(listener);
+        let again = bind_reusable(addr).unwrap();
+        assert_eq!(again.local_addr().unwrap(), addr);
+    }
+
+    #[test]
+    fn reports_collision() {
+        let listener = bind_reusable("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // SO_REUSEADDR does not allow two *live* listeners.
+        let err = bind_reusable(addr).unwrap_err();
+        let msg = bind_error(&addr.to_string(), &err);
+        assert!(
+            msg.contains(&addr.to_string()) && msg.contains("in use"),
+            "collision message must name the address: {msg}"
+        );
+    }
+
+    #[test]
+    fn resolve_bind_prefers_explicit_over_default() {
+        assert_eq!(
+            resolve_bind(Some("10.0.0.1:9".into()), "127.0.0.1:9421"),
+            "10.0.0.1:9"
+        );
+        // No explicit value and (in the test env) no PS3_BIND: default.
+        if std::env::var("PS3_BIND").is_err() {
+            assert_eq!(resolve_bind(None, "127.0.0.1:9421"), "127.0.0.1:9421");
+        }
+    }
+}

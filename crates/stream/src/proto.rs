@@ -7,6 +7,23 @@
 //! encoder and decoder of the USB protocol are reused verbatim on the
 //! network path; only the timestamp is lifted out of the 10-bit
 //! wrapping scheme into an absolute µs header per frame.
+//!
+//! # Fleet routing extension
+//!
+//! A fleet coordinator multiplexes many rigs behind one endpoint. The
+//! extension is negotiated per connection and fully backward
+//! compatible in both directions:
+//!
+//! * A fleet-aware client appends a [`RigSelector`] suffix (led by a
+//!   version byte) to its `Subscribe` payload. Pre-fleet daemons
+//!   ignore trailing `Subscribe` bytes, so the same client can talk to
+//!   a plain single-rig daemon unchanged.
+//! * A coordinator answers a rig-routed `Subscribe` with a
+//!   [`FleetHello`] suffix on its `Hello` and then frames samples as
+//!   [`ServerMsg::RigBatch`]/[`ServerMsg::RigGap`]. A legacy
+//!   `Subscribe` (no suffix) gets a plain `Hello` and untagged
+//!   `Batch`/`Gap` messages for the coordinator's default rig 0, so
+//!   pre-fleet clients keep working against a coordinator.
 
 use std::io::{self, Read, Write};
 
@@ -48,6 +65,126 @@ impl StreamFrame {
     }
 }
 
+/// Version of the fleet routing extension this build speaks.
+pub const FLEET_PROTO_VERSION: u8 = 1;
+
+/// Cap on explicit rig-set sizes on the wire (corruption guard).
+pub const MAX_RIG_SET: usize = 4096;
+
+/// Which rigs a fleet subscription attaches to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RigSelector {
+    /// The fleet-wide merged stream over every rig.
+    All,
+    /// A single rig by id.
+    One(u16),
+    /// An explicit set of rig ids.
+    Set(Vec<u16>),
+}
+
+mod rig_kind {
+    pub const ALL: u8 = 0;
+    pub const ONE: u8 = 1;
+    pub const SET: u8 = 2;
+}
+
+impl RigSelector {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(FLEET_PROTO_VERSION);
+        match self {
+            Self::All => {
+                out.push(rig_kind::ALL);
+                out.extend_from_slice(&0u16.to_le_bytes());
+            }
+            Self::One(id) => {
+                out.push(rig_kind::ONE);
+                out.extend_from_slice(&1u16.to_le_bytes());
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+            Self::Set(ids) => {
+                out.push(rig_kind::SET);
+                out.extend_from_slice(&(ids.len() as u16).to_le_bytes());
+                for id in ids {
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Decodes the optional rig-selector suffix of a `Subscribe`.
+    ///
+    /// No suffix means a legacy subscription (`None`). A suffix with a
+    /// version this build does not speak is *ignored*, not rejected:
+    /// the connection negotiates down to the legacy protocol, exactly
+    /// as a pre-fleet daemon would behave.
+    fn decode_suffix(bytes: &[u8]) -> io::Result<Option<Self>> {
+        if bytes.is_empty() {
+            return Ok(None);
+        }
+        let (version, bytes) = split(bytes, 1)?;
+        if version[0] != FLEET_PROTO_VERSION {
+            return Ok(None);
+        }
+        let (kind, bytes) = split(bytes, 1)?;
+        let (count, bytes) = get_u16(bytes)?;
+        let count = count as usize;
+        if count > MAX_RIG_SET {
+            return Err(malformed("oversized rig set"));
+        }
+        let (id_bytes, _) = split(bytes, 2 * count)?;
+        let ids: Vec<u16> = id_bytes
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes([c[0], c[1]]))
+            .collect();
+        match kind[0] {
+            rig_kind::ALL => Ok(Some(Self::All)),
+            rig_kind::ONE => {
+                let &[id] = ids.as_slice() else {
+                    return Err(malformed("rig selector One needs exactly one id"));
+                };
+                Ok(Some(Self::One(id)))
+            }
+            rig_kind::SET => {
+                if ids.is_empty() {
+                    return Err(malformed("empty rig set"));
+                }
+                Ok(Some(Self::Set(ids)))
+            }
+            k => Err(malformed(&format!("unknown rig selector kind {k:#x}"))),
+        }
+    }
+}
+
+/// The coordinator's half of the fleet negotiation, appended to
+/// `Hello` when (and only when) the client's `Subscribe` carried a
+/// [`RigSelector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetHello {
+    /// Extension version the coordinator speaks.
+    pub version: u8,
+    /// Rigs behind this coordinator.
+    pub rigs: u16,
+}
+
+/// Per-rig health snapshot carried by [`ServerMsg::FleetStatus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RigStatus {
+    /// Rig id (0-based).
+    pub id: u16,
+    /// `true` while the rig's acquisition stack is up.
+    pub alive: bool,
+    /// Times the supervisor restarted this rig after a crash.
+    pub restarts: u32,
+    /// Archive shards written so far (one per rig generation).
+    pub shards: u32,
+    /// Frames this rig has published into the coordinator.
+    pub frames_published: u64,
+    /// Gap events reported to this rig's subscribers.
+    pub gap_events: u64,
+    /// Frames the rig's archive writers dropped (queue overflow).
+    pub writer_dropped: u64,
+}
+
 /// Messages a subscriber sends to the daemon.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientMsg {
@@ -58,6 +195,9 @@ pub enum ClientMsg {
         pair_mask: u8,
         /// Block-averaging divisor (≥ 1).
         divisor: u32,
+        /// Fleet routing: which rigs to attach to. `None` is a legacy
+        /// single-rig subscription (a coordinator serves its rig 0).
+        rig: Option<RigSelector>,
     },
     /// Asks the daemon to inject a time-synced marker at the device.
     InjectMarker {
@@ -66,6 +206,9 @@ pub enum ClientMsg {
     },
     /// Requests a [`ServerMsg::Stats`] reply.
     QueryStats,
+    /// Requests a [`ServerMsg::FleetStatus`] reply (a plain daemon
+    /// answers with an empty rig list).
+    QueryFleet,
     /// Clean goodbye before closing the connection.
     Bye,
 }
@@ -80,9 +223,21 @@ pub enum ServerMsg {
         frame_interval_us: u32,
         /// EEPROM configuration per sensor slot.
         configs: Box<[SensorConfig; SENSOR_SLOTS]>,
+        /// Fleet negotiation reply; present iff the `Subscribe` carried
+        /// a [`RigSelector`] and the server is a fleet coordinator.
+        fleet: Option<FleetHello>,
     },
     /// A run of consecutive sample frames.
     Batch {
+        /// The frames, oldest first.
+        frames: Vec<StreamFrame>,
+    },
+    /// A run of consecutive sample frames from one rig of a fleet
+    /// (rig-routed subscriptions only; rigs interleave at batch
+    /// granularity in a merged stream).
+    RigBatch {
+        /// Rig the frames came from.
+        rig: u16,
         /// The frames, oldest first.
         frames: Vec<StreamFrame>,
     },
@@ -92,8 +247,21 @@ pub enum ServerMsg {
         /// Number of frames this subscriber missed.
         dropped: u64,
     },
+    /// A gap on one rig of a merged fleet stream. The merged stream's
+    /// total drop accounting is exactly the sum of its per-rig gaps.
+    RigGap {
+        /// Rig whose frames were lost.
+        rig: u16,
+        /// Number of that rig's frames this subscriber missed.
+        dropped: u64,
+    },
     /// Daemon statistics, answering [`ClientMsg::QueryStats`].
     Stats(StreamStats),
+    /// Per-rig fleet health, answering [`ClientMsg::QueryFleet`].
+    FleetStatus {
+        /// One entry per rig, in rig-id order.
+        rigs: Vec<RigStatus>,
+    },
     /// The daemon is closing this subscription; the reason says why,
     /// so clients (and the simulation harness) can distinguish a
     /// for-cause eviction from a clean shutdown.
@@ -157,11 +325,15 @@ mod tag {
     pub const SUBSCRIBE: u8 = b'S';
     pub const MARKER: u8 = b'M';
     pub const QUERY_STATS: u8 = b'Q';
+    pub const QUERY_FLEET: u8 = b'F';
     pub const BYE: u8 = b'B';
     pub const HELLO: u8 = b'H';
     pub const BATCH: u8 = b'D';
+    pub const RIG_BATCH: u8 = b'R';
     pub const GAP: u8 = b'G';
+    pub const RIG_GAP: u8 = b'g';
     pub const STATS: u8 = b'T';
+    pub const FLEET_STATUS: u8 = b'f';
     pub const EVICTED: u8 = b'E';
 }
 
@@ -171,6 +343,11 @@ fn put_u32(out: &mut Vec<u8>, v: u32) {
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u16(bytes: &[u8]) -> io::Result<(u16, &[u8])> {
+    let (head, rest) = split(bytes, 2)?;
+    Ok((u16::from_le_bytes(head.try_into().expect("size")), rest))
 }
 
 fn get_u32(bytes: &[u8]) -> io::Result<(u32, &[u8])> {
@@ -269,16 +446,26 @@ impl ClientMsg {
     pub fn encode(&self) -> Vec<u8> {
         let mut body = Vec::new();
         match self {
-            Self::Subscribe { pair_mask, divisor } => {
+            Self::Subscribe {
+                pair_mask,
+                divisor,
+                rig,
+            } => {
                 body.push(tag::SUBSCRIBE);
                 body.push(*pair_mask);
                 put_u32(&mut body, *divisor);
+                // The rig selector is a suffix precisely because old
+                // daemons ignore trailing Subscribe bytes.
+                if let Some(selector) = rig {
+                    selector.encode(&mut body);
+                }
             }
             Self::InjectMarker { label } => {
                 body.push(tag::MARKER);
                 put_u32(&mut body, *label as u32);
             }
             Self::QueryStats => body.push(tag::QUERY_STATS),
+            Self::QueryFleet => body.push(tag::QUERY_FLEET),
             Self::Bye => body.push(tag::BYE),
         }
         with_length_prefix(body)
@@ -290,13 +477,14 @@ impl ClientMsg {
         match tag_byte[0] {
             tag::SUBSCRIBE => {
                 let (mask, payload) = split(payload, 1)?;
-                let (divisor, _) = get_u32(payload)?;
+                let (divisor, payload) = get_u32(payload)?;
                 if divisor == 0 {
                     return Err(malformed("zero divisor"));
                 }
                 Ok(Self::Subscribe {
                     pair_mask: mask[0],
                     divisor,
+                    rig: RigSelector::decode_suffix(payload)?,
                 })
             }
             tag::MARKER => {
@@ -305,6 +493,7 @@ impl ClientMsg {
                 Ok(Self::InjectMarker { label })
             }
             tag::QUERY_STATS => Ok(Self::QueryStats),
+            tag::QUERY_FLEET => Ok(Self::QueryFleet),
             tag::BYE => Ok(Self::Bye),
             t => Err(malformed(&format!("unknown client tag {t:#x}"))),
         }
@@ -320,11 +509,18 @@ impl ServerMsg {
             Self::Hello {
                 frame_interval_us,
                 configs,
+                fleet,
             } => {
                 body.push(tag::HELLO);
                 put_u32(&mut body, *frame_interval_us);
                 for cfg in configs.iter() {
                     body.extend_from_slice(&cfg.to_wire());
+                }
+                // Suffix only for clients that asked (rig-routed
+                // Subscribe): legacy clients never see it.
+                if let Some(fleet) = fleet {
+                    body.push(fleet.version);
+                    body.extend_from_slice(&fleet.rigs.to_le_bytes());
                 }
             }
             Self::Batch { frames } => {
@@ -334,9 +530,35 @@ impl ServerMsg {
                     encode_frame(frame, &mut body);
                 }
             }
+            Self::RigBatch { rig, frames } => {
+                body.push(tag::RIG_BATCH);
+                body.extend_from_slice(&rig.to_le_bytes());
+                put_u32(&mut body, frames.len() as u32);
+                for frame in frames {
+                    encode_frame(frame, &mut body);
+                }
+            }
             Self::Gap { dropped } => {
                 body.push(tag::GAP);
                 put_u64(&mut body, *dropped);
+            }
+            Self::RigGap { rig, dropped } => {
+                body.push(tag::RIG_GAP);
+                body.extend_from_slice(&rig.to_le_bytes());
+                put_u64(&mut body, *dropped);
+            }
+            Self::FleetStatus { rigs } => {
+                body.push(tag::FLEET_STATUS);
+                put_u32(&mut body, rigs.len() as u32);
+                for r in rigs {
+                    body.extend_from_slice(&r.id.to_le_bytes());
+                    body.push(u8::from(r.alive));
+                    put_u32(&mut body, r.restarts);
+                    put_u32(&mut body, r.shards);
+                    put_u64(&mut body, r.frames_published);
+                    put_u64(&mut body, r.gap_events);
+                    put_u64(&mut body, r.writer_dropped);
+                }
             }
             Self::Stats(stats) => {
                 body.push(tag::STATS);
@@ -376,9 +598,21 @@ impl ServerMsg {
                         .map_err(|e| malformed(&format!("bad sensor config: {e}")))?;
                     payload = rest;
                 }
+                // Optional fleet-negotiation suffix.
+                let fleet = if payload.is_empty() {
+                    None
+                } else {
+                    let (version, payload) = split(payload, 1)?;
+                    let (rigs, _) = get_u16(payload)?;
+                    Some(FleetHello {
+                        version: version[0],
+                        rigs,
+                    })
+                };
                 Ok(Self::Hello {
                     frame_interval_us,
                     configs,
+                    fleet,
                 })
             }
             tag::BATCH => {
@@ -394,9 +628,55 @@ impl ServerMsg {
                 }
                 Ok(Self::Batch { frames })
             }
+            tag::RIG_BATCH => {
+                let (rig, payload) = get_u16(payload)?;
+                let (count, mut payload) = get_u32(payload)?;
+                if count as usize > MAX_BATCH_FRAMES {
+                    return Err(malformed("oversized batch"));
+                }
+                let mut frames = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let (frame, rest) = decode_frame(payload)?;
+                    frames.push(frame);
+                    payload = rest;
+                }
+                Ok(Self::RigBatch { rig, frames })
+            }
             tag::GAP => {
                 let (dropped, _) = get_u64(payload)?;
                 Ok(Self::Gap { dropped })
+            }
+            tag::RIG_GAP => {
+                let (rig, payload) = get_u16(payload)?;
+                let (dropped, _) = get_u64(payload)?;
+                Ok(Self::RigGap { rig, dropped })
+            }
+            tag::FLEET_STATUS => {
+                let (count, mut payload) = get_u32(payload)?;
+                if count as usize > MAX_RIG_SET {
+                    return Err(malformed("oversized fleet status"));
+                }
+                let mut rigs = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let (id, rest) = get_u16(payload)?;
+                    let (alive, rest) = split(rest, 1)?;
+                    let (restarts, rest) = get_u32(rest)?;
+                    let (shards, rest) = get_u32(rest)?;
+                    let (frames_published, rest) = get_u64(rest)?;
+                    let (gap_events, rest) = get_u64(rest)?;
+                    let (writer_dropped, rest) = get_u64(rest)?;
+                    rigs.push(RigStatus {
+                        id,
+                        alive: alive[0] != 0,
+                        restarts,
+                        shards,
+                        frames_published,
+                        gap_events,
+                        writer_dropped,
+                    });
+                    payload = rest;
+                }
+                Ok(Self::FleetStatus { rigs })
             }
             tag::STATS => {
                 let (frames_published, payload) = get_u64(payload)?;
@@ -499,9 +779,26 @@ mod tests {
             ClientMsg::Subscribe {
                 pair_mask: 0b0101,
                 divisor: 2000,
+                rig: None,
+            },
+            ClientMsg::Subscribe {
+                pair_mask: 0x0F,
+                divisor: 1,
+                rig: Some(RigSelector::All),
+            },
+            ClientMsg::Subscribe {
+                pair_mask: 0x0F,
+                divisor: 4,
+                rig: Some(RigSelector::One(31)),
+            },
+            ClientMsg::Subscribe {
+                pair_mask: 0x01,
+                divisor: 20,
+                rig: Some(RigSelector::Set(vec![0, 7, 99])),
             },
             ClientMsg::InjectMarker { label: 'λ' },
             ClientMsg::QueryStats,
+            ClientMsg::QueryFleet,
             ClientMsg::Bye,
         ] {
             let bytes = msg.encode();
@@ -509,6 +806,129 @@ mod tests {
             let body = read_msg_body(&mut cursor).unwrap();
             assert_eq!(ClientMsg::decode(&body).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn rig_selector_negotiates_down() {
+        // Legacy wire form (no suffix) decodes as a legacy subscribe.
+        let legacy = [tag::SUBSCRIBE, 0x0F, 1, 0, 0, 0];
+        assert_eq!(
+            ClientMsg::decode(&legacy).unwrap(),
+            ClientMsg::Subscribe {
+                pair_mask: 0x0F,
+                divisor: 1,
+                rig: None,
+            }
+        );
+        // A future extension version is ignored, not rejected: the
+        // connection falls back to the legacy protocol.
+        let future = [tag::SUBSCRIBE, 0x0F, 1, 0, 0, 0, 99, 0, 0, 0];
+        assert_eq!(
+            ClientMsg::decode(&future).unwrap(),
+            ClientMsg::Subscribe {
+                pair_mask: 0x0F,
+                divisor: 1,
+                rig: None,
+            }
+        );
+        // A version-1 suffix with garbage inside is an error.
+        let bad = [
+            tag::SUBSCRIBE,
+            0x0F,
+            1,
+            0,
+            0,
+            0,
+            FLEET_PROTO_VERSION,
+            9,
+            0,
+            0,
+        ];
+        assert!(ClientMsg::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn fleet_messages_roundtrip() {
+        // Masked slots carry no wire data, so use frames whose masked
+        // raw codes are already zero to compare for equality.
+        let masked = |t_us, present, marker| {
+            let mut f = frame(t_us, present, marker);
+            for slot in 0..SENSOR_SLOTS {
+                if present & (1 << slot) == 0 {
+                    f.raw[slot] = 0;
+                }
+            }
+            f
+        };
+        let msgs = [
+            ServerMsg::RigBatch {
+                rig: 17,
+                frames: vec![masked(1000, 0b0011, false), masked(1050, 0b0011, true)],
+            },
+            ServerMsg::RigGap {
+                rig: 3,
+                dropped: 8192,
+            },
+            ServerMsg::FleetStatus {
+                rigs: vec![
+                    RigStatus {
+                        id: 0,
+                        alive: true,
+                        restarts: 0,
+                        shards: 1,
+                        frames_published: 123_456,
+                        gap_events: 0,
+                        writer_dropped: 0,
+                    },
+                    RigStatus {
+                        id: 1,
+                        alive: false,
+                        restarts: 2,
+                        shards: 3,
+                        frames_published: 99,
+                        gap_events: 7,
+                        writer_dropped: 1,
+                    },
+                ],
+            },
+        ];
+        for msg in msgs {
+            assert_eq!(roundtrip_server(&msg), msg);
+        }
+    }
+
+    #[test]
+    fn hello_fleet_suffix_is_negotiated() {
+        let configs: Box<[SensorConfig; SENSOR_SLOTS]> =
+            Box::new(core::array::from_fn(|_| SensorConfig::unpopulated()));
+        let msg = ServerMsg::Hello {
+            frame_interval_us: 50,
+            configs: configs.clone(),
+            fleet: Some(FleetHello {
+                version: FLEET_PROTO_VERSION,
+                rigs: 32,
+            }),
+        };
+        let ServerMsg::Hello { fleet, .. } = roundtrip_server(&msg) else {
+            panic!("wrong message kind");
+        };
+        assert_eq!(
+            fleet,
+            Some(FleetHello {
+                version: FLEET_PROTO_VERSION,
+                rigs: 32
+            })
+        );
+        // A plain Hello (what a pre-fleet daemon sends) has no suffix.
+        let plain = ServerMsg::Hello {
+            frame_interval_us: 50,
+            configs,
+            fleet: None,
+        };
+        let ServerMsg::Hello { fleet, .. } = roundtrip_server(&plain) else {
+            panic!("wrong message kind");
+        };
+        assert_eq!(fleet, None);
     }
 
     #[test]
@@ -546,10 +966,12 @@ mod tests {
         let msg = ServerMsg::Hello {
             frame_interval_us: 50,
             configs,
+            fleet: None,
         };
         let ServerMsg::Hello {
             frame_interval_us,
             configs,
+            fleet: _,
         } = roundtrip_server(&msg)
         else {
             panic!("wrong message kind");

@@ -93,6 +93,7 @@ fn replay_of_truncated_archive_serves_recovered_prefix_and_closes_cleanly() {
         StreamClientConfig {
             pair_mask: 0x0F,
             divisor: 1,
+            ..StreamClientConfig::default()
         },
     )
     .unwrap();

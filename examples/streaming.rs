@@ -44,6 +44,7 @@ fn main() {
             StreamClientConfig {
                 pair_mask: 0x0F,
                 divisor,
+                ..StreamClientConfig::default()
             },
         )
         .expect("subscribe")

@@ -3,7 +3,7 @@
 //! ```text
 //! ps3-arc record --out FILE [--dump FILE] [--frames N] [--seed N]
 //!                [--segment-frames N]
-//! ps3-arc info FILE
+//! ps3-arc info FILE [--json]
 //! ps3-arc cat FILE [--start US] [--end US]
 //! ps3-arc stats FILE [--start US] [--end US]
 //! ps3-arc export-csv FILE [--out FILE] [--divisor N] [--start US] [--end US]
@@ -21,7 +21,9 @@
 use std::io::Write;
 use std::process::ExitCode;
 
-use powersensor3::archive::{frame_total, Archive, ArchiveWriter, ArchiveWriterOptions};
+use powersensor3::archive::{
+    frame_total, Archive, ArchiveWriter, ArchiveWriterOptions, WriterStats,
+};
 use powersensor3::core::pair_readings;
 use powersensor3::duts::LoadProgram;
 use powersensor3::firmware::SENSOR_SLOTS;
@@ -34,7 +36,7 @@ const SENSOR_PAIRS: usize = SENSOR_SLOTS / 2;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ps3-arc record --out FILE [--dump FILE] [--frames N] [--seed N] [--segment-frames N]\n\
-         \x20      ps3-arc info FILE\n\
+         \x20      ps3-arc info FILE [--json]\n\
          \x20      ps3-arc cat FILE [--start US] [--end US]\n\
          \x20      ps3-arc stats FILE [--start US] [--end US]\n\
          \x20      ps3-arc export-csv FILE [--out FILE] [--divisor N] [--start US] [--end US]\n\
@@ -184,8 +186,45 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_info(args: &[String]) -> Result<ExitCode, String> {
     let archive = open(args)?;
-    println!("{}", archive.path().display());
     let recovery = archive.recovery();
+    // The stats sidecar is written only when the capture's writer
+    // finished cleanly; its absence flags a crashed capture.
+    let writer = WriterStats::load_for(archive.path());
+
+    if args.iter().any(|a| a == "--json") {
+        let segments = archive
+            .segments()
+            .iter()
+            .map(|meta| {
+                format!(
+                    r#"{{"seq":{},"offset":{},"frames":{},"start_us":{},"end_us":{},"sealed":true}}"#,
+                    meta.header.seq,
+                    meta.offset,
+                    meta.header.frame_count,
+                    meta.header.start_us,
+                    meta.header.end_us
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let writer_json = writer.map_or("null".to_owned(), |w| {
+            format!(
+                r#"{{"frames":{},"segments":{},"bytes":{},"dropped":{}}}"#,
+                w.frames, w.segments, w.bytes, w.dropped
+            )
+        });
+        println!(
+            r#"{{"path":{:?},"frames":{},"used_index":{},"unsealed_trailing_bytes":{},"markers":{},"segments":[{segments}],"writer":{writer_json}}}"#,
+            archive.path().display().to_string(),
+            archive.frames(),
+            recovery.used_index,
+            recovery.trailing_bytes,
+            archive.markers().len(),
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    println!("{}", archive.path().display());
     println!(
         "  {} frames in {} sealed segments ({})",
         archive.frames(),
@@ -214,6 +253,26 @@ fn cmd_info(args: &[String]) -> Result<ExitCode, String> {
         .map(|p| format!("{p} ({})", archive.configs()[2 * p].name))
         .collect();
     println!("  enabled pairs: {}", enabled.join(", "));
+    match writer {
+        Some(w) => println!(
+            "  writer: finished cleanly, {} frames dropped at the queue",
+            w.dropped
+        ),
+        None => println!("  writer: drop counter not recorded (no stats sidecar — capture crashed or predates it)"),
+    }
+    println!("  segments:");
+    for meta in archive.segments() {
+        println!(
+            "    seq {:>4}  {:>7} frames  {:>12} .. {:<12} us  sealed",
+            meta.header.seq, meta.header.frame_count, meta.header.start_us, meta.header.end_us
+        );
+    }
+    if recovery.trailing_bytes > 0 {
+        println!(
+            "    tail      {:>7} bytes  unsealed (ignored)",
+            recovery.trailing_bytes
+        );
+    }
     let markers = archive.markers();
     println!("  markers: {}", markers.len());
     for &(t, label) in markers {

@@ -7,10 +7,11 @@
 //! so remote subscribers observe a live, real-rate stream.
 //!
 //! ```text
-//! ps3-streamd [--addr HOST:PORT] [--setup bench|gpu] [--seed N] [--secs N]
+//! ps3-streamd [--bind HOST:PORT] [--setup bench|gpu] [--seed N] [--secs N]
 //!             [--persist FILE] [--replay FILE [--speed X]]
 //!
-//!   --addr     listen address          (default 127.0.0.1:9421)
+//!   --bind     listen address          (default $PS3_BIND, else 127.0.0.1:9421;
+//!              --addr is an accepted alias)
 //!   --setup    simulated rig           (default bench)
 //!   --seed     sensor imperfections    (default 42)
 //!   --secs     run duration, 0=forever (default 0)
@@ -27,7 +28,7 @@ use powersensor3::archive::{Archive, ArchiveWriter, ArchiveWriterOptions};
 use powersensor3::core::SharedPowerSensor;
 use powersensor3::duts::{GpuKernel, GpuSpec, LoadProgram};
 use powersensor3::sensors::ModuleKind;
-use powersensor3::stream::{StreamDaemon, StreamDaemonConfig};
+use powersensor3::stream::{resolve_bind, StreamDaemon, StreamDaemonConfig};
 use powersensor3::testbed::setups;
 use powersensor3::units::{Amps, SimDuration};
 
@@ -38,12 +39,16 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: ps3-streamd [--addr HOST:PORT] [--setup bench|gpu] [--seed N] [--secs N]\n\
-             \x20                  [--persist FILE] [--replay FILE [--speed X]]"
+            "usage: ps3-streamd [--bind HOST:PORT] [--setup bench|gpu] [--seed N] [--secs N]\n\
+             \x20                  [--persist FILE] [--replay FILE [--speed X]]\n\
+             the listen address falls back to $PS3_BIND, then 127.0.0.1:9421"
         );
         return ExitCode::SUCCESS;
     }
-    let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:9421".to_owned());
+    let addr = resolve_bind(
+        flag_value(&args, "--bind").or_else(|| flag_value(&args, "--addr")),
+        "127.0.0.1:9421",
+    );
     let setup = flag_value(&args, "--setup").unwrap_or_else(|| "bench".to_owned());
     let seed: u64 = flag_value(&args, "--seed")
         .and_then(|s| s.parse().ok())
@@ -126,7 +131,7 @@ fn main() -> ExitCode {
     let daemon = match StreamDaemon::start(sensor, &addr[..], StreamDaemonConfig::default()) {
         Ok(d) => d,
         Err(e) => {
-            eprintln!("cannot listen on {addr}: {e}");
+            eprintln!("{}", powersensor3::stream::bind_error(&addr, &e));
             return ExitCode::FAILURE;
         }
     };
@@ -201,7 +206,7 @@ fn run_replay(path: &str, addr: &str, args: &[String], secs: u64) -> ExitCode {
         {
             Ok(d) => d,
             Err(e) => {
-                eprintln!("cannot listen on {addr}: {e}");
+                eprintln!("{}", powersensor3::stream::bind_error(addr, &e));
                 return ExitCode::FAILURE;
             }
         };

@@ -10,6 +10,7 @@ pub use ps3_archive as archive;
 pub use ps3_core as core;
 pub use ps3_duts as duts;
 pub use ps3_firmware as firmware;
+pub use ps3_fleet as fleet;
 pub use ps3_pmt as pmt;
 pub use ps3_sensors as sensors;
 pub use ps3_sim as sim;
