@@ -16,6 +16,33 @@ cargo test -q --workspace
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -q -- -D warnings
 
+echo "==> lint-smoke: ps3-lint workspace audit + fixture assertions"
+# The workspace must be clean under the project's own static analysis
+# (determinism, lock-order, unsafe/atomics, panic-path rules), and
+# every rule must demonstrably fire on its planted fixture so a rule
+# can't silently rot. Findings land in target/ci-lint/ for artifact
+# upload.
+rm -rf target/ci-lint && mkdir -p target/ci-lint
+if ! ./target/release/ps3-lint check --json >target/ci-lint/findings.json; then
+  echo "ps3-lint found violations:"
+  ./target/release/ps3-lint check || true
+  exit 1
+fi
+./target/release/ps3-lint list-rules >target/ci-lint/rules.txt
+for rule in determinism unsafe-safety forbid-unsafe atomics lock-order \
+            panic-path allow-syntax; do
+  grep -q "^$rule " target/ci-lint/rules.txt \
+    || { echo "rule catalog lost \`$rule\`"; exit 1; }
+done
+./target/release/ps3-lint check --fixtures --json >target/ci-lint/fixtures.json \
+  || { echo "planted-violation fixtures did not reconcile:"
+       ./target/release/ps3-lint check --fixtures || true; exit 1; }
+grep -q '"missing":0,"unexpected":0' target/ci-lint/fixtures.json \
+  || { echo "fixture report not clean"; cat target/ci-lint/fixtures.json; exit 1; }
+matched=$(grep -o '"matched":[0-9]*' target/ci-lint/fixtures.json | cut -d: -f2)
+test "$matched" -ge 7 \
+  || { echo "only $matched fixture expectations matched (< 1 per rule)"; exit 1; }
+
 echo "==> bench smoke: repro determinism + BENCH_repro.json"
 # Three cheap experiments, serial then 2-way parallel, into separate
 # results directories: the run must not panic, must emit the perf

@@ -8,6 +8,8 @@
 //! (plus throughput when configured). There is no statistical analysis,
 //! HTML report, or baseline comparison.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -15,6 +15,8 @@
 //! crate are *not* reproduced; none of the workspace code depends on
 //! them.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};

@@ -16,6 +16,8 @@
 //! environment variable). Each test's RNG is seeded from the test name
 //! so runs are deterministic.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 pub use rand::rngs::StdRng as TestRng;

@@ -12,6 +12,8 @@
 //! values change across the swap; all workspace tests assert on
 //! statistics or determinism, never on specific draws.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level generator interface: a source of random 64-bit words.

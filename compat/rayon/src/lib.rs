@@ -75,6 +75,10 @@ impl ScopeState {
                 *slot = Some(p);
             }
         }
+        // ORDERING: AcqRel — the Release half publishes this job's
+        // writes to whoever observes pending hit zero; the Acquire
+        // half makes every prior job's writes visible to the thread
+        // that takes the count to zero and wakes the waiter.
         if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
             let _guard = self.done_lock.lock().expect("done lock poisoned");
             self.done_cv.notify_all();
@@ -180,6 +184,10 @@ fn worker_loop(shared: &Arc<PoolShared>, index: usize) {
             run_job(job);
             continue;
         }
+        // ORDERING: Acquire pairs with the Release store in
+        // `ThreadPool::drop`; it orders the flag read before the
+        // worker exits so no queued job published before shutdown is
+        // missed.
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
@@ -187,6 +195,10 @@ fn worker_loop(shared: &Arc<PoolShared>, index: usize) {
         // braces against a missed wakeup, not a correctness
         // requirement.
         let guard = shared.injector.lock().expect("injector poisoned");
+        // ORDERING: Acquire pairs with the Release store in
+        // `ThreadPool::drop`, re-checked under the injector lock so a
+        // shutdown signalled between the first check and parking is
+        // not slept through.
         if guard.is_empty() && !shared.shutdown.load(Ordering::Acquire) {
             let _ = shared
                 .wake_cv
@@ -286,6 +298,9 @@ impl ThreadPool {
     /// own scope.
     fn wait_scope(&self, state: &Arc<ScopeState>) {
         loop {
+            // ORDERING: Acquire pairs with the AcqRel fetch_sub in
+            // `ScopeState::complete`; seeing zero here makes every
+            // completed job's writes visible to the waiter.
             if state.pending.load(Ordering::Acquire) == 0 {
                 return;
             }
@@ -295,6 +310,9 @@ impl ThreadPool {
             }
             // Nothing queued but jobs still in flight on workers.
             let guard = state.done_lock.lock().expect("done lock poisoned");
+            // ORDERING: Acquire, same pairing as above — re-checked
+            // under done_lock so a completion signalled between the
+            // first check and the wait cannot be slept through.
             if state.pending.load(Ordering::Acquire) == 0 {
                 return;
             }
@@ -361,6 +379,9 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
+        // ORDERING: Release pairs with the Acquire loads in
+        // `worker_loop`; everything enqueued before shutdown is
+        // visible to workers that observe the flag.
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.wake_cv.notify_all();
         for handle in self.handles.drain(..) {
@@ -424,6 +445,10 @@ impl<'env> Scope<'env> {
     where
         F: FnOnce(&Scope<'env>) + Send + 'env,
     {
+        // ORDERING: AcqRel — the increment is published before the
+        // job is pushed (Release), and pairs with the Acquire loads
+        // in `wait_scope` so the waiter can never observe the queue
+        // push without the count.
         self.state.pending.fetch_add(1, Ordering::AcqRel);
         let child = Scope {
             shared: Arc::clone(&self.shared),

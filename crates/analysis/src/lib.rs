@@ -28,6 +28,8 @@
 //! assert_eq!(stats.peak_to_peak(), 2.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod csv;
 mod dump;
 mod pareto;

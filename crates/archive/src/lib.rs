@@ -66,6 +66,8 @@
 //! assert_eq!(trace.len(), 1000);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod archive;
 pub mod bits;
 mod crc;

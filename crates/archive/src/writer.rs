@@ -362,21 +362,33 @@ impl ArchiveWriter {
             }
             for frame in batch {
                 if let Err(e) = writer.push(frame) {
+                    // ORDERING: Relaxed — advisory fail-fast flag;
+                    // producers only use it to stop enqueueing, the
+                    // authoritative error is returned via join.
                     shared.failed.store(true, Ordering::Relaxed);
                     return Err(e);
                 }
             }
+            // ORDERING: Relaxed — live progress counters for
+            // monitoring only; no other memory is published through
+            // them.
             shared
                 .frames_written
                 .store(writer.frames(), Ordering::Relaxed);
+            // ORDERING: Relaxed — live progress counter, same
+            // as frames_written above.
             shared
                 .segments_sealed
                 .store(writer.segments(), Ordering::Relaxed);
         }
+        // ORDERING: Relaxed — final read after the queue is closed
+        // and drained; the close handshake under the state lock
+        // already ordered every producer's fetch_add before this.
         let dropped = shared.dropped.load(Ordering::Relaxed);
         match writer.finish_with_dropped(dropped) {
             Ok(stats) => Ok(stats),
             Err(e) => {
+                // ORDERING: Relaxed — same advisory flag as above.
                 shared.failed.store(true, Ordering::Relaxed);
                 Err(e)
             }
@@ -390,6 +402,8 @@ impl ArchiveWriter {
     }
 
     fn enqueue(shared: &WriterShared, frame: ArchiveFrame) -> bool {
+        // ORDERING: Relaxed — advisory: a stale read here only means
+        // one extra frame is queued and discarded by the worker.
         if shared.failed.load(Ordering::Relaxed) {
             return false;
         }
@@ -398,6 +412,8 @@ impl ArchiveWriter {
             return false;
         }
         if st.queue.len() >= shared.capacity {
+            // ORDERING: Relaxed — monotonic drop counter; the final
+            // value is read only after the close handshake.
             shared.dropped.fetch_add(1, Ordering::Relaxed);
         } else {
             st.queue.push_back(frame);
@@ -434,6 +450,8 @@ impl ArchiveWriter {
     /// final [`WriterStats`].
     #[must_use]
     pub fn dropped(&self) -> u64 {
+        // ORDERING: Relaxed — live monitoring read of a monotonic
+        // counter; exactness is only guaranteed after finish().
         self.shared.dropped.load(Ordering::Relaxed)
     }
 
@@ -441,12 +459,14 @@ impl ArchiveWriter {
     /// or pending in the current segment). Live and lock-free.
     #[must_use]
     pub fn frames_written(&self) -> u64 {
+        // ORDERING: Relaxed — live monitoring read, same as dropped().
         self.shared.frames_written.load(Ordering::Relaxed)
     }
 
     /// Segments sealed on disk so far. Live and lock-free.
     #[must_use]
     pub fn segments_sealed(&self) -> u64 {
+        // ORDERING: Relaxed — live monitoring read, same as dropped().
         self.shared.segments_sealed.load(Ordering::Relaxed)
     }
 

@@ -72,7 +72,7 @@ impl ArchiveResult {
 
 fn temp_path() -> PathBuf {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
-    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let n = COUNTER.fetch_add(1, Ordering::SeqCst);
     std::env::temp_dir().join(format!("ps3-bench-archive-{}-{n}.ps3a", std::process::id()))
 }
 

@@ -64,7 +64,7 @@ fn main() -> ExitCode {
 
     let serial_wall_s = if compare_serial && jobs_used > 1 {
         rayon::configure_global(1);
-        let start = Instant::now();
+        let start = Instant::now(); // ps3-lint: allow(determinism) reason="wall-clock speedup metric: measures real elapsed time of the parallel run, outside the simulated timeline"
         let _ = driver::run_all(&names, &scale, driver::SEED);
         let serial = start.elapsed().as_secs_f64();
         rayon::configure_global(jobs.unwrap_or(0));
@@ -73,7 +73,7 @@ fn main() -> ExitCode {
         None
     };
 
-    let start = Instant::now();
+    let start = Instant::now(); // ps3-lint: allow(determinism) reason="wall-clock speedup metric: measures real elapsed time of the parallel run, outside the simulated timeline"
     let runs = driver::run_all(&names, &scale, driver::SEED);
     let total_wall_s = start.elapsed().as_secs_f64();
 

@@ -169,7 +169,7 @@ pub struct ExperimentRun {
 pub fn run_all(names: &[&str], scale: &Scale, seed: u64) -> Vec<ExperimentRun> {
     let units: Vec<String> = names.iter().map(|n| (*n).to_owned()).collect();
     rayon::global().par_map(units, |name| {
-        let start = Instant::now();
+        let start = Instant::now(); // ps3-lint: allow(determinism) reason="wall-clock speedup metric: measures real elapsed time of the parallel run, outside the simulated timeline"
         let output = run_experiment(&name, scale, seed);
         ExperimentRun {
             output,

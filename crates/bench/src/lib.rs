@@ -23,6 +23,8 @@
 //! | Archive store cost/exactness (beyond the paper) | [`archive`] |
 //! | Fleet coordinator scaling (beyond the paper) | [`fleet`] |
 
+#![forbid(unsafe_code)]
+
 /// Renders a trace as a 72×12 ASCII chart (shared by the `repro`
 /// binary's figure output).
 #[must_use]

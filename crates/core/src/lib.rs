@@ -28,6 +28,8 @@
 //! See `examples/quickstart.rs` for the end-to-end flow against the
 //! emulated device.
 
+#![forbid(unsafe_code)]
+
 mod calibration;
 mod convert;
 mod error;

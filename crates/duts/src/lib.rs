@@ -23,6 +23,8 @@
 //! * [`NicModel`] — a network adapter whose power scales with both
 //!   throughput and packet rate (§VI extendibility demo).
 
+#![forbid(unsafe_code)]
+
 mod bench_load;
 pub mod ftl;
 mod gpu;

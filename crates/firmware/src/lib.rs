@@ -26,6 +26,8 @@
 //! testbed implements it by wiring DUT rail states through the
 //! `ps3-sensors` models.
 
+#![forbid(unsafe_code)]
+
 mod adc;
 mod device;
 mod display;

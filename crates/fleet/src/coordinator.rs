@@ -154,7 +154,10 @@ impl Fleet {
             })
             .collect();
 
-        let shared = Arc::new(FleetShared {
+        // Built as a plain value first — the hello frames need rig
+        // 0's sensor configuration, which only exists after the rigs
+        // are built — and wrapped in an Arc exactly once at the end.
+        let mut shared = FleetShared {
             stream: config.stream.clone(),
             rigs: rig_shared,
             hello_legacy: Vec::new(),
@@ -164,7 +167,7 @@ impl Fleet {
             evicted: AtomicU64::new(0),
             gap_events: AtomicU64::new(0),
             clients: Mutex::new(Vec::new()),
-        });
+        };
 
         let mut runtimes = Vec::with_capacity(usize::from(rig_count));
         for id in 0..rig_count {
@@ -182,17 +185,12 @@ impl Fleet {
             }
             .encode()
         };
-        let shared = Arc::new(FleetShared {
-            hello_legacy: hello(None),
-            hello_fleet: hello(Some(FleetHello {
-                version: FLEET_PROTO_VERSION,
-                rigs: rig_count,
-            })),
-            ..match Arc::try_unwrap(shared) {
-                Ok(s) => s,
-                Err(_) => unreachable!("no other owner yet"),
-            }
-        });
+        shared.hello_legacy = hello(None);
+        shared.hello_fleet = hello(Some(FleetHello {
+            version: FLEET_PROTO_VERSION,
+            rigs: rig_count,
+        }));
+        let shared = Arc::new(shared);
 
         let listener = bind_reusable(addr)?;
         listener.set_nonblocking(true)?;
@@ -201,8 +199,7 @@ impl Fleet {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("ps3-fleet-accept".into())
-                .spawn(move || accept_loop(&listener, &shared))
-                .expect("spawn fleet accept thread")
+                .spawn(move || accept_loop(&listener, &shared))?
         };
 
         Ok(Self {
@@ -464,13 +461,20 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<FleetShared>) {
             Ok((stream, _peer)) => {
                 client_id += 1;
                 let shared_for_client = Arc::clone(shared);
-                let handle = std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name(format!("ps3-fleet-sub-{client_id}"))
                     .spawn(move || {
                         let _ = serve_client(&shared_for_client, stream);
-                    })
-                    .expect("spawn fleet subscriber thread");
-                shared.clients.lock().push(handle);
+                    });
+                match spawned {
+                    Ok(handle) => shared.clients.lock().push(handle),
+                    // Degrade, don't die: drop this connection (the
+                    // stream closes on drop) and keep accepting —
+                    // thread exhaustion may be transient.
+                    Err(e) => {
+                        eprintln!("ps3-fleet: dropping client {client_id}: spawn failed: {e}");
+                    }
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -537,13 +541,21 @@ fn serve_client(shared: &Arc<FleetShared>, stream: TcpStream) -> io::Result<()> 
     shared.active_subscribers.fetch_add(1, Ordering::SeqCst);
     let client_gone = Arc::new(AtomicBool::new(false));
     let control_thread = {
-        let shared = Arc::clone(shared);
+        let ctl_shared = Arc::clone(shared);
         let writer = Arc::clone(&writer);
         let client_gone = Arc::clone(&client_gone);
-        std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("ps3-fleet-ctl".into())
-            .spawn(move || control_loop(&shared, control, &writer, &client_gone))
-            .expect("spawn fleet control thread")
+            .spawn(move || control_loop(&ctl_shared, control, &writer, &client_gone));
+        match spawned {
+            Ok(handle) => handle,
+            Err(e) => {
+                // Undo the registration and drop just this client;
+                // the coordinator itself keeps serving.
+                shared.active_subscribers.fetch_sub(1, Ordering::SeqCst);
+                return Err(e);
+            }
+        }
     };
 
     let end = merge_loop(
@@ -759,7 +771,13 @@ fn merge_loop(
             if blocked && !all_closed && !force && total_queued < FORCE_EMIT_QUEUED {
                 break;
             }
-            let frame = queues[i].pop_front().expect("front was Some");
+            // `min` was computed from this queue's front, so the pop
+            // must yield; an empty queue here would be a merge-logic
+            // bug, degraded to a skipped round rather than a dead
+            // subscriber thread.
+            let Some(frame) = queues[i].pop_front() else {
+                break;
+            };
             let rig = rig_ids[i];
             if rig != batch_rig && !batch.is_empty() {
                 try_write!(flush(&mut batch, batch_rig));

@@ -22,6 +22,8 @@
 //!
 //! [`StreamDaemon`]: ps3_stream::StreamDaemon
 
+#![forbid(unsafe_code)]
+
 mod coordinator;
 mod query;
 mod rig;

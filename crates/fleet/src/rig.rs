@@ -10,6 +10,8 @@
 //! fault-injecting factory without this crate depending on it.
 
 use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use ps3_core::SharedPowerSensor;
 use ps3_duts::LoadProgram;
@@ -57,15 +59,25 @@ pub fn testbed_rig_factory(seed: u64) -> RigFactory {
                 .map_err(|e| io::Error::other(format!("rig {id} connect: {e}")))?,
         );
         let advance_sensor = sensor.clone();
+        // The testbed never crashes in normal operation; an advance
+        // failure means a bug. Flag the rig as crashed instead of
+        // panicking the fleet owner's thread — the supervisor then
+        // restarts this rig (a fresh generation) and the rest of the
+        // fleet keeps streaming.
+        let failed = Arc::new(AtomicBool::new(false));
+        let failed_flag = Arc::clone(&failed);
         Ok(RigParts {
             sensor,
             advance: Box::new(move |d| {
-                // The testbed never crashes; advance cannot fail short
-                // of a bug, which should surface loudly.
-                tb.advance_and_sync(&advance_sensor, d)
-                    .expect("testbed rig advance");
+                if failed_flag.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Err(e) = tb.advance_and_sync(&advance_sensor, d) {
+                    eprintln!("ps3-fleet: rig {id} gen {generation} advance failed: {e}");
+                    failed_flag.store(true, Ordering::SeqCst);
+                }
             }),
-            crashed: Box::new(|| false),
+            crashed: Box::new(move || failed.load(Ordering::SeqCst)),
         })
     })
 }

@@ -1,0 +1,18 @@
+// Planted allow-syntax violations: directives must parse and carry a
+// non-empty quoted reason, and may only name known rule ids.
+
+fn missing_reason() {}
+// ps3-lint: allow(determinism)
+//~^ allow-syntax
+
+fn unknown_rule() {} // ps3-lint: allow(no-such-rule) reason="valid reason, bogus rule id"
+//~^ allow-syntax
+
+fn unquoted_reason() {}
+// ps3-lint: allow(determinism) reason=unquoted
+//~^ allow-syntax
+
+fn well_formed(d: Duration) {
+    // ps3-lint: allow(panic-path) reason="fixture: a well-formed directive is not a finding"
+    takes(d);
+}

@@ -1,0 +1,16 @@
+// Planted atomics violation inside an approved module: weak
+// orderings are allowed here (`atomics_ring` fixture prefix), but
+// every site still needs an `// ORDERING:` justification.
+
+fn publish(seq: &AtomicU64) {
+    seq.store(1, Ordering::Release); //~ atomics
+
+    // ORDERING: Release pairs with the Acquire load in read_frame();
+    // the odd/even sequence word publishes the payload bytes written
+    // before it (seqlock protocol).
+    seq.store(2, Ordering::Release);
+}
+
+fn read_frame(seq: &AtomicU64) -> u64 {
+    seq.load(Ordering::Acquire) // ORDERING: pairs with the Release store in publish()
+}

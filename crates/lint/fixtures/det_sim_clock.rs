@@ -1,0 +1,29 @@
+// Planted determinism violations. In fixtures mode, `det_`-prefixed
+// files stand in for the sim-deterministic scope (crates/sim,
+// crates/archive, crates/bench). Not compiled — lexed only.
+
+fn sample_time() {
+    let t = Instant::now(); //~ determinism
+    let w = SystemTime::now(); //~ determinism
+    use_both(t, w);
+}
+
+fn wait_for_device(d: Duration) {
+    std::thread::sleep(d); //~ determinism
+}
+
+fn allowed_wait(d: Duration) {
+    // ps3-lint: allow(determinism) reason="fixture: allowlisted waits must not fire"
+    thread::sleep(d);
+}
+
+fn virtual_clock_is_fine(clock: &VirtualClock) -> u64 {
+    clock.now_micros()
+}
+
+#[cfg(test)]
+mod tests {
+    fn wall_clock_in_test_scope_is_fine() {
+        let _ = Instant::now();
+    }
+}

@@ -1,0 +1,7 @@
+//~ forbid-unsafe
+// Planted forbid-unsafe violation: this fixture crate root has an
+// unsafe-free src tree but no `#![forbid(unsafe_code)]` declaration.
+
+pub fn safe_helper() -> u32 {
+    7
+}

@@ -1,0 +1,27 @@
+// Planted lock-order cycle: two functions acquire the same pair of
+// mutexes in opposite orders. In fixtures mode, `lock_`-prefixed
+// files stand in for the stream/fleet/rayon lock-order scope.
+
+struct Shared {
+    clients: Mutex<Vec<u8>>,
+    rigs: Mutex<Vec<Rig>>,
+}
+
+fn shutdown(s: &Shared) {
+    let clients = s.clients.lock().unwrap();
+    let rigs = s.rigs.lock().unwrap(); //~ lock-order
+    stop_all(clients, rigs);
+}
+
+fn supervise(s: &Shared) {
+    let rigs = s.rigs.lock().unwrap();
+    let clients = s.clients.lock().unwrap(); //~ lock-order
+    restart_crashed(rigs, clients);
+}
+
+fn consistent_order_is_fine(s: &Shared) {
+    let clients = s.clients.lock().unwrap();
+    drop(clients);
+    let rigs = s.rigs.lock().unwrap();
+    drop(rigs);
+}

@@ -1,0 +1,33 @@
+// Planted panic-path violations. In fixtures mode, `panic_`-prefixed
+// files stand in for the daemon/coordinator hot-path scope.
+
+fn subscriber_loop(rx: &Receiver, sock: &mut TcpStream, buf: &[u8]) {
+    let frame = rx.recv().unwrap(); //~ panic-path
+    sock.write_all(buf).expect("socket write"); //~ panic-path
+    if frame.stale() {
+        panic!("stale frame in subscriber"); //~ panic-path
+    }
+    match frame.kind() {
+        Kind::Data => forward(frame),
+        Kind::Control => unreachable!("control frames are filtered"), //~ panic-path
+    }
+}
+
+fn graceful_variant(rx: &Receiver) {
+    let Ok(frame) = rx.recv() else {
+        return;
+    };
+    forward(frame);
+}
+
+fn allowed_unwrap(lock: &Mutex<u8>) {
+    let g = lock.lock().unwrap(); // ps3-lint: allow(panic-path) reason="fixture: poisoned lock is unrecoverable by design"
+    drop(g);
+}
+
+#[cfg(test)]
+mod tests {
+    fn unwrap_in_test_scope_is_fine(rx: &Receiver) {
+        rx.recv().unwrap();
+    }
+}

@@ -1,0 +1,17 @@
+// Planted unsafe-safety violation: `unsafe` with no `// SAFETY:`
+// comment. The rule applies to every file, fixtures prefix or not.
+
+fn read_reg(addr: *const u32) -> u32 {
+    unsafe { core::ptr::read_volatile(addr) } //~ unsafe-safety
+}
+
+fn documented_read(addr: *const u32) -> u32 {
+    // SAFETY: addr is a valid, aligned MMIO register mapped for the
+    // whole program lifetime; the volatile read has no aliasing
+    // requirements beyond validity.
+    unsafe { core::ptr::read_volatile(addr) }
+}
+
+// SAFETY: the type owns no thread-affine state; the marker impl only
+// asserts what the fields already guarantee.
+unsafe impl Send for Wrapper {}

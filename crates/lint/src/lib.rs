@@ -1,0 +1,47 @@
+//! ps3-lint: workspace-specific static analysis for PowerSensor3.
+//!
+//! The runtime test suite can't see a stray `Instant::now()` in
+//! sim-clocked code, a reordered lock acquisition, or a weakened
+//! atomic ordering — those regressions pass tier-1 green and fail
+//! probabilistically at scale. This crate makes the project's
+//! concurrency and determinism invariants machine-checked on every
+//! PR: a hand-rolled lexer (std only, same vendoring playbook as
+//! `compat/`) feeds rule classes for determinism, unsafe/atomics
+//! auditing, lock-order cycles and panic-paths, with a mandatory-
+//! reason allowlist and JSON output for CI.
+//!
+//! See DESIGN.md § "Static analysis" for the rule catalog and how to
+//! add a rule.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod findings;
+pub mod fixtures;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod walk;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use config::Config;
+use findings::Finding;
+use source::SourceFile;
+
+/// Subtrees excluded from the real check: build outputs and the
+/// planted-violation fixtures (checked separately, in fixtures mode).
+pub const CHECK_SKIP_PREFIXES: &[&str] = &["crates/lint/fixtures/"];
+
+/// Runs every rule over the workspace rooted at `root` and returns
+/// the findings (empty = clean).
+pub fn run_check(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for (rel, path) in walk::collect_rs_files(root, CHECK_SKIP_PREFIXES)? {
+        let src = fs::read_to_string(&path)?;
+        files.push(SourceFile::parse(&rel, &src));
+    }
+    Ok(rules::run_all(&files, &Config::default()))
+}

@@ -1,0 +1,137 @@
+//! ps3-lint CLI.
+//!
+//! ```text
+//! ps3-lint check [--json] [--root DIR]     lint the workspace; exit 1 on findings
+//! ps3-lint check --fixtures [--json]       prove every rule fires on the planted fixtures
+//! ps3-lint list-rules [--json]             print the rule catalog
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ps3_lint::config::RULE_IDS;
+use ps3_lint::findings::to_json;
+use ps3_lint::fixtures::check_fixtures;
+use ps3_lint::run_check;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut json = false;
+    let mut fixtures = false;
+    let mut root = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--fixtures" => fixtures = true,
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "check" | "list-rules" if cmd.is_none() => cmd = Some(a.as_str()),
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    match cmd {
+        Some("list-rules") => {
+            if json {
+                let mut out = String::from("[\n");
+                for (i, (id, desc)) in RULE_IDS.iter().enumerate() {
+                    out.push_str(&format!(
+                        "  {{\"rule\":\"{id}\",\"description\":\"{}\"}}{}",
+                        desc.replace('"', "\\\""),
+                        if i + 1 < RULE_IDS.len() { ",\n" } else { "\n" }
+                    ));
+                }
+                out.push(']');
+                println!("{out}");
+            } else {
+                for (id, desc) in RULE_IDS {
+                    println!("{id:<14} {desc}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") if fixtures => {
+            let dir = root.join("crates/lint/fixtures");
+            let dir = if dir.is_dir() {
+                dir
+            } else {
+                // Running from inside crates/lint.
+                root.join("fixtures")
+            };
+            match check_fixtures(&dir) {
+                Ok(report) => {
+                    if json {
+                        println!(
+                            "{{\"matched\":{},\"missing\":{},\"unexpected\":{}}}",
+                            report.matched.len(),
+                            report.missing.len(),
+                            report.unexpected.len()
+                        );
+                    } else {
+                        println!("fixtures: {} expectations matched", report.matched.len());
+                        for m in &report.missing {
+                            println!("MISSING   {m} (planted violation did not fire)");
+                        }
+                        for u in &report.unexpected {
+                            println!("UNEXPECTED {u} (finding with no //~ marker)");
+                        }
+                    }
+                    if report.ok() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("ps3-lint: fixtures: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("check") => match run_check(&root) {
+            Ok(findings) => {
+                if json {
+                    println!("{}", to_json(&findings));
+                } else if findings.is_empty() {
+                    println!("ps3-lint: clean");
+                } else {
+                    for f in &findings {
+                        println!("{f}");
+                    }
+                    eprintln!("ps3-lint: {} finding(s)", findings.len());
+                }
+                if findings.is_empty() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("ps3-lint: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage("expected a command: check | list-rules"),
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("ps3-lint: {err}");
+    }
+    eprintln!(
+        "usage: ps3-lint check [--json] [--root DIR]\n       ps3-lint check --fixtures [--json]\n       ps3-lint list-rules [--json]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

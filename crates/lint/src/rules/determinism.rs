@@ -1,0 +1,113 @@
+//! determinism: wall-clock calls are forbidden in sim-deterministic
+//! code. A stray `Instant::now()` or `thread::sleep()` there breaks
+//! the bit-exact `(scenario, seed, plan)` replay guarantee silently —
+//! tier-1 stays green and the divergence only shows up at scale.
+
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::source::SourceFile;
+
+const RULE: &str = "determinism";
+
+/// `Type::method` pairs that read the wall clock or real time.
+const CLOCK_PATHS: &[(&str, &str)] = &[
+    ("Instant", "now"),
+    ("SystemTime", "now"),
+    ("thread", "sleep"),
+    // chrono-style Date/time sources, should they ever sneak in via a
+    // future vendored compat crate.
+    ("Local", "now"),
+    ("Utc", "now"),
+    ("Date", "now"),
+];
+
+pub fn check(f: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+    if !cfg.determinism_scope(&f.rel_path) {
+        return;
+    }
+    for i in 0..f.tokens.len() {
+        let Some((ty, method)) = path_pair(f, i) else {
+            continue;
+        };
+        let line = f.tokens[i].line;
+        if f.is_test_line(line) || f.is_allowed(RULE, line) {
+            continue;
+        }
+        out.push(Finding::new(
+            &f.rel_path,
+            line,
+            RULE,
+            format!("wall-clock call `{ty}::{method}` in sim-deterministic code (route through the virtual clock or allowlist with a reason)"),
+        ));
+    }
+}
+
+/// Matches `Ty :: method` at token `i` against [`CLOCK_PATHS`].
+fn path_pair(f: &SourceFile, i: usize) -> Option<(&'static str, &'static str)> {
+    let ty = f.ident_at(i)?;
+    if !(f.punct_at(i + 1, ':') && f.punct_at(i + 2, ':')) {
+        return None;
+    }
+    let method = f.ident_at(i + 3)?;
+    CLOCK_PATHS
+        .iter()
+        .copied()
+        .find(|(t, m)| *t == ty && *m == method)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(rel, src);
+        let mut out = Vec::new();
+        check(&f, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_instant_now_in_sim() {
+        let out = run(
+            "crates/sim/src/world.rs",
+            "fn t() { let x = Instant::now(); }\n",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "determinism");
+        assert_eq!(out[0].line, 1);
+        assert!(out[0].message.contains("Instant::now"));
+    }
+
+    #[test]
+    fn flags_thread_sleep_and_systemtime() {
+        let src = "fn t() {\n    std::thread::sleep(d);\n    SystemTime::now();\n}\n";
+        let out = run("crates/bench/src/driver.rs", src);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].line, 2);
+        assert_eq!(out[1].line, 3);
+    }
+
+    #[test]
+    fn out_of_scope_files_are_ignored() {
+        assert!(run(
+            "crates/stream/src/daemon.rs",
+            "fn t() { Instant::now(); }\n"
+        )
+        .is_empty());
+        assert!(run("crates/sim/src/inject.rs", "fn t() { thread::sleep(d); }\n").is_empty());
+    }
+
+    #[test]
+    fn test_code_and_allows_are_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { Instant::now(); }\n}\n";
+        assert!(run("crates/sim/src/world.rs", src).is_empty());
+        let src = "// ps3-lint: allow(determinism) reason=\"harness quiesce\"\nfn t() { thread::sleep(d); }\n";
+        assert!(run("crates/sim/src/world.rs", src).is_empty());
+    }
+
+    #[test]
+    fn mentions_in_comments_and_strings_do_not_fire() {
+        let src = "// Instant::now() is banned here.\nfn t() { let s = \"Instant::now\"; }\n";
+        assert!(run("crates/sim/src/world.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,94 @@
+//! panic-path: long-running server code (daemon accept/subscriber
+//! loops, fleet rig supervision) must degrade gracefully, not die.
+//! A panicking `.unwrap()` in a subscriber thread silently kills that
+//! client forever; in the accept loop it takes the whole service down.
+
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::source::SourceFile;
+
+const RULE: &str = "panic-path";
+
+/// Macros that abort the thread.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn check(f: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+    if !cfg.panic_scope(&f.rel_path) {
+        return;
+    }
+    for i in 0..f.tokens.len() {
+        let Some(what) = panic_site(f, i) else {
+            continue;
+        };
+        let line = f.tokens[i].line;
+        if f.is_test_line(line) || f.is_allowed(RULE, line) {
+            continue;
+        }
+        out.push(Finding::new(
+            &f.rel_path,
+            line,
+            RULE,
+            format!(
+                "`{what}` on a server hot path (log and degrade instead of panicking the thread)"
+            ),
+        ));
+    }
+}
+
+fn panic_site(f: &SourceFile, i: usize) -> Option<String> {
+    let id = f.ident_at(i)?;
+    // `.unwrap()` / `.expect(...)` method calls — require the leading
+    // `.` so local fns or enum variants named `expect` don't fire.
+    if (id == "unwrap" || id == "expect")
+        && i > 0
+        && f.punct_at(i - 1, '.')
+        && f.punct_at(i + 1, '(')
+    {
+        return Some(format!(".{id}()"));
+    }
+    if PANIC_MACROS.contains(&id) && f.punct_at(i + 1, '!') {
+        return Some(format!("{id}!"));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(rel, src);
+        let mut out = Vec::new();
+        check(&f, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panic_macros() {
+        let src = "fn serve() {\n    x.unwrap();\n    y.expect(\"m\");\n    panic!(\"boom\");\n    unreachable!();\n}\n";
+        let out = run("crates/stream/src/daemon.rs", src);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].line, 2);
+        assert!(out[0].message.contains(".unwrap()"));
+        assert!(out[3].message.contains("unreachable!"));
+    }
+
+    #[test]
+    fn unwrap_or_and_bare_names_do_not_fire() {
+        let src = "fn serve() {\n    x.unwrap_or(0);\n    x.unwrap_or_else(f);\n    let expect = 3;\n    f(expect);\n}\n";
+        assert!(run("crates/stream/src/daemon.rs", src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_and_tests_skipped() {
+        assert!(run("crates/bench/src/driver.rs", "fn t() { x.unwrap(); }\n").is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(run("crates/stream/src/daemon.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "fn serve() {\n    x.unwrap(); // ps3-lint: allow(panic-path) reason=\"poisoned lock is unrecoverable\"\n}\n";
+        assert!(run("crates/stream/src/daemon.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! unsafe audit, two halves:
+//!
+//! * `unsafe-safety` — every `unsafe` keyword (block, fn, impl) must
+//!   be covered by a `// SAFETY:` comment, test code included.
+//! * `forbid-unsafe` — a crate whose whole `src/` tree is unsafe-free
+//!   must say so structurally with `#![forbid(unsafe_code)]`, so a
+//!   future PR can't introduce unsafe there without touching lib.rs.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::source::SourceFile;
+
+/// Per-file: every `unsafe` needs a `// SAFETY:` justification.
+pub fn check_safety_comments(f: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..f.tokens.len() {
+        if f.ident_at(i) != Some("unsafe") {
+            continue;
+        }
+        let line = f.tokens[i].line;
+        if f.is_allowed("unsafe-safety", line) || f.has_justification("SAFETY:", line) {
+            continue;
+        }
+        out.push(Finding::new(
+            &f.rel_path,
+            line,
+            "unsafe-safety",
+            "`unsafe` without a `// SAFETY:` comment justifying the invariants".to_owned(),
+        ));
+    }
+}
+
+/// Cross-file: crates with an unsafe-free `src/` tree must declare
+/// `#![forbid(unsafe_code)]` in their lib root.
+pub fn check_forbid_unsafe(files: &[SourceFile], cfg: &Config, out: &mut Vec<Finding>) {
+    let mut unsafe_crates: HashSet<&str> = HashSet::new();
+    let mut roots: HashMap<&str, &SourceFile> = HashMap::new();
+    for f in files {
+        let Some(key) = cfg.crate_src_key(&f.rel_path) else {
+            continue;
+        };
+        if f.tokens
+            .iter()
+            .any(|t| matches!(&t.kind, crate::lexer::TokKind::Ident(s) if s == "unsafe"))
+        {
+            unsafe_crates.insert(key);
+        }
+        if cfg.is_crate_root(&f.rel_path) {
+            roots.insert(key, f);
+        }
+    }
+    for (key, root) in roots {
+        if unsafe_crates.contains(key) || has_forbid_unsafe(root) {
+            continue;
+        }
+        if root.is_allowed("forbid-unsafe", 1) {
+            continue;
+        }
+        out.push(Finding::new(
+            &root.rel_path,
+            1,
+            "forbid-unsafe",
+            "crate src tree is unsafe-free but lib.rs does not declare `#![forbid(unsafe_code)]`"
+                .to_owned(),
+        ));
+    }
+}
+
+/// Looks for `forbid( ... unsafe_code ... )` anywhere in the file
+/// (inner attribute position is enforced by rustc itself).
+fn has_forbid_unsafe(f: &SourceFile) -> bool {
+    for i in 0..f.tokens.len() {
+        if f.ident_at(i) == Some("forbid") && f.punct_at(i + 1, '(') {
+            let mut j = i + 2;
+            while j < f.tokens.len() && !f.punct_at(j, ')') {
+                if f.ident_at(j) == Some("unsafe_code") {
+                    return true;
+                }
+                j += 1;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_safety(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        let mut out = Vec::new();
+        check_safety_comments(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_fires() {
+        let out = run_safety("fn t() { unsafe { x() } }\n");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "unsafe-safety");
+    }
+
+    #[test]
+    fn safety_comment_block_covers_the_site() {
+        let src = "// SAFETY: fd is open and owned by self;\n// setsockopt cannot outlive it.\nfn t() { unsafe { x() } }\n";
+        assert!(run_safety(src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_is_not_a_site() {
+        assert!(run_safety("// an unsafe idea\nfn t() { let s = \"unsafe\"; }\n").is_empty());
+    }
+
+    fn run_forbid(files: &[(&str, &str)]) -> Vec<Finding> {
+        let parsed: Vec<SourceFile> = files
+            .iter()
+            .map(|(rel, src)| SourceFile::parse(rel, src))
+            .collect();
+        let mut out = Vec::new();
+        check_forbid_unsafe(&parsed, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn unsafe_free_crate_without_forbid_fires() {
+        let out = run_forbid(&[("crates/x/src/lib.rs", "pub fn a() {}\n")]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "forbid-unsafe");
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn forbid_attribute_satisfies_the_rule() {
+        let out = run_forbid(&[(
+            "crates/x/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn a() {}\n",
+        )]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unsafe_anywhere_in_src_tree_waives_the_obligation() {
+        let out = run_forbid(&[
+            ("crates/x/src/lib.rs", "pub mod inner;\n"),
+            (
+                "crates/x/src/inner.rs",
+                "// SAFETY: test\npub fn a() { unsafe { b() } }\n",
+            ),
+        ]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn test_targets_do_not_carry_the_obligation() {
+        let out = run_forbid(&[("crates/x/tests/it.rs", "fn a() {}\n")]);
+        assert!(out.is_empty());
+    }
+}

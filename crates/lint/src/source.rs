@@ -1,0 +1,377 @@
+//! Per-file analysis model: lexed tokens plus the derived views every
+//! rule needs — test-code regions, allow directives, and comment
+//! look-ups for `// SAFETY:` / `// ORDERING:` justifications.
+
+use std::collections::HashMap;
+
+use crate::lexer::{lex, Comment, TokKind, Token};
+
+/// How far above a site a justification comment (`SAFETY:`,
+/// `ORDERING:`) may end and still cover it. Generous enough for a
+/// `let x =` line between the comment and the keyword.
+const JUSTIFY_REACH_LINES: u32 = 3;
+
+/// A parsed `// ps3-lint: allow(rule-id, ...) reason="..."` directive.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// Rule ids the directive suppresses.
+    pub rules: Vec<String>,
+    /// The mandatory human reason.
+    pub reason: String,
+    /// Line the directive suppresses findings on.
+    pub target_line: u32,
+    /// Line the directive itself sits on.
+    pub line: u32,
+}
+
+/// A malformed allow directive (reported by the `allow-syntax` rule).
+#[derive(Debug, Clone)]
+pub struct BadAllow {
+    pub line: u32,
+    pub message: String,
+}
+
+/// One source file, lexed and indexed for the rules.
+pub struct SourceFile {
+    /// Path relative to the scanned root, `/`-separated.
+    pub rel_path: String,
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    /// 1-based: line carries code tokens.
+    pub lines_with_tokens: Vec<bool>,
+    /// 1-based: line is test code (`#[cfg(test)]` module, or the whole
+    /// file when under a `tests/`, `benches/` or `examples/` tree).
+    pub test_lines: Vec<bool>,
+    pub allows: Vec<AllowDirective>,
+    pub bad_allows: Vec<BadAllow>,
+    /// rule-id -> suppressed lines.
+    allow_index: HashMap<String, Vec<u32>>,
+}
+
+impl SourceFile {
+    /// Lexes and indexes `src` as `rel_path`.
+    #[must_use]
+    pub fn parse(rel_path: &str, src: &str) -> Self {
+        let lexed = lex(src);
+        let whole_file_test = is_test_path(rel_path);
+        let mut test_lines = vec![whole_file_test; lexed.line_count as usize + 2];
+        if !whole_file_test {
+            mark_cfg_test_regions(&lexed.tokens, &mut test_lines);
+        }
+        let (allows, bad_allows) = parse_allows(&lexed.comments, &lexed.lines_with_tokens);
+        let mut allow_index: HashMap<String, Vec<u32>> = HashMap::new();
+        for a in &allows {
+            for rule in &a.rules {
+                allow_index
+                    .entry(rule.clone())
+                    .or_default()
+                    .push(a.target_line);
+            }
+        }
+        Self {
+            rel_path: rel_path.to_owned(),
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            lines_with_tokens: lexed.lines_with_tokens,
+            test_lines,
+            allows,
+            bad_allows,
+            allow_index,
+        }
+    }
+
+    /// `true` when a finding of `rule` at `line` is suppressed by an
+    /// allow directive.
+    #[must_use]
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allow_index
+            .get(rule)
+            .is_some_and(|lines| lines.contains(&line))
+    }
+
+    /// `true` when `line` is inside test code.
+    #[must_use]
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_lines.get(line as usize).copied().unwrap_or(false)
+    }
+
+    /// `true` when a justification comment covers the site at `line`:
+    /// trailing on the same line, or an own-line block ending within
+    /// [`JUSTIFY_REACH_LINES`] above it. To count, a comment line must
+    /// *start* with `marker` — prose that merely mentions `SAFETY:`
+    /// does not justify anything.
+    #[must_use]
+    pub fn has_justification(&self, marker: &str, line: u32) -> bool {
+        self.comments.iter().any(|c| {
+            (c.line == line || (c.end_line < line && line - c.end_line <= JUSTIFY_REACH_LINES))
+                && c.text
+                    .split('\n')
+                    .any(|l| l.trim_start().starts_with(marker))
+        })
+    }
+
+    /// Convenience for rules: identifier text at token index `i`.
+    #[must_use]
+    pub fn ident_at(&self, i: usize) -> Option<&str> {
+        match self.tokens.get(i).map(|t| &t.kind) {
+            Some(TokKind::Ident(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Convenience for rules: `true` when token `i` is punct `c`.
+    #[must_use]
+    pub fn punct_at(&self, i: usize, c: char) -> bool {
+        matches!(self.tokens.get(i).map(|t| &t.kind), Some(TokKind::Punct(p)) if *p == c)
+    }
+}
+
+/// Whole-file test scope: integration tests, benches, examples.
+fn is_test_path(rel: &str) -> bool {
+    rel.starts_with("tests/")
+        || rel.starts_with("examples/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+}
+
+/// Marks every line of `#[cfg(test)] mod ... { ... }` regions (and
+/// `#[cfg(test)]`-gated items generally) as test code.
+fn mark_cfg_test_regions(tokens: &[Token], test_lines: &mut [bool]) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // Find the start of the gated item's body: the first `{`
+            // after the attribute (skipping further attributes), then
+            // mark through its matching `}`.
+            let mut j = skip_attr(tokens, i);
+            while is_attr_start(tokens, j) {
+                j = skip_attr(tokens, j);
+            }
+            let Some(open) = (j..tokens.len()).find(|&k| punct(tokens, k, '{')) else {
+                return;
+            };
+            let close = match_brace(tokens, open);
+            let start_line = tokens[i].line;
+            let end_line = tokens.get(close).map_or(u32::MAX, |t| t.line);
+            for t in tokens {
+                if t.line >= start_line && t.line <= end_line {
+                    if let Some(slot) = test_lines.get_mut(t.line as usize) {
+                        *slot = true;
+                    }
+                }
+            }
+            i = close;
+        }
+        i += 1;
+    }
+}
+
+fn punct(tokens: &[Token], i: usize, c: char) -> bool {
+    matches!(tokens.get(i).map(|t| &t.kind), Some(TokKind::Punct(p)) if *p == c)
+}
+
+fn ident(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn is_attr_start(tokens: &[Token], i: usize) -> bool {
+    punct(tokens, i, '#') && punct(tokens, i + 1, '[')
+}
+
+/// `#[cfg(...)]` whose argument list mentions `test`.
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    if !is_attr_start(tokens, i) || ident(tokens, i + 2) != Some("cfg") {
+        return false;
+    }
+    let end = skip_attr(tokens, i);
+    tokens[i..end.min(tokens.len())]
+        .iter()
+        .any(|t| matches!(&t.kind, TokKind::Ident(s) if s == "test"))
+}
+
+/// Returns the index just past a `#[...]` attribute starting at `i`.
+fn skip_attr(tokens: &[Token], i: usize) -> usize {
+    debug_assert!(is_attr_start(tokens, i));
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    while j < tokens.len() {
+        if punct(tokens, j, '[') {
+            depth += 1;
+        } else if punct(tokens, j, ']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+#[must_use]
+pub fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < tokens.len() {
+        if punct(tokens, j, '{') {
+            depth += 1;
+        } else if punct(tokens, j, '}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Extracts allow directives (and syntax errors) from the comments.
+/// A directive is a comment line that *starts* with `ps3-lint:` —
+/// prose or doc examples that merely mention the marker mid-line are
+/// not directives.
+fn parse_allows(
+    comments: &[Comment],
+    lines_with_tokens: &[bool],
+) -> (Vec<AllowDirective>, Vec<BadAllow>) {
+    const PREFIX: &str = "ps3-lint:";
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        for (off, line_text) in c.text.split('\n').enumerate() {
+            let Some(directive) = line_text.trim_start().strip_prefix(PREFIX) else {
+                continue;
+            };
+            let line = c.line + off as u32;
+            match parse_one_allow(directive.trim()) {
+                Ok((rules, reason)) => {
+                    let target_line = if c.trailing {
+                        c.line
+                    } else {
+                        // Own-line directive: covers the next code line.
+                        let mut l = c.end_line + 1;
+                        while (l as usize) < lines_with_tokens.len()
+                            && !lines_with_tokens[l as usize]
+                        {
+                            l += 1;
+                        }
+                        l
+                    };
+                    allows.push(AllowDirective {
+                        rules,
+                        reason,
+                        target_line,
+                        line,
+                    });
+                }
+                Err(message) => bad.push(BadAllow { line, message }),
+            }
+        }
+    }
+    (allows, bad)
+}
+
+/// Parses `allow(rule-a, rule-b) reason="why"`.
+fn parse_one_allow(s: &str) -> Result<(Vec<String>, String), String> {
+    let s = s.trim();
+    let Some(rest) = s.strip_prefix("allow") else {
+        return Err(format!(
+            "unknown ps3-lint directive: `{s}` (expected `allow(...)`)"
+        ));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("allow directive missing `(rule-id, ...)`".to_owned());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("allow directive missing closing `)`".to_owned());
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_owned())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("allow directive lists no rule ids".to_owned());
+    }
+    let tail = rest[close + 1..].trim();
+    let Some(tail) = tail.strip_prefix("reason=") else {
+        return Err("allow directive missing mandatory `reason=\"...\"`".to_owned());
+    };
+    let tail = tail.trim();
+    let reason = tail
+        .strip_prefix('"')
+        .and_then(|t| t.find('"').map(|end| t[..end].trim().to_owned()))
+        .ok_or_else(|| "allow reason must be quoted: reason=\"...\"".to_owned())?;
+    if reason.is_empty() {
+        return Err("allow reason must not be empty".to_owned());
+    }
+    Ok((rules, reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_lines_are_test_scope() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn integration_test_paths_are_entirely_test_scope() {
+        let f = SourceFile::parse("crates/x/tests/it.rs", "fn a() {}\n");
+        assert!(f.is_test_line(1));
+    }
+
+    #[test]
+    fn allow_directive_targets_next_code_line() {
+        let src = "// ps3-lint: allow(determinism) reason=\"harness quiesce\"\n\nfn f() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.is_allowed("determinism", 3));
+        assert!(!f.is_allowed("determinism", 1));
+        assert!(f.bad_allows.is_empty());
+    }
+
+    #[test]
+    fn trailing_allow_targets_its_own_line() {
+        let src = "fn f() {} // ps3-lint: allow(panic-path) reason=\"test shim\"\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.is_allowed("panic-path", 1));
+    }
+
+    #[test]
+    fn allow_without_reason_is_reported() {
+        let src = "// ps3-lint: allow(determinism)\nfn f() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.is_allowed("determinism", 2));
+        assert_eq!(f.bad_allows.len(), 1);
+        assert!(f.bad_allows[0].message.contains("reason"));
+    }
+
+    #[test]
+    fn multi_rule_allow() {
+        let src = "// ps3-lint: allow(determinism, panic-path) reason=\"both\"\nfn f() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.is_allowed("determinism", 2));
+        assert!(f.is_allowed("panic-path", 2));
+    }
+
+    #[test]
+    fn justification_reaches_over_a_let_line() {
+        let src = "// SAFETY: fd is valid\n// and owned here.\nlet rc =\n    unsafe { x() };\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.has_justification("SAFETY:", 4));
+        assert!(!f.has_justification("ORDERING:", 4));
+    }
+}

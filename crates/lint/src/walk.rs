@@ -1,0 +1,77 @@
+//! Workspace walker: collects `.rs` files in deterministic order.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "node_modules"];
+
+/// Collects every `.rs` file under `root`, sorted by relative path.
+/// `skip_rel_prefixes` drops subtrees by relative-path prefix (used to
+/// keep planted fixtures out of the real check).
+pub fn collect_rs_files(
+    root: &Path,
+    skip_rel_prefixes: &[&str],
+) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let ty = entry.file_type()?;
+            if ty.is_dir() {
+                if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                    continue;
+                }
+                let rel = rel_of(root, &path);
+                if skip_rel_prefixes.iter().any(|p| rel.starts_with(p)) {
+                    continue;
+                }
+                stack.push(path);
+            } else if ty.is_file() && name.ends_with(".rs") {
+                let rel = rel_of(root, &path);
+                if skip_rel_prefixes.iter().any(|p| rel.starts_with(p)) {
+                    continue;
+                }
+                out.push((rel, path));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// `/`-separated path of `path` relative to `root`.
+fn rel_of(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut s = String::new();
+    for comp in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_own_crate_sorted() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = collect_rs_files(root, &["fixtures/"]).unwrap();
+        let rels: Vec<&str> = files.iter().map(|(r, _)| r.as_str()).collect();
+        assert!(rels.contains(&"src/lexer.rs"));
+        assert!(rels.contains(&"src/walk.rs"));
+        assert!(rels.iter().all(|r| !r.starts_with("fixtures/")));
+        let mut sorted = rels.clone();
+        sorted.sort_unstable();
+        assert_eq!(rels, sorted);
+    }
+}

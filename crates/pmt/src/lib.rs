@@ -18,6 +18,8 @@
 //!   [`ps3_analysis::Trace`], the common format all figure
 //!   harnesses consume.
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 
 use ps3_analysis::Trace;

@@ -22,6 +22,8 @@
 //! The models are deterministic given a seed, which keeps the entire
 //! evaluation reproducible.
 
+#![forbid(unsafe_code)]
+
 mod adc_spec;
 pub mod budget;
 mod drift;

@@ -31,6 +31,8 @@
 //! let _ = runner::run_one("pipeline", 7, Some(&plan), Sabotage::None);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod inject;
 pub mod invariant;
 pub mod plan;

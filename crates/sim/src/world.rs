@@ -109,7 +109,7 @@ impl SimDevice {
                             dev.run_until(&dev_end, target);
                         } else {
                             dev.process_commands(&dev_end);
-                            std::thread::sleep(Duration::from_micros(200));
+                            std::thread::sleep(Duration::from_micros(200)); // ps3-lint: allow(determinism) reason="harness quiesce: paces real OS reader/device threads; the simulated timeline itself is SimTime-driven"
                         }
                         clock_ns.store(dev.clock().as_nanos(), Ordering::SeqCst);
                     }
@@ -178,23 +178,25 @@ pub fn quiesce(
     tap: &dyn Transport,
     timeout: Duration,
 ) -> bool {
-    let deadline = Instant::now() + timeout;
+    let deadline = Instant::now() + timeout; // ps3-lint: allow(determinism) reason="harness quiesce: paces real OS reader/device threads; the simulated timeline itself is SimTime-driven"
     let mut last_frames = ps.frames_received();
-    let mut stable_since = Instant::now();
+    let mut stable_since = Instant::now(); // ps3-lint: allow(determinism) reason="harness quiesce: paces real OS reader/device threads; the simulated timeline itself is SimTime-driven"
+
+    // ps3-lint: allow(determinism) reason="harness quiesce: paces real OS reader/device threads; the simulated timeline itself is SimTime-driven"
     while Instant::now() < deadline {
         let settled = device.parked() || device.is_crashed() || !ps.is_alive();
         let drained = tap.available() == 0 || !ps.is_alive();
         let frames = ps.frames_received();
         if frames != last_frames {
             last_frames = frames;
-            stable_since = Instant::now();
+            stable_since = Instant::now(); // ps3-lint: allow(determinism) reason="harness quiesce: paces real OS reader/device threads; the simulated timeline itself is SimTime-driven"
         }
         // Two reader polls (20 ms each) of silence after the pipeline
         // looks empty: the count is final.
         if settled && drained && stable_since.elapsed() > Duration::from_millis(60) {
             return true;
         }
-        std::thread::sleep(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(5)); // ps3-lint: allow(determinism) reason="harness quiesce: paces real OS reader/device threads; the simulated timeline itself is SimTime-driven"
     }
     false
 }

@@ -197,8 +197,7 @@ impl StreamDaemon {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("ps3-stream-accept".into())
-                .spawn(move || accept_loop(&listener, &shared))
-                .expect("spawn accept thread")
+                .spawn(move || accept_loop(&listener, &shared))?
         };
 
         Ok(Self {
@@ -262,15 +261,22 @@ impl StreamDaemon {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("ps3-stream-accept".into())
-                .spawn(move || accept_loop(&listener, &shared))
-                .expect("spawn accept thread")
+                .spawn(move || accept_loop(&listener, &shared))?
         };
         let pump = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
+            let pump_shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
                 .name("ps3-stream-replay".into())
-                .spawn(move || replay_pump(&shared, &archive, range, speed))
-                .expect("spawn replay thread")
+                .spawn(move || replay_pump(&pump_shared, &archive, range, speed));
+            match spawned {
+                Ok(handle) => handle,
+                Err(e) => {
+                    // The accept thread is already up; signal shutdown
+                    // so it exits instead of serving a pumpless daemon.
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    return Err(e);
+                }
+            }
         };
 
         Ok(Self {
@@ -426,13 +432,20 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<DaemonShared>) {
             Ok((stream, _peer)) => {
                 client_id += 1;
                 let shared_for_client = Arc::clone(shared);
-                let handle = std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name(format!("ps3-stream-sub-{client_id}"))
                     .spawn(move || {
                         let _ = serve_client(&shared_for_client, stream);
-                    })
-                    .expect("spawn subscriber thread");
-                shared.clients.lock().push(handle);
+                    });
+                match spawned {
+                    Ok(handle) => shared.clients.lock().push(handle),
+                    // Degrade, don't die: drop this connection (the
+                    // stream closes on drop) and keep accepting —
+                    // thread exhaustion may be transient.
+                    Err(e) => {
+                        eprintln!("ps3-stream: dropping client {client_id}: spawn failed: {e}");
+                    }
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -486,13 +499,21 @@ fn serve_client(shared: &Arc<DaemonShared>, stream: TcpStream) -> io::Result<()>
     shared.active_subscribers.fetch_add(1, Ordering::SeqCst);
     let client_gone = Arc::new(AtomicBool::new(false));
     let control_thread = {
-        let shared = Arc::clone(shared);
+        let ctl_shared = Arc::clone(shared);
         let writer = Arc::clone(&writer);
         let client_gone = Arc::clone(&client_gone);
-        std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("ps3-stream-ctl".into())
-            .spawn(move || control_loop(&shared, control, &writer, &client_gone))
-            .expect("spawn control thread")
+            .spawn(move || control_loop(&ctl_shared, control, &writer, &client_gone));
+        match spawned {
+            Ok(handle) => handle,
+            Err(e) => {
+                // Undo the registration and drop just this client;
+                // the daemon itself keeps serving.
+                shared.active_subscribers.fetch_sub(1, Ordering::SeqCst);
+                return Err(e);
+            }
+        }
     };
 
     let end = sender_loop(shared, &writer, pair_mask, divisor, &client_gone);

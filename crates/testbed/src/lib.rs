@@ -34,6 +34,8 @@
 //! assert!((state.total_watts().value() - 24.0).abs() < 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod frontend;
 pub mod setups;
 mod testbed;

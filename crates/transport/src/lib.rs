@@ -26,6 +26,8 @@
 //! assert_eq!(&buf, b"V");
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod fault;
 mod recording;
 mod replay;

@@ -18,6 +18,8 @@
 //! * [`Tuner`] — sweeps the space, returns per-configuration records,
 //!   the Pareto front, and total tuning time per strategy.
 
+#![forbid(unsafe_code)]
+
 mod model;
 pub mod optimizer;
 mod strategy;

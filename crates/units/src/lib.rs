@@ -18,6 +18,8 @@
 //! assert!((energy.value() - 48.0).abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod quantity;
 mod time;
 

@@ -5,6 +5,8 @@
 //! depend on a single crate. See the README for an architecture
 //! overview and DESIGN.md for the paper-to-module map.
 
+#![forbid(unsafe_code)]
+
 pub use ps3_analysis as analysis;
 pub use ps3_archive as archive;
 pub use ps3_core as core;
