@@ -30,7 +30,7 @@ if ! ./target/release/ps3-lint check --json >target/ci-lint/findings.json; then
 fi
 ./target/release/ps3-lint list-rules >target/ci-lint/rules.txt
 for rule in determinism unsafe-safety forbid-unsafe atomics lock-order \
-            panic-path allow-syntax; do
+            panic-path allow-syntax blocking-io; do
   grep -q "^$rule " target/ci-lint/rules.txt \
     || { echo "rule catalog lost \`$rule\`"; exit 1; }
 done
@@ -40,7 +40,7 @@ done
 grep -q '"missing":0,"unexpected":0' target/ci-lint/fixtures.json \
   || { echo "fixture report not clean"; cat target/ci-lint/fixtures.json; exit 1; }
 matched=$(grep -o '"matched":[0-9]*' target/ci-lint/fixtures.json | cut -d: -f2)
-test "$matched" -ge 7 \
+test "$matched" -ge 8 \
   || { echo "only $matched fixture expectations matched (< 1 per rule)"; exit 1; }
 
 echo "==> bench smoke: repro determinism + BENCH_repro.json"
@@ -173,5 +173,30 @@ cmp target/ci-fleet/serial/fleet.csv target/ci-fleet/par/fleet.csv \
   || { echo "non-deterministic fleet bench artifact"; exit 1; }
 grep -q '"fleet_8_rigs_frames_per_sec"' target/ci-fleet/par/BENCH_repro.json \
   || { echo "BENCH_repro.json lacks the fleet throughput curve"; exit 1; }
+
+echo "==> c10k smoke: 1000-subscriber event-loop streaming bench"
+# The stream experiment multiplexes 64/256/1024 concurrent TCP
+# subscribers onto the daemon's single event-loop thread. Every point
+# must deliver every expected frame with zero gaps/drops/evictions,
+# the CSV must be byte-identical across thread counts (wall-clock
+# latency lives only in BENCH_repro.json), and the perf record must
+# carry the subscribers-vs-latency curve.
+rm -rf target/ci-c10k
+PS3_RESULTS_DIR=target/ci-c10k/serial \
+  ./target/release/repro --smoke --jobs 1 stream >/dev/null
+PS3_RESULTS_DIR=target/ci-c10k/par \
+  ./target/release/repro --smoke --jobs 2 stream >/dev/null
+cmp target/ci-c10k/serial/stream.csv target/ci-c10k/par/stream.csv \
+  || { echo "non-deterministic stream bench artifact"; exit 1; }
+awk -F, 'NR > 1 {
+    if ($1 == 1024) seen1024 = 1
+    if ($4 != $1 * $3 || $5 != 0 || $6 != 0 || $7 != 0) {
+      printf "subscribers %d: delivered %d of %d (gaps %d, dropped %d, evicted %d)\n", \
+        $1, $4, $1 * $3, $5, $6, $7; bad = 1 } }
+  END { if (!seen1024) { print "missing the 1024-subscriber point"; bad = 1 }
+        exit bad }' target/ci-c10k/par/stream.csv \
+  || { echo "stream bench was not gap-free with full delivery"; exit 1; }
+grep -q '"stream_1024_subs_p99_ms"' target/ci-c10k/par/BENCH_repro.json \
+  || { echo "BENCH_repro.json lacks the subscriber latency curve"; exit 1; }
 
 echo "CI green."

@@ -1,0 +1,209 @@
+//! Raw socket plumbing that `std` has no portable surface for.
+//!
+//! Lives here because this crate is the workspace's one `unsafe`
+//! enclave: `ps3-stream`'s `net` module re-exports these and stays
+//! `#![forbid(unsafe_code)]`.
+//!
+//! * [`bind_reusable`]: bind a listener with `SO_REUSEADDR` set
+//!   *before* `bind`, so a daemon bounced on the same port (fleet
+//!   rig restarts, the reconnect tests) does not race the kernel's
+//!   `TIME_WAIT` hold and fail with `EADDRINUSE`.
+//!   `std::net::TcpListener::bind` offers no hook to set the option
+//!   first, so on Linux this goes through the raw socket calls;
+//!   elsewhere it falls back to the plain `std` bind.
+//! * [`set_send_buffer`]: cap a socket's kernel send buffer
+//!   (`SO_SNDBUF`), which bounds how far a stalled subscriber can
+//!   buffer ahead of its eviction.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+
+/// Binds a TCP listener with `SO_REUSEADDR`, so a just-closed listener
+/// on the same address does not block the new bind.
+///
+/// Resolves `addr` like [`TcpListener::bind`] (first address that
+/// binds wins). The returned listener is in the default blocking mode.
+///
+/// # Errors
+///
+/// Address resolution and socket bind errors; the error for a bind
+/// failure is the raw OS error (callers prepend the address).
+pub fn bind_reusable<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+    let mut last_err = None;
+    for addr in addr.to_socket_addrs()? {
+        match bind_one(addr) {
+            Ok(listener) => return Ok(listener),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "could not resolve any address")
+    }))
+}
+
+#[cfg(target_os = "linux")]
+fn bind_one(addr: SocketAddr) -> io::Result<TcpListener> {
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd};
+
+    // IPv6 listeners are rare here (every in-repo caller uses v4
+    // loopback); take the std path rather than growing a second raw
+    // sockaddr layout.
+    let SocketAddr::V4(v4) = addr else {
+        return TcpListener::bind(addr);
+    };
+
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_CLOEXEC: i32 = 0x8_0000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+    // Sized for the c10k experiments' connection storms (the kernel
+    // clamps to somaxconn); std's own bind uses 128.
+    const BACKLOG: i32 = 1024;
+
+    /// `struct sockaddr_in`: family, port (network order), address
+    /// (network order), 8 bytes of zero padding.
+    #[repr(C)]
+    struct SockAddrIn {
+        family: u16,
+        port: u16,
+        addr: u32,
+        zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn bind(fd: i32, addr: *const core::ffi::c_void, addrlen: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+    }
+
+    // SAFETY: plain socket creation; a negative return is an error.
+    let fd = unsafe { socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: fd was just returned by socket() and is owned by nobody
+    // else; OwnedFd closes it on every error path below.
+    let fd = unsafe { OwnedFd::from_raw_fd(fd) };
+
+    let on: i32 = 1;
+    set_int_option(fd.as_raw_fd(), SOL_SOCKET, SO_REUSEADDR, on)?;
+
+    let sa = SockAddrIn {
+        family: AF_INET as u16,
+        port: v4.port().to_be(),
+        addr: u32::from_be_bytes(v4.ip().octets()).to_be(),
+        zero: [0; 8],
+    };
+    // SAFETY: valid fd; sa is a properly laid-out sockaddr_in whose
+    // size is passed as addrlen.
+    let rc = unsafe {
+        bind(
+            fd.as_raw_fd(),
+            (&raw const sa).cast(),
+            core::mem::size_of::<SockAddrIn>() as u32,
+        )
+    };
+    if rc != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: valid, bound fd.
+    if unsafe { listen(fd.as_raw_fd(), BACKLOG) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(TcpListener::from(fd))
+}
+
+#[cfg(not(target_os = "linux"))]
+fn bind_one(addr: SocketAddr) -> io::Result<TcpListener> {
+    TcpListener::bind(addr)
+}
+
+/// Caps the socket's kernel send buffer. `std` has no portable
+/// accessor for `SO_SNDBUF`, so this goes through `setsockopt`
+/// directly on Linux and is a no-op elsewhere.
+///
+/// # Errors
+///
+/// `setsockopt` failures (closed socket).
+#[cfg(target_os = "linux")]
+pub fn set_send_buffer(stream: &TcpStream, bytes: usize) -> io::Result<()> {
+    use std::os::fd::AsRawFd;
+    const SOL_SOCKET: i32 = 1;
+    const SO_SNDBUF: i32 = 7;
+    let val = i32::try_from(bytes).unwrap_or(i32::MAX);
+    set_int_option(stream.as_raw_fd(), SOL_SOCKET, SO_SNDBUF, val)
+}
+
+/// Caps the socket's kernel send buffer (no-op off Linux).
+///
+/// # Errors
+///
+/// Never fails off Linux.
+#[cfg(not(target_os = "linux"))]
+pub fn set_send_buffer(_stream: &TcpStream, _bytes: usize) -> io::Result<()> {
+    Ok(())
+}
+
+#[cfg(target_os = "linux")]
+fn set_int_option(fd: i32, level: i32, optname: i32, val: i32) -> io::Result<()> {
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const core::ffi::c_void,
+            optlen: u32,
+        ) -> i32;
+    }
+    // SAFETY: valid fd; optval points at an i32 whose size is passed
+    // as optlen.
+    let rc = unsafe {
+        setsockopt(
+            fd,
+            level,
+            optname,
+            (&raw const val).cast(),
+            core::mem::size_of::<i32>() as u32,
+        )
+    };
+    if rc == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::last_os_error())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binds_and_accepts() {
+        let listener = bind_reusable("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::net::TcpStream::connect(addr).unwrap();
+        let (_conn, peer) = listener.accept().unwrap();
+        assert_eq!(peer, client.local_addr().unwrap());
+    }
+
+    #[test]
+    fn rebinds_immediately_after_close() {
+        let listener = bind_reusable("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Leave a connection half-open so the old listener's port
+        // lingers, then rebind the exact same address straight away.
+        let _client = std::net::TcpStream::connect(addr).unwrap();
+        let (_conn, _) = listener.accept().unwrap();
+        drop(listener);
+        let again = bind_reusable(addr).unwrap();
+        assert_eq!(again.local_addr().unwrap(), addr);
+    }
+
+    #[test]
+    fn send_buffer_can_be_capped() {
+        let listener = bind_reusable("127.0.0.1:0").unwrap();
+        let client = std::net::TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        set_send_buffer(&client, 64 * 1024).unwrap();
+    }
+}

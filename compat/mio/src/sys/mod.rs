@@ -1,0 +1,66 @@
+//! Backend selection: epoll on Linux, poll(2) on every other Unix.
+//!
+//! Both backends expose the same internal surface — `Selector` (the
+//! kernel readiness primitive plus waker bookkeeping) and `WakerFd`
+//! (the fd pair a [`crate::Waker`] writes to) — so the public types in
+//! the crate root are backend-agnostic. On Linux the poll(2) backend
+//! is compiled and unit-tested too, so the portable fallback cannot
+//! rot unnoticed.
+
+#[cfg(target_os = "linux")]
+pub mod epoll;
+#[cfg(unix)]
+pub mod poll;
+
+/// The raw OS handle event sources are identified by.
+#[cfg(unix)]
+pub type RawSocketFd = std::os::fd::RawFd;
+/// The raw OS handle event sources are identified by.
+#[cfg(not(unix))]
+pub type RawSocketFd = i32;
+
+#[cfg(target_os = "linux")]
+pub use epoll::{Selector, WakerFd};
+#[cfg(all(unix, not(target_os = "linux")))]
+pub use poll::{Selector, WakerFd};
+
+#[cfg(not(unix))]
+compile_error!(
+    "compat/mio only implements Unix backends (epoll / poll(2)); \
+     no readiness selector exists for this platform"
+);
+
+/// Converts an optional timeout to the millisecond convention shared
+/// by `epoll_wait` and `poll(2)`: `-1` blocks forever, `0` returns
+/// immediately, positive waits at most that long (sub-millisecond
+/// remainders round *up* so a 100 µs timeout does not spin).
+#[cfg(unix)]
+pub(crate) fn timeout_ms(timeout: Option<std::time::Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis();
+            let ms = if std::time::Duration::from_millis(ms as u64) < d {
+                ms + 1
+            } else {
+                ms
+            };
+            i32::try_from(ms).unwrap_or(i32::MAX)
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::timeout_ms;
+    use std::time::Duration;
+
+    #[test]
+    fn timeout_conversion_rounds_up_and_clamps() {
+        assert_eq!(timeout_ms(None), -1);
+        assert_eq!(timeout_ms(Some(Duration::ZERO)), 0);
+        assert_eq!(timeout_ms(Some(Duration::from_millis(20))), 20);
+        assert_eq!(timeout_ms(Some(Duration::from_micros(100))), 1);
+        assert_eq!(timeout_ms(Some(Duration::from_secs(1 << 40))), i32::MAX);
+    }
+}

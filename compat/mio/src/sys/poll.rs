@@ -1,0 +1,361 @@
+//! The portable POSIX backend: `poll(2)` over a registration table.
+//!
+//! The selector keeps a mutexed `fd → (token, interest)` table; each
+//! `select` snapshots it into a `pollfd` array (so registrations from
+//! other threads never block behind the kernel wait), calls `poll`,
+//! and maps revents back to tokens. `poll(2)` is level-triggered with
+//! no self-wakeup primitive, so the waker is a classic **self-pipe**:
+//! `wake()` writes one byte to the write end, and the selector drains
+//! the read end before reporting the waker token — otherwise the
+//! level-triggered pipe would report forever.
+//!
+//! Compiled (and unit-tested) on Linux as well, even though the epoll
+//! backend is the default there, so this fallback stays honest.
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::{Event, Events, Interest, Token};
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+
+const F_SETFD: i32 = 2;
+const F_GETFL: i32 = 3;
+const F_SETFL: i32 = 4;
+const FD_CLOEXEC: i32 = 1;
+#[cfg(target_os = "linux")]
+const O_NONBLOCK: i32 = 0o4000;
+#[cfg(not(target_os = "linux"))]
+const O_NONBLOCK: i32 = 0x4;
+
+/// `struct pollfd`: fd, requested events, returned events.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: core::ffi::c_ulong, timeout: i32) -> i32;
+    fn pipe(fds: *mut i32) -> i32;
+    fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+    fn read(fd: i32, buf: *mut core::ffi::c_void, count: usize) -> isize;
+    fn write(fd: i32, buf: *const core::ffi::c_void, count: usize) -> isize;
+}
+
+/// One registered source.
+#[derive(Clone, Copy)]
+struct Entry {
+    fd: RawFd,
+    token: Token,
+    interest: Interest,
+    /// Self-pipe read ends get drained before their event is reported.
+    waker: bool,
+}
+
+/// The poll(2) selector.
+#[derive(Debug, Default)]
+pub struct Selector {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Selector {
+    /// Creates the selector (no kernel object; just the table).
+    ///
+    /// # Errors
+    ///
+    /// Never fails; `io::Result` matches the epoll backend.
+    pub fn new() -> io::Result<Selector> {
+        Ok(Selector::default())
+    }
+
+    fn add(&self, entry: Entry) -> io::Result<()> {
+        let mut entries = self.entries.lock().unwrap();
+        if entries.iter().any(|e| e.fd == entry.fd) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("fd {} is already registered", entry.fd),
+            ));
+        }
+        entries.push(entry);
+        Ok(())
+    }
+
+    pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.add(Entry {
+            fd,
+            token,
+            interest,
+            waker: false,
+        })
+    }
+
+    pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        let mut entries = self.entries.lock().unwrap();
+        match entries.iter_mut().find(|e| e.fd == fd) {
+            Some(e) => {
+                e.token = token;
+                e.interest = interest;
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("fd {fd} was never registered"),
+            )),
+        }
+    }
+
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        let mut entries = self.entries.lock().unwrap();
+        let before = entries.len();
+        entries.retain(|e| e.fd != fd);
+        if entries.len() < before {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("fd {fd} was never registered"),
+            ))
+        }
+    }
+
+    pub fn register_waker(&self, waker: &WakerFd, token: Token) -> io::Result<()> {
+        self.add(Entry {
+            fd: waker.rx.as_raw_fd(),
+            token,
+            interest: Interest::READABLE,
+            waker: true,
+        })
+    }
+
+    pub fn deregister_waker(&self, waker: &WakerFd) -> io::Result<()> {
+        self.deregister(waker.rx.as_raw_fd())
+    }
+
+    pub fn select(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.inner.clear();
+        let snapshot: Vec<Entry> = self.entries.lock().unwrap().clone();
+        let mut fds: Vec<PollFd> = snapshot
+            .iter()
+            .map(|e| {
+                let mut bits = 0i16;
+                if e.interest.is_readable() {
+                    bits |= POLLIN;
+                }
+                if e.interest.is_writable() {
+                    bits |= POLLOUT;
+                }
+                PollFd {
+                    fd: e.fd,
+                    events: bits,
+                    revents: 0,
+                }
+            })
+            .collect();
+        loop {
+            // SAFETY: fds is a live, properly laid-out pollfd array
+            // whose exact length is passed as nfds.
+            let rc = unsafe {
+                poll(
+                    fds.as_mut_ptr(),
+                    fds.len() as core::ffi::c_ulong,
+                    super::timeout_ms(timeout),
+                )
+            };
+            if rc >= 0 {
+                break;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+        for (entry, pfd) in snapshot.iter().zip(&fds) {
+            let bits = pfd.revents;
+            if bits == 0 || events.inner.len() >= events.capacity {
+                continue;
+            }
+            if entry.waker {
+                drain(entry.fd);
+            }
+            events.inner.push(Event {
+                token: entry.token.0,
+                readable: bits & (POLLIN | POLLHUP | POLLERR | POLLNVAL) != 0,
+                writable: bits & (POLLOUT | POLLHUP | POLLERR | POLLNVAL) != 0,
+                error: bits & (POLLERR | POLLNVAL) != 0,
+                read_closed: bits & POLLHUP != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Entry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Entry")
+            .field("fd", &self.fd)
+            .field("token", &self.token)
+            .field("waker", &self.waker)
+            .finish()
+    }
+}
+
+/// Empties a self-pipe's read end so the level-triggered readiness
+/// clears; coalesces any number of queued wakes into the one event
+/// being reported.
+fn drain(fd: RawFd) {
+    let mut buf = [0u8; 64];
+    loop {
+        // SAFETY: valid fd; buf is 64 writable bytes, matching count.
+        let rc = unsafe { read(fd, buf.as_mut_ptr().cast(), buf.len()) };
+        if rc < buf.len() as isize {
+            // Error (EAGAIN on the non-blocking pipe), EOF, or a short
+            // read: nothing more queued right now.
+            return;
+        }
+    }
+}
+
+fn set_nonblocking_cloexec(fd: RawFd) -> io::Result<()> {
+    // SAFETY: valid fd; F_GETFL takes no argument (0 is ignored).
+    let flags = unsafe { fcntl(fd, F_GETFL, 0) };
+    if flags < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: valid fd; F_SETFL with the int flags argument.
+    if unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: valid fd; F_SETFD with the int flags argument.
+    if unsafe { fcntl(fd, F_SETFD, FD_CLOEXEC) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// The wakeup fd pair: a non-blocking self-pipe.
+#[derive(Debug)]
+pub struct WakerFd {
+    rx: OwnedFd,
+    tx: OwnedFd,
+}
+
+impl WakerFd {
+    pub fn new() -> io::Result<WakerFd> {
+        let mut fds = [0i32; 2];
+        // SAFETY: fds is a live 2-element int array for pipe to fill.
+        if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: both fds were just returned by pipe and are owned by
+        // nobody else; OwnedFd closes them on every path below.
+        let (rx, tx) = unsafe { (OwnedFd::from_raw_fd(fds[0]), OwnedFd::from_raw_fd(fds[1])) };
+        set_nonblocking_cloexec(rx.as_raw_fd())?;
+        set_nonblocking_cloexec(tx.as_raw_fd())?;
+        Ok(WakerFd { rx, tx })
+    }
+
+    pub fn wake(&self) -> io::Result<()> {
+        let one = [1u8];
+        // SAFETY: valid fd; buf points at 1 readable byte, matching
+        // count.
+        let rc = unsafe { write(self.tx.as_raw_fd(), one.as_ptr().cast(), 1) };
+        if rc >= 0 {
+            return Ok(());
+        }
+        let err = io::Error::last_os_error();
+        // A full pipe already has a wakeup pending: success.
+        if err.kind() == io::ErrorKind::WouldBlock {
+            Ok(())
+        } else {
+            Err(err)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+
+    /// The poll(2) backend, driven directly (on Linux the public
+    /// `Poll` uses epoll, so this is the fallback's only coverage).
+    #[test]
+    fn poll_backend_reports_accept_readiness_and_waker() {
+        let selector = Selector::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        selector
+            .register(listener.as_raw_fd(), Token(5), Interest::READABLE)
+            .unwrap();
+        let waker = WakerFd::new().unwrap();
+        selector.register_waker(&waker, Token(9)).unwrap();
+
+        let mut events = Events::with_capacity(8);
+        selector.select(&mut events, Some(Duration::ZERO)).unwrap();
+        assert!(events.is_empty());
+
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        selector
+            .select(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token().0 == 5 && e.is_readable()));
+
+        // The waker delivers once and is drained by the selector.
+        waker.wake().unwrap();
+        waker.wake().unwrap();
+        let (served, _) = listener.accept().unwrap();
+        selector.deregister(listener.as_raw_fd()).unwrap();
+        selector
+            .select(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token().0 == 9 && e.is_readable()));
+        selector
+            .select(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty(), "drained waker must go quiet");
+
+        // Write readiness through reregister, then peer close → HUP
+        // surfaces as readable.
+        served.set_nonblocking(true).unwrap();
+        selector
+            .register(served.as_raw_fd(), Token(2), Interest::WRITABLE)
+            .unwrap();
+        selector
+            .select(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token().0 == 2 && e.is_writable()));
+        selector
+            .reregister(served.as_raw_fd(), Token(2), Interest::READABLE)
+            .unwrap();
+        client.write_all(b"x").unwrap();
+        drop(client);
+        selector
+            .select(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token().0 == 2 && e.is_readable()));
+    }
+
+    #[test]
+    fn duplicate_and_missing_registrations_error() {
+        let selector = Selector::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let fd = listener.as_raw_fd();
+        selector.register(fd, Token(1), Interest::READABLE).unwrap();
+        assert!(selector.register(fd, Token(1), Interest::READABLE).is_err());
+        selector.deregister(fd).unwrap();
+        assert!(selector.deregister(fd).is_err());
+        assert!(selector
+            .reregister(fd, Token(1), Interest::READABLE)
+            .is_err());
+    }
+}

@@ -3,7 +3,8 @@
 //! ```text
 //! repro [--full] [--smoke] [--jobs N] [--compare-serial] [experiment...]
 //! experiments: table1 table2 fig4 fig5 stability fig7a fig7b fig8 fig10
-//!              fig12a fig12b interference archive sim fleet (default: all)
+//!              fig12a fig12b interference archive sim fleet stream
+//!              (default: all)
 //! ```
 //!
 //! Default scales are reduced so a full run finishes in minutes;

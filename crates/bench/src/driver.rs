@@ -17,7 +17,7 @@ use ps3_units::SimDuration;
 
 use crate::{
     archive, capping, fig12, fig4, fig5, fig7, fig8, fleet, interference, noise, related, sim,
-    stability, table1, table2,
+    stability, stream, table1, table2,
 };
 
 /// The seed every `repro` run uses, so artifacts are comparable
@@ -26,7 +26,7 @@ pub const SEED: u64 = 0x5EED_2026;
 
 /// The default experiment list (the paper's tables and figures, in
 /// paper order, plus the interference ablation).
-pub const DEFAULT_EXPERIMENTS: [&str; 15] = [
+pub const DEFAULT_EXPERIMENTS: [&str; 16] = [
     "table1",
     "table2",
     "fig4",
@@ -42,6 +42,7 @@ pub const DEFAULT_EXPERIMENTS: [&str; 15] = [
     "archive",
     "sim",
     "fleet",
+    "stream",
 ];
 
 /// Sample counts and sweep sizes for one run.
@@ -67,6 +68,8 @@ pub struct Scale {
     pub fig12b_seconds: u64,
     /// Rig counts the fleet scaling experiment sweeps.
     pub fleet_rigs: Vec<u16>,
+    /// Subscriber counts the stream C10k experiment sweeps.
+    pub stream_subs: Vec<usize>,
 }
 
 impl Scale {
@@ -84,6 +87,7 @@ impl Scale {
             fig12a_window: SimDuration::from_secs(1),
             fig12b_seconds: 240,
             fleet_rigs: vec![1, 8, 32],
+            stream_subs: vec![256, 1024, 4096],
         }
     }
 
@@ -103,6 +107,7 @@ impl Scale {
             fig12a_window: SimDuration::from_secs(10),
             fig12b_seconds: 1300,
             fleet_rigs: vec![1, 8, 32, 100],
+            stream_subs: vec![1024, 4096, 8192],
         }
     }
 
@@ -120,6 +125,7 @@ impl Scale {
             fig12a_window: SimDuration::from_millis(250),
             fig12b_seconds: 60,
             fleet_rigs: vec![1, 4, 8],
+            stream_subs: vec![64, 256, 1024],
         }
     }
 }
@@ -197,6 +203,7 @@ pub fn run_experiment(name: &str, scale: &Scale, seed: u64) -> Option<Experiment
         "archive" => run_archive(scale, seed),
         "sim" => run_sim(seed),
         "fleet" => run_fleet(scale, seed),
+        "stream" => run_stream(scale, seed),
         "related" => run_related(scale, seed),
         "capping" => run_capping(seed),
         "noise" => run_noise(scale, seed),
@@ -674,6 +681,67 @@ fn run_fleet(scale: &Scale, seed: u64) -> ExperimentOutput {
     out
 }
 
+fn run_stream(scale: &Scale, seed: u64) -> ExperimentOutput {
+    let points = stream::run(&scale.stream_subs, seed);
+    let csv: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.subscribers as f64,
+                p.published as f64,
+                p.expected_per_sub as f64,
+                p.delivered as f64,
+                p.gap_events as f64,
+                p.dropped as f64,
+                p.evicted as f64,
+            ]
+        })
+        .collect();
+    let samples: u64 = points.iter().map(|p| p.published).sum();
+    let mut out = output(
+        stream::render(&points),
+        vec![Csv {
+            name: "stream.csv".into(),
+            header: vec![
+                "subscribers",
+                "published",
+                "expected_per_sub",
+                "delivered",
+                "gap_events",
+                "dropped",
+                "evicted",
+            ],
+            rows: csv,
+        }],
+        samples,
+    );
+    // The subscribers-vs-latency/throughput curve: wall-clock, so it
+    // belongs in the perf record, never in the deterministic report
+    // or CSV.
+    out.metrics = points
+        .iter()
+        .flat_map(|p| {
+            [
+                (format!("stream_{}_subs_p50_ms", p.subscribers), p.p50_ms),
+                (format!("stream_{}_subs_p99_ms", p.subscribers), p.p99_ms),
+                (
+                    format!("stream_{}_subs_frames_per_sec", p.subscribers),
+                    p.frames_per_sec(),
+                ),
+                (
+                    format!("stream_{}_subs_deliveries_per_sec", p.subscribers),
+                    p.deliveries_per_sec(),
+                ),
+                (
+                    format!("stream_{}_subs_connect_s", p.subscribers),
+                    p.connect_wall_s,
+                ),
+            ]
+        })
+        .collect();
+    out
+}
+
 fn run_noise(scale: &Scale, seed: u64) -> ExperimentOutput {
     let loads = [0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 9.5];
     let samples = scale.table2_samples / 16;
@@ -746,6 +814,7 @@ mod tests {
                     "archive",
                     "sim",
                     "fleet",
+                    "stream",
                 ]
                 .contains(&name),
                 "{name} missing from the dispatch table"

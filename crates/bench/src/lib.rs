@@ -22,6 +22,7 @@
 //! | §IV-A noise decomposition | [`noise`] |
 //! | Archive store cost/exactness (beyond the paper) | [`archive`] |
 //! | Fleet coordinator scaling (beyond the paper) | [`fleet`] |
+//! | C10k stream daemon scaling (beyond the paper) | [`stream`] |
 
 #![forbid(unsafe_code)]
 
@@ -47,5 +48,6 @@ pub mod related;
 pub mod report;
 pub mod sim;
 pub mod stability;
+pub mod stream;
 pub mod table1;
 pub mod table2;

@@ -6,7 +6,8 @@
 //! generation counts restarts, so a crash never appends to a
 //! possibly-torn file). The coordinator additionally taps every rig
 //! into a per-rig broadcast ring and serves rig-routed subscriptions
-//! off those rings:
+//! off those rings through the same single-thread event loop the
+//! stream daemon uses (see `serve.rs` for the merge personality):
 //!
 //! * a legacy subscription (no [`RigSelector`]) streams rig 0 with
 //!   plain `Batch`/`Gap` messages — old clients work unchanged;
@@ -25,28 +26,28 @@
 //! moves every healthy rig's virtual clock, [`Fleet::supervise`]
 //! restarts crashed rigs (fresh sensor, fresh shard, tap resumed into
 //! the *same* ring so per-rig publish counters continue).
+//!
+//! [`RigSelector`]: ps3_stream::RigSelector
 
-use std::collections::VecDeque;
 use std::io;
-use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use ps3_archive::{ArchiveWriter, ArchiveWriterOptions};
-use ps3_firmware::{FRAME_INTERVAL, SENSOR_SLOTS};
-use ps3_stream::proto::{read_msg_body, write_msg, MAX_BATCH_FRAMES};
+use ps3_firmware::FRAME_INTERVAL;
 use ps3_stream::{
-    bind_reusable, BroadcastRing, ClientMsg, Downsampler, EvictReason, FleetHello, ReadOutcome,
-    RigSelector, RigStatus, ServerMsg, StreamDaemon, StreamDaemonConfig, StreamFrame, StreamStats,
+    bring_up, spawn_loop, BroadcastRing, FleetHello, LoopStats, LoopWaker, RigStatus, ServerMsg,
+    StreamDaemon, StreamDaemonConfig, StreamFrame, StreamStats,
 };
 use ps3_units::SimDuration;
 
 use crate::rig::{RigFactory, RigParts};
+use crate::serve::FleetHandler;
 use crate::FLEET_PROTO_VERSION;
 
 /// Tuning for [`Fleet::start`].
@@ -80,27 +81,25 @@ pub fn shard_name(rig: u16, generation: u32) -> String {
 }
 
 /// Per-rig state shared with subscriber sessions.
-struct RigShared {
-    ring: Arc<BroadcastRing>,
-    alive: AtomicBool,
-    restarts: AtomicU32,
-    shards: AtomicU32,
-    gap_events: AtomicU64,
-    writer_dropped: AtomicU64,
+pub(crate) struct RigShared {
+    pub(crate) ring: Arc<BroadcastRing>,
+    pub(crate) alive: AtomicBool,
+    pub(crate) restarts: AtomicU32,
+    pub(crate) shards: AtomicU32,
+    pub(crate) gap_events: AtomicU64,
+    pub(crate) writer_dropped: AtomicU64,
 }
 
-struct FleetShared {
-    stream: StreamDaemonConfig,
-    rigs: Vec<RigShared>,
+pub(crate) struct FleetShared {
+    pub(crate) stream: StreamDaemonConfig,
+    pub(crate) rigs: Vec<RigShared>,
     /// Pre-encoded `Hello` without the fleet suffix (legacy clients).
-    hello_legacy: Vec<u8>,
+    pub(crate) hello_legacy: Vec<u8>,
     /// Pre-encoded `Hello` with the fleet suffix (rig-routed clients).
-    hello_fleet: Vec<u8>,
-    shutdown: AtomicBool,
-    active_subscribers: AtomicU64,
-    evicted: AtomicU64,
-    gap_events: AtomicU64,
-    clients: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) hello_fleet: Vec<u8>,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    pub(crate) stats: Arc<LoopStats>,
+    pub(crate) waker: Arc<LoopWaker>,
 }
 
 /// Owner-side state for one rig generation.
@@ -124,7 +123,7 @@ pub struct Fleet {
     factory: Mutex<RigFactory>,
     config: FleetConfig,
     local_addr: SocketAddr,
-    accept: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
 }
 
 impl Fleet {
@@ -142,6 +141,11 @@ impl Fleet {
     ) -> io::Result<Self> {
         assert!(rig_count > 0, "a fleet needs at least one rig");
         std::fs::create_dir_all(&config.data_dir)?;
+
+        // Bind before building rigs: the rig taps capture the loop's
+        // waker so every publish nudges the event loop.
+        let parts = bring_up(addr)?;
+        let local_addr = parts.local_addr();
 
         let rig_shared: Vec<RigShared> = (0..rig_count)
             .map(|_| RigShared {
@@ -162,11 +166,9 @@ impl Fleet {
             rigs: rig_shared,
             hello_legacy: Vec::new(),
             hello_fleet: Vec::new(),
-            shutdown: AtomicBool::new(false),
-            active_subscribers: AtomicU64::new(0),
-            evicted: AtomicU64::new(0),
-            gap_events: AtomicU64::new(0),
-            clients: Mutex::new(Vec::new()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            stats: Arc::new(LoopStats::default()),
+            waker: parts.waker(),
         };
 
         let mut runtimes = Vec::with_capacity(usize::from(rig_count));
@@ -192,15 +194,17 @@ impl Fleet {
         }));
         let shared = Arc::new(shared);
 
-        let listener = bind_reusable(addr)?;
-        listener.set_nonblocking(true)?;
-        let local_addr = listener.local_addr()?;
-        let accept = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("ps3-fleet-accept".into())
-                .spawn(move || accept_loop(&listener, &shared))?
-        };
+        let event_loop = spawn_loop(
+            "ps3-fleet-loop",
+            "ps3-fleet",
+            parts,
+            FleetHandler {
+                shared: Arc::clone(&shared),
+            },
+            config.stream.clone(),
+            Arc::clone(&shared.shutdown),
+            Arc::clone(&shared.stats),
+        )?;
 
         Ok(Self {
             shared,
@@ -208,7 +212,7 @@ impl Fleet {
             factory: Mutex::new(factory),
             config,
             local_addr,
-            accept: Some(accept),
+            event_loop: Some(event_loop),
         })
     }
 
@@ -256,6 +260,9 @@ impl Fleet {
             (rig.advance)(d);
         }
         refresh_writer_counters(&self.shared, &rigs);
+        // Liveness flips matter to the merge (an alive-but-empty rig
+        // blocks it); make sure the loop notices promptly.
+        self.shared.waker.wake();
     }
 
     /// Restarts every crashed rig: its writer is finished (sealing the
@@ -297,6 +304,9 @@ impl Fleet {
             restarted += 1;
         }
         refresh_writer_counters(&self.shared, &rigs);
+        if restarted > 0 {
+            self.shared.waker.wake();
+        }
         Ok(restarted)
     }
 
@@ -321,11 +331,8 @@ impl Fleet {
         for rig in &self.shared.rigs {
             rig.ring.close();
         }
-        if let Some(handle) = self.accept.take() {
-            let _ = handle.join();
-        }
-        let clients = std::mem::take(&mut *self.shared.clients.lock());
-        for handle in clients {
+        self.shared.waker.wake();
+        if let Some(handle) = self.event_loop.take() {
             let _ = handle.join();
         }
         let mut rigs = self.rigs.lock();
@@ -388,6 +395,7 @@ fn build_rig(
     {
         let ring = Arc::clone(&shared.rigs[usize::from(id)].ring);
         let alive = Arc::clone(&tap_alive);
+        let waker = Arc::clone(&shared.waker);
         sensor.add_frame_sink(move |record| {
             if !alive.load(Ordering::SeqCst) || ring.is_closed() {
                 return false;
@@ -398,6 +406,7 @@ fn build_rig(
                 present: record.present,
                 marker: record.marker.is_some(),
             });
+            waker.wake();
             true
         });
     }
@@ -428,7 +437,7 @@ fn refresh_writer_counters(shared: &FleetShared, rigs: &[RigRuntime]) {
     }
 }
 
-fn snapshot(shared: &FleetShared) -> Vec<RigStatus> {
+pub(crate) fn snapshot(shared: &FleetShared) -> Vec<RigStatus> {
     shared
         .rigs
         .iter()
@@ -445,369 +454,16 @@ fn snapshot(shared: &FleetShared) -> Vec<RigStatus> {
         .collect()
 }
 
-fn aggregate_stats(shared: &FleetShared) -> StreamStats {
+pub(crate) fn aggregate_stats(shared: &FleetShared) -> StreamStats {
     StreamStats {
         frames_published: shared.rigs.iter().map(|r| r.ring.head()).sum(),
-        active_subscribers: shared.active_subscribers.load(Ordering::SeqCst),
-        evicted: shared.evicted.load(Ordering::SeqCst),
-        gap_events: shared.gap_events.load(Ordering::SeqCst),
+        active_subscribers: shared.stats.active_subscribers.load(Ordering::SeqCst),
+        evicted: shared.stats.evicted.load(Ordering::SeqCst),
+        gap_events: shared.stats.gap_events.load(Ordering::SeqCst),
+        accepted: shared.stats.accepted.load(Ordering::SeqCst),
+        active_peak: shared.stats.active_peak.load(Ordering::SeqCst),
+        bytes_sent: shared.stats.bytes_sent.load(Ordering::SeqCst),
+        evicted_gaps: shared.stats.evicted_gaps.load(Ordering::SeqCst),
+        evicted_stalled: shared.stats.evicted_stalled.load(Ordering::SeqCst),
     }
-}
-
-fn accept_loop(listener: &TcpListener, shared: &Arc<FleetShared>) {
-    let mut client_id = 0u64;
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                client_id += 1;
-                let shared_for_client = Arc::clone(shared);
-                let spawned = std::thread::Builder::new()
-                    .name(format!("ps3-fleet-sub-{client_id}"))
-                    .spawn(move || {
-                        let _ = serve_client(&shared_for_client, stream);
-                    });
-                match spawned {
-                    Ok(handle) => shared.clients.lock().push(handle),
-                    // Degrade, don't die: drop this connection (the
-                    // stream closes on drop) and keep accepting —
-                    // thread exhaustion may be transient.
-                    Err(e) => {
-                        eprintln!("ps3-fleet: dropping client {client_id}: spawn failed: {e}");
-                    }
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => break,
-        }
-    }
-}
-
-/// Why a subscriber session ended (mirrors the daemon's semantics).
-enum SessionEnd {
-    Disconnected,
-    Evicted(EvictReason),
-    Shutdown,
-}
-
-fn serve_client(shared: &Arc<FleetShared>, stream: TcpStream) -> io::Result<()> {
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(shared.stream.handshake_timeout))?;
-    let mut control = stream;
-    let body = read_msg_body(&mut control)?;
-    let ClientMsg::Subscribe {
-        pair_mask,
-        divisor,
-        rig,
-    } = ClientMsg::decode(&body)?
-    else {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "first message must be Subscribe",
-        ));
-    };
-
-    // Resolve the selector to rig ids; legacy clients stream rig 0.
-    let n = shared.rigs.len() as u16;
-    let legacy = rig.is_none();
-    let mut rig_ids: Vec<u16> = match rig {
-        None => vec![0],
-        Some(RigSelector::All) => (0..n).collect(),
-        Some(RigSelector::One(id)) => vec![id],
-        Some(RigSelector::Set(ids)) => ids,
-    };
-    rig_ids.sort_unstable();
-    rig_ids.dedup();
-    if rig_ids.iter().any(|&id| id >= n) {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("rig selector out of range (fleet has {n} rigs)"),
-        ));
-    }
-
-    let writer = Arc::new(Mutex::new(control.try_clone()?));
-    control.set_read_timeout(None)?;
-    writer
-        .lock()
-        .set_write_timeout(Some(shared.stream.write_timeout))?;
-    let hello = if legacy {
-        &shared.hello_legacy
-    } else {
-        &shared.hello_fleet
-    };
-    write_msg(&mut *writer.lock(), hello)?;
-
-    shared.active_subscribers.fetch_add(1, Ordering::SeqCst);
-    let client_gone = Arc::new(AtomicBool::new(false));
-    let control_thread = {
-        let ctl_shared = Arc::clone(shared);
-        let writer = Arc::clone(&writer);
-        let client_gone = Arc::clone(&client_gone);
-        let spawned = std::thread::Builder::new()
-            .name("ps3-fleet-ctl".into())
-            .spawn(move || control_loop(&ctl_shared, control, &writer, &client_gone));
-        match spawned {
-            Ok(handle) => handle,
-            Err(e) => {
-                // Undo the registration and drop just this client;
-                // the coordinator itself keeps serving.
-                shared.active_subscribers.fetch_sub(1, Ordering::SeqCst);
-                return Err(e);
-            }
-        }
-    };
-
-    let end = merge_loop(
-        shared,
-        &writer,
-        pair_mask,
-        divisor,
-        &rig_ids,
-        legacy,
-        &client_gone,
-    );
-    match end {
-        SessionEnd::Evicted(reason) => {
-            shared.evicted.fetch_add(1, Ordering::SeqCst);
-            let _ = write_msg(&mut *writer.lock(), &ServerMsg::Evicted { reason }.encode());
-        }
-        SessionEnd::Shutdown => {
-            let _ = write_msg(
-                &mut *writer.lock(),
-                &ServerMsg::Evicted {
-                    reason: EvictReason::Shutdown,
-                }
-                .encode(),
-            );
-        }
-        SessionEnd::Disconnected => {}
-    }
-    let _ = writer.lock().shutdown(NetShutdown::Both);
-    let _ = control_thread.join();
-    shared.active_subscribers.fetch_sub(1, Ordering::SeqCst);
-    Ok(())
-}
-
-fn control_loop(
-    shared: &FleetShared,
-    mut control: TcpStream,
-    writer: &Mutex<TcpStream>,
-    client_gone: &AtomicBool,
-) {
-    while let Ok(msg) = read_msg_body(&mut control).and_then(|b| ClientMsg::decode(&b)) {
-        match msg {
-            // Markers are a single-rig concept; against a fleet the
-            // client should attach to the rig's own daemon to inject.
-            ClientMsg::InjectMarker { .. } => {}
-            ClientMsg::QueryStats => {
-                let stats = aggregate_stats(shared);
-                if write_msg(&mut *writer.lock(), &ServerMsg::Stats(stats).encode()).is_err() {
-                    break;
-                }
-            }
-            ClientMsg::QueryFleet => {
-                let reply = ServerMsg::FleetStatus {
-                    rigs: snapshot(shared),
-                };
-                if write_msg(&mut *writer.lock(), &reply.encode()).is_err() {
-                    break;
-                }
-            }
-            ClientMsg::Bye => break,
-            ClientMsg::Subscribe { .. } => break, // protocol violation
-        }
-    }
-    client_gone.store(true, Ordering::SeqCst);
-}
-
-/// Safety valve: emit past an empty-but-alive rig once this many
-/// frames are queued across the session (a stalled rig must not let a
-/// subscriber's buffers grow without bound).
-const FORCE_EMIT_QUEUED: usize = 65_536;
-
-/// K-way timestamp merge of the selected rigs' rings into one socket.
-#[allow(clippy::too_many_lines)]
-fn merge_loop(
-    shared: &FleetShared,
-    writer: &Mutex<TcpStream>,
-    pair_mask: u8,
-    divisor: u32,
-    rig_ids: &[u16],
-    legacy: bool,
-    client_gone: &AtomicBool,
-) -> SessionEnd {
-    // Expand the pair mask to a slot mask (pair p = slots 2p, 2p+1).
-    let mut slot_mask = 0u8;
-    for pair in 0..SENSOR_SLOTS / 2 {
-        if pair_mask & (1 << pair) != 0 {
-            slot_mask |= 0b11 << (2 * pair);
-        }
-    }
-    let k = rig_ids.len();
-    let rigs: Vec<&RigShared> = rig_ids
-        .iter()
-        .map(|&id| &shared.rigs[usize::from(id)])
-        .collect();
-    // Subscribers start at each ring's live edge.
-    let mut cursors: Vec<u64> = rigs.iter().map(|r| r.ring.head()).collect();
-    let mut downsamplers: Vec<Downsampler> = (0..k).map(|_| Downsampler::new(divisor)).collect();
-    let mut queues: Vec<VecDeque<StreamFrame>> = (0..k).map(|_| VecDeque::new()).collect();
-    let mut ring_closed = vec![false; k];
-    let mut my_gaps = 0u64;
-    let mut batch: Vec<StreamFrame> = Vec::with_capacity(MAX_BATCH_FRAMES);
-    let mut batch_rig = rig_ids[0];
-
-    let flush = |batch: &mut Vec<StreamFrame>, rig: u16| -> io::Result<()> {
-        let frames = std::mem::take(batch);
-        let msg = if legacy {
-            ServerMsg::Batch { frames }
-        } else {
-            ServerMsg::RigBatch { rig, frames }
-        };
-        write_msg(&mut *writer.lock(), &msg.encode())
-    };
-
-    macro_rules! try_write {
-        ($expr:expr) => {
-            match $expr {
-                Ok(()) => {}
-                Err(e) if is_stall(&e) => return SessionEnd::Evicted(EvictReason::StalledWrite),
-                Err(_) => return SessionEnd::Disconnected,
-            }
-        };
-    }
-
-    loop {
-        if client_gone.load(Ordering::SeqCst) {
-            return SessionEnd::Disconnected;
-        }
-
-        // Phase 1: drain whatever each selected ring has ready.
-        let mut progressed = false;
-        for i in 0..k {
-            if ring_closed[i] {
-                continue;
-            }
-            loop {
-                match rigs[i].ring.next(cursors[i], Duration::ZERO) {
-                    ReadOutcome::Frame(frame) => {
-                        cursors[i] += 1;
-                        progressed = true;
-                        let mut masked = frame;
-                        masked.present &= slot_mask;
-                        if let Some(out) = downsamplers[i].push(&masked) {
-                            queues[i].push_back(out);
-                        }
-                        if queues[i].len() >= MAX_BATCH_FRAMES * 4 {
-                            break;
-                        }
-                    }
-                    ReadOutcome::Lapped { resume_at, dropped } => {
-                        cursors[i] = resume_at;
-                        downsamplers[i].reset();
-                        my_gaps += 1;
-                        shared.gap_events.fetch_add(1, Ordering::SeqCst);
-                        rigs[i].gap_events.fetch_add(1, Ordering::SeqCst);
-                        if !batch.is_empty() {
-                            try_write!(flush(&mut batch, batch_rig));
-                        }
-                        let gap = if legacy {
-                            ServerMsg::Gap { dropped }
-                        } else {
-                            ServerMsg::RigGap {
-                                rig: rig_ids[i],
-                                dropped,
-                            }
-                        };
-                        try_write!(write_msg(&mut *writer.lock(), &gap.encode()));
-                        if my_gaps > shared.stream.max_gap_events {
-                            return SessionEnd::Evicted(EvictReason::TooManyGaps {
-                                gaps: my_gaps,
-                                limit: shared.stream.max_gap_events,
-                            });
-                        }
-                    }
-                    ReadOutcome::TimedOut => break,
-                    ReadOutcome::Closed => {
-                        ring_closed[i] = true;
-                        break;
-                    }
-                }
-            }
-        }
-
-        // Phase 2: emit merged frames while the global minimum is
-        // known. An empty queue whose rig is alive and un-closed may
-        // still produce the next-oldest frame, so it blocks the merge
-        // (unless the safety valve trips). An idle pass (no ring had
-        // anything) means every rig is drained to its head — rigs
-        // advance their virtual clocks in lockstep, so what is queued
-        // is complete for the current window and can be emitted
-        // without waiting on the blocked rigs.
-        let all_closed = ring_closed.iter().all(|&c| c);
-        let force = !progressed;
-        loop {
-            let mut min: Option<(usize, u64)> = None;
-            let mut blocked = false;
-            let mut total_queued = 0usize;
-            for i in 0..k {
-                total_queued += queues[i].len();
-                match queues[i].front() {
-                    Some(frame) => {
-                        let t = frame.time.as_nanos();
-                        if min.is_none_or(|(_, mt)| t < mt) {
-                            min = Some((i, t));
-                        }
-                    }
-                    None => {
-                        if !ring_closed[i] && rigs[i].alive.load(Ordering::SeqCst) {
-                            blocked = true;
-                        }
-                    }
-                }
-            }
-            let Some((i, _)) = min else { break };
-            if blocked && !all_closed && !force && total_queued < FORCE_EMIT_QUEUED {
-                break;
-            }
-            // `min` was computed from this queue's front, so the pop
-            // must yield; an empty queue here would be a merge-logic
-            // bug, degraded to a skipped round rather than a dead
-            // subscriber thread.
-            let Some(frame) = queues[i].pop_front() else {
-                break;
-            };
-            let rig = rig_ids[i];
-            if rig != batch_rig && !batch.is_empty() {
-                try_write!(flush(&mut batch, batch_rig));
-            }
-            batch_rig = rig;
-            batch.push(frame);
-            if batch.len() >= MAX_BATCH_FRAMES {
-                try_write!(flush(&mut batch, batch_rig));
-            }
-        }
-
-        if !progressed {
-            // Idle: push out whatever is pending so quiescent captures
-            // deliver their tails promptly, then wait for new frames.
-            if !batch.is_empty() {
-                try_write!(flush(&mut batch, batch_rig));
-            }
-            if all_closed {
-                return SessionEnd::Shutdown;
-            }
-            std::thread::sleep(Duration::from_millis(2));
-        }
-    }
-}
-
-/// A write that hit the socket's write timeout means the peer stopped
-/// reading: the stall signal.
-fn is_stall(e: &io::Error) -> bool {
-    matches!(
-        e.kind(),
-        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-    )
 }

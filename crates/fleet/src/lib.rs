@@ -27,6 +27,7 @@
 mod coordinator;
 mod query;
 mod rig;
+mod serve;
 
 pub use coordinator::{shard_name, Fleet, FleetConfig};
 pub use query::{parse_shard_name, FleetQuery, JoinedRow, JoinedTrace, RigPower, ShardEnergy};

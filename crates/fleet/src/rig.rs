@@ -73,7 +73,15 @@ pub fn testbed_rig_factory(seed: u64) -> RigFactory {
                     return;
                 }
                 if let Err(e) = tb.advance_and_sync(&advance_sensor, d) {
-                    eprintln!("ps3-fleet: rig {id} gen {generation} advance failed: {e}");
+                    ps3_stream::log::emit(
+                        "ps3-fleet",
+                        "rig-advance-failed",
+                        &[
+                            ("rig", &id.to_string()),
+                            ("gen", &generation.to_string()),
+                            ("error", &e.to_string()),
+                        ],
+                    );
                     failed_flag.store(true, Ordering::SeqCst);
                 }
             }),

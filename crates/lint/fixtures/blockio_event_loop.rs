@@ -1,0 +1,44 @@
+// Planted blocking-io violations. In fixtures mode, `blockio_`-prefixed
+// files stand in for the event-loop module scope (the stream reactor
+// and the fleet merge handler).
+
+fn accept_loop(listener: &TcpListener) {
+    for conn in listener.incoming() {
+        let mut sock = conn.expect("accept");
+        std::thread::spawn(move || { //~ blocking-io
+            let mut len = [0u8; 4];
+            sock.read_exact(&mut len).ok(); //~ blocking-io
+            sock.write_all(&len).ok(); //~ blocking-io
+        });
+    }
+}
+
+fn timed_blocking_mode(sock: &TcpStream) {
+    sock.set_read_timeout(Some(TIMEOUT)).ok(); //~ blocking-io
+    sock.set_write_timeout(Some(TIMEOUT)).ok(); //~ blocking-io
+}
+
+fn builder_variant(work: impl FnOnce() + Send + 'static) {
+    std::thread::Builder::new()
+        .name("per-conn".into())
+        .spawn(work) //~ blocking-io
+        .ok();
+}
+
+fn readiness_variant(sock: &mut TcpStream, out: &mut OutQueue) {
+    sock.set_nonblocking(true).ok();
+    let mut chunk = [0u8; 4096];
+    let _ = sock.read(&mut chunk);
+    let _ = out.write_some(sock);
+}
+
+fn allowed_loop_thread(reactor: Reactor) {
+    std::thread::spawn(move || reactor.run()); // ps3-lint: allow(blocking-io) reason="fixture: the one event-loop thread itself, not per-connection"
+}
+
+#[cfg(test)]
+mod tests {
+    fn blocking_in_test_scope_is_fine(sock: &mut TcpStream) {
+        sock.write_all(b"x").unwrap();
+    }
+}

@@ -35,6 +35,10 @@ pub const RULE_IDS: &[(&str, &str)] = &[
         "allow-syntax",
         "`// ps3-lint: allow(...)` directives must parse and carry a non-empty reason",
     ),
+    (
+        "blocking-io",
+        "blocking socket calls and thread spawns forbidden in event-loop modules (readiness-driven non-blocking I/O only)",
+    ),
 ];
 
 #[must_use]
@@ -89,8 +93,24 @@ impl Config {
             "crates/stream/src/daemon.rs"
                 | "crates/stream/src/ring.rs"
                 | "crates/stream/src/net.rs"
+                | "crates/stream/src/event_loop.rs"
                 | "crates/fleet/src/coordinator.rs"
                 | "crates/fleet/src/rig.rs"
+                | "crates/fleet/src/serve.rs"
+        )
+    }
+
+    /// Event-loop modules: everything here runs on the single
+    /// readiness-driven thread, so blocking socket calls and
+    /// per-connection thread spawns are design violations.
+    #[must_use]
+    pub fn blocking_io_scope(&self, rel: &str) -> bool {
+        if self.fixtures_mode {
+            return Self::stem(rel).starts_with("blockio_");
+        }
+        matches!(
+            rel,
+            "crates/stream/src/event_loop.rs" | "crates/fleet/src/serve.rs"
         )
     }
 
@@ -157,6 +177,10 @@ mod tests {
         assert!(c.approved_atomics_module("compat/rayon/src/lib.rs"));
         assert!(!c.approved_atomics_module("crates/sim/src/scenario.rs"));
         assert!(c.lock_order_scope("crates/fleet/src/coordinator.rs"));
+        assert!(c.panic_scope("crates/stream/src/event_loop.rs"));
+        assert!(c.blocking_io_scope("crates/stream/src/event_loop.rs"));
+        assert!(c.blocking_io_scope("crates/fleet/src/serve.rs"));
+        assert!(!c.blocking_io_scope("crates/stream/src/daemon.rs"));
         assert!(c.is_crate_root("crates/core/src/lib.rs"));
         assert!(c.is_crate_root("src/lib.rs"));
         assert!(!c.is_crate_root("crates/core/src/sample.rs"));
@@ -173,6 +197,8 @@ mod tests {
         assert!(c.approved_atomics_module("atomics_ring_missing_ordering.rs"));
         assert!(!c.approved_atomics_module("atomics_outside.rs"));
         assert!(c.lock_order_scope("lock_cycle_a.rs"));
+        assert!(c.blocking_io_scope("blockio_event_loop.rs"));
+        assert!(!c.blocking_io_scope("panic_loop.rs"));
         assert!(c.is_crate_root("forbidcrate/src/lib.rs"));
     }
 

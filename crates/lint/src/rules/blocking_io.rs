@@ -1,0 +1,108 @@
+//! blocking-io: event-loop modules must stay non-blocking. One
+//! blocking socket call on the readiness loop stalls every connection
+//! it serves, and a per-connection `thread::spawn` quietly reverts the
+//! C10k design to thread-per-subscriber. Legitimate sites (spawning
+//! the loop thread itself) carry an allow directive with a reason.
+
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::source::SourceFile;
+
+const RULE: &str = "blocking-io";
+
+/// Method calls that block the calling thread on socket I/O, or switch
+/// a socket into timed blocking mode.
+const BLOCKING_METHODS: &[&str] = &[
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write_all",
+    "set_read_timeout",
+    "set_write_timeout",
+];
+
+pub fn check(f: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+    if !cfg.blocking_io_scope(&f.rel_path) {
+        return;
+    }
+    for i in 0..f.tokens.len() {
+        let Some(what) = blocking_site(f, i) else {
+            continue;
+        };
+        let line = f.tokens[i].line;
+        if f.is_test_line(line) || f.is_allowed(RULE, line) {
+            continue;
+        }
+        out.push(Finding::new(
+            &f.rel_path,
+            line,
+            RULE,
+            format!(
+                "`{what}` in an event-loop module (use non-blocking I/O driven by readiness, or allowlist with a reason)"
+            ),
+        ));
+    }
+}
+
+fn blocking_site(f: &SourceFile, i: usize) -> Option<String> {
+    let id = f.ident_at(i)?;
+    // `thread::spawn` — per-connection threads are what the readiness
+    // loop exists to avoid.
+    if id == "thread" && f.punct_at(i + 1, ':') && f.punct_at(i + 2, ':') {
+        if f.ident_at(i + 3) == Some("spawn") {
+            return Some("thread::spawn".to_owned());
+        }
+        return None;
+    }
+    // `.spawn(...)` — the `thread::Builder` form of the same thing.
+    // `.read_exact(...)` etc. — blocking socket calls.
+    if i > 0 && f.punct_at(i - 1, '.') && f.punct_at(i + 1, '(') {
+        if id == "spawn" {
+            return Some(".spawn()".to_owned());
+        }
+        if BLOCKING_METHODS.contains(&id) {
+            return Some(format!(".{id}()"));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(rel, src);
+        let mut out = Vec::new();
+        check(&f, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_spawns_and_blocking_socket_calls() {
+        let src = "fn serve() {\n    std::thread::spawn(f);\n    b.spawn(f);\n    s.read_exact(&mut buf);\n    s.write_all(&buf);\n    s.set_read_timeout(None);\n}\n";
+        let out = run("crates/stream/src/event_loop.rs", src);
+        assert_eq!(out.len(), 5);
+        assert!(out[0].message.contains("thread::spawn"));
+        assert!(out[2].message.contains(".read_exact()"));
+    }
+
+    #[test]
+    fn nonblocking_idioms_do_not_fire() {
+        let src = "fn serve() {\n    s.read(&mut buf);\n    s.write(&buf);\n    s.set_nonblocking(true);\n    thread::sleep(d);\n    let spawn = 3;\n}\n";
+        assert!(run("crates/stream/src/event_loop.rs", src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_tests_and_allows_skipped() {
+        assert!(run(
+            "crates/stream/src/daemon.rs",
+            "fn t() { thread::spawn(f); }\n"
+        )
+        .is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { s.write_all(&b); }\n}\n";
+        assert!(run("crates/stream/src/event_loop.rs", src).is_empty());
+        let src = "fn up() {\n    b.spawn(run); // ps3-lint: allow(blocking-io) reason=\"the one loop thread, not per-connection\"\n}\n";
+        assert!(run("crates/stream/src/event_loop.rs", src).is_empty());
+    }
+}

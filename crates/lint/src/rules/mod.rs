@@ -2,6 +2,7 @@
 //! rule over the file set and returns findings sorted by location.
 
 pub mod atomics;
+pub mod blocking_io;
 pub mod determinism;
 pub mod lock_order;
 pub mod panic_path;
@@ -19,6 +20,7 @@ pub fn run_all(files: &[SourceFile], cfg: &Config) -> Vec<Finding> {
     for f in files {
         determinism::check(f, cfg, &mut out);
         panic_path::check(f, cfg, &mut out);
+        blocking_io::check(f, cfg, &mut out);
         atomics::check(f, cfg, &mut out);
         unsafety::check_safety_comments(f, &mut out);
         allow_syntax(f, &mut out);

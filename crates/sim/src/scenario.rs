@@ -35,12 +35,13 @@ use crate::plan::{splitmix64, FaultKind, PlanOptions, SimPlan};
 use crate::world::{quiesce, sim_eeprom, SimDevice};
 
 /// Every scenario the harness knows, in sweep order.
-pub const SCENARIOS: [&str; 5] = [
+pub const SCENARIOS: [&str; 6] = [
     "pipeline",
     "device-crash",
     "tcp-faults",
     "archive-crash",
     "fleet",
+    "c10k",
 ];
 
 /// Virtual time the streaming scenarios run for: 250 ms at 20 kHz is
@@ -51,6 +52,19 @@ const STREAM_MS: u64 = 250;
 
 /// Frames the archive-crash scenario writes before damaging the file.
 const ARCHIVE_FRAMES: u64 = 600;
+
+/// Keep-up subscribers in the c10k scenario (the full-scale sweep
+/// lives in the bench `stream` experiment; here the point is the
+/// invariants, so the count stays test-suite friendly).
+const C10K_SUBS: usize = 96;
+/// Block-averaging divisors cycled across the c10k subscribers. Every
+/// entry divides the published frame count exactly, so each keep-up
+/// subscriber's delivery count is a closed-form fact.
+const C10K_DIVISORS: [u32; 4] = [1, 2, 4, 8];
+/// Virtual time the c10k scenario streams: 1 s at 20 kHz.
+const C10K_MS: u64 = 1000;
+/// Frames the c10k scenario publishes.
+const C10K_FRAMES: u64 = C10K_MS * 20;
 
 /// Seed mix for the device-crash time ("DEVCRASH").
 const CRASH_SALT: u64 = 0x4445_5643_5241_5348;
@@ -145,6 +159,14 @@ pub fn default_options(scenario: &str) -> PlanOptions {
             max_events: 4,
             allow_crash: true,
         },
+        // No proxy in the loop: the scenario is about the event loop
+        // multiplexing many healthy subscribers, so fault plans would
+        // only add noise. The plan still seeds the fingerprint.
+        "c10k" => PlanOptions {
+            max_events: 0,
+            allow_crash: false,
+            ..PlanOptions::default()
+        },
         _ => PlanOptions::default(),
     }
 }
@@ -166,6 +188,7 @@ pub fn run(
         "tcp-faults" => Ok(run_tcp_faults(seed, plan)),
         "archive-crash" => Ok(run_archive_crash(seed, plan)),
         "fleet" => Ok(run_fleet(seed, plan)),
+        "c10k" => Ok(run_c10k(seed, plan)),
         other => Err(format!(
             "unknown scenario '{other}' (known: {})",
             SCENARIOS.join(", ")
@@ -613,6 +636,160 @@ fn run_tcp_faults(seed: u64, plan: &SimPlan) -> ScenarioReport {
     drop(daemon);
     drop(device);
     finish_report("tcp-faults", seed, plan, frames, facts, checker)
+}
+
+/// One event-loop thread, many subscribers: 96 keep-up clients at
+/// mixed downsampling rates plus one that subscribes and never reads a
+/// byte, all multiplexed by the daemon's single readiness loop. The
+/// ring is sized so it can never lap a subscriber, which turns the
+/// facts into closed forms: every keep-up client receives exactly
+/// `published / divisor` frames with zero drops, and the stalled
+/// client is evicted for `StalledWrite` — never for gaps.
+fn run_c10k(seed: u64, plan: &SimPlan) -> ScenarioReport {
+    let mut checker = Checker::new();
+    let mut facts: Vec<(String, String)> = Vec::new();
+
+    let (device, host) = SimDevice::spawn(seed, None);
+    // Clean USB: the tap injector carries an empty plan.
+    let injector = FaultInjector::new(host, &SimPlan::empty());
+    let tap = injector.clone();
+    let ps =
+        SharedPowerSensor::new(PowerSensor::connect(injector).expect("connect over clean serial"));
+
+    let daemon = StreamDaemon::start(
+        ps.clone(),
+        "127.0.0.1:0",
+        StreamDaemonConfig {
+            // Never laps a C10K_FRAMES capture: keep-up clients are
+            // guaranteed gap-free no matter how the burst is paced.
+            ring_capacity: 32768,
+            // Small bound so the stalled subscriber's kernel + queue
+            // budget is well under the capture size and the stall
+            // detector provably fires.
+            send_buffer_bytes: 32 * 1024,
+            ..StreamDaemonConfig::default()
+        },
+    )
+    .expect("start sim stream daemon");
+    let addr = daemon.local_addr();
+
+    let clients: Vec<StreamClient> = (0..C10K_SUBS)
+        .map(|i| {
+            StreamClient::connect(
+                addr,
+                StreamClientConfig {
+                    divisor: C10K_DIVISORS[i % C10K_DIVISORS.len()],
+                    ..StreamClientConfig::default()
+                },
+            )
+            .expect("connect keep-up client")
+        })
+        .collect();
+    let mut stalled = std::net::TcpStream::connect(addr).expect("connect stalled client");
+    stalled
+        .write_all(
+            &ps3_stream::ClientMsg::Subscribe {
+                pair_mask: 0x0F,
+                divisor: 1,
+                rig: None,
+            }
+            .encode(),
+        )
+        .expect("subscribe stalled client");
+
+    let expected_subs = C10K_SUBS as u64 + 1;
+    let subscribed = wait_for(Duration::from_secs(10), || {
+        daemon.stats().active_subscribers == expected_subs
+    });
+    checker.expect("harness-quiesce", subscribed, || {
+        format!("{expected_subs} subscribers failed to register within 10 s")
+    });
+
+    device.advance(SimDuration::from_millis(C10K_MS));
+    let quiesced = quiesce(&ps, &device, &tap, Duration::from_secs(30));
+    checker.expect("harness-quiesce", quiesced, || {
+        "c10k failed to quiesce within 30 s".into()
+    });
+
+    let published = daemon.stats().frames_published;
+    checker.expect("gap-accounting", published == C10K_FRAMES, || {
+        format!("published {published} frames, expected {C10K_FRAMES}")
+    });
+
+    // Every keep-up client converges on its closed-form delivery count
+    // with zero gaps — the ring never wrapped, so a single dropped
+    // frame anywhere is an accounting bug, not scheduling noise.
+    let mut received_total = 0u64;
+    for (i, client) in clients.iter().enumerate() {
+        let want = published / u64::from(C10K_DIVISORS[i % C10K_DIVISORS.len()]);
+        let _ = wait_for(Duration::from_secs(30), || {
+            client.is_evicted() || client.frames_received() >= want
+        });
+        checker.expect("gap-accounting", !client.is_evicted(), || {
+            format!(
+                "keep-up client {i} was evicted: {:?}",
+                client.eviction_reason()
+            )
+        });
+        checker.expect(
+            "gap-accounting",
+            client.frames_received() == want && client.dropped_frames() == 0,
+            || {
+                format!(
+                    "client {i} (divisor {}) received {} frames / {} dropped, expected {want} / 0",
+                    C10K_DIVISORS[i % C10K_DIVISORS.len()],
+                    client.frames_received(),
+                    client.dropped_frames()
+                )
+            },
+        );
+        received_total += client.frames_received();
+    }
+
+    // The stalled subscriber blocks until the write timeout, then is
+    // evicted — and for the stall, never for gaps (nothing lapped).
+    let evicted = wait_for(Duration::from_secs(20), || daemon.stats().evicted == 1);
+    let stats = daemon.stats();
+    checker.expect("evict-reason", evicted, || {
+        format!(
+            "stalled subscriber not evicted within 20 s (evicted={})",
+            stats.evicted
+        )
+    });
+    checker.expect(
+        "evict-reason",
+        stats.evicted_stalled == 1 && stats.evicted_gaps == 0,
+        || {
+            format!(
+                "eviction misattributed: stalled={} gaps={}, expected 1 / 0",
+                stats.evicted_stalled, stats.evicted_gaps
+            )
+        },
+    );
+    checker.expect(
+        "gap-accounting",
+        stats.accepted == expected_subs && stats.active_peak == expected_subs,
+        || {
+            format!(
+                "lifetime counters accepted={} peak={}, expected {expected_subs} each",
+                stats.accepted, stats.active_peak
+            )
+        },
+    );
+    checker.expect("gap-accounting", stats.gap_events == 0, || {
+        format!("{} gap events on a ring that never laps", stats.gap_events)
+    });
+
+    facts.push(("published".into(), published.to_string()));
+    facts.push(("received_total".into(), received_total.to_string()));
+    facts.push(("accepted".into(), stats.accepted.to_string()));
+    facts.push(("evicted_stalled".into(), stats.evicted_stalled.to_string()));
+
+    drop(stalled);
+    drop(clients);
+    drop(daemon);
+    drop(device);
+    finish_report("c10k", seed, plan, published, facts, checker)
 }
 
 /// Many rigs behind one coordinator: 32 simulated rigs stream through

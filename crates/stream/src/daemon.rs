@@ -1,23 +1,26 @@
 //! The streaming daemon: owns a [`SharedPowerSensor`], taps its frame
 //! stream into a [`BroadcastRing`], and serves any number of TCP
-//! subscribers at their own rates.
+//! subscribers at their own rates — all from **one event-loop
+//! thread**.
 //!
 //! Design invariant: **a subscriber can never slow down acquisition.**
 //! The acquisition tap only publishes into the ring (lock-free, never
-//! blocks on consumers); each subscriber is drained by its own sender
-//! thread. A subscriber that falls behind is lapped by the ring
+//! blocks on consumers) and nudges the loop's waker. The loop drains
+//! each subscriber's ring cursor into a bounded per-connection write
+//! queue; a subscriber that falls behind is lapped by the ring
 //! (drop-oldest, reported as [`ServerMsg::Gap`]); one that keeps
-//! falling behind — or stalls entirely so its TCP write times out — is
-//! evicted.
+//! falling behind — or stalls entirely so its socket accepts nothing
+//! for the write timeout — is evicted. The earlier implementation
+//! spent two OS threads per subscriber on exactly these semantics;
+//! the event loop preserves them (same eviction reasons, same gap
+//! accounting) at C10k subscriber counts.
 
 use std::io;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-use parking_lot::Mutex;
 
 use ps3_archive::Archive;
 use ps3_core::SharedPowerSensor;
@@ -25,10 +28,11 @@ use ps3_firmware::{FRAME_INTERVAL, SENSOR_SLOTS};
 use ps3_units::SimTime;
 
 use crate::downsample::Downsampler;
-use crate::net::bind_reusable;
+use crate::event_loop::{
+    bring_up, spawn_loop, Control, Handler, LoopStats, LoopWaker, OutQueue, Pump,
+};
 use crate::proto::{
-    read_msg_body, write_msg, ClientMsg, EvictReason, ServerMsg, StreamFrame, StreamStats,
-    MAX_BATCH_FRAMES,
+    ClientMsg, EvictReason, RigSelector, ServerMsg, StreamFrame, StreamStats, MAX_BATCH_FRAMES,
 };
 use crate::ring::{BroadcastRing, ReadOutcome};
 
@@ -38,18 +42,19 @@ pub struct StreamDaemonConfig {
     /// Broadcast ring capacity in frames (rounded up to a power of
     /// two). At 20 kHz the default of 8192 buffers ~0.4 s.
     pub ring_capacity: usize,
-    /// A subscriber whose TCP write blocks longer than this is
-    /// considered stalled and evicted.
+    /// A subscriber whose socket accepts no bytes for this long while
+    /// output is pending is considered stalled and evicted.
     pub write_timeout: Duration,
     /// A subscriber lapped more than this many times is evicted.
     pub max_gap_events: u64,
     /// How long the handshake (`Subscribe`) may take.
     pub handshake_timeout: Duration,
-    /// Per-subscriber socket send buffer (`SO_SNDBUF`), 0 to leave the
-    /// OS default. Kernel autotuning can grow TCP buffers to tens of
+    /// Per-subscriber send bound: both the socket's kernel buffer
+    /// (`SO_SNDBUF`) and the in-process write queue, 0 to leave the OS
+    /// default. Kernel autotuning can grow TCP buffers to tens of
     /// megabytes, which would let a stalled subscriber absorb minutes
-    /// of data before the write-timeout stall detector ever fires;
-    /// bounding the buffer keeps eviction timely.
+    /// of data before the stall detector ever fires; bounding the
+    /// buffer keeps eviction timely.
     pub send_buffer_bytes: usize,
 }
 
@@ -65,47 +70,6 @@ impl Default for StreamDaemonConfig {
     }
 }
 
-/// Caps the socket's kernel send buffer. `std` has no portable
-/// accessor for `SO_SNDBUF`, so this goes through `setsockopt`
-/// directly on Linux and is a no-op elsewhere.
-#[cfg(target_os = "linux")]
-fn set_send_buffer(stream: &TcpStream, bytes: usize) -> io::Result<()> {
-    use std::os::fd::AsRawFd;
-    const SOL_SOCKET: i32 = 1;
-    const SO_SNDBUF: i32 = 7;
-    extern "C" {
-        fn setsockopt(
-            fd: i32,
-            level: i32,
-            optname: i32,
-            optval: *const core::ffi::c_void,
-            optlen: u32,
-        ) -> i32;
-    }
-    let val = i32::try_from(bytes).unwrap_or(i32::MAX);
-    // SAFETY: valid fd from a live TcpStream; optval points at an i32
-    // whose size is passed as optlen.
-    let rc = unsafe {
-        setsockopt(
-            stream.as_raw_fd(),
-            SOL_SOCKET,
-            SO_SNDBUF,
-            (&raw const val).cast(),
-            core::mem::size_of::<i32>() as u32,
-        )
-    };
-    if rc == 0 {
-        Ok(())
-    } else {
-        Err(io::Error::last_os_error())
-    }
-}
-
-#[cfg(not(target_os = "linux"))]
-fn set_send_buffer(_stream: &TcpStream, _bytes: usize) -> io::Result<()> {
-    Ok(())
-}
-
 /// Where a daemon's frames come from.
 enum FrameSource {
     /// Live acquisition: a tap on the sensor's reader thread.
@@ -119,7 +83,7 @@ enum FrameSource {
 pub struct StreamDaemon {
     shared: Arc<DaemonShared>,
     local_addr: SocketAddr,
-    accept: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
     pump: Option<JoinHandle<()>>,
 }
 
@@ -130,10 +94,24 @@ struct DaemonShared {
     /// Pre-encoded `Hello`, identical for every subscriber.
     hello: Vec<u8>,
     shutdown: Arc<AtomicBool>,
-    active_subscribers: AtomicU64,
-    evicted: AtomicU64,
-    gap_events: AtomicU64,
-    clients: Mutex<Vec<JoinHandle<()>>>,
+    stats: Arc<LoopStats>,
+    waker: Arc<LoopWaker>,
+}
+
+impl DaemonShared {
+    fn stats_snapshot(&self) -> StreamStats {
+        StreamStats {
+            frames_published: self.ring.head(),
+            active_subscribers: self.stats.active_subscribers.load(Ordering::SeqCst),
+            evicted: self.stats.evicted.load(Ordering::SeqCst),
+            gap_events: self.stats.gap_events.load(Ordering::SeqCst),
+            accepted: self.stats.accepted.load(Ordering::SeqCst),
+            active_peak: self.stats.active_peak.load(Ordering::SeqCst),
+            bytes_sent: self.stats.bytes_sent.load(Ordering::SeqCst),
+            evicted_gaps: self.stats.evicted_gaps.load(Ordering::SeqCst),
+            evicted_stalled: self.stats.evicted_stalled.load(Ordering::SeqCst),
+        }
+    }
 }
 
 impl StreamDaemon {
@@ -148,27 +126,26 @@ impl StreamDaemon {
         addr: A,
         config: StreamDaemonConfig,
     ) -> io::Result<Self> {
-        let listener = bind_reusable(addr)?;
-        listener.set_nonblocking(true)?;
-        let local_addr = listener.local_addr()?;
-
-        let ring = Arc::new(BroadcastRing::new(config.ring_capacity));
-        let shutdown = Arc::new(AtomicBool::new(false));
         let hello = ServerMsg::Hello {
             frame_interval_us: FRAME_INTERVAL.as_micros() as u32,
             configs: Box::new(sensor.configs()),
             fleet: None,
         }
         .encode();
+        let (shared, local_addr, event_loop) =
+            launch(addr, config, hello, FrameSource::Live(sensor.clone()))?;
 
         // The acquisition tap: runs on the sensor's reader thread, so
-        // it must only do the (non-blocking) ring publish.
+        // it must only do the (non-blocking) ring publish plus a
+        // coalesced waker nudge.
         {
-            let ring = Arc::clone(&ring);
-            let shutdown = Arc::clone(&shutdown);
+            let ring = Arc::clone(&shared.ring);
+            let shutdown = Arc::clone(&shared.shutdown);
+            let waker = Arc::clone(&shared.waker);
             sensor.add_frame_sink(move |record| {
                 if shutdown.load(Ordering::SeqCst) {
                     ring.close();
+                    waker.wake();
                     return false;
                 }
                 ring.publish(&StreamFrame {
@@ -177,33 +154,15 @@ impl StreamDaemon {
                     present: record.present,
                     marker: record.marker.is_some(),
                 });
+                waker.wake();
                 true
             });
         }
 
-        let shared = Arc::new(DaemonShared {
-            ring,
-            source: FrameSource::Live(sensor),
-            config,
-            hello,
-            shutdown,
-            active_subscribers: AtomicU64::new(0),
-            evicted: AtomicU64::new(0),
-            gap_events: AtomicU64::new(0),
-            clients: Mutex::new(Vec::new()),
-        });
-
-        let accept = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("ps3-stream-accept".into())
-                .spawn(move || accept_loop(&listener, &shared))?
-        };
-
         Ok(Self {
             shared,
             local_addr,
-            accept: Some(accept),
+            event_loop: Some(event_loop),
             pump: None,
         })
     }
@@ -232,37 +191,14 @@ impl StreamDaemon {
         addr: A,
         config: StreamDaemonConfig,
     ) -> io::Result<Self> {
-        let listener = bind_reusable(addr)?;
-        listener.set_nonblocking(true)?;
-        let local_addr = listener.local_addr()?;
-
-        let ring = Arc::new(BroadcastRing::new(config.ring_capacity));
-        let shutdown = Arc::new(AtomicBool::new(false));
         let hello = ServerMsg::Hello {
             frame_interval_us: FRAME_INTERVAL.as_micros() as u32,
             configs: Box::new(archive.configs().clone()),
             fleet: None,
         }
         .encode();
+        let (shared, local_addr, event_loop) = launch(addr, config, hello, FrameSource::Replay)?;
 
-        let shared = Arc::new(DaemonShared {
-            ring,
-            source: FrameSource::Replay,
-            config,
-            hello,
-            shutdown,
-            active_subscribers: AtomicU64::new(0),
-            evicted: AtomicU64::new(0),
-            gap_events: AtomicU64::new(0),
-            clients: Mutex::new(Vec::new()),
-        });
-
-        let accept = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("ps3-stream-accept".into())
-                .spawn(move || accept_loop(&listener, &shared))?
-        };
         let pump = {
             let pump_shared = Arc::clone(&shared);
             let spawned = std::thread::Builder::new()
@@ -271,9 +207,11 @@ impl StreamDaemon {
             match spawned {
                 Ok(handle) => handle,
                 Err(e) => {
-                    // The accept thread is already up; signal shutdown
-                    // so it exits instead of serving a pumpless daemon.
+                    // The loop thread is already up; signal shutdown
+                    // and reap it rather than serve a pumpless daemon.
                     shared.shutdown.store(true, Ordering::SeqCst);
+                    shared.waker.wake();
+                    let _ = event_loop.join();
                     return Err(e);
                 }
             }
@@ -282,7 +220,7 @@ impl StreamDaemon {
         Ok(Self {
             shared,
             local_addr,
-            accept: Some(accept),
+            event_loop: Some(event_loop),
             pump: Some(pump),
         })
     }
@@ -296,12 +234,7 @@ impl StreamDaemon {
     /// Live daemon counters.
     #[must_use]
     pub fn stats(&self) -> StreamStats {
-        StreamStats {
-            frames_published: self.shared.ring.head(),
-            active_subscribers: self.shared.active_subscribers.load(Ordering::SeqCst),
-            evicted: self.shared.evicted.load(Ordering::SeqCst),
-            gap_events: self.shared.gap_events.load(Ordering::SeqCst),
-        }
+        self.shared.stats_snapshot()
     }
 
     /// The sensor this daemon is serving, or `None` in replay mode.
@@ -325,14 +258,11 @@ impl StreamDaemon {
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.ring.close();
-        if let Some(handle) = self.accept.take() {
+        self.shared.waker.wake();
+        if let Some(handle) = self.event_loop.take() {
             let _ = handle.join();
         }
         if let Some(handle) = self.pump.take() {
-            let _ = handle.join();
-        }
-        let clients = std::mem::take(&mut *self.shared.clients.lock());
-        for handle in clients {
             let _ = handle.join();
         }
     }
@@ -353,6 +283,157 @@ impl core::fmt::Debug for StreamDaemon {
     }
 }
 
+/// The shared bring-up path for live and replay daemons: bind, build
+/// the ring and shared state, spawn the event loop.
+fn launch<A: ToSocketAddrs>(
+    addr: A,
+    config: StreamDaemonConfig,
+    hello: Vec<u8>,
+    source: FrameSource,
+) -> io::Result<(Arc<DaemonShared>, SocketAddr, JoinHandle<()>)> {
+    let parts = bring_up(addr)?;
+    let local_addr = parts.local_addr();
+    let shared = Arc::new(DaemonShared {
+        ring: Arc::new(BroadcastRing::new(config.ring_capacity)),
+        source,
+        config: config.clone(),
+        hello,
+        shutdown: Arc::new(AtomicBool::new(false)),
+        stats: Arc::new(LoopStats::default()),
+        waker: parts.waker(),
+    });
+    let event_loop = spawn_loop(
+        "ps3-stream-loop",
+        "ps3-stream",
+        parts,
+        DaemonHandler {
+            shared: Arc::clone(&shared),
+        },
+        config,
+        Arc::clone(&shared.shutdown),
+        Arc::clone(&shared.stats),
+    )?;
+    Ok((shared, local_addr, event_loop))
+}
+
+/// Per-subscriber streaming state: the ring cursor, the downsampler,
+/// and the batch being assembled — what the dedicated sender thread
+/// used to keep on its stack.
+struct SubSession {
+    slot_mask: u8,
+    downsampler: Downsampler,
+    cursor: u64,
+    my_gaps: u64,
+    batch: Vec<StreamFrame>,
+}
+
+/// The plain daemon's event-loop personality: one ring, one cursor
+/// per subscriber.
+struct DaemonHandler {
+    shared: Arc<DaemonShared>,
+}
+
+impl Handler for DaemonHandler {
+    type Session = SubSession;
+
+    fn begin(
+        &self,
+        pair_mask: u8,
+        divisor: u32,
+        // A plain single-rig daemon serves the same stream whatever
+        // rig the client asked for; routing lives in `ps3-fleet`.
+        _rig: Option<RigSelector>,
+    ) -> io::Result<(Vec<u8>, SubSession)> {
+        // Expand the pair mask to a slot mask (pair p = slots 2p, 2p+1).
+        let mut slot_mask = 0u8;
+        for pair in 0..SENSOR_SLOTS / 2 {
+            if pair_mask & (1 << pair) != 0 {
+                slot_mask |= 0b11 << (2 * pair);
+            }
+        }
+        Ok((
+            self.shared.hello.clone(),
+            SubSession {
+                slot_mask,
+                downsampler: Downsampler::new(divisor),
+                // Subscribers start at the live edge, not the history.
+                cursor: self.shared.ring.head(),
+                my_gaps: 0,
+                batch: Vec::with_capacity(MAX_BATCH_FRAMES),
+            },
+        ))
+    }
+
+    fn pump(&self, s: &mut SubSession, out: &mut OutQueue) -> Pump {
+        let shared = &self.shared;
+        while !out.is_full() {
+            match shared.ring.next(s.cursor, Duration::ZERO) {
+                ReadOutcome::Frame(frame) => {
+                    s.cursor += 1;
+                    let mut masked = frame;
+                    masked.present &= s.slot_mask;
+                    if let Some(frame) = s.downsampler.push(&masked) {
+                        s.batch.push(frame);
+                    }
+                    // Flush when full, or when the ring is drained (so
+                    // the last frames of a burst are not held back —
+                    // and so the batch is provably empty by the time
+                    // `Closed` arrives).
+                    let drained = s.cursor >= shared.ring.head();
+                    if s.batch.len() >= MAX_BATCH_FRAMES || (drained && !s.batch.is_empty()) {
+                        out.push(&ServerMsg::Batch {
+                            frames: std::mem::take(&mut s.batch),
+                        });
+                    }
+                }
+                ReadOutcome::Lapped { resume_at, dropped } => {
+                    s.cursor = resume_at;
+                    s.downsampler.reset();
+                    s.batch.clear();
+                    s.my_gaps += 1;
+                    shared.stats.gap_events.fetch_add(1, Ordering::SeqCst);
+                    out.push(&ServerMsg::Gap { dropped });
+                    if s.my_gaps > shared.config.max_gap_events {
+                        return Pump::Evict(EvictReason::TooManyGaps {
+                            gaps: s.my_gaps,
+                            limit: shared.config.max_gap_events,
+                        });
+                    }
+                }
+                ReadOutcome::TimedOut => return Pump::Idle,
+                ReadOutcome::Closed => return Pump::Closed,
+            }
+        }
+        Pump::Idle
+    }
+
+    fn control(&self, _s: &mut SubSession, msg: ClientMsg, out: &mut OutQueue) -> Control {
+        match msg {
+            ClientMsg::InjectMarker { label } => {
+                // Markers only make sense against a live sensor; in
+                // replay mode the archived marker bits are replayed
+                // as-is and injections are ignored.
+                if let FrameSource::Live(sensor) = &self.shared.source {
+                    let _ = sensor.mark(label);
+                }
+                Control::Continue
+            }
+            ClientMsg::QueryStats => {
+                out.push(&ServerMsg::Stats(self.shared.stats_snapshot()));
+                Control::Continue
+            }
+            ClientMsg::QueryFleet => {
+                // Not a coordinator: answer with an empty roster so
+                // fleet-aware tools degrade gracefully.
+                out.push(&ServerMsg::FleetStatus { rigs: Vec::new() });
+                Control::Continue
+            }
+            ClientMsg::Bye => Control::Disconnect,
+            ClientMsg::Subscribe { .. } => Control::Disconnect, // protocol violation
+        }
+    }
+}
+
 /// Publishes an archived range into the ring, paced against wall
 /// clock, then closes the ring so subscribers see end-of-stream.
 ///
@@ -365,9 +446,10 @@ fn replay_pump(
     range: Option<(SimTime, SimTime)>,
     speed: f64,
 ) {
-    while shared.active_subscribers.load(Ordering::SeqCst) == 0 {
+    while shared.stats.active_subscribers.load(Ordering::SeqCst) == 0 {
         if shared.shutdown.load(Ordering::SeqCst) {
             shared.ring.close();
+            shared.waker.wake();
             return;
         }
         std::thread::sleep(Duration::from_millis(5));
@@ -420,272 +502,11 @@ fn replay_pump(
                 present: frame.present,
                 marker: frame.marker.is_some(),
             });
+            shared.waker.wake();
         }
     }
     shared.ring.close();
-}
-
-fn accept_loop(listener: &TcpListener, shared: &Arc<DaemonShared>) {
-    let mut client_id = 0u64;
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                client_id += 1;
-                let shared_for_client = Arc::clone(shared);
-                let spawned = std::thread::Builder::new()
-                    .name(format!("ps3-stream-sub-{client_id}"))
-                    .spawn(move || {
-                        let _ = serve_client(&shared_for_client, stream);
-                    });
-                match spawned {
-                    Ok(handle) => shared.clients.lock().push(handle),
-                    // Degrade, don't die: drop this connection (the
-                    // stream closes on drop) and keep accepting —
-                    // thread exhaustion may be transient.
-                    Err(e) => {
-                        eprintln!("ps3-stream: dropping client {client_id}: spawn failed: {e}");
-                    }
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => break,
-        }
-    }
-}
-
-/// Why a subscriber's sender loop ended.
-enum SessionEnd {
-    /// The client said `Bye` or closed its socket.
-    Disconnected,
-    /// Evicted for cause: too many gaps, or a stalled TCP write.
-    Evicted(EvictReason),
-    /// Daemon shutdown.
-    Shutdown,
-}
-
-fn serve_client(shared: &Arc<DaemonShared>, stream: TcpStream) -> io::Result<()> {
-    stream.set_nodelay(true)?;
-    if shared.config.send_buffer_bytes > 0 {
-        set_send_buffer(&stream, shared.config.send_buffer_bytes)?;
-    }
-    // Handshake: the first message must be a Subscribe.
-    stream.set_read_timeout(Some(shared.config.handshake_timeout))?;
-    let mut control = stream;
-    let body = read_msg_body(&mut control)?;
-    let ClientMsg::Subscribe {
-        pair_mask,
-        divisor,
-        // A plain single-rig daemon serves the same stream whatever
-        // rig the client asked for; routing lives in `ps3-fleet`.
-        rig: _,
-    } = ClientMsg::decode(&body)?
-    else {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "first message must be Subscribe",
-        ));
-    };
-    // Split the socket: this thread senses frames, a helper thread
-    // reads control messages. Write timeout is the stall detector.
-    let writer = Arc::new(Mutex::new(control.try_clone()?));
-    control.set_read_timeout(None)?;
-    writer
-        .lock()
-        .set_write_timeout(Some(shared.config.write_timeout))?;
-    write_msg(&mut *writer.lock(), &shared.hello)?;
-
-    shared.active_subscribers.fetch_add(1, Ordering::SeqCst);
-    let client_gone = Arc::new(AtomicBool::new(false));
-    let control_thread = {
-        let ctl_shared = Arc::clone(shared);
-        let writer = Arc::clone(&writer);
-        let client_gone = Arc::clone(&client_gone);
-        let spawned = std::thread::Builder::new()
-            .name("ps3-stream-ctl".into())
-            .spawn(move || control_loop(&ctl_shared, control, &writer, &client_gone));
-        match spawned {
-            Ok(handle) => handle,
-            Err(e) => {
-                // Undo the registration and drop just this client;
-                // the daemon itself keeps serving.
-                shared.active_subscribers.fetch_sub(1, Ordering::SeqCst);
-                return Err(e);
-            }
-        }
-    };
-
-    let end = sender_loop(shared, &writer, pair_mask, divisor, &client_gone);
-    match end {
-        SessionEnd::Evicted(reason) => {
-            shared.evicted.fetch_add(1, Ordering::SeqCst);
-            // Best effort: a stalled client will not read this.
-            let _ = write_msg(&mut *writer.lock(), &ServerMsg::Evicted { reason }.encode());
-        }
-        SessionEnd::Shutdown => {
-            let _ = write_msg(
-                &mut *writer.lock(),
-                &ServerMsg::Evicted {
-                    reason: EvictReason::Shutdown,
-                }
-                .encode(),
-            );
-        }
-        SessionEnd::Disconnected => {}
-    }
-    // Unblock the control thread and reap it.
-    let _ = writer.lock().shutdown(Shutdown::Both);
-    let _ = control_thread.join();
-    shared.active_subscribers.fetch_sub(1, Ordering::SeqCst);
-    Ok(())
-}
-
-/// Handles in-band control messages for one subscriber.
-fn control_loop(
-    shared: &DaemonShared,
-    mut control: TcpStream,
-    writer: &Mutex<TcpStream>,
-    client_gone: &AtomicBool,
-) {
-    // Runs until disconnect or garbage input drops the client.
-    while let Ok(msg) = read_msg_body(&mut control).and_then(|b| ClientMsg::decode(&b)) {
-        match msg {
-            ClientMsg::InjectMarker { label } => {
-                // Markers only make sense against a live sensor; in
-                // replay mode the archived marker bits are replayed
-                // as-is and injections are ignored.
-                if let FrameSource::Live(sensor) = &shared.source {
-                    let _ = sensor.mark(label);
-                }
-            }
-            ClientMsg::QueryStats => {
-                let stats = StreamStats {
-                    frames_published: shared.ring.head(),
-                    active_subscribers: shared.active_subscribers.load(Ordering::SeqCst),
-                    evicted: shared.evicted.load(Ordering::SeqCst),
-                    gap_events: shared.gap_events.load(Ordering::SeqCst),
-                };
-                if write_msg(&mut *writer.lock(), &ServerMsg::Stats(stats).encode()).is_err() {
-                    break;
-                }
-            }
-            ClientMsg::QueryFleet => {
-                // Not a coordinator: answer with an empty roster so
-                // fleet-aware tools degrade gracefully.
-                let reply = ServerMsg::FleetStatus { rigs: Vec::new() };
-                if write_msg(&mut *writer.lock(), &reply.encode()).is_err() {
-                    break;
-                }
-            }
-            ClientMsg::Bye => break,
-            ClientMsg::Subscribe { .. } => break, // protocol violation
-        }
-    }
-    client_gone.store(true, Ordering::SeqCst);
-}
-
-/// Drains the ring into one subscriber's socket.
-fn sender_loop(
-    shared: &DaemonShared,
-    writer: &Mutex<TcpStream>,
-    pair_mask: u8,
-    divisor: u32,
-    client_gone: &AtomicBool,
-) -> SessionEnd {
-    // Expand the pair mask to a slot mask (pair p = slots 2p, 2p+1).
-    let mut slot_mask = 0u8;
-    for pair in 0..SENSOR_SLOTS / 2 {
-        if pair_mask & (1 << pair) != 0 {
-            slot_mask |= 0b11 << (2 * pair);
-        }
-    }
-    let mut downsampler = Downsampler::new(divisor);
-    // Subscribers start at the live edge, not the ring's history.
-    let mut cursor = shared.ring.head();
-    let mut my_gaps = 0u64;
-    let mut batch: Vec<StreamFrame> = Vec::with_capacity(MAX_BATCH_FRAMES);
-
-    loop {
-        if client_gone.load(Ordering::SeqCst) {
-            return SessionEnd::Disconnected;
-        }
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return SessionEnd::Shutdown;
-        }
-        match shared.ring.next(cursor, Duration::from_millis(20)) {
-            ReadOutcome::Frame(frame) => {
-                cursor += 1;
-                let mut masked = frame;
-                masked.present &= slot_mask;
-                if let Some(out) = downsampler.push(&masked) {
-                    batch.push(out);
-                }
-                // Flush when full, or when the ring is drained (so the
-                // last frames of a burst are not held back).
-                let drained = cursor >= shared.ring.head();
-                if batch.len() >= MAX_BATCH_FRAMES || (drained && !batch.is_empty()) {
-                    match flush(writer, &mut batch) {
-                        Ok(()) => {}
-                        Err(e) if is_stall(&e) => {
-                            return SessionEnd::Evicted(EvictReason::StalledWrite)
-                        }
-                        Err(_) => return SessionEnd::Disconnected,
-                    }
-                }
-            }
-            ReadOutcome::Lapped { resume_at, dropped } => {
-                cursor = resume_at;
-                downsampler.reset();
-                batch.clear();
-                my_gaps += 1;
-                shared.gap_events.fetch_add(1, Ordering::SeqCst);
-                let gap = ServerMsg::Gap { dropped }.encode();
-                match write_msg(&mut *writer.lock(), &gap) {
-                    Ok(()) => {}
-                    Err(e) if is_stall(&e) => {
-                        return SessionEnd::Evicted(EvictReason::StalledWrite)
-                    }
-                    Err(_) => return SessionEnd::Disconnected,
-                }
-                if my_gaps > shared.config.max_gap_events {
-                    return SessionEnd::Evicted(EvictReason::TooManyGaps {
-                        gaps: my_gaps,
-                        limit: shared.config.max_gap_events,
-                    });
-                }
-            }
-            ReadOutcome::TimedOut => {
-                if !batch.is_empty() {
-                    match flush(writer, &mut batch) {
-                        Ok(()) => {}
-                        Err(e) if is_stall(&e) => {
-                            return SessionEnd::Evicted(EvictReason::StalledWrite)
-                        }
-                        Err(_) => return SessionEnd::Disconnected,
-                    }
-                }
-            }
-            ReadOutcome::Closed => return SessionEnd::Shutdown,
-        }
-    }
-}
-
-fn flush(writer: &Mutex<TcpStream>, batch: &mut Vec<StreamFrame>) -> io::Result<()> {
-    let msg = ServerMsg::Batch {
-        frames: std::mem::take(batch),
-    }
-    .encode();
-    write_msg(&mut *writer.lock(), &msg)
-}
-
-/// A write that hit the socket's write timeout means the peer stopped
-/// reading: the stall signal.
-fn is_stall(e: &io::Error) -> bool {
-    matches!(
-        e.kind(),
-        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-    )
+    shared.waker.wake();
 }
 
 #[cfg(test)]

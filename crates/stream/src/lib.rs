@@ -11,9 +11,11 @@
 //!        ▼
 //!  BroadcastRing  ── single producer, per-subscriber cursors
 //!        │ drop-oldest on lap (never blocks acquisition)
-//!        ├── sender thread ── Downsampler ÷1    ──▶ 20 kHz client
-//!        ├── sender thread ── Downsampler ÷20   ──▶ 1 kHz client
-//!        └── sender thread ── Downsampler ÷2000 ──▶ 10 Hz client
+//!        ▼
+//!  event-loop thread (epoll/poll readiness over every socket)
+//!        ├── conn state machine ── Downsampler ÷1    ──▶ 20 kHz client
+//!        ├── conn state machine ── Downsampler ÷20   ──▶ 1 kHz client
+//!        └── conn state machine ── Downsampler ÷2000 ──▶ 10 Hz client
 //! ```
 //!
 //! * [`StreamDaemon`] taps a [`ps3_core::SharedPowerSensor`] and
@@ -30,9 +32,13 @@
 //! See `examples/streaming.rs` at the repository root for a daemon
 //! plus mixed-rate subscribers against the virtual testbed.
 
+#![forbid(unsafe_code)]
+
 mod client;
 mod daemon;
 mod downsample;
+pub mod event_loop;
+pub mod log;
 pub mod net;
 pub mod proto;
 mod ring;
@@ -42,6 +48,9 @@ pub use client::{
 };
 pub use daemon::{StreamDaemon, StreamDaemonConfig};
 pub use downsample::Downsampler;
+pub use event_loop::{
+    bring_up, spawn_loop, Control, Handler, LoopParts, LoopStats, LoopWaker, OutQueue, Pump,
+};
 pub use net::{bind_error, bind_reusable, resolve_bind};
 pub use proto::{
     ClientMsg, EvictReason, FleetHello, RigSelector, RigStatus, ServerMsg, StreamFrame, StreamStats,

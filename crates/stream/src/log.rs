@@ -1,0 +1,86 @@
+//! Structured logging for the streaming plane.
+//!
+//! Daemon-side operational events (a dropped client, a failed rig
+//! advance, an accept error) used to be ad-hoc `eprintln!` prose,
+//! which fleet logs cannot grep reliably. This module replaces them
+//! with one `key=value` line per event:
+//!
+//! ```text
+//! ps3-stream event=client-dropped client=17 cause="handshake timeout"
+//! ```
+//!
+//! The component name comes first, then `event=`, then the fields in
+//! the order given. Values containing spaces, quotes or `=` are
+//! double-quoted with `"` and `\` escaped, so a line always splits
+//! back into fields on whitespace-outside-quotes. Everything goes to
+//! stderr, keeping stdout clean for tool output.
+
+use std::fmt::Write as _;
+
+/// Formats one structured line (no trailing newline).
+#[must_use]
+pub fn format_line(component: &str, event: &str, fields: &[(&str, &str)]) -> String {
+    let mut out = String::with_capacity(32 + 16 * fields.len());
+    let _ = write!(out, "{component} event={}", quoted(event));
+    for (key, value) in fields {
+        let _ = write!(out, " {key}={}", quoted(value));
+    }
+    out
+}
+
+/// Emits one structured event line to stderr.
+pub fn emit(component: &str, event: &str, fields: &[(&str, &str)]) {
+    eprintln!("{}", format_line(component, event, fields));
+}
+
+/// Quotes a value only when it would break whitespace tokenisation.
+fn quoted(value: &str) -> String {
+    let needs_quotes = value.is_empty()
+        || value
+            .chars()
+            .any(|c| c.is_whitespace() || c == '"' || c == '=' || c == '\\');
+    if !needs_quotes {
+        return value.to_owned();
+    }
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        if c == '"' || c == '\\' {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_values_stay_bare() {
+        assert_eq!(
+            format_line("ps3-stream", "client-dropped", &[("client", "17")]),
+            "ps3-stream event=client-dropped client=17"
+        );
+    }
+
+    #[test]
+    fn spaces_quotes_and_equals_are_quoted() {
+        let line = format_line(
+            "ps3-fleet",
+            "rig-advance-failed",
+            &[("rig", "3"), ("cause", "bus error \"E=7\"")],
+        );
+        assert_eq!(
+            line,
+            "ps3-fleet event=rig-advance-failed rig=3 cause=\"bus error \\\"E=7\\\"\""
+        );
+    }
+
+    #[test]
+    fn empty_value_is_visible() {
+        assert_eq!(format_line("x", "e", &[("k", "")]), "x event=e k=\"\"");
+    }
+}

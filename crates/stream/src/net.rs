@@ -1,136 +1,17 @@
 //! Socket plumbing shared by the stream daemon and the fleet
 //! coordinator.
 //!
-//! The one non-trivial piece is [`bind_reusable`]: binding a listener
-//! with `SO_REUSEADDR` set *before* `bind`. A daemon that is bounced
-//! (stopped and immediately restarted on the same port — exactly what
-//! the fleet coordinator does when it restarts a crashed rig, and what
-//! the reconnect tests do on purpose) would otherwise race the kernel's
-//! `TIME_WAIT` hold on the old listening socket and fail with
-//! `EADDRINUSE`. `std::net::TcpListener::bind` offers no hook to set
-//! the option first, so on Linux this goes through the raw socket
-//! calls; elsewhere it falls back to the plain `std` bind.
+//! The raw-syscall pieces ([`bind_reusable`] — `SO_REUSEADDR` set
+//! *before* `bind` so a bounced daemon never races the kernel's
+//! `TIME_WAIT` hold — and [`set_send_buffer`] — `SO_SNDBUF` capping)
+//! live in the vendored `mio` compat crate, the workspace's one
+//! `unsafe` enclave; this module re-exports them so `ps3-stream`
+//! stays `#![forbid(unsafe_code)]` and existing callers keep their
+//! import paths.
 
 use std::io;
-use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 
-/// Binds a TCP listener with `SO_REUSEADDR`, so a just-closed listener
-/// on the same address does not block the new bind.
-///
-/// Resolves `addr` like [`TcpListener::bind`] (first address that
-/// binds wins). The returned listener is in the default blocking mode.
-///
-/// # Errors
-///
-/// Address resolution and socket bind errors; the error for a bind
-/// failure is the raw OS error (callers prepend the address).
-pub fn bind_reusable<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
-    let mut last_err = None;
-    for addr in addr.to_socket_addrs()? {
-        match bind_one(addr) {
-            Ok(listener) => return Ok(listener),
-            Err(e) => last_err = Some(e),
-        }
-    }
-    Err(last_err.unwrap_or_else(|| {
-        io::Error::new(io::ErrorKind::InvalidInput, "could not resolve any address")
-    }))
-}
-
-#[cfg(target_os = "linux")]
-fn bind_one(addr: SocketAddr) -> io::Result<TcpListener> {
-    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd};
-
-    // IPv6 listeners are rare here (every in-repo caller uses v4
-    // loopback); take the std path rather than growing a second raw
-    // sockaddr layout.
-    let SocketAddr::V4(v4) = addr else {
-        return TcpListener::bind(addr);
-    };
-
-    const AF_INET: i32 = 2;
-    const SOCK_STREAM: i32 = 1;
-    const SOCK_CLOEXEC: i32 = 0x8_0000;
-    const SOL_SOCKET: i32 = 1;
-    const SO_REUSEADDR: i32 = 2;
-    const BACKLOG: i32 = 128;
-
-    /// `struct sockaddr_in`: family, port (network order), address
-    /// (network order), 8 bytes of zero padding.
-    #[repr(C)]
-    struct SockAddrIn {
-        family: u16,
-        port: u16,
-        addr: u32,
-        zero: [u8; 8],
-    }
-
-    extern "C" {
-        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
-        fn setsockopt(
-            fd: i32,
-            level: i32,
-            optname: i32,
-            optval: *const core::ffi::c_void,
-            optlen: u32,
-        ) -> i32;
-        fn bind(fd: i32, addr: *const core::ffi::c_void, addrlen: u32) -> i32;
-        fn listen(fd: i32, backlog: i32) -> i32;
-    }
-
-    // SAFETY: plain socket creation; a negative return is an error.
-    let fd = unsafe { socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0) };
-    if fd < 0 {
-        return Err(io::Error::last_os_error());
-    }
-    // SAFETY: fd was just returned by socket() and is owned by nobody
-    // else; OwnedFd closes it on every error path below.
-    let fd = unsafe { OwnedFd::from_raw_fd(fd) };
-
-    let on: i32 = 1;
-    // SAFETY: valid fd; optval points at an i32 whose size is optlen.
-    let rc = unsafe {
-        setsockopt(
-            fd.as_raw_fd(),
-            SOL_SOCKET,
-            SO_REUSEADDR,
-            (&raw const on).cast(),
-            core::mem::size_of::<i32>() as u32,
-        )
-    };
-    if rc != 0 {
-        return Err(io::Error::last_os_error());
-    }
-
-    let sa = SockAddrIn {
-        family: AF_INET as u16,
-        port: v4.port().to_be(),
-        addr: u32::from_be_bytes(v4.ip().octets()).to_be(),
-        zero: [0; 8],
-    };
-    // SAFETY: valid fd; sa is a properly laid-out sockaddr_in whose
-    // size is passed as addrlen.
-    let rc = unsafe {
-        bind(
-            fd.as_raw_fd(),
-            (&raw const sa).cast(),
-            core::mem::size_of::<SockAddrIn>() as u32,
-        )
-    };
-    if rc != 0 {
-        return Err(io::Error::last_os_error());
-    }
-    // SAFETY: valid, bound fd.
-    if unsafe { listen(fd.as_raw_fd(), BACKLOG) } != 0 {
-        return Err(io::Error::last_os_error());
-    }
-    Ok(TcpListener::from(fd))
-}
-
-#[cfg(not(target_os = "linux"))]
-fn bind_one(addr: SocketAddr) -> io::Result<TcpListener> {
-    TcpListener::bind(addr)
-}
+pub use mio::net::{bind_reusable, set_send_buffer};
 
 /// Resolves a daemon's listen address: an explicit CLI value wins,
 /// then the `PS3_BIND` environment variable, then `default`. Shared by

@@ -319,6 +319,17 @@ pub struct StreamStats {
     pub evicted: u64,
     /// Total gap events across all subscribers.
     pub gap_events: u64,
+    /// TCP connections accepted since start (whether or not they
+    /// completed a handshake).
+    pub accepted: u64,
+    /// High-water mark of concurrently active subscribers.
+    pub active_peak: u64,
+    /// Payload bytes handed to subscriber sockets.
+    pub bytes_sent: u64,
+    /// Evictions caused by exceeding the gap limit.
+    pub evicted_gaps: u64,
+    /// Evictions caused by a stalled TCP write.
+    pub evicted_stalled: u64,
 }
 
 mod tag {
@@ -566,6 +577,14 @@ impl ServerMsg {
                 put_u64(&mut body, stats.active_subscribers);
                 put_u64(&mut body, stats.evicted);
                 put_u64(&mut body, stats.gap_events);
+                // Cumulative-counter suffix (added with the event-loop
+                // daemon); older decoders ignore trailing bytes, and
+                // this decoder reads it as zeros when absent.
+                put_u64(&mut body, stats.accepted);
+                put_u64(&mut body, stats.active_peak);
+                put_u64(&mut body, stats.bytes_sent);
+                put_u64(&mut body, stats.evicted_gaps);
+                put_u64(&mut body, stats.evicted_stalled);
             }
             Self::Evicted { reason } => {
                 body.push(tag::EVICTED);
@@ -682,12 +701,29 @@ impl ServerMsg {
                 let (frames_published, payload) = get_u64(payload)?;
                 let (active_subscribers, payload) = get_u64(payload)?;
                 let (evicted, payload) = get_u64(payload)?;
-                let (gap_events, _) = get_u64(payload)?;
+                let (gap_events, payload) = get_u64(payload)?;
+                // Optional suffix from event-loop daemons; a pre-suffix
+                // peer's message simply reads as zeros.
+                let mut suffix = [0u64; 5];
+                let mut payload = payload;
+                for slot in &mut suffix {
+                    if payload.len() < 8 {
+                        break;
+                    }
+                    let (v, rest) = get_u64(payload)?;
+                    *slot = v;
+                    payload = rest;
+                }
                 Ok(Self::Stats(StreamStats {
                     frames_published,
                     active_subscribers,
                     evicted,
                     gap_events,
+                    accepted: suffix[0],
+                    active_peak: suffix[1],
+                    bytes_sent: suffix[2],
+                    evicted_gaps: suffix[3],
+                    evicted_stalled: suffix[4],
                 }))
             }
             tag::EVICTED => {
@@ -989,11 +1025,28 @@ mod tests {
             active_subscribers: 9,
             evicted: 2,
             gap_events: 17,
+            accepted: 31,
+            active_peak: 12,
+            bytes_sent: 1_048_576,
+            evicted_gaps: 1,
+            evicted_stalled: 1,
         };
         assert_eq!(
             roundtrip_server(&ServerMsg::Stats(stats)),
             ServerMsg::Stats(stats)
         );
+        // A pre-suffix Stats payload (4 counters only) still decodes:
+        // the cumulative counters read as zero.
+        let mut legacy = vec![b'T'];
+        for v in [7u64, 1, 0, 0] {
+            legacy.extend_from_slice(&v.to_le_bytes());
+        }
+        let ServerMsg::Stats(decoded) = ServerMsg::decode(&legacy).unwrap() else {
+            panic!("wrong message kind");
+        };
+        assert_eq!(decoded.frames_published, 7);
+        assert_eq!(decoded.accepted, 0);
+        assert_eq!(decoded.active_peak, 0);
         assert_eq!(
             roundtrip_server(&ServerMsg::Gap { dropped: 4096 }),
             ServerMsg::Gap { dropped: 4096 }

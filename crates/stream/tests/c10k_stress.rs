@@ -1,0 +1,333 @@
+//! C10k stress: a thousand concurrent subscribers multiplexed onto the
+//! daemon's single event-loop thread, plus property tests over the two
+//! incremental state machines that make non-blocking service correct —
+//! [`take_frame`] (partial reads) and [`OutQueue`] (partial writes).
+//!
+//! The stress clients are raw non-blocking sockets pumped from one
+//! test thread: a thousand `StreamClient`s would mean a thousand OS
+//! threads, which is exactly the design the event loop replaces.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use ps3_core::SharedPowerSensor;
+use ps3_duts::{BenchSetup, LoadProgram, RailId};
+use ps3_sensors::ModuleKind;
+use ps3_stream::event_loop::take_frame;
+use ps3_stream::{ClientMsg, OutQueue, ServerMsg, StreamDaemon, StreamDaemonConfig};
+use ps3_testbed::{Testbed, TestbedBuilder};
+use ps3_units::{Amps, SimDuration};
+
+const SUBS: usize = 1000;
+const DIVISOR: u32 = 20;
+const CAPTURE_MS: u64 = 1000;
+const FRAMES: u64 = CAPTURE_MS * 20; // 20 kHz device
+const EXPECT_PER_SUB: u64 = FRAMES / DIVISOR as u64;
+
+fn bench_testbed() -> Testbed<BenchSetup> {
+    TestbedBuilder::new(BenchSetup::twelve_volt(LoadProgram::Constant(Amps::new(
+        2.0,
+    ))))
+    .attach(ModuleKind::Slot10A12V, RailId::Ext12V)
+    .seed(11)
+    .build()
+}
+
+/// A raw subscriber: non-blocking socket, reassembly buffer, counters.
+struct RawSub {
+    sock: TcpStream,
+    buf: Vec<u8>,
+    frames: u64,
+    gap_events: u64,
+    dropped: u64,
+    evicted: bool,
+}
+
+impl RawSub {
+    fn connect(addr: std::net::SocketAddr, divisor: u32) -> Self {
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.write_all(
+            &ClientMsg::Subscribe {
+                pair_mask: 0x0F,
+                divisor,
+                rig: None,
+            }
+            .encode(),
+        )
+        .unwrap();
+        sock.set_nonblocking(true).unwrap();
+        Self {
+            sock,
+            buf: Vec::new(),
+            frames: 0,
+            gap_events: 0,
+            dropped: 0,
+            evicted: false,
+        }
+    }
+
+    /// Drains whatever the socket has, returns whether bytes arrived.
+    fn pump(&mut self) -> bool {
+        let mut progressed = false;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.sock.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+        while let Some(body) = take_frame(&mut self.buf).unwrap() {
+            match ServerMsg::decode(&body).unwrap() {
+                ServerMsg::Batch { frames } => self.frames += frames.len() as u64,
+                ServerMsg::Gap { dropped } => {
+                    self.gap_events += 1;
+                    self.dropped += dropped;
+                }
+                ServerMsg::Evicted { .. } => self.evicted = true,
+                _ => {}
+            }
+        }
+        progressed
+    }
+}
+
+/// One event-loop thread serves 1000 downsampled subscribers and a
+/// stalled one: every healthy subscriber gets its full gap-free
+/// stream, the stalled one is evicted as a stalled write (never as a
+/// gap overrun — the ring outlives the whole capture), and the
+/// daemon's cumulative counters account for all of it.
+#[test]
+fn thousand_subscribers_on_one_thread_gap_free() {
+    let mut tb = bench_testbed();
+    let sensor = SharedPowerSensor::new(tb.connect().unwrap());
+    let daemon = StreamDaemon::start(
+        sensor.clone(),
+        "127.0.0.1:0",
+        StreamDaemonConfig {
+            // Holds the entire capture: laps are impossible, so
+            // gap-free delivery is an invariant, not a race outcome.
+            ring_capacity: 32768,
+            // Small socket buffers make the stalled client's eviction
+            // deterministic within one capture's worth of data.
+            send_buffer_bytes: 32 * 1024,
+            write_timeout: Duration::from_millis(150),
+            ..StreamDaemonConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = daemon.local_addr();
+
+    let mut subs: Vec<RawSub> = (0..SUBS).map(|_| RawSub::connect(addr, DIVISOR)).collect();
+    // Plus one full-rate subscriber that never reads a byte.
+    let stalled = RawSub::connect(addr, 1);
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while daemon.stats().active_subscribers != SUBS as u64 + 1 {
+        assert!(
+            Instant::now() < deadline,
+            "subscribers should register: {:?}",
+            daemon.stats()
+        );
+        for s in &mut subs {
+            s.pump();
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    tb.advance_and_sync(&sensor, SimDuration::from_millis(CAPTURE_MS))
+        .unwrap();
+    assert_eq!(tb.frames_emitted(), FRAMES);
+
+    // Pump the healthy thousand until each has its complete stream.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let mut progressed = false;
+        let mut done = 0usize;
+        for s in &mut subs {
+            if s.frames >= EXPECT_PER_SUB {
+                done += 1;
+                continue;
+            }
+            progressed |= s.pump();
+        }
+        if done == SUBS {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "stalled at {done}/{SUBS} complete, stats: {:?}",
+            daemon.stats()
+        );
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    for s in &subs {
+        assert_eq!(s.frames, EXPECT_PER_SUB);
+        assert_eq!(s.gap_events, 0, "healthy subscriber saw a gap");
+        assert_eq!(s.dropped, 0);
+        assert!(!s.evicted);
+    }
+
+    // The stalled subscriber blows through its socket + queue budget
+    // long before the capture ends; the write timeout then evicts it.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while daemon.stats().evicted == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "stalled subscriber should be evicted: {:?}",
+            daemon.stats()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = daemon.stats();
+    assert_eq!(stats.evicted, 1);
+    assert_eq!(stats.evicted_stalled, 1, "evicted for the stall…");
+    assert_eq!(stats.evicted_gaps, 0, "…not for gaps: {stats:?}");
+    assert_eq!(stats.accepted, SUBS as u64 + 1);
+    assert_eq!(stats.active_peak, SUBS as u64 + 1);
+    assert_eq!(stats.frames_published, FRAMES);
+    assert!(stats.bytes_sent > 0);
+    assert_eq!(sensor.frames_received(), tb.frames_emitted());
+
+    drop(stalled);
+    drop(subs);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while daemon.stats().active_subscribers != 0 {
+        assert!(
+            Instant::now() < deadline,
+            "subscribers drain on disconnect: {:?}",
+            daemon.stats()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property tests: the incremental read and write state machines.
+// ---------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+/// Wire-encodes message bodies: 4-byte LE length prefix + body.
+fn encode_wire(bodies: &[Vec<u8>]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for b in bodies {
+        wire.extend_from_slice(&u32::try_from(b.len()).unwrap().to_le_bytes());
+        wire.extend_from_slice(b);
+    }
+    wire
+}
+
+/// A writer that accepts a bounded number of bytes per call, following
+/// a schedule; a zero entry models the socket returning `WouldBlock`.
+struct ThrottledWriter {
+    sink: Vec<u8>,
+    schedule: Vec<usize>,
+    next: usize,
+}
+
+impl Write for ThrottledWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let cap = if self.next < self.schedule.len() {
+            let c = self.schedule[self.next];
+            self.next += 1;
+            c
+        } else {
+            // Past the schedule the socket is wide open, so every
+            // run terminates.
+            usize::MAX
+        };
+        if cap == 0 {
+            return Err(std::io::Error::from(ErrorKind::WouldBlock));
+        }
+        let n = cap.min(buf.len());
+        self.sink.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+proptest! {
+    /// However a byte stream is chopped into reads, `take_frame`
+    /// reassembles exactly the original message bodies, in order,
+    /// and never leaves more than a partial message buffered.
+    #[test]
+    fn take_frame_reassembles_any_chunking(
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..200), 0..12),
+        chunk_sizes in proptest::collection::vec(1usize..64, 1..64),
+    ) {
+        let wire = encode_wire(&bodies);
+        let mut buf = Vec::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        let mut fed = 0usize;
+        let mut i = 0usize;
+        while fed < wire.len() {
+            let n = chunk_sizes[i % chunk_sizes.len()].min(wire.len() - fed);
+            i += 1;
+            buf.extend_from_slice(&wire[fed..fed + n]);
+            fed += n;
+            while let Some(body) = take_frame(&mut buf).unwrap() {
+                got.push(body);
+            }
+            // Nothing complete may linger: whatever is buffered is a
+            // strict prefix of the next message.
+            prop_assert!(take_frame(&mut buf).unwrap().is_none());
+        }
+        prop_assert_eq!(got, bodies);
+        prop_assert!(buf.is_empty(), "no trailing bytes after full input");
+    }
+
+    /// A zero-length or oversized length prefix is unrecoverable.
+    #[test]
+    fn take_frame_rejects_bad_lengths(
+        oversized in (ps3_stream::proto::MAX_MSG_LEN as u32 + 1)..u32::MAX,
+        zero in any::<bool>(),
+    ) {
+        let len = if zero { 0u32 } else { oversized };
+        let mut buf = len.to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 8]);
+        prop_assert!(take_frame(&mut buf).is_err());
+    }
+
+    /// However the socket throttles writes, `OutQueue` delivers the
+    /// queued messages byte-for-byte in order, with `queued_bytes`
+    /// tracking exactly what remains.
+    #[test]
+    fn out_queue_survives_any_write_schedule(
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..200), 1..12),
+        schedule in proptest::collection::vec(0usize..48, 0..96),
+        limit in 1usize..4096,
+    ) {
+        let mut q = OutQueue::new(limit);
+        let mut expected = Vec::new();
+        for b in &bodies {
+            let wire = encode_wire(std::slice::from_ref(b));
+            expected.extend_from_slice(&wire);
+            q.push_encoded(wire);
+        }
+        prop_assert_eq!(q.queued_bytes(), expected.len());
+
+        let mut w = ThrottledWriter { sink: Vec::new(), schedule, next: 0 };
+        while !q.is_empty() {
+            let before = q.queued_bytes();
+            let written = q.write_some(&mut w).unwrap();
+            prop_assert_eq!(before - q.queued_bytes(), written);
+            prop_assert_eq!(w.sink.len(), expected.len() - q.queued_bytes());
+        }
+        prop_assert_eq!(q.queued_bytes(), 0);
+        prop_assert_eq!(w.sink, expected);
+    }
+}

@@ -111,20 +111,32 @@ fn serve(args: &[String]) -> ExitCode {
         if ticks.is_multiple_of(200) {
             let s = fleet.stats();
             println!(
-                "t={:>5} s  frames={}  subscribers={}  gaps={}  evicted={}",
+                "t={:>5} s  frames={}  subscribers={} (peak {})  accepted={}  gaps={}  evicted={} (gaps {}, stalled {})  sent={} B",
                 ticks / 20,
                 s.frames_published,
                 s.active_subscribers,
+                s.active_peak,
+                s.accepted,
                 s.gap_events,
-                s.evicted
+                s.evicted,
+                s.evicted_gaps,
+                s.evicted_stalled,
+                s.bytes_sent
             );
         }
     }
     let s = fleet.stats();
     print_roster(&fleet.status());
     println!(
-        "done: {} frames served, {} gap events, {} evictions",
-        s.frames_published, s.gap_events, s.evicted
+        "done: {} frames served to {} accepted subscribers (peak {} concurrent), {} bytes sent, {} gap events, {} evictions ({} gap-budget, {} stalled-write)",
+        s.frames_published,
+        s.accepted,
+        s.active_peak,
+        s.bytes_sent,
+        s.gap_events,
+        s.evicted,
+        s.evicted_gaps,
+        s.evicted_stalled
     );
     fleet.shutdown();
     ExitCode::SUCCESS
@@ -149,6 +161,21 @@ fn status(args: &[String]) -> ExitCode {
     match client.query_fleet(Duration::from_secs(5)) {
         Ok(roster) => {
             print_roster(&roster);
+            match client.query_stats(Duration::from_secs(5)) {
+                Ok(s) => println!(
+                    "stream: {} frames published  {} subscribers (peak {})  {} accepted  {} bytes sent  {} gaps  {} evicted ({} gap-budget, {} stalled-write)",
+                    s.frames_published,
+                    s.active_subscribers,
+                    s.active_peak,
+                    s.accepted,
+                    s.bytes_sent,
+                    s.gap_events,
+                    s.evicted,
+                    s.evicted_gaps,
+                    s.evicted_stalled
+                ),
+                Err(e) => eprintln!("stream stats query failed: {e}"),
+            }
             client.close();
             ExitCode::SUCCESS
         }

@@ -158,19 +158,31 @@ fn main() -> ExitCode {
         if ticks.is_multiple_of(200) {
             let s = daemon.stats();
             println!(
-                "t={:>5} s  frames={}  subscribers={}  gaps={}  evicted={}",
+                "t={:>5} s  frames={}  subscribers={} (peak {})  accepted={}  gaps={}  evicted={} (gaps {}, stalled {})  sent={} B",
                 ticks / 20,
                 s.frames_published,
                 s.active_subscribers,
+                s.active_peak,
+                s.accepted,
                 s.gap_events,
-                s.evicted
+                s.evicted,
+                s.evicted_gaps,
+                s.evicted_stalled,
+                s.bytes_sent
             );
         }
     }
     let s = daemon.stats();
     println!(
-        "done: {} frames served, {} gap events, {} evictions",
-        s.frames_published, s.gap_events, s.evicted
+        "done: {} frames served to {} accepted subscribers (peak {} concurrent), {} bytes sent, {} gap events, {} evictions ({} gap-budget, {} stalled-write)",
+        s.frames_published,
+        s.accepted,
+        s.active_peak,
+        s.bytes_sent,
+        s.gap_events,
+        s.evicted,
+        s.evicted_gaps,
+        s.evicted_stalled
     );
     if let Some(w) = writer {
         match w.finish() {
@@ -234,8 +246,15 @@ fn run_replay(path: &str, addr: &str, args: &[String], secs: u64) -> ExitCode {
     }
     let s = daemon.stats();
     println!(
-        "done: {} frames served, {} gap events, {} evictions",
-        s.frames_published, s.gap_events, s.evicted
+        "done: {} frames served to {} accepted subscribers (peak {} concurrent), {} bytes sent, {} gap events, {} evictions ({} gap-budget, {} stalled-write)",
+        s.frames_published,
+        s.accepted,
+        s.active_peak,
+        s.bytes_sent,
+        s.gap_events,
+        s.evicted,
+        s.evicted_gaps,
+        s.evicted_stalled
     );
     ExitCode::SUCCESS
 }
