@@ -124,6 +124,69 @@ if [ "${PS3_SIM_NIGHTLY:-0}" != "0" ]; then
          cat target/ci-sim/nightly/failure-*.json 2>/dev/null; exit 1; }
 fi
 
+echo "==> tsdb smoke: compact, retain, pyramid-vs-decode, latency curve"
+# Record a many-segment capture, then drive the full tsdb lifecycle:
+# the pyramid engine must answer exactly like a full decode before and
+# after compaction, compaction must merge the segments and keep verify
+# clean, retention must drop exactly the expired whole segments, the
+# tsdb bench artifact must be byte-identical across thread counts, and
+# the perf record must show the pyramid >= 10x faster than a full scan
+# at the largest capture size.
+rm -rf target/ci-tsdb && mkdir -p target/ci-tsdb
+./target/release/ps3-arc record --out target/ci-tsdb/cap.ps3a \
+  --frames 9000 --seed 11 --segment-frames 1000 >/dev/null
+./target/release/ps3-arc stats target/ci-tsdb/cap.ps3a --engine pyramid \
+  >target/ci-tsdb/stats-pyr.txt
+./target/release/ps3-arc stats target/ci-tsdb/cap.ps3a --engine decode \
+  >target/ci-tsdb/stats-dec.txt
+cmp target/ci-tsdb/stats-pyr.txt target/ci-tsdb/stats-dec.txt \
+  || { echo "pyramid and decode engines disagree"; exit 1; }
+./target/release/ps3-arc compact target/ci-tsdb/cap.ps3a --target-frames 4500 \
+  >target/ci-tsdb/compact.txt
+grep -q '9 -> 2 segments' target/ci-tsdb/compact.txt \
+  || { echo "compaction did not merge 9 segments into 2"
+       cat target/ci-tsdb/compact.txt; exit 1; }
+./target/release/ps3-arc verify target/ci-tsdb/cap.ps3a >/dev/null \
+  || { echo "verify failed after compaction"; exit 1; }
+./target/release/ps3-arc stats target/ci-tsdb/cap.ps3a --engine pyramid \
+  >target/ci-tsdb/stats-pyr2.txt
+./target/release/ps3-arc stats target/ci-tsdb/cap.ps3a --engine decode \
+  >target/ci-tsdb/stats-dec2.txt
+cmp target/ci-tsdb/stats-pyr2.txt target/ci-tsdb/stats-dec2.txt \
+  || { echo "engines disagree after compaction"; exit 1; }
+cmp target/ci-tsdb/stats-pyr.txt target/ci-tsdb/stats-pyr2.txt \
+  || { echo "compaction changed the capture's answers"; exit 1; }
+./target/release/ps3-arc info target/ci-tsdb/cap.ps3a --json \
+  >target/ci-tsdb/info.json
+grep -q '"pyramid":{"fresh":true' target/ci-tsdb/info.json \
+  || { echo "info --json lacks a fresh pyramid sidecar"
+       cat target/ci-tsdb/info.json; exit 1; }
+./target/release/ps3-arc retain target/ci-tsdb/cap.ps3a --retain 150000us \
+  >target/ci-tsdb/retain.txt
+grep -q '2 -> 1 segments' target/ci-tsdb/retain.txt \
+  || { echo "retention did not drop the expired segment"
+       cat target/ci-tsdb/retain.txt; exit 1; }
+./target/release/ps3-arc verify target/ci-tsdb/cap.ps3a >/dev/null \
+  || { echo "verify failed after retention"; exit 1; }
+./target/release/ps3-arc stats target/ci-tsdb/cap.ps3a --engine pyramid \
+  >target/ci-tsdb/tail-pyr.txt
+./target/release/ps3-arc stats target/ci-tsdb/cap.ps3a --engine decode \
+  >target/ci-tsdb/tail-dec.txt
+cmp target/ci-tsdb/tail-pyr.txt target/ci-tsdb/tail-dec.txt \
+  || { echo "engines disagree on the retained tail"; exit 1; }
+PS3_RESULTS_DIR=target/ci-tsdb/serial \
+  ./target/release/repro --smoke --jobs 1 tsdb >/dev/null
+PS3_RESULTS_DIR=target/ci-tsdb/par \
+  ./target/release/repro --smoke --jobs 2 tsdb >/dev/null
+cmp target/ci-tsdb/serial/tsdb.csv target/ci-tsdb/par/tsdb.csv \
+  || { echo "non-deterministic tsdb bench artifact"; exit 1; }
+grep -q '"tsdb_160000_speedup"' target/ci-tsdb/par/BENCH_repro.json \
+  || { echo "BENCH_repro.json lacks the tsdb latency curve"; exit 1; }
+speedup=$(grep -o '"tsdb_speedup_at_largest": [0-9.]*' \
+  target/ci-tsdb/par/BENCH_repro.json | awk '{print $2}')
+awk -v s="$speedup" 'BEGIN { exit !(s >= 10) }' \
+  || { echo "pyramid speedup only ${speedup}x (< 10x) at the largest capture"; exit 1; }
+
 echo "==> fleet smoke: 4-rig coordinator, merged subscribe, aggregate query"
 # A 4-rig fleet serves for a few seconds on an OS-assigned port; a
 # fleet-wide subscriber at reduced rate must drain the merged stream

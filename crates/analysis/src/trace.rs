@@ -78,6 +78,14 @@ impl Trace {
         self.markers.push(Marker { time, label });
     }
 
+    /// Removes every sample and marker, keeping the allocations, so a
+    /// trace can be refilled without reallocating (see
+    /// `Archive::downsample_into`).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.markers.clear();
+    }
+
     /// Number of samples.
     #[must_use]
     pub fn len(&self) -> usize {

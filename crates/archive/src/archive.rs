@@ -342,6 +342,16 @@ impl Archive {
         self.recovery
     }
 
+    /// Byte length of the sealed prefix: the file header plus every
+    /// sealed segment. Derived data keyed to the archive (the `.ps3x`
+    /// index, the `.ps3p` pyramid) records this to detect staleness.
+    #[must_use]
+    pub fn sealed_len(&self) -> u64 {
+        self.segments
+            .last()
+            .map_or(FILE_HEADER_SIZE as u64, |s| s.offset + s.header.disk_size())
+    }
+
     /// Total frames across all sealed segments.
     #[must_use]
     pub fn frames(&self) -> u64 {
@@ -398,6 +408,23 @@ impl Archive {
             .map(|s| u64::from(s.header.frame_count))
             .sum();
         let mut trace = Trace::with_capacity(capacity as usize);
+        self.read_range_into(start, end, &mut trace)?;
+        Ok(trace)
+    }
+
+    /// [`Archive::read_range`] into a caller-owned trace, which is
+    /// cleared first; repeated reads reuse its allocations.
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption errors from segment decoding.
+    pub fn read_range_into(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        out: &mut Trace,
+    ) -> Result<(), ArchiveError> {
+        out.clear();
         for meta in self.overlapping(start, end) {
             for frame in self.decode_segment(meta)? {
                 if frame.time < start || frame.time >= end {
@@ -405,13 +432,13 @@ impl Archive {
                 }
                 // Same call order as the live acquisition path:
                 // sample first, then its marker.
-                trace.push(frame.time, frame_total(&self.configs, &self.adc, &frame));
+                out.push(frame.time, frame_total(&self.configs, &self.adc, &frame));
                 if let Some(label) = frame.marker {
-                    trace.mark(frame.time, label);
+                    out.mark(frame.time, label);
                 }
             }
         }
-        Ok(trace)
+        Ok(())
     }
 
     /// Reads the entire archive as a [`Trace`].
@@ -601,12 +628,37 @@ impl Archive {
         end: SimTime,
         divisor: u64,
     ) -> Result<Trace, ArchiveError> {
+        let mut trace = Trace::new();
+        self.downsample_into(start, end, divisor, &mut trace)?;
+        Ok(trace)
+    }
+
+    /// [`Archive::downsample`] into a caller-owned trace, which is
+    /// cleared first. Repeated queries (e.g. the fleet's per-rig joined
+    /// downsampling, which walks many shards) reuse the trace's
+    /// allocations instead of paying a fresh vector per call.
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption errors from decoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn downsample_into(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        divisor: u64,
+        out: &mut Trace,
+    ) -> Result<(), ArchiveError> {
         assert!(divisor > 0, "divisor must be at least 1");
         if divisor == 1 {
-            return self.read_range(start, end);
+            return self.read_range_into(start, end, out);
         }
+        out.clear();
+        let trace = out;
         let (start_us, end_us) = (start.as_micros(), end.as_micros());
-        let mut trace = Trace::new();
         let (mut count, mut sum) = (0u64, 0.0f64);
         for meta in self.overlapping(start, end) {
             let mut decoded: Option<Vec<ArchiveFrame>> = None;
@@ -650,7 +702,7 @@ impl Archive {
                 trace.mark(SimTime::from_micros(t_us), label);
             }
         }
-        Ok(trace)
+        Ok(())
     }
 
     /// Full integrity check: re-reads every segment from disk,

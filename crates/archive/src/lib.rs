@@ -82,5 +82,10 @@ pub use crc::{crc32, Crc32};
 pub use format::ArchiveError;
 pub use index::{index_path_for, ArchiveIndex, IndexSegment};
 pub use meter::ArchiveMeter;
-pub use segment::{frame_total, ArchiveFrame, SegmentHeader, SummaryBlock};
-pub use writer::{stats_path_for, ArchiveWriter, ArchiveWriterOptions, SegmentWriter, WriterStats};
+pub use segment::{
+    build_segment, build_summaries, frame_total, parse_summaries, summarize_block, ArchiveFrame,
+    SegmentHeader, SummaryBlock,
+};
+pub use writer::{
+    stats_path_for, ArchiveWriter, ArchiveWriterOptions, Maintenance, SegmentWriter, WriterStats,
+};

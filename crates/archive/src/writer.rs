@@ -8,8 +8,8 @@
 //! whose sealed prefix is a complete, valid archive.
 
 use std::collections::VecDeque;
-use std::fs::File;
-use std::io::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -92,9 +92,12 @@ pub fn stats_path_for(archive: &Path) -> PathBuf {
     }
 }
 
+/// A per-seal maintenance hook (see [`SegmentWriter::set_maintenance`]).
+pub type Maintenance = Box<dyn FnMut(&mut SegmentWriter) -> Result<(), ArchiveError> + Send>;
+
 /// Synchronous archive writer: frames in, sealed segments out.
-#[derive(Debug)]
 pub struct SegmentWriter {
+    path: PathBuf,
     file: File,
     index_path: PathBuf,
     stats_path: PathBuf,
@@ -106,6 +109,17 @@ pub struct SegmentWriter {
     segment_frames: usize,
     next_seq: u32,
     stats: WriterStats,
+    maintenance: Option<Maintenance>,
+}
+
+impl std::fmt::Debug for SegmentWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentWriter")
+            .field("path", &self.path)
+            .field("next_seq", &self.next_seq)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 impl SegmentWriter {
@@ -148,6 +162,7 @@ impl SegmentWriter {
         let stats_path = stats_path_for(path);
         let _ = std::fs::remove_file(&stats_path);
         let writer = Self {
+            path: path.to_path_buf(),
             file,
             index_path: index_path_for(path),
             stats_path,
@@ -166,9 +181,63 @@ impl SegmentWriter {
                 bytes: FILE_HEADER_SIZE as u64,
                 ..WriterStats::default()
             },
+            maintenance: None,
         };
         writer.rewrite_index();
         Ok(writer)
+    }
+
+    /// Installs a maintenance hook that runs after *every* sealed
+    /// segment (index already rewritten), on the sealing thread. The
+    /// hook layer (e.g. `ps3-tsdb`) uses it for pyramid upkeep,
+    /// compaction, and retention; running per seal — not per drained
+    /// batch — keeps the on-disk evolution a pure function of the
+    /// frame sequence, independent of queue batching.
+    pub fn set_maintenance(&mut self, hook: Maintenance) {
+        self.maintenance = Some(hook);
+    }
+
+    /// The archive file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The in-memory sidecar index covering everything sealed so far.
+    #[must_use]
+    pub fn index(&self) -> &ArchiveIndex {
+        &self.index
+    }
+
+    /// Replaces the sealed portion of the archive with the complete,
+    /// already-built archive file at `staged` — the adopt half of the
+    /// compactor's write-new-then-atomic-rename protocol. The staged
+    /// file is flushed, atomically renamed over the live path, and the
+    /// writer re-seats its append handle, sequence counter, and index
+    /// on the new layout. Pending unsealed frames are untouched and
+    /// seal on top of the adopted file. A crash before the rename
+    /// leaves the original archive intact; a crash after it leaves the
+    /// rewritten one — both valid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; on error the original file is
+    /// still in place (rename either happened or did not).
+    pub fn adopt_rewritten(
+        &mut self,
+        staged: &Path,
+        index: ArchiveIndex,
+    ) -> Result<(), ArchiveError> {
+        OpenOptions::new().write(true).open(staged)?.sync_all()?;
+        std::fs::rename(staged, &self.path)?;
+        let mut file = OpenOptions::new().write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        self.file = file;
+        self.next_seq = index.segments.last().map_or(0, |s| s.seq + 1);
+        self.stats.bytes = index.data_len;
+        self.index = index;
+        self.rewrite_index();
+        Ok(())
     }
 
     /// Appends one frame, sealing a segment when the configured size
@@ -255,6 +324,13 @@ impl SegmentWriter {
         // The index is derived data: written only after the segment is
         // durable, and a torn index write just forces a rescan on open.
         self.rewrite_index();
+        // The maintenance hook sees every seal exactly once, so any
+        // policy it implements is deterministic in the frame sequence.
+        if let Some(mut hook) = self.maintenance.take() {
+            let outcome = hook(self);
+            self.maintenance = Some(hook);
+            outcome?;
+        }
         Ok(())
     }
 
@@ -321,7 +397,38 @@ impl ArchiveWriter {
         configs: [SensorConfig; SENSOR_SLOTS],
         options: ArchiveWriterOptions,
     ) -> Result<Self, ArchiveError> {
-        let writer = SegmentWriter::create_with(path, configs, options.segment_frames)?;
+        Self::spawn_inner(path, configs, options, None)
+    }
+
+    /// [`ArchiveWriter::spawn`] with a per-seal maintenance hook
+    /// installed on the underlying [`SegmentWriter`] (see
+    /// [`SegmentWriter::set_maintenance`]). The hook runs on the
+    /// worker thread between seals, so it may rewrite the archive
+    /// (compaction, retention) without ever blocking the acquisition
+    /// path — producers only touch the bounded queue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating the archive.
+    pub fn spawn_with_maintenance(
+        path: impl AsRef<Path>,
+        configs: [SensorConfig; SENSOR_SLOTS],
+        options: ArchiveWriterOptions,
+        maintenance: Maintenance,
+    ) -> Result<Self, ArchiveError> {
+        Self::spawn_inner(path, configs, options, Some(maintenance))
+    }
+
+    fn spawn_inner(
+        path: impl AsRef<Path>,
+        configs: [SensorConfig; SENSOR_SLOTS],
+        options: ArchiveWriterOptions,
+        maintenance: Option<Maintenance>,
+    ) -> Result<Self, ArchiveError> {
+        let mut writer = SegmentWriter::create_with(path, configs, options.segment_frames)?;
+        if let Some(hook) = maintenance {
+            writer.set_maintenance(hook);
+        }
         let shared = Arc::new(WriterShared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::with_capacity(options.queue_capacity.min(65_536)),

@@ -17,7 +17,7 @@ use ps3_units::SimDuration;
 
 use crate::{
     archive, capping, fig12, fig4, fig5, fig7, fig8, fleet, interference, noise, related, sim,
-    stability, stream, table1, table2,
+    stability, stream, table1, table2, tsdb,
 };
 
 /// The seed every `repro` run uses, so artifacts are comparable
@@ -26,7 +26,7 @@ pub const SEED: u64 = 0x5EED_2026;
 
 /// The default experiment list (the paper's tables and figures, in
 /// paper order, plus the interference ablation).
-pub const DEFAULT_EXPERIMENTS: [&str; 16] = [
+pub const DEFAULT_EXPERIMENTS: [&str; 17] = [
     "table1",
     "table2",
     "fig4",
@@ -40,6 +40,7 @@ pub const DEFAULT_EXPERIMENTS: [&str; 16] = [
     "fig12b",
     "interference",
     "archive",
+    "tsdb",
     "sim",
     "fleet",
     "stream",
@@ -70,6 +71,8 @@ pub struct Scale {
     pub fleet_rigs: Vec<u16>,
     /// Subscriber counts the stream C10k experiment sweeps.
     pub stream_subs: Vec<usize>,
+    /// Capture sizes (frames) the tsdb query-latency experiment sweeps.
+    pub tsdb_frames: Vec<u64>,
 }
 
 impl Scale {
@@ -88,6 +91,7 @@ impl Scale {
             fig12b_seconds: 240,
             fleet_rigs: vec![1, 8, 32],
             stream_subs: vec![256, 1024, 4096],
+            tsdb_frames: vec![20_000, 80_000, 320_000],
         }
     }
 
@@ -108,6 +112,7 @@ impl Scale {
             fig12b_seconds: 1300,
             fleet_rigs: vec![1, 8, 32, 100],
             stream_subs: vec![1024, 4096, 8192],
+            tsdb_frames: vec![50_000, 200_000, 800_000],
         }
     }
 
@@ -126,6 +131,7 @@ impl Scale {
             fig12b_seconds: 60,
             fleet_rigs: vec![1, 4, 8],
             stream_subs: vec![64, 256, 1024],
+            tsdb_frames: vec![10_000, 40_000, 160_000],
         }
     }
 }
@@ -201,6 +207,7 @@ pub fn run_experiment(name: &str, scale: &Scale, seed: u64) -> Option<Experiment
         "fig12b" => run_fig12b(scale, seed),
         "interference" => run_interference(scale, seed),
         "archive" => run_archive(scale, seed),
+        "tsdb" => run_tsdb(scale, seed),
         "sim" => run_sim(seed),
         "fleet" => run_fleet(scale, seed),
         "stream" => run_stream(scale, seed),
@@ -585,6 +592,65 @@ fn run_archive(scale: &Scale, seed: u64) -> ExperimentOutput {
     out
 }
 
+fn run_tsdb(scale: &Scale, seed: u64) -> ExperimentOutput {
+    let points = tsdb::run(&scale.tsdb_frames, seed);
+    let csv: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.frames as f64,
+                p.segments as f64,
+                p.blocks as f64,
+                p.tier1 as f64,
+                p.tier2 as f64,
+                p.count as f64,
+                f64::from(p.stats_exact),
+                p.energy_rel_err,
+            ]
+        })
+        .collect();
+    let samples: u64 = points.iter().map(|p| p.frames).sum();
+    let mut out = output(
+        tsdb::render(&points),
+        vec![Csv {
+            name: "tsdb.csv".into(),
+            header: vec![
+                "frames",
+                "segments",
+                "blocks",
+                "tier1",
+                "tier2",
+                "count",
+                "stats_exact",
+                "energy_rel_err",
+            ],
+            rows: csv,
+        }],
+        samples,
+    );
+    // The latency-vs-capture-size curve: wall-clock, so it belongs in
+    // the perf record, never in the deterministic report or CSV.
+    out.metrics = points
+        .iter()
+        .flat_map(|p| {
+            [
+                (format!("tsdb_{}_pyramid_s", p.frames), p.pyramid_wall_s),
+                (format!("tsdb_{}_decode_s", p.frames), p.decode_wall_s),
+                (format!("tsdb_{}_speedup", p.frames), p.speedup()),
+            ]
+        })
+        .collect();
+    if let Some(last) = points.last() {
+        out.metrics
+            .push(("tsdb_speedup_at_largest".into(), last.speedup()));
+        out.metrics.push((
+            "tsdb_stats_exact".into(),
+            f64::from(points.iter().all(|p| p.stats_exact)),
+        ));
+    }
+    out
+}
+
 fn run_sim(seed: u64) -> ExperimentOutput {
     let r = sim::run(seed);
     let csv: Vec<Vec<f64>> = r
@@ -812,6 +878,7 @@ mod tests {
                     "fig12b",
                     "interference",
                     "archive",
+                    "tsdb",
                     "sim",
                     "fleet",
                     "stream",

@@ -22,6 +22,7 @@
 //! | §IV-A noise decomposition | [`noise`] |
 //! | Archive store cost/exactness (beyond the paper) | [`archive`] |
 //! | Fleet coordinator scaling (beyond the paper) | [`fleet`] |
+//! | Pyramid query latency (beyond the paper) | [`tsdb`] |
 //! | C10k stream daemon scaling (beyond the paper) | [`stream`] |
 
 #![forbid(unsafe_code)]
@@ -51,3 +52,4 @@ pub mod stability;
 pub mod stream;
 pub mod table1;
 pub mod table2;
+pub mod tsdb;

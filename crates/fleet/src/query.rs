@@ -11,21 +11,26 @@
 //! That fold order is a contract, not an implementation detail:
 //! floating-point accumulation is order-dependent, and the simulation
 //! harness checks that e.g. [`FleetQuery::total_energy`] is
-//! *bit-exactly* the fold of the per-shard [`Archive::energy`] values
-//! in shard order. Parallelism only changes who decodes which shard,
+//! *bit-exactly* the fold of the per-shard [`Tsdb::energy`] values in
+//! shard order. Parallelism only changes who decodes which shard,
 //! never the arithmetic.
+//!
+//! Each shard is served through the [`ps3_tsdb`] aggregation pyramid,
+//! so cross-rig aggregates over long captures read tier nodes instead
+//! of decoding payload bytes; only range edges decode.
 
 use std::path::{Path, PathBuf};
 
 use ps3_analysis::Trace;
-use ps3_archive::{Archive, ArchiveError, RangeStats};
+use ps3_archive::{ArchiveError, RangeStats};
+use ps3_tsdb::Tsdb;
 use ps3_units::{Joules, SimTime, Watts};
 
 /// One opened shard.
 struct Shard {
     rig: u16,
     generation: u32,
-    archive: Archive,
+    tsdb: Tsdb,
 }
 
 /// Per-shard energy contribution (what [`FleetQuery::total_energy`]
@@ -110,10 +115,10 @@ impl FleetQuery {
         found.sort_by_key(|&(rig, generation, _)| (rig, generation));
 
         let opened = rayon::global().par_map(found, |(rig, generation, path)| {
-            Archive::open(&path).map(|archive| Shard {
+            Tsdb::open(&path).map(|tsdb| Shard {
                 rig,
                 generation,
-                archive,
+                tsdb,
             })
         });
         let shards = opened.into_iter().collect::<Result<Vec<_>, _>>()?;
@@ -155,7 +160,7 @@ impl FleetQuery {
         end: SimTime,
     ) -> Result<Vec<ShardEnergy>, ArchiveError> {
         let per_shard = rayon::global().par_map(self.shards.iter().collect(), |shard: &Shard| {
-            shard.archive.energy(start, end).map(|energy| ShardEnergy {
+            shard.tsdb.energy(start, end).map(|energy| ShardEnergy {
                 rig: shard.rig,
                 generation: shard.generation,
                 energy,
@@ -187,7 +192,7 @@ impl FleetQuery {
     /// Decode errors from any shard.
     pub fn fleet_stats(&self, start: SimTime, end: SimTime) -> Result<RangeStats, ArchiveError> {
         let per_shard = rayon::global().par_map(self.shards.iter().collect(), |shard: &Shard| {
-            shard.archive.stats(start, end)
+            shard.tsdb.stats(start, end)
         });
         let mut out = RangeStats {
             count: 0,
@@ -230,7 +235,7 @@ impl FleetQuery {
         end: SimTime,
     ) -> Result<Vec<RigPower>, ArchiveError> {
         let per_shard = rayon::global().par_map(self.shards.iter().collect(), |shard: &Shard| {
-            shard.archive.stats(start, end).map(|s| (shard.rig, s))
+            shard.tsdb.stats(start, end).map(|s| (shard.rig, s))
         });
         let mut per_rig: Vec<RigPower> = self
             .rigs
@@ -288,9 +293,14 @@ impl FleetQuery {
     ) -> Result<Trace, ArchiveError> {
         assert!(divisor > 0, "divisor must be at least 1");
         let mut out = Trace::new();
+        // One scratch trace serves every shard: `downsample_into`
+        // clears it but keeps its allocations.
+        let mut scratch = Trace::new();
         for shard in self.shards.iter().filter(|s| s.rig == rig) {
-            let part = shard.archive.downsample(start, end, divisor)?;
-            for sample in part.samples() {
+            shard
+                .tsdb
+                .downsample_into(start, end, divisor, &mut scratch)?;
+            for sample in scratch.samples() {
                 out.push(sample.time, sample.power);
             }
         }

@@ -60,8 +60,8 @@ impl Config {
     }
 
     /// Files where wall-clock calls are forbidden (sim-deterministic
-    /// paths: the sim harness, archive codec/query/writer layers, and
-    /// bench experiment bodies).
+    /// paths: the sim harness, archive codec/query/writer layers, the
+    /// tsdb query engine and compactor, and bench experiment bodies).
     #[must_use]
     pub fn determinism_scope(&self, rel: &str) -> bool {
         if self.fixtures_mode {
@@ -72,6 +72,7 @@ impl Config {
         }
         rel.starts_with("crates/sim/src/")
             || rel.starts_with("crates/archive/src/")
+            || rel.starts_with("crates/tsdb/src/")
             || rel.starts_with("crates/bench/src/")
     }
 
@@ -81,8 +82,10 @@ impl Config {
         rel == "crates/sim/src/inject.rs"
     }
 
-    /// Long-running server code: daemon accept/subscriber loops and
-    /// fleet rig supervision. Panics here kill service threads.
+    /// Long-running server code: daemon accept/subscriber loops, fleet
+    /// rig supervision, and the background compactor that runs on the
+    /// archive writer's maintenance thread. Panics here kill service
+    /// threads.
     #[must_use]
     pub fn panic_scope(&self, rel: &str) -> bool {
         if self.fixtures_mode {
@@ -97,6 +100,8 @@ impl Config {
                 | "crates/fleet/src/coordinator.rs"
                 | "crates/fleet/src/rig.rs"
                 | "crates/fleet/src/serve.rs"
+                | "crates/tsdb/src/compactor.rs"
+                | "crates/tsdb/src/writer.rs"
         )
     }
 
@@ -174,6 +179,10 @@ mod tests {
         assert!(!c.determinism_scope("crates/stream/src/daemon.rs"));
         assert!(c.panic_scope("crates/stream/src/daemon.rs"));
         assert!(!c.panic_scope("crates/bench/src/driver.rs"));
+        assert!(c.determinism_scope("crates/tsdb/src/query.rs"));
+        assert!(c.panic_scope("crates/tsdb/src/compactor.rs"));
+        assert!(c.panic_scope("crates/tsdb/src/writer.rs"));
+        assert!(!c.panic_scope("crates/tsdb/src/pyramid.rs"));
         assert!(c.approved_atomics_module("compat/rayon/src/lib.rs"));
         assert!(!c.approved_atomics_module("crates/sim/src/scenario.rs"));
         assert!(c.lock_order_scope("crates/fleet/src/coordinator.rs"));

@@ -11,6 +11,7 @@ use std::fmt;
 use ps3_analysis::Trace;
 use ps3_archive::Archive;
 use ps3_stream::RigCounts;
+use ps3_tsdb::Tsdb;
 use ps3_units::{Joules, SimTime};
 
 /// One invariant violation, as recorded in failure artifacts.
@@ -202,6 +203,54 @@ impl Checker {
                 )
             },
         );
+    }
+
+    /// `pyramid-exact` — the tier-served `stats` and `energy` answers
+    /// are *bit-identical* to the reference path (same decomposition,
+    /// every tier recomputed from decoded frames), and counts/extremes
+    /// are bit-identical to the flat archive scan. The pyramid is an
+    /// index, never an approximation.
+    pub fn check_pyramid_exact(&mut self, tsdb: &Tsdb, start: SimTime, end: SimTime) {
+        let served = (tsdb.stats(start, end), tsdb.energy(start, end));
+        let reference = (tsdb.stats_ref(start, end), tsdb.energy_ref(start, end));
+        let flat = tsdb.archive().stats(start, end);
+        match (served, reference, flat) {
+            ((Ok(s), Ok(e)), (Ok(sr), Ok(er)), Ok(f)) => {
+                self.expect(
+                    "pyramid-exact",
+                    s.count == sr.count
+                        && s.sum_w.to_bits() == sr.sum_w.to_bits()
+                        && s.min_w.to_bits() == sr.min_w.to_bits()
+                        && s.max_w.to_bits() == sr.max_w.to_bits()
+                        && e.value().to_bits() == er.value().to_bits(),
+                    || {
+                        format!(
+                            "pyramid answers diverge from reference over \
+                             [{}, {}): {s:?}/{e:?} vs {sr:?}/{er:?}",
+                            start.as_micros(),
+                            end.as_micros()
+                        )
+                    },
+                );
+                self.expect(
+                    "pyramid-exact",
+                    s.count == f.count
+                        && s.min_w.to_bits() == f.min_w.to_bits()
+                        && s.max_w.to_bits() == f.max_w.to_bits(),
+                    || {
+                        format!(
+                            "pyramid count/extremes diverge from the flat scan over \
+                             [{}, {}): {s:?} vs {f:?}",
+                            start.as_micros(),
+                            end.as_micros()
+                        )
+                    },
+                );
+            }
+            (served, reference, flat) => self.expect("pyramid-exact", false, || {
+                format!("pyramid queries failed: {served:?} {reference:?} {flat:?}")
+            }),
+        }
     }
 
     /// `gap-accounting` bounds for a divisor-`div` subscriber: it sees

@@ -17,8 +17,8 @@ use std::time::{Duration, Instant};
 
 use ps3_analysis::Trace;
 use ps3_archive::{
-    index_path_for, Archive, ArchiveError, ArchiveFrame, ArchiveWriter, ArchiveWriterOptions,
-    SegmentWriter,
+    frame_total, index_path_for, stats_path_for, Archive, ArchiveError, ArchiveFrame,
+    ArchiveWriter, ArchiveWriterOptions, SegmentWriter,
 };
 use ps3_core::{PowerSensor, SharedPowerSensor};
 use ps3_firmware::SENSOR_SLOTS;
@@ -27,6 +27,10 @@ use ps3_fleet::{
 };
 use ps3_stream::{RigSelector, StreamClient, StreamClientConfig, StreamDaemon, StreamDaemonConfig};
 use ps3_transport::TransportError;
+use ps3_tsdb::{
+    compact_archive, compact_tmp_path_for, pyramid_path_for, stage_compacted, CompactOptions,
+    PyramidConfig, Retention, Tsdb, TsdbWriter, TsdbWriterOptions,
+};
 use ps3_units::{SimDuration, SimTime};
 
 use crate::inject::{FaultInjector, FaultProxy};
@@ -35,11 +39,12 @@ use crate::plan::{splitmix64, FaultKind, PlanOptions, SimPlan};
 use crate::world::{quiesce, sim_eeprom, SimDevice};
 
 /// Every scenario the harness knows, in sweep order.
-pub const SCENARIOS: [&str; 6] = [
+pub const SCENARIOS: [&str; 7] = [
     "pipeline",
     "device-crash",
     "tcp-faults",
     "archive-crash",
+    "tsdb",
     "fleet",
     "c10k",
 ];
@@ -72,6 +77,19 @@ const CRASH_SALT: u64 = 0x4445_5643_5241_5348;
 const ARCHIVE_SALT: u64 = 0x4152_4348_4956_455F;
 /// Seed mix for the fleet crash point ("FLEETSIM").
 const FLEET_SALT: u64 = 0x464C_4545_5453_494D;
+/// Seed mix for the tsdb scenario payload ("TSDBQRY_").
+const TSDB_SALT: u64 = 0x5453_4442_5152_595F;
+
+/// Frames the tsdb scenario captures: several summary blocks across
+/// many small segments, so compaction has segments to merge and the
+/// pyramid has more than one tier in play.
+const TSDB_FRAMES: u64 = 6000;
+/// Frames per sealed segment in the tsdb scenario.
+const TSDB_SEGMENT_FRAMES: usize = 400;
+/// Sealed segments that trigger a background compaction.
+const TSDB_COMPACT_AFTER: usize = 6;
+/// Frames per merged segment after compaction.
+const TSDB_COMPACT_TARGET: usize = 2400;
 
 /// Rigs in the fleet scenario — enough fan-in to make the k-way merge
 /// earn its keep.
@@ -159,6 +177,14 @@ pub fn default_options(scenario: &str) -> PlanOptions {
             max_events: 4,
             allow_crash: true,
         },
+        // Same regime: the plan's first event picks where the
+        // in-flight compaction's staging write tears.
+        "tsdb" => PlanOptions {
+            guard: 0,
+            horizon: 1 << 20,
+            max_events: 4,
+            allow_crash: true,
+        },
         // No proxy in the loop: the scenario is about the event loop
         // multiplexing many healthy subscribers, so fault plans would
         // only add noise. The plan still seeds the fingerprint.
@@ -187,6 +213,7 @@ pub fn run(
         "device-crash" => Ok(run_device_crash(seed, plan)),
         "tcp-faults" => Ok(run_tcp_faults(seed, plan)),
         "archive-crash" => Ok(run_archive_crash(seed, plan)),
+        "tsdb" => Ok(run_tsdb(seed, plan)),
         "fleet" => Ok(run_fleet(seed, plan)),
         "c10k" => Ok(run_c10k(seed, plan)),
         other => Err(format!(
@@ -222,6 +249,9 @@ fn scratch_dir(tag: &str, seed: u64) -> PathBuf {
 fn cleanup(path: &Path) {
     let _ = std::fs::remove_file(path);
     let _ = std::fs::remove_file(index_path_for(path));
+    let _ = std::fs::remove_file(stats_path_for(path));
+    let _ = std::fs::remove_file(pyramid_path_for(path));
+    let _ = std::fs::remove_file(compact_tmp_path_for(path));
 }
 
 fn wait_for(timeout: Duration, mut done: impl FnMut() -> bool) -> bool {
@@ -1104,8 +1134,10 @@ fn run_fleet(seed: u64, plan: &SimPlan) -> ScenarioReport {
 }
 
 /// Ground truth for [`Checker::check_cross_rig_energy`]: open every
-/// shard independently and fold the per-shard energies in shard order
-/// (rig, then generation) — the order the query plane documents.
+/// shard independently — through the same tier-serving engine the
+/// query plane uses, so the arithmetic is the same terms in the same
+/// order — and fold the per-shard energies in shard order (rig, then
+/// generation), the order the query plane documents.
 fn fold_shard_energies(dir: &Path, start: SimTime, end: SimTime) -> Result<f64, ArchiveError> {
     let mut shards: Vec<(u16, u32, PathBuf)> = Vec::new();
     for entry in std::fs::read_dir(dir)? {
@@ -1120,7 +1152,7 @@ fn fold_shard_energies(dir: &Path, start: SimTime, end: SimTime) -> Result<f64, 
     shards.sort_by_key(|&(rig, generation, _)| (rig, generation));
     let mut total = 0.0f64;
     for (_, _, path) in shards {
-        total += Archive::open(&path)?.energy(start, end)?.value();
+        total += Tsdb::open(&path)?.energy(start, end)?.value();
     }
     Ok(total)
 }
@@ -1262,6 +1294,322 @@ fn run_archive_crash(seed: u64, plan: &SimPlan) -> ScenarioReport {
         facts,
         checker,
     )
+}
+
+/// The time-series engine under fire: a live maintained writer whose
+/// seal-time hook compacts small segments and keeps the pyramid
+/// sidecar fresh; a second capture with a retention window; and an
+/// in-flight compaction torn at a plan-derived byte, which must never
+/// damage the original capture.
+fn run_tsdb(seed: u64, plan: &SimPlan) -> ScenarioReport {
+    let mut checker = Checker::new();
+    let mut facts: Vec<(String, String)> = Vec::new();
+    let path = scratch_path("tsdb", seed);
+    // A shrunken fan-out keeps every tier populated at sim scale.
+    let config = PyramidConfig {
+        tier1_blocks: 2,
+        tier2_nodes: 2,
+    };
+
+    let eeprom = sim_eeprom();
+    let configs = std::array::from_fn::<_, SENSOR_SLOTS, _>(|slot| eeprom.read(slot).clone());
+    let adc = ps3_sensors::AdcSpec::POWERSENSOR3;
+
+    // Phase A — live capture with seal-time compaction. The live trace
+    // is the independent ground truth every later check folds against.
+    let writer = TsdbWriter::spawn(
+        &path,
+        configs.clone(),
+        TsdbWriterOptions {
+            segment_frames: TSDB_SEGMENT_FRAMES,
+            config,
+            compact_after_segments: Some(TSDB_COMPACT_AFTER),
+            compact_target_frames: TSDB_COMPACT_TARGET,
+            ..TsdbWriterOptions::default()
+        },
+    )
+    .expect("spawn tsdb writer");
+    let mut live = Trace::with_capacity(TSDB_FRAMES as usize);
+    let mut rng = seed ^ TSDB_SALT;
+    for i in 0..TSDB_FRAMES {
+        let mut raw = [0u16; SENSOR_SLOTS];
+        raw[0] = (splitmix64(&mut rng) % 1024) as u16;
+        raw[1] = (splitmix64(&mut rng) % 1024) as u16;
+        let frame = ArchiveFrame {
+            time: SimTime::from_micros(25 + 50 * i),
+            raw,
+            present: 0b11,
+            marker: i.is_multiple_of(127).then_some('m'),
+        };
+        live.push(frame.time, frame_total(&configs, &adc, &frame));
+        if let Some(label) = frame.marker {
+            live.mark(frame.time, label);
+        }
+        checker.expect("archive-accounting", writer.push(frame), || {
+            format!("tsdb writer queue rejected frame {i}")
+        });
+    }
+    let stats = writer.finish().expect("finish tsdb writer");
+    checker.expect(
+        "archive-accounting",
+        stats.frames == TSDB_FRAMES && stats.dropped == 0,
+        || {
+            format!(
+                "tsdb writer accepted {}/{TSDB_FRAMES} frames, dropped {}",
+                stats.frames, stats.dropped
+            )
+        },
+    );
+
+    let naive_segments = TSDB_FRAMES as usize / TSDB_SEGMENT_FRAMES;
+    let t0 = 25u64;
+    let t1 = 25 + 50 * (TSDB_FRAMES - 1);
+    let mut segments_live = 0usize;
+    // Decode-path energy over the whole capture, before compaction.
+    // Compaction regroups the same trapezoid terms by the new segment
+    // and block structure, so the low bits legitimately move; the
+    // invariant is agreement within the crate's 1e-9 relative
+    // contract, not bit equality.
+    let mut flat_energy_bits = 0u64;
+    match Archive::open(&path) {
+        Ok(archive) => {
+            segments_live = archive.segments().len();
+            if let Ok(e) = archive.energy(SimTime::from_micros(0), SimTime::from_micros(t1 + 1)) {
+                flat_energy_bits = e.value().to_bits();
+            }
+            checker.check_archive_matches(&archive, &live, 0);
+            checker.check_archive_sealed(&archive);
+            checker.expect("tsdb-compaction", segments_live < naive_segments, || {
+                format!(
+                    "seal-time compaction never ran: {segments_live} segments, naive \
+                         capture would hold {naive_segments}"
+                )
+            });
+        }
+        Err(e) => checker.expect("archive-recovery", false, || {
+            format!("maintained archive failed to open: {e:?}")
+        }),
+    }
+
+    // The maintained sidecar must be fresh (loaded, not rebuilt), and
+    // tier-served answers bit-exact over plan-independent, seed-derived
+    // ranges plus the full and empty ones.
+    let mut energy_bits = 0u64;
+    match Tsdb::open_with(&path, config) {
+        Ok(tsdb) => {
+            checker.expect("tsdb-sidecar", tsdb.from_sidecar(), || {
+                "the seal-time pyramid sidecar was stale or damaged at open".into()
+            });
+            let span = t1 - t0 + 1;
+            for _ in 0..4 {
+                let mut lo = t0 + splitmix64(&mut rng) % span;
+                let mut hi = t0 + splitmix64(&mut rng) % span;
+                if lo > hi {
+                    core::mem::swap(&mut lo, &mut hi);
+                }
+                checker.check_pyramid_exact(
+                    &tsdb,
+                    SimTime::from_micros(lo),
+                    SimTime::from_micros(hi),
+                );
+            }
+            checker.check_pyramid_exact(
+                &tsdb,
+                SimTime::from_micros(0),
+                SimTime::from_micros(t1 + 1),
+            );
+            checker.check_pyramid_exact(&tsdb, SimTime::from_micros(t0), SimTime::from_micros(t0));
+            if let Ok(e) = tsdb.energy(SimTime::from_micros(0), SimTime::from_micros(t1 + 1)) {
+                energy_bits = e.value().to_bits();
+            }
+        }
+        Err(e) => checker.expect("tsdb-sidecar", false, || format!("tsdb open failed: {e:?}")),
+    }
+
+    // Phase B — tear an in-flight compaction at a plan-derived byte.
+    // The staging protocol never touches the original before the
+    // rename, so the capture must stay verifiable and bit-identical.
+    let mut cut_desc = "none".to_owned();
+    match Archive::open(&path) {
+        Ok(archive) => {
+            let tmp = compact_tmp_path_for(&path);
+            let staged_ok = stage_compacted(&archive, TSDB_FRAMES as usize, &tmp).is_ok();
+            drop(archive);
+            let staged = std::fs::read(&tmp).unwrap_or_default();
+            let _ = std::fs::remove_file(&tmp);
+            checker.expect("tsdb-compaction", staged_ok && !staged.is_empty(), || {
+                "staging the compaction rewrite failed".into()
+            });
+            if !staged.is_empty() {
+                let cut = plan
+                    .events()
+                    .first()
+                    .map_or(staged.len() as u64 / 2, |e| e.offset)
+                    % staged.len() as u64;
+                std::fs::write(&tmp, &staged[..cut as usize]).expect("write torn staging file");
+                cut_desc = format!("truncate@{cut}/{}", staged.len());
+
+                match Archive::open(&path) {
+                    Ok(archive) => {
+                        let clean = archive.verify().map(|r| r.is_clean()).unwrap_or(false);
+                        let trace = archive.read_all().ok();
+                        checker.expect(
+                            "tsdb-compaction-crash",
+                            clean && trace.as_ref() == Some(&live),
+                            || {
+                                format!(
+                                    "a compaction torn at byte {cut} damaged the original \
+                                     capture (clean={clean})"
+                                )
+                            },
+                        );
+                    }
+                    Err(e) => checker.expect("tsdb-compaction-crash", false, || {
+                        format!("original capture unreadable after torn staging write: {e:?}")
+                    }),
+                }
+
+                // The stale torn staging file must not stop the next
+                // attempt, and completing it changes no answer.
+                match compact_archive(
+                    &path,
+                    CompactOptions {
+                        target_frames: TSDB_FRAMES as usize,
+                        config,
+                    },
+                ) {
+                    Ok(report) => {
+                        checker.expect("tsdb-compaction", report.segments_after == 1, || {
+                            format!(
+                                "full-capture compaction left {} segments",
+                                report.segments_after
+                            )
+                        });
+                        match (Archive::open(&path), Tsdb::open_with(&path, config)) {
+                            (Ok(archive), Ok(tsdb)) => {
+                                checker.check_archive_matches(&archive, &live, 0);
+                                checker.expect("tsdb-sidecar", tsdb.from_sidecar(), || {
+                                    "compaction left a stale pyramid sidecar".into()
+                                });
+                                checker.check_pyramid_exact(
+                                    &tsdb,
+                                    SimTime::from_micros(0),
+                                    SimTime::from_micros(t1 + 1),
+                                );
+                                if let Ok(e) = archive
+                                    .energy(SimTime::from_micros(0), SimTime::from_micros(t1 + 1))
+                                {
+                                    let before = f64::from_bits(flat_energy_bits);
+                                    let after = e.value();
+                                    let tol = 1e-9 * after.abs().max(before.abs()).max(1.0);
+                                    checker.expect(
+                                        "tsdb-compaction",
+                                        (after - before).abs() <= tol,
+                                        || {
+                                            format!(
+                                                "compaction moved the capture energy beyond \
+                                                 tolerance: {before} -> {after}"
+                                            )
+                                        },
+                                    );
+                                }
+                            }
+                            (a, t) => checker.expect("tsdb-compaction", false, || {
+                                format!("reopen after completed compaction failed: {a:?} {t:?}")
+                            }),
+                        }
+                    }
+                    Err(e) => checker.expect("tsdb-compaction", false, || {
+                        format!("compaction over a stale staging file failed: {e:?}")
+                    }),
+                }
+            }
+        }
+        Err(e) => checker.expect("tsdb-compaction", false, || {
+            format!("archive failed to reopen for compaction: {e:?}")
+        }),
+    }
+
+    // Phase C — a second capture with a retention window racing the
+    // same live writer: expired segments (and their pyramid subtrees)
+    // disappear between seals; the surviving tail is bit-identical to
+    // the live capture's tail.
+    let retain_path = scratch_path("tsdb-retain", seed);
+    let window_us = 60_000 + splitmix64(&mut rng) % 120_000;
+    let writer = TsdbWriter::spawn(
+        &retain_path,
+        configs.clone(),
+        TsdbWriterOptions {
+            segment_frames: TSDB_SEGMENT_FRAMES,
+            config,
+            retention: Some(Retention::Duration(window_us)),
+            ..TsdbWriterOptions::default()
+        },
+    )
+    .expect("spawn retained tsdb writer");
+    let mut replay = seed ^ TSDB_SALT;
+    for i in 0..TSDB_FRAMES {
+        let mut raw = [0u16; SENSOR_SLOTS];
+        raw[0] = (splitmix64(&mut replay) % 1024) as u16;
+        raw[1] = (splitmix64(&mut replay) % 1024) as u16;
+        writer.push(ArchiveFrame {
+            time: SimTime::from_micros(25 + 50 * i),
+            raw,
+            present: 0b11,
+            marker: i.is_multiple_of(127).then_some('m'),
+        });
+    }
+    writer.finish().expect("finish retained tsdb writer");
+
+    let mut retained_segments = 0usize;
+    match (
+        Archive::open(&retain_path),
+        Tsdb::open_with(&retain_path, config),
+    ) {
+        (Ok(archive), Ok(tsdb)) => {
+            retained_segments = archive.segments().len();
+            let first_kept = archive.segments().first().map_or(0, |s| s.header.start_us);
+            checker.expect("tsdb-retention", first_kept > t0, || {
+                format!(
+                    "a {window_us} µs window over a {} µs capture dropped nothing",
+                    t1 - t0
+                )
+            });
+            let mut tail = Trace::new();
+            for sample in live.samples() {
+                if sample.time.as_micros() >= first_kept {
+                    tail.push(sample.time, sample.power);
+                }
+            }
+            for marker in live.markers() {
+                if marker.time.as_micros() >= first_kept {
+                    tail.mark(marker.time, marker.label);
+                }
+            }
+            checker.check_archive_matches(&archive, &tail, 0);
+            checker.expect("tsdb-sidecar", tsdb.from_sidecar(), || {
+                "retention left a stale pyramid sidecar".into()
+            });
+            checker.check_pyramid_exact(
+                &tsdb,
+                SimTime::from_micros(0),
+                SimTime::from_micros(t1 + 1),
+            );
+        }
+        (a, t) => checker.expect("tsdb-retention", false, || {
+            format!("retained capture failed to open: {a:?} {t:?}")
+        }),
+    }
+
+    facts.push(("segments_live".into(), segments_live.to_string()));
+    facts.push(("compaction_cut".into(), cut_desc));
+    facts.push(("window_us".into(), window_us.to_string()));
+    facts.push(("retained_segments".into(), retained_segments.to_string()));
+    facts.push(("energy_bits".into(), format!("{energy_bits:016x}")));
+
+    cleanup(&path);
+    cleanup(&retain_path);
+    finish_report("tsdb", seed, plan, TSDB_FRAMES, facts, checker)
 }
 
 /// `shorter` is an exact frame-and-marker prefix of `longer`.

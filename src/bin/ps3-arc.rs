@@ -5,8 +5,10 @@
 //!                [--segment-frames N]
 //! ps3-arc info FILE [--json]
 //! ps3-arc cat FILE [--start US] [--end US]
-//! ps3-arc stats FILE [--start US] [--end US]
+//! ps3-arc stats FILE [--engine pyramid|decode|archive] [--start US] [--end US]
 //! ps3-arc export-csv FILE [--out FILE] [--divisor N] [--start US] [--end US]
+//! ps3-arc compact FILE [--target-frames N]
+//! ps3-arc retain FILE --retain SPEC
 //! ps3-arc verify FILE
 //! ```
 //!
@@ -15,8 +17,12 @@
 //! `--dump`, simultaneously through the live continuous-mode dump so
 //! the two can be diffed). `cat` prints an archive range in exactly
 //! the live dump text format; `stats` and `export-csv` use the
-//! summary-block fast paths; `verify` deep-checks every segment and
-//! fails when the file holds damage or an unsealed tail.
+//! summary-block fast paths (`stats --engine pyramid` answers from the
+//! tsdb aggregation pyramid, `--engine decode` from a full frame
+//! decode); `compact` merges small sealed segments crash-safely;
+//! `retain` drops expired whole segments (`--retain 2h`, `--retain
+//! 64mb`); `verify` deep-checks every segment and fails when the file
+//! holds damage or an unsealed tail.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -29,6 +35,10 @@ use powersensor3::duts::LoadProgram;
 use powersensor3::firmware::SENSOR_SLOTS;
 use powersensor3::sensors::ModuleKind;
 use powersensor3::testbed::setups::accuracy_bench;
+use powersensor3::tsdb::{
+    compact_archive, pyramid_path_for, retain_archive, CompactOptions, Pyramid, PyramidConfig,
+    Retention, Tsdb, DEFAULT_COMPACT_TARGET_FRAMES,
+};
 use powersensor3::units::{Amps, SimDuration, SimTime};
 
 const SENSOR_PAIRS: usize = SENSOR_SLOTS / 2;
@@ -58,6 +68,8 @@ fn main() -> ExitCode {
         "cat" => cmd_cat(rest),
         "stats" => cmd_stats(rest),
         "export-csv" => cmd_export_csv(rest),
+        "compact" => cmd_compact(rest),
+        "retain" => cmd_retain(rest),
         "verify" => cmd_verify(rest),
         _ => {
             eprintln!("unknown command '{command}'");
@@ -105,6 +117,16 @@ fn positional(args: &[String]) -> Option<String> {
 fn open(args: &[String]) -> Result<Archive, String> {
     let path = positional(args).ok_or("missing archive path")?;
     Archive::open(&path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// The decoded pyramid sidecar, if one exists, plus whether it is
+/// fresh for the archive's current contents (a stale sidecar is
+/// rebuilt, not served, on the next tsdb open).
+fn pyramid_state(archive: &Archive) -> Option<(Pyramid, bool)> {
+    let bytes = std::fs::read(pyramid_path_for(archive.path())).ok()?;
+    let pyr = Pyramid::decode(&bytes).ok()?;
+    let fresh = pyr.matches(archive);
+    Some((pyr, fresh))
 }
 
 /// The query range: `[--start US, --end US)`, defaulting to the whole
@@ -207,6 +229,20 @@ fn cmd_info(args: &[String]) -> Result<ExitCode, String> {
             })
             .collect::<Vec<_>>()
             .join(",");
+        let pyramid_json = match pyramid_state(&archive) {
+            Some((pyr, fresh)) => {
+                let counts = pyr.counts();
+                format!(
+                    r#"{{"fresh":{fresh},"blocks":{},"tier1_nodes":{},"tier2_nodes":{},"tier1_fanout":{},"tier2_fanout":{}}}"#,
+                    counts.blocks,
+                    counts.tier1,
+                    counts.tier2,
+                    pyr.config.tier1_blocks,
+                    pyr.config.tier2_nodes
+                )
+            }
+            None => "null".to_owned(),
+        };
         let writer_json = writer.map_or("null".to_owned(), |w| {
             format!(
                 r#"{{"frames":{},"segments":{},"bytes":{},"dropped":{}}}"#,
@@ -214,7 +250,7 @@ fn cmd_info(args: &[String]) -> Result<ExitCode, String> {
             )
         });
         println!(
-            r#"{{"path":{:?},"frames":{},"used_index":{},"unsealed_trailing_bytes":{},"markers":{},"segments":[{segments}],"writer":{writer_json}}}"#,
+            r#"{{"path":{:?},"frames":{},"used_index":{},"unsealed_trailing_bytes":{},"markers":{},"segments":[{segments}],"pyramid":{pyramid_json},"writer":{writer_json}}}"#,
             archive.path().display().to_string(),
             archive.frames(),
             recovery.used_index,
@@ -272,6 +308,21 @@ fn cmd_info(args: &[String]) -> Result<ExitCode, String> {
             "    tail      {:>7} bytes  unsealed (ignored)",
             recovery.trailing_bytes
         );
+    }
+    match pyramid_state(&archive) {
+        Some((pyr, fresh)) => {
+            let counts = pyr.counts();
+            println!(
+                "  pyramid: {} blocks -> {} tier-1 -> {} tier-2 nodes (fan-out {}x{}, sidecar {})",
+                counts.blocks,
+                counts.tier1,
+                counts.tier2,
+                pyr.config.tier1_blocks,
+                pyr.config.tier2_nodes,
+                if fresh { "fresh" } else { "STALE" }
+            );
+        }
+        None => println!("  pyramid: no sidecar (built on first tsdb query)"),
     }
     let markers = archive.markers();
     println!("  markers: {}", markers.len());
@@ -353,8 +404,35 @@ fn cmd_cat(args: &[String]) -> Result<ExitCode, String> {
 fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
     let archive = open(args)?;
     let (start, end) = range(args, &archive);
-    let stats = archive.stats(start, end).map_err(|e| e.to_string())?;
-    let energy = archive.energy(start, end).map_err(|e| e.to_string())?;
+    let engine = flag_value(args, "--engine").unwrap_or_else(|| "archive".to_owned());
+    let (stats, energy, archive) = match engine.as_str() {
+        // Summary-block fast path (the default).
+        "archive" => (
+            archive.stats(start, end).map_err(|e| e.to_string())?,
+            archive.energy(start, end).map_err(|e| e.to_string())?,
+            archive,
+        ),
+        // Ground truth: decode every overlapping frame.
+        "decode" => (
+            archive
+                .stats_decoded(start, end)
+                .map_err(|e| e.to_string())?,
+            archive.energy(start, end).map_err(|e| e.to_string())?,
+            archive,
+        ),
+        // Aggregation-pyramid tier walk (sidecar-backed when fresh).
+        "pyramid" => {
+            let tsdb = Tsdb::from_archive(archive, PyramidConfig::default());
+            let stats = tsdb.stats(start, end).map_err(|e| e.to_string())?;
+            let energy = tsdb.energy(start, end).map_err(|e| e.to_string())?;
+            (stats, energy, tsdb.into_archive())
+        }
+        other => {
+            return Err(format!(
+                "unknown --engine '{other}' (expected pyramid, decode or archive)"
+            ))
+        }
+    };
     println!(
         "range [{}, {}) us: {} samples",
         start.as_micros(),
@@ -402,6 +480,46 @@ fn cmd_export_csv(args: &[String]) -> Result<ExitCode, String> {
         }
         None => print!("{text}"),
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_compact(args: &[String]) -> Result<ExitCode, String> {
+    let path = positional(args).ok_or("missing archive path")?;
+    let target =
+        flag_u64(args, "--target-frames").map_or(DEFAULT_COMPACT_TARGET_FRAMES, |n| n as usize);
+    if target == 0 {
+        return Err("--target-frames must be positive".into());
+    }
+    let report = compact_archive(
+        &path,
+        CompactOptions {
+            target_frames: target,
+            config: PyramidConfig::default(),
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "compacted {path}: {} -> {} segments, {} -> {} bytes",
+        report.segments_before, report.segments_after, report.bytes_before, report.bytes_after
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_retain(args: &[String]) -> Result<ExitCode, String> {
+    let path = positional(args).ok_or("missing archive path")?;
+    let spec =
+        flag_value(args, "--retain").ok_or("retain needs --retain SPEC (e.g. 30m, 2h, 64mb)")?;
+    let retention = Retention::parse(&spec)?;
+    let report =
+        retain_archive(&path, retention, PyramidConfig::default()).map_err(|e| e.to_string())?;
+    println!(
+        "retained {path} ({}): {} -> {} segments, {} -> {} bytes",
+        retention.describe(),
+        report.segments_before,
+        report.segments_after,
+        report.bytes_before,
+        report.bytes_after
+    );
     Ok(ExitCode::SUCCESS)
 }
 

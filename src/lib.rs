@@ -19,5 +19,6 @@ pub use ps3_sim as sim;
 pub use ps3_stream as stream;
 pub use ps3_testbed as testbed;
 pub use ps3_transport as transport;
+pub use ps3_tsdb as tsdb;
 pub use ps3_tuner as tuner;
 pub use ps3_units as units;
