@@ -124,6 +124,37 @@ if [ "${PS3_SIM_NIGHTLY:-0}" != "0" ]; then
          cat target/ci-sim/nightly/failure-*.json 2>/dev/null; exit 1; }
 fi
 
+echo "==> probe smoke: RAPL overhead study determinism + probes scenario sweep"
+# The measurement-overhead experiment must be bit-identical across
+# thread counts, its perturbation/error curves must land in
+# BENCH_repro.json, and the PS3-external baseline must perturb the
+# workload >= 10x less than the worst on-CPU probe at the highest
+# polling rate. The probe contracts themselves are property-tested,
+# and the probes sim scenario must survive a seeded fault sweep.
+rm -rf target/ci-probe && mkdir -p target/ci-probe
+cargo test -q -p ps3-pmt --test probe_props >/dev/null \
+  || { echo "probe property tests failed"; exit 1; }
+PS3_RESULTS_DIR=target/ci-probe/serial \
+  ./target/release/repro --smoke --jobs 1 overhead >/dev/null
+PS3_RESULTS_DIR=target/ci-probe/par \
+  ./target/release/repro --smoke --jobs 2 overhead >/dev/null
+cmp target/ci-probe/serial/overhead.csv target/ci-probe/par/overhead.csv \
+  || { echo "non-deterministic overhead artifact"; exit 1; }
+grep -q '"overhead_msr_100000hz_inflation_pct"' target/ci-probe/par/BENCH_repro.json \
+  || { echo "BENCH_repro.json lacks the perturbation curves"; exit 1; }
+grep -q '"overhead_powercap_sysfs_100000hz_err_pct"' target/ci-probe/par/BENCH_repro.json \
+  || { echo "BENCH_repro.json lacks the energy-error curves"; exit 1; }
+ratio=$(grep -o '"overhead_ps3_ratio_at_max_hz": [0-9.]*' \
+  target/ci-probe/par/BENCH_repro.json | awk '{print $2}')
+awk -v r="$ratio" 'BEGIN { exit !(r >= 10) }' \
+  || { echo "ps3-external only ${ratio}x less perturbation (< 10x)"; exit 1; }
+./target/release/ps3-sim sweep --seeds 6 --scenario probes \
+  --out target/ci-probe/sweep \
+  || { echo "probes scenario sweep found invariant violations"
+       cat target/ci-probe/sweep/failure-*.json 2>/dev/null; exit 1; }
+./target/release/ps3-sim replay --seed 5 --scenario probes >/dev/null \
+  || { echo "probes replay is not bit-exact"; exit 1; }
+
 echo "==> tsdb smoke: compact, retain, pyramid-vs-decode, latency curve"
 # Record a many-segment capture, then drive the full tsdb lifecycle:
 # the pyramid engine must answer exactly like a full decode before and

@@ -3,7 +3,8 @@
 //! ```text
 //! repro [--full] [--smoke] [--jobs N] [--compare-serial] [experiment...]
 //! experiments: table1 table2 fig4 fig5 stability fig7a fig7b fig8 fig10
-//!              fig12a fig12b interference archive tsdb sim fleet stream
+//!              fig12a fig12b interference archive tsdb overhead sim fleet
+//!              stream
 //!              (default: all)
 //! ```
 //!

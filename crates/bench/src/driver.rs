@@ -16,8 +16,8 @@ use std::time::Instant;
 use ps3_units::SimDuration;
 
 use crate::{
-    archive, capping, fig12, fig4, fig5, fig7, fig8, fleet, interference, noise, related, sim,
-    stability, stream, table1, table2, tsdb,
+    archive, capping, fig12, fig4, fig5, fig7, fig8, fleet, interference, noise, overhead, related,
+    sim, stability, stream, table1, table2, tsdb,
 };
 
 /// The seed every `repro` run uses, so artifacts are comparable
@@ -26,7 +26,7 @@ pub const SEED: u64 = 0x5EED_2026;
 
 /// The default experiment list (the paper's tables and figures, in
 /// paper order, plus the interference ablation).
-pub const DEFAULT_EXPERIMENTS: [&str; 17] = [
+pub const DEFAULT_EXPERIMENTS: [&str; 18] = [
     "table1",
     "table2",
     "fig4",
@@ -41,6 +41,7 @@ pub const DEFAULT_EXPERIMENTS: [&str; 17] = [
     "interference",
     "archive",
     "tsdb",
+    "overhead",
     "sim",
     "fleet",
     "stream",
@@ -73,6 +74,8 @@ pub struct Scale {
     pub stream_subs: Vec<usize>,
     /// Capture sizes (frames) the tsdb query-latency experiment sweeps.
     pub tsdb_frames: Vec<u64>,
+    /// Polling frequencies (Hz) the RAPL overhead study sweeps.
+    pub overhead_freqs: Vec<u64>,
 }
 
 impl Scale {
@@ -92,6 +95,7 @@ impl Scale {
             fleet_rigs: vec![1, 8, 32],
             stream_subs: vec![256, 1024, 4096],
             tsdb_frames: vec![20_000, 80_000, 320_000],
+            overhead_freqs: vec![1, 10, 100, 1_000, 10_000, 100_000],
         }
     }
 
@@ -113,6 +117,7 @@ impl Scale {
             fleet_rigs: vec![1, 8, 32, 100],
             stream_subs: vec![1024, 4096, 8192],
             tsdb_frames: vec![50_000, 200_000, 800_000],
+            overhead_freqs: vec![1, 10, 100, 1_000, 10_000, 100_000],
         }
     }
 
@@ -132,6 +137,7 @@ impl Scale {
             fleet_rigs: vec![1, 4, 8],
             stream_subs: vec![64, 256, 1024],
             tsdb_frames: vec![10_000, 40_000, 160_000],
+            overhead_freqs: vec![100, 10_000, 100_000],
         }
     }
 }
@@ -208,6 +214,7 @@ pub fn run_experiment(name: &str, scale: &Scale, seed: u64) -> Option<Experiment
         "interference" => run_interference(scale, seed),
         "archive" => run_archive(scale, seed),
         "tsdb" => run_tsdb(scale, seed),
+        "overhead" => run_overhead(scale),
         "sim" => run_sim(seed),
         "fleet" => run_fleet(scale, seed),
         "stream" => run_stream(scale, seed),
@@ -651,6 +658,75 @@ fn run_tsdb(scale: &Scale, seed: u64) -> ExperimentOutput {
     out
 }
 
+fn run_overhead(scale: &Scale) -> ExperimentOutput {
+    let cells = overhead::run(&scale.overhead_freqs);
+    let csv: Vec<Vec<f64>> = cells
+        .iter()
+        .map(|c| {
+            let kind_idx = ps3_pmt::ProbeKind::ALL
+                .iter()
+                .position(|&k| k == c.kind)
+                .unwrap_or(0);
+            vec![
+                kind_idx as f64,
+                c.freq_hz as f64,
+                c.reads as f64,
+                c.runtime_s,
+                c.inflation_pct,
+                c.stolen_ms,
+                c.energy_est_j,
+                c.truth_j,
+                c.err_pct,
+                c.energy_overhead_pct,
+            ]
+        })
+        .collect();
+    let samples: u64 = cells.iter().map(|c| c.reads).sum();
+    let mut out = output(
+        overhead::render(&cells),
+        vec![Csv {
+            name: "overhead.csv".into(),
+            header: vec![
+                "probe",
+                "freq_hz",
+                "reads",
+                "runtime_s",
+                "inflation_pct",
+                "stolen_ms",
+                "energy_est_j",
+                "truth_j",
+                "err_pct",
+                "energy_overhead_pct",
+            ],
+            rows: csv,
+        }],
+        samples,
+    );
+    // Unlike the latency experiments these curves are fully simulated,
+    // so they are deterministic — recording them as metrics puts the
+    // perturbation/error story into BENCH_repro.json alongside the CSV.
+    out.metrics = cells
+        .iter()
+        .flat_map(|c| {
+            [
+                (
+                    format!("overhead_{}_{}hz_inflation_pct", c.kind.slug(), c.freq_hz),
+                    c.inflation_pct,
+                ),
+                (
+                    format!("overhead_{}_{}hz_err_pct", c.kind.slug(), c.freq_hz),
+                    c.err_pct,
+                ),
+            ]
+        })
+        .collect();
+    out.metrics.push((
+        "overhead_ps3_ratio_at_max_hz".into(),
+        overhead::ps3_ratio_at_max_hz(&cells),
+    ));
+    out
+}
+
 fn run_sim(seed: u64) -> ExperimentOutput {
     let r = sim::run(seed);
     let csv: Vec<Vec<f64>> = r
@@ -879,6 +955,7 @@ mod tests {
                     "interference",
                     "archive",
                     "tsdb",
+                    "overhead",
                     "sim",
                     "fleet",
                     "stream",

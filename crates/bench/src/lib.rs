@@ -45,6 +45,7 @@ pub mod fig8;
 pub mod fleet;
 pub mod interference;
 pub mod noise;
+pub mod overhead;
 pub mod related;
 pub mod report;
 pub mod sim;

@@ -15,7 +15,9 @@ use ps3_bench::driver::{run_all, Scale};
 /// serial-by-nature one (table1) for the experiment-level fan-out and
 /// the archive store (whose on-disk byte counts must also be
 /// reproducible run to run).
-const NAMES: [&str; 6] = ["table1", "table2", "fig4", "fig8", "fig10", "archive"];
+const NAMES: [&str; 7] = [
+    "table1", "table2", "fig4", "fig8", "fig10", "archive", "overhead",
+];
 
 const SEED: u64 = 0xD57E_4213;
 

@@ -22,10 +22,15 @@
 //!   fio-like workload ([`FioJob`]); reproduces Fig 12.
 //! * [`NicModel`] — a network adapter whose power scales with both
 //!   throughput and packet rate (§VI extendibility demo).
+//! * [`CpuModel`] — a CPU package running a phase-marked
+//!   [`CpuWorkload`], with exact accounting of the cycles on-CPU
+//!   measurement probes steal from it (the Diamond et al. overhead
+//!   study's subject; see `ps3-pmt`'s probe family).
 
 #![forbid(unsafe_code)]
 
 mod bench_load;
+mod cpu;
 pub mod ftl;
 mod gpu;
 mod jetson;
@@ -35,6 +40,7 @@ mod rail;
 mod ssd;
 
 pub use bench_load::{BenchSetup, ElectronicLoad, LabPsu, LoadProgram};
+pub use cpu::{CpuModel, CpuPhase, CpuSpec, CpuWorkload, ENERGY_HISTORY};
 pub use gpu::{GpuHandle, GpuKernel, GpuModel, GpuSpec, GpuVendor};
 pub use jetson::{JetsonBuiltinSensor, JetsonModel, JetsonSpec};
 pub use nic::{NicModel, NicSpec, TrafficLoad};

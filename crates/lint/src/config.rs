@@ -61,7 +61,9 @@ impl Config {
 
     /// Files where wall-clock calls are forbidden (sim-deterministic
     /// paths: the sim harness, archive codec/query/writer layers, the
-    /// tsdb query engine and compactor, and bench experiment bodies).
+    /// tsdb query engine and compactor, bench experiment bodies, and
+    /// the modeled probe/DUT layers whose outputs must be pure
+    /// functions of virtual time).
     #[must_use]
     pub fn determinism_scope(&self, rel: &str) -> bool {
         if self.fixtures_mode {
@@ -74,6 +76,8 @@ impl Config {
             || rel.starts_with("crates/archive/src/")
             || rel.starts_with("crates/tsdb/src/")
             || rel.starts_with("crates/bench/src/")
+            || rel.starts_with("crates/pmt/src/")
+            || rel.starts_with("crates/duts/src/")
     }
 
     /// Modules exempt from the determinism rule by design:
@@ -180,6 +184,9 @@ mod tests {
         assert!(c.panic_scope("crates/stream/src/daemon.rs"));
         assert!(!c.panic_scope("crates/bench/src/driver.rs"));
         assert!(c.determinism_scope("crates/tsdb/src/query.rs"));
+        assert!(c.determinism_scope("crates/pmt/src/probe/counter.rs"));
+        assert!(c.determinism_scope("crates/duts/src/cpu.rs"));
+        assert!(!c.determinism_scope("crates/testbed/src/lib.rs"));
         assert!(c.panic_scope("crates/tsdb/src/compactor.rs"));
         assert!(c.panic_scope("crates/tsdb/src/writer.rs"));
         assert!(!c.panic_scope("crates/tsdb/src/pyramid.rs"));

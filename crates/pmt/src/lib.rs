@@ -17,279 +17,22 @@
 //! * [`Monitor`] — polls any meter on a fixed grid and produces a
 //!   [`ps3_analysis::Trace`], the common format all figure
 //!   harnesses consume.
+//! * [`probe`] — the RAPL probe *family*: four modeled access paths
+//!   (powercap-sysfs, MSR, perf-event, eBPF) plus the PS3-external
+//!   baseline behind one [`Probe`] trait, each with its own read
+//!   cost, update resolution and counter width, and each charging its
+//!   measurement overhead to the [`ps3_duts::CpuModel`] it measures —
+//!   the substrate of the `overhead` bench experiment and the
+//!   `probes` sim scenario.
 
 #![forbid(unsafe_code)]
 
-use std::sync::Arc;
+mod meter;
+pub mod probe;
+mod rapl;
 
-use ps3_analysis::Trace;
-use ps3_core::PowerSensor;
-use ps3_duts::OnboardSensor;
-use ps3_units::{SimDuration, SimTime, Watts};
-
-/// A source of instantaneous power readings on the simulated clock.
-pub trait PowerMeter: Send {
-    /// Human-readable name for reports and plot legends.
-    fn name(&self) -> &str;
-
-    /// The reading the meter reports when polled at `now`.
-    ///
-    /// Meters with slow native intervals (NVML: 100 ms) hold their
-    /// value between refreshes — polling faster does not create
-    /// information, which is exactly the paper's point.
-    fn read_watts(&mut self, now: SimTime) -> Watts;
-
-    /// The meter's native refresh interval.
-    fn native_interval(&self) -> SimDuration;
-}
-
-/// PowerSensor3 through PMT: full 20 kHz resolution.
-pub struct Ps3Meter {
-    ps: Arc<PowerSensor>,
-}
-
-impl Ps3Meter {
-    /// Wraps a connected sensor.
-    #[must_use]
-    pub fn new(ps: Arc<PowerSensor>) -> Self {
-        Self { ps }
-    }
-}
-
-impl PowerMeter for Ps3Meter {
-    fn name(&self) -> &str {
-        "PowerSensor3"
-    }
-
-    fn read_watts(&mut self, _now: SimTime) -> Watts {
-        self.ps.read().total_watts()
-    }
-
-    fn native_interval(&self) -> SimDuration {
-        SimDuration::from_micros(50)
-    }
-}
-
-/// Any on-board vendor sensor through PMT.
-pub struct OnboardMeter<S> {
-    sensor: S,
-}
-
-impl<S: OnboardSensor> OnboardMeter<S> {
-    /// Wraps an on-board sensor model.
-    #[must_use]
-    pub fn new(sensor: S) -> Self {
-        Self { sensor }
-    }
-}
-
-impl<S: OnboardSensor> PowerMeter for OnboardMeter<S> {
-    fn name(&self) -> &str {
-        self.sensor.name()
-    }
-
-    fn read_watts(&mut self, now: SimTime) -> Watts {
-        self.sensor.read(now).power
-    }
-
-    fn native_interval(&self) -> SimDuration {
-        self.sensor.update_interval()
-    }
-}
-
-/// A RAPL-like CPU package meter: the hardware exposes a 32-bit energy
-/// counter in microjoules that wraps every couple of minutes at desktop
-/// power levels; power is the derivative between two reads.
-pub struct RaplMeter {
-    /// Package idle power.
-    idle_w: f64,
-    /// Additional power at full utilisation.
-    dynamic_w: f64,
-    utilization: f64,
-    /// True accumulated energy in µJ (we wrap it on read).
-    true_energy_uj: f64,
-    last_tick: SimTime,
-    last_read: Option<(SimTime, u32)>,
-    held_power: Watts,
-}
-
-impl RaplMeter {
-    /// A desktop-class package: 15 W idle, +65 W at full load.
-    #[must_use]
-    pub fn desktop() -> Self {
-        Self {
-            idle_w: 15.0,
-            dynamic_w: 65.0,
-            utilization: 0.0,
-            true_energy_uj: 0.0,
-            last_tick: SimTime::ZERO,
-            last_read: None,
-            held_power: Watts::new(15.0),
-        }
-    }
-
-    /// Sets the CPU utilisation (0–1) from this moment on.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `util` is outside `[0, 1]`.
-    pub fn set_utilization(&mut self, util: f64, now: SimTime) {
-        assert!((0.0..=1.0).contains(&util), "utilisation out of range");
-        self.accumulate(now);
-        self.utilization = util;
-    }
-
-    fn accumulate(&mut self, now: SimTime) {
-        let dt = now.saturating_duration_since(self.last_tick).as_secs_f64();
-        let p = self.idle_w + self.dynamic_w * self.utilization;
-        self.true_energy_uj += p * dt * 1e6;
-        self.last_tick = self.last_tick.max(now);
-    }
-
-    /// The raw wrapping hardware counter (testing/diagnostics).
-    pub fn raw_counter_uj(&mut self, now: SimTime) -> u32 {
-        self.accumulate(now);
-        (self.true_energy_uj as u64 & 0xFFFF_FFFF) as u32
-    }
-}
-
-impl PowerMeter for RaplMeter {
-    fn name(&self) -> &str {
-        "RAPL (package)"
-    }
-
-    fn read_watts(&mut self, now: SimTime) -> Watts {
-        let raw = self.raw_counter_uj(now);
-        if let Some((t0, raw0)) = self.last_read {
-            let dt = now.saturating_duration_since(t0).as_secs_f64();
-            if dt > 0.0 {
-                // Unwrap the 32-bit counter.
-                let delta = u64::from(raw.wrapping_sub(raw0));
-                self.held_power = Watts::new(delta as f64 / 1e6 / dt);
-            }
-        }
-        self.last_read = Some((now, raw));
-        self.held_power
-    }
-
-    fn native_interval(&self) -> SimDuration {
-        SimDuration::from_millis(1)
-    }
-}
-
-/// Polls a meter on a fixed grid, producing a trace.
-#[derive(Debug, Clone, Copy)]
-pub struct Monitor {
-    interval: SimDuration,
-}
-
-impl Monitor {
-    /// A monitor polling every `interval`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `interval` is zero.
-    #[must_use]
-    pub fn new(interval: SimDuration) -> Self {
-        assert!(!interval.is_zero(), "poll interval must be non-zero");
-        Self { interval }
-    }
-
-    /// Polls `meter` from `start` for `duration`. Before each poll,
-    /// `on_step` is called with the poll time — wire it to your
-    /// testbed's `advance`/`sync` so simulated time actually passes.
-    pub fn sample<F>(
-        &self,
-        meter: &mut dyn PowerMeter,
-        start: SimTime,
-        duration: SimDuration,
-        mut on_step: F,
-    ) -> Trace
-    where
-        F: FnMut(SimTime),
-    {
-        let steps = duration / self.interval;
-        let mut trace = Trace::with_capacity(steps as usize + 1);
-        for k in 0..=steps {
-            let t = start + self.interval * k;
-            on_step(t);
-            trace.push(t, meter.read_watts(t));
-        }
-        trace
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use parking_lot::Mutex;
-    use ps3_duts::{GpuKernel, GpuModel, GpuSpec, NvmlSensor};
-
-    fn shared_gpu() -> Arc<Mutex<GpuModel>> {
-        Arc::new(Mutex::new(GpuModel::new(GpuSpec::rtx4000_ada(), 21)))
-    }
-
-    #[test]
-    fn onboard_meter_adapts_sensor() {
-        let gpu = shared_gpu();
-        let mut meter = OnboardMeter::new(NvmlSensor::instantaneous(gpu));
-        assert_eq!(meter.name(), "NVML (instantaneous)");
-        assert_eq!(meter.native_interval(), SimDuration::from_millis(100));
-        let w = meter.read_watts(SimTime::from_micros(200_000)).value();
-        assert!((w - 18.0 * 1.02).abs() < 2.0, "idle via NVML: {w}");
-    }
-
-    #[test]
-    fn monitor_produces_grid_trace() {
-        let gpu = shared_gpu();
-        gpu.lock()
-            .launch(GpuKernel::synthetic_fma(SimDuration::from_secs(1), 4));
-        let mut meter = OnboardMeter::new(NvmlSensor::instantaneous(gpu));
-        let monitor = Monitor::new(SimDuration::from_millis(100));
-        let trace = monitor.sample(
-            &mut meter,
-            SimTime::ZERO,
-            SimDuration::from_secs(1),
-            |_t| {},
-        );
-        assert_eq!(trace.len(), 11);
-        assert!((trace.sample_rate().unwrap() - 10.0).abs() < 0.1);
-        assert!(trace.mean_power().unwrap().value() > 50.0);
-    }
-
-    #[test]
-    fn rapl_power_follows_utilization() {
-        let mut rapl = RaplMeter::desktop();
-        // Prime the counter.
-        rapl.read_watts(SimTime::ZERO);
-        let idle = rapl.read_watts(SimTime::from_micros(500_000)).value();
-        assert!((idle - 15.0).abs() < 0.5, "idle {idle}");
-        rapl.set_utilization(1.0, SimTime::from_micros(500_000));
-        rapl.read_watts(SimTime::from_micros(600_000));
-        let busy = rapl.read_watts(SimTime::from_micros(1_600_000)).value();
-        assert!((busy - 80.0).abs() < 0.5, "busy {busy}");
-    }
-
-    #[test]
-    fn rapl_counter_wraps_but_power_survives() {
-        let mut rapl = RaplMeter::desktop();
-        rapl.set_utilization(1.0, SimTime::ZERO);
-        // 80 W = 8e7 µJ/s → the 32-bit counter (4.29e9 µJ) wraps every
-        // ~54 s. Read at 20 s intervals across several wraps.
-        let mut last = SimTime::ZERO;
-        rapl.read_watts(last);
-        for k in 1..10u64 {
-            let t = SimTime::from_micros(k * 20_000_000);
-            let w = rapl.read_watts(t).value();
-            assert!((w - 80.0).abs() < 1.0, "read {k}: {w}");
-            last = t;
-        }
-        let _ = last;
-    }
-
-    #[test]
-    #[should_panic(expected = "poll interval")]
-    fn zero_interval_monitor_panics() {
-        let _ = Monitor::new(SimDuration::ZERO);
-    }
-}
+pub use meter::{Monitor, OnboardMeter, PowerMeter, Ps3Meter};
+pub use probe::{
+    build as build_probe, unwrap_delta, EnergySession, Probe, ProbeKind, ProbeSpec, SharedCpu,
+};
+pub use rapl::RaplMeter;

@@ -1,0 +1,165 @@
+//! The unified [`PowerMeter`] interface and its PS3/on-board backends.
+
+use std::sync::Arc;
+
+use ps3_analysis::Trace;
+use ps3_core::PowerSensor;
+use ps3_duts::OnboardSensor;
+use ps3_units::{SimDuration, SimTime, Watts};
+
+/// A source of instantaneous power readings on the simulated clock.
+pub trait PowerMeter: Send {
+    /// Human-readable name for reports and plot legends.
+    fn name(&self) -> &str;
+
+    /// The reading the meter reports when polled at `now`.
+    ///
+    /// Meters with slow native intervals (NVML: 100 ms) hold their
+    /// value between refreshes — polling faster does not create
+    /// information, which is exactly the paper's point.
+    fn read_watts(&mut self, now: SimTime) -> Watts;
+
+    /// The meter's native refresh interval.
+    fn native_interval(&self) -> SimDuration;
+}
+
+/// PowerSensor3 through PMT: full 20 kHz resolution.
+pub struct Ps3Meter {
+    ps: Arc<PowerSensor>,
+}
+
+impl Ps3Meter {
+    /// Wraps a connected sensor.
+    #[must_use]
+    pub fn new(ps: Arc<PowerSensor>) -> Self {
+        Self { ps }
+    }
+}
+
+impl PowerMeter for Ps3Meter {
+    fn name(&self) -> &str {
+        "PowerSensor3"
+    }
+
+    fn read_watts(&mut self, _now: SimTime) -> Watts {
+        self.ps.read().total_watts()
+    }
+
+    fn native_interval(&self) -> SimDuration {
+        SimDuration::from_micros(50)
+    }
+}
+
+/// Any on-board vendor sensor through PMT.
+pub struct OnboardMeter<S> {
+    sensor: S,
+}
+
+impl<S: OnboardSensor> OnboardMeter<S> {
+    /// Wraps an on-board sensor model.
+    #[must_use]
+    pub fn new(sensor: S) -> Self {
+        Self { sensor }
+    }
+}
+
+impl<S: OnboardSensor> PowerMeter for OnboardMeter<S> {
+    fn name(&self) -> &str {
+        self.sensor.name()
+    }
+
+    fn read_watts(&mut self, now: SimTime) -> Watts {
+        self.sensor.read(now).power
+    }
+
+    fn native_interval(&self) -> SimDuration {
+        self.sensor.update_interval()
+    }
+}
+
+/// Polls a meter on a fixed grid, producing a trace.
+#[derive(Debug, Clone, Copy)]
+pub struct Monitor {
+    interval: SimDuration,
+}
+
+impl Monitor {
+    /// A monitor polling every `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    #[must_use]
+    pub fn new(interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "poll interval must be non-zero");
+        Self { interval }
+    }
+
+    /// Polls `meter` from `start` for `duration`. Before each poll,
+    /// `on_step` is called with the poll time — wire it to your
+    /// testbed's `advance`/`sync` so simulated time actually passes.
+    pub fn sample<F>(
+        &self,
+        meter: &mut dyn PowerMeter,
+        start: SimTime,
+        duration: SimDuration,
+        mut on_step: F,
+    ) -> Trace
+    where
+        F: FnMut(SimTime),
+    {
+        let steps = duration / self.interval;
+        let mut trace = Trace::with_capacity(steps as usize + 1);
+        for k in 0..=steps {
+            let t = start + self.interval * k;
+            on_step(t);
+            trace.push(t, meter.read_watts(t));
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use ps3_duts::{GpuKernel, GpuModel, GpuSpec, NvmlSensor};
+
+    fn shared_gpu() -> Arc<Mutex<GpuModel>> {
+        Arc::new(Mutex::new(GpuModel::new(GpuSpec::rtx4000_ada(), 21)))
+    }
+
+    #[test]
+    fn onboard_meter_adapts_sensor() {
+        let gpu = shared_gpu();
+        let mut meter = OnboardMeter::new(NvmlSensor::instantaneous(gpu));
+        assert_eq!(meter.name(), "NVML (instantaneous)");
+        assert_eq!(meter.native_interval(), SimDuration::from_millis(100));
+        let w = meter.read_watts(SimTime::from_micros(200_000)).value();
+        assert!((w - 18.0 * 1.02).abs() < 2.0, "idle via NVML: {w}");
+    }
+
+    #[test]
+    fn monitor_produces_grid_trace() {
+        let gpu = shared_gpu();
+        gpu.lock()
+            .launch(GpuKernel::synthetic_fma(SimDuration::from_secs(1), 4));
+        let mut meter = OnboardMeter::new(NvmlSensor::instantaneous(gpu));
+        let monitor = Monitor::new(SimDuration::from_millis(100));
+        let trace = monitor.sample(
+            &mut meter,
+            SimTime::ZERO,
+            SimDuration::from_secs(1),
+            |_t| {},
+        );
+        assert_eq!(trace.len(), 11);
+        assert!((trace.sample_rate().unwrap() - 10.0).abs() < 0.1);
+        assert!(trace.mean_power().unwrap().value() > 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "poll interval")]
+    fn zero_interval_monitor_panics() {
+        let _ = Monitor::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,145 @@
+//! Shared counter machinery: every access path reads the *same*
+//! package energy, differing only in cost, quantisation, update
+//! cadence and register width.
+
+use ps3_units::{SimTime, Watts};
+
+use super::{ProbeSpec, SharedCpu};
+
+/// The common sampling core a concrete probe delegates to.
+///
+/// A read at `now`:
+///
+/// 1. advances the shared [`ps3_duts::CpuModel`] to `now`;
+/// 2. charges any background update cost accrued since the last read
+///    (eBPF's kernel-side sampler runs once per hardware tick whether
+///    or not userspace polls — the charge is folded in lazily at read
+///    time, which keeps the model deterministic without a separate
+///    event source);
+/// 3. quantises the package energy *at the last hardware update tick*
+///    into counter units and truncates to the register width;
+/// 4. charges the read cost itself — the syscall the workload pays
+///    for.
+pub struct CounterCore {
+    spec: ProbeSpec,
+    cpu: SharedCpu,
+    reads: u64,
+    /// Last hardware tick whose background cost has been charged.
+    charged_through: SimTime,
+}
+
+impl CounterCore {
+    /// Builds the core for one access path over a shared package.
+    #[must_use]
+    pub fn new(spec: ProbeSpec, cpu: SharedCpu) -> Self {
+        Self {
+            spec,
+            cpu,
+            reads: 0,
+            charged_through: SimTime::ZERO,
+        }
+    }
+
+    /// The path's spec.
+    #[must_use]
+    pub fn spec(&self) -> &ProbeSpec {
+        &self.spec
+    }
+
+    /// Reads issued so far.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// One raw register read at `now` (see the type docs for the exact
+    /// sequence).
+    pub fn read_raw(&mut self, now: SimTime) -> u64 {
+        let spec = self.spec;
+        let mut cpu = self.cpu.lock();
+        cpu.advance_to(now);
+        let tick = spec.tick_before(now);
+        if !spec.update_cost.is_zero() && tick > self.charged_through {
+            let ticks = (tick - self.charged_through) / spec.update_interval;
+            cpu.steal(now, spec.update_cost * ticks);
+            self.charged_through = tick;
+        }
+        let energy = cpu
+            .energy_at(tick)
+            .unwrap_or_else(|| cpu.energy(now))
+            .value();
+        let units = (energy * 1e6 / spec.unit_uj).floor() as u64;
+        cpu.steal(now, spec.read_cost);
+        self.reads += 1;
+        units & spec.mask()
+    }
+
+    /// Ground truth at this probe's hardware tick for `now` — what a
+    /// perfect (cost-free, quantisation-free) probe would report.
+    /// Used by invariant checks, costs nothing.
+    pub fn truth_at_tick(&self, now: SimTime) -> f64 {
+        let tick = self.spec.tick_before(now);
+        let mut cpu = self.cpu.lock();
+        cpu.energy_at(tick)
+            .unwrap_or_else(|| cpu.energy(now))
+            .value()
+    }
+
+    /// The package's full-load power (scales error envelopes).
+    pub fn max_power(&self) -> Watts {
+        self.cpu.lock().spec().max_power()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use parking_lot::Mutex;
+    use ps3_duts::{CpuModel, CpuPhase, CpuSpec, CpuWorkload};
+    use ps3_units::SimDuration;
+
+    use super::super::ProbeKind;
+    use super::*;
+
+    fn cpu(util: f64) -> SharedCpu {
+        Arc::new(Mutex::new(CpuModel::new(
+            CpuSpec::desktop(),
+            CpuWorkload::new(vec![CpuPhase {
+                label: 'c',
+                util,
+                work: SimDuration::from_millis(100),
+            }]),
+        )))
+    }
+
+    #[test]
+    fn counter_holds_between_update_ticks() {
+        let mut core = CounterCore::new(ProbeKind::Msr.spec(), cpu(1.0));
+        // 1 ms update interval: reads inside the same tick see the
+        // same quantised value.
+        let a = core.read_raw(SimTime::from_micros(5_100));
+        let b = core.read_raw(SimTime::from_micros(5_900));
+        assert_eq!(a, b);
+        let c = core.read_raw(SimTime::from_micros(6_100));
+        assert!(c > a, "next tick advances the counter: {c} vs {a}");
+    }
+
+    #[test]
+    fn counter_is_quantised_to_whole_units() {
+        let mut core = CounterCore::new(ProbeKind::Msr.spec(), cpu(1.0));
+        // 80 W for 10 ms = 0.8 J = 13107.2 units of 61.035 µJ → 13107.
+        let raw = core.read_raw(SimTime::from_micros(10_000));
+        assert_eq!(raw, 13_107);
+    }
+
+    #[test]
+    fn truth_at_tick_costs_nothing() {
+        let shared = cpu(1.0);
+        let core = CounterCore::new(ProbeKind::Msr.spec(), Arc::clone(&shared));
+        shared.lock().advance_to(SimTime::from_micros(10_000));
+        let truth = core.truth_at_tick(SimTime::from_micros(10_500));
+        assert!((truth - 0.8).abs() < 1e-9, "truth {truth}");
+        assert_eq!(shared.lock().stolen_total(), SimDuration::ZERO);
+    }
+}

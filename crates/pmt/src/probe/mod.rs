@@ -1,0 +1,364 @@
+//! The RAPL probe family: four modeled access paths to the same
+//! package energy counter, plus the PS3-external baseline.
+//!
+//! Real RAPL is one set of hardware registers behind several software
+//! doors, and the door chosen decides what a measurement *costs* the
+//! workload being measured (Diamond et al., "What Is the Cost of
+//! Energy Monitoring?"):
+//!
+//! | path            | read path              | modeled read cost |
+//! |-----------------|------------------------|-------------------|
+//! | powercap-sysfs  | `open`/`read` a sysfs ASCII file | 2.2 µs |
+//! | MSR             | `pread` on `/dev/cpu/*/msr`      | 450 ns |
+//! | perf-event      | `read` on a perf fd              | 1.3 µs |
+//! | eBPF            | shared map lookup (+ kernel-side timer) | 150 ns |
+//! | ps3-external    | host-side USB client             | 20 ns  |
+//!
+//! Every [`Probe::read_raw`] call *steals* its read cost from the
+//! [`CpuModel`] under measurement ([`ps3_duts::CpuModel::steal`]), so
+//! polling faster really does inflate the workload's runtime — the
+//! effect the `overhead` bench experiment sweeps. Each path also has
+//! its own counter width, quantisation unit and hardware update
+//! interval, captured in [`ProbeSpec`]; [`ProbeSpec::error_envelope`]
+//! bounds how far a probe's energy estimate may legitimately sit from
+//! ground truth, which the `probes` sim scenario enforces under fault
+//! injection.
+//!
+//! The module layout mirrors the access-path split of real RAPL
+//! tooling (one file per door): [`powercap`], [`msr`], [`perf_event`],
+//! [`ebpf`], [`external`].
+
+pub mod counter;
+pub mod ebpf;
+pub mod external;
+pub mod msr;
+pub mod perf_event;
+pub mod powercap;
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use ps3_duts::CpuModel;
+use ps3_units::{Joules, SimDuration, SimTime, Watts};
+
+pub use counter::CounterCore;
+pub use ebpf::EbpfProbe;
+pub use external::ExternalProbe;
+pub use msr::MsrProbe;
+pub use perf_event::PerfEventProbe;
+pub use powercap::PowercapProbe;
+
+/// The CPU package a probe family measures, shared with the workload
+/// driver and the testbed.
+pub type SharedCpu = Arc<Mutex<CpuModel>>;
+
+/// Which door into the package energy counter a probe uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeKind {
+    /// `/sys/class/powercap/intel-rapl:0/energy_uj`.
+    PowercapSysfs,
+    /// `MSR_PKG_ENERGY_STATUS` via `/dev/cpu/*/msr`.
+    Msr,
+    /// `perf_event_open(PERF_TYPE_POWER)` counter fd.
+    PerfEvent,
+    /// Kernel-side eBPF program sampling into a shared map.
+    Ebpf,
+    /// PowerSensor3 on the external rail (near-zero perturbation).
+    Ps3External,
+}
+
+impl ProbeKind {
+    /// Every kind, in sweep order (on-CPU paths first, baseline last).
+    pub const ALL: [ProbeKind; 5] = [
+        ProbeKind::PowercapSysfs,
+        ProbeKind::Msr,
+        ProbeKind::PerfEvent,
+        ProbeKind::Ebpf,
+        ProbeKind::Ps3External,
+    ];
+
+    /// The modeled characteristics of this access path.
+    #[must_use]
+    pub fn spec(self) -> ProbeSpec {
+        match self {
+            ProbeKind::PowercapSysfs => powercap::SPEC,
+            ProbeKind::Msr => msr::SPEC,
+            ProbeKind::PerfEvent => perf_event::SPEC,
+            ProbeKind::Ebpf => ebpf::SPEC,
+            ProbeKind::Ps3External => external::SPEC,
+        }
+    }
+
+    /// Display name for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ProbeKind::PowercapSysfs => "powercap-sysfs",
+            ProbeKind::Msr => "msr",
+            ProbeKind::PerfEvent => "perf-event",
+            ProbeKind::Ebpf => "ebpf",
+            ProbeKind::Ps3External => "ps3-external",
+        }
+    }
+
+    /// Identifier-safe name for metric keys and CSV legends.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            ProbeKind::PowercapSysfs => "powercap_sysfs",
+            ProbeKind::Msr => "msr",
+            ProbeKind::PerfEvent => "perf_event",
+            ProbeKind::Ebpf => "ebpf",
+            ProbeKind::Ps3External => "ps3_external",
+        }
+    }
+
+    /// `true` for paths that run on the measured package itself.
+    #[must_use]
+    pub fn is_on_cpu(self) -> bool {
+        self != ProbeKind::Ps3External
+    }
+}
+
+/// Modeled characteristics of one access path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeSpec {
+    /// The access path.
+    pub kind: ProbeKind,
+    /// CPU time one read steals from the workload.
+    pub read_cost: SimDuration,
+    /// CPU time the path's background machinery steals per hardware
+    /// update tick, whether or not anyone polls (eBPF only).
+    pub update_cost: SimDuration,
+    /// How often the hardware refreshes the counter; reads between
+    /// refreshes see the value at the last tick.
+    pub update_interval: SimDuration,
+    /// Microjoules per counter unit (RAPL energy-status unit:
+    /// 2⁻¹⁴ J ≈ 61.035 µJ; powercap pre-scales to 1 µJ).
+    pub unit_uj: f64,
+    /// Counter register width; the value wraps at 2^bits.
+    pub counter_bits: u32,
+}
+
+impl ProbeSpec {
+    /// Bitmask the raw counter is truncated to.
+    #[must_use]
+    pub fn mask(&self) -> u64 {
+        if self.counter_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.counter_bits) - 1
+        }
+    }
+
+    /// The hardware update tick at or before `now`.
+    #[must_use]
+    pub fn tick_before(&self, now: SimTime) -> SimTime {
+        let iv = self.update_interval.as_nanos();
+        SimTime::from_nanos(now.as_nanos() / iv * iv)
+    }
+
+    /// Worst-case distance between this probe's unwrapped energy over
+    /// a span and ground truth over the same span, for a package that
+    /// never exceeds `max_power`: one quantisation unit plus one
+    /// update interval of staleness at each endpoint.
+    #[must_use]
+    pub fn error_envelope(&self, max_power: Watts) -> Joules {
+        let quant = 2.0 * self.unit_uj / 1e6;
+        let stale = max_power * (self.update_interval * 2);
+        Joules::new(quant) + stale
+    }
+}
+
+/// A modeled energy probe. Reading it costs the measured CPU time.
+pub trait Probe: Send {
+    /// The path's modeled characteristics.
+    fn spec(&self) -> &ProbeSpec;
+
+    /// Reads the raw counter at `now`: the quantised, truncated energy
+    /// at the last hardware update tick. Charges the read cost (and
+    /// any background cost) to the measured CPU.
+    fn read_raw(&mut self, now: SimTime) -> u64;
+
+    /// How many reads this probe has issued.
+    fn reads(&self) -> u64;
+}
+
+/// Builds the probe for `kind` against a shared CPU package.
+#[must_use]
+pub fn build(kind: ProbeKind, cpu: SharedCpu) -> Box<dyn Probe> {
+    match kind {
+        ProbeKind::PowercapSysfs => Box::new(PowercapProbe::new(cpu)),
+        ProbeKind::Msr => Box::new(MsrProbe::new(cpu)),
+        ProbeKind::PerfEvent => Box::new(PerfEventProbe::new(cpu)),
+        ProbeKind::Ebpf => Box::new(EbpfProbe::new(cpu)),
+        ProbeKind::Ps3External => Box::new(ExternalProbe::new(cpu)),
+    }
+}
+
+/// Unwraps one wrapping counter step: the forward distance from `prev`
+/// to `cur` on a `bits`-wide ring. Correct whenever the true delta is
+/// below one wrap period.
+#[must_use]
+pub fn unwrap_delta(prev: u64, cur: u64, bits: u32) -> u64 {
+    let mask = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
+    cur.wrapping_sub(prev) & mask
+}
+
+/// Polls a probe and accumulates wrap-corrected energy across reads —
+/// the software half of every RAPL tool.
+pub struct EnergySession {
+    probe: Box<dyn Probe>,
+    last_raw: Option<u64>,
+    total_units: u64,
+}
+
+impl EnergySession {
+    /// Starts a session over `probe` (no reads issued yet).
+    #[must_use]
+    pub fn new(probe: Box<dyn Probe>) -> Self {
+        Self {
+            probe,
+            last_raw: None,
+            total_units: 0,
+        }
+    }
+
+    /// Convenience: builds the probe for `kind` and wraps it.
+    #[must_use]
+    pub fn over(kind: ProbeKind, cpu: SharedCpu) -> Self {
+        Self::new(build(kind, cpu))
+    }
+
+    /// The probe's spec.
+    #[must_use]
+    pub fn spec(&self) -> ProbeSpec {
+        *self.probe.spec()
+    }
+
+    /// Polls at `now`, folding the wrapped delta into the session
+    /// total, and returns the raw register value.
+    pub fn poll(&mut self, now: SimTime) -> u64 {
+        let raw = self.probe.read_raw(now);
+        if let Some(prev) = self.last_raw {
+            self.total_units += unwrap_delta(prev, raw, self.probe.spec().counter_bits);
+        }
+        self.last_raw = Some(raw);
+        raw
+    }
+
+    /// Wrap-corrected energy accumulated between the first and latest
+    /// poll.
+    #[must_use]
+    pub fn energy(&self) -> Joules {
+        Joules::new(self.total_units as f64 * self.probe.spec().unit_uj / 1e6)
+    }
+
+    /// The same accumulation in raw counter units — an exact integer,
+    /// ideal for fingerprints and replay facts.
+    #[must_use]
+    pub fn total_units(&self) -> u64 {
+        self.total_units
+    }
+
+    /// Reads issued so far.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.probe.reads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps3_duts::{CpuModel, CpuPhase, CpuSpec, CpuWorkload};
+
+    fn busy_cpu() -> SharedCpu {
+        Arc::new(Mutex::new(CpuModel::new(
+            CpuSpec::desktop(),
+            CpuWorkload::new(vec![CpuPhase {
+                label: 'c',
+                util: 1.0,
+                work: SimDuration::from_millis(500),
+            }]),
+        )))
+    }
+
+    #[test]
+    fn specs_are_distinct_and_ranked() {
+        let specs: Vec<ProbeSpec> = ProbeKind::ALL.iter().map(|k| k.spec()).collect();
+        for (i, a) in specs.iter().enumerate() {
+            assert_eq!(a.kind, ProbeKind::ALL[i]);
+            for b in &specs[i + 1..] {
+                assert_ne!(a, b, "duplicate spec: {a:?}");
+            }
+        }
+        // The overhead-study headline: the external baseline costs at
+        // least 10× less per read than the worst on-CPU path.
+        let worst = ProbeKind::ALL
+            .iter()
+            .filter(|k| k.is_on_cpu())
+            .map(|k| k.spec().read_cost.as_nanos())
+            .max()
+            .unwrap();
+        let ps3 = ProbeKind::Ps3External.spec().read_cost.as_nanos();
+        assert!(worst >= 10 * ps3, "worst {worst} ns vs ps3 {ps3} ns");
+    }
+
+    #[test]
+    fn unwrap_delta_handles_wrap_and_width() {
+        assert_eq!(unwrap_delta(10, 25, 32), 15);
+        assert_eq!(unwrap_delta(0xFFFF_FFF0, 0x10, 32), 0x20);
+        assert_eq!(unwrap_delta(u64::MAX - 1, 3, 64), 5);
+        assert_eq!(unwrap_delta(0x3FF, 0x001, 10), 2);
+    }
+
+    #[test]
+    fn every_probe_tracks_a_busy_package() {
+        for kind in ProbeKind::ALL {
+            let cpu = busy_cpu();
+            let mut session = EnergySession::over(kind, Arc::clone(&cpu));
+            let step = SimDuration::from_millis(5);
+            let mut t = SimTime::ZERO;
+            let mut last_poll = SimTime::ZERO;
+            for _ in 0..=100 {
+                session.poll(t);
+                last_poll = t;
+                t += step;
+            }
+            // 500 ms at 80 W = 40 J; the session spans [tick(0),
+            // tick(last poll)], so compare ground truth over exactly
+            // that span and allow the quantisation/staleness envelope.
+            let est = session.energy().value();
+            let tick = kind.spec().tick_before(last_poll);
+            let truth = cpu.lock().energy_at(tick).expect("in history").value();
+            let envelope = kind.spec().error_envelope(Watts::new(80.0)).value();
+            assert!(
+                (est - truth).abs() <= envelope + 1e-9,
+                "{}: est {est} truth {truth} envelope {envelope}",
+                kind.label()
+            );
+            assert_eq!(session.reads(), 101);
+        }
+    }
+
+    #[test]
+    fn reads_steal_time_proportional_to_cost() {
+        let kinds = [ProbeKind::PowercapSysfs, ProbeKind::Ps3External];
+        let mut stolen = Vec::new();
+        for kind in kinds {
+            let cpu = busy_cpu();
+            let mut session = EnergySession::over(kind, Arc::clone(&cpu));
+            for k in 0..1_000u64 {
+                session.poll(SimTime::from_micros(k * 100));
+            }
+            stolen.push(cpu.lock().stolen_total().as_nanos());
+        }
+        assert_eq!(stolen[0], 1_000 * 2_200);
+        assert_eq!(stolen[1], 1_000 * 20);
+    }
+}

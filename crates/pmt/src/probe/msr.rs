@@ -1,0 +1,94 @@
+//! The MSR access path: `pread` of `MSR_PKG_ENERGY_STATUS` on
+//! `/dev/cpu/<n>/msr`.
+//!
+//! The rawest door: a single privileged register read, cheap (450 ns)
+//! but undigested — the value is in hardware energy-status units
+//! (2⁻¹⁴ J ≈ 61.035 µJ), only the low 32 bits are architected, and the
+//! reader owns wrap handling entirely. This is the path the Diamond et
+//! al. study found cheapest among the on-CPU doors.
+
+use ps3_units::{SimDuration, SimTime};
+
+use super::counter::CounterCore;
+use super::{Probe, ProbeKind, ProbeSpec, SharedCpu};
+
+/// One RAPL energy-status unit, microjoules (2⁻¹⁴ J).
+pub const ENERGY_STATUS_UNIT_UJ: f64 = 1e6 / 16_384.0;
+
+/// Modeled characteristics of the MSR door.
+pub const SPEC: ProbeSpec = ProbeSpec {
+    kind: ProbeKind::Msr,
+    read_cost: SimDuration::from_nanos(450),
+    update_cost: SimDuration::ZERO,
+    update_interval: SimDuration::from_millis(1),
+    unit_uj: ENERGY_STATUS_UNIT_UJ,
+    counter_bits: 32,
+};
+
+/// An MSR probe over a shared CPU package.
+pub struct MsrProbe {
+    core: CounterCore,
+}
+
+impl MsrProbe {
+    /// Opens `/dev/cpu/*/msr` against `cpu`'s package counter.
+    #[must_use]
+    pub fn new(cpu: SharedCpu) -> Self {
+        Self {
+            core: CounterCore::new(SPEC, cpu),
+        }
+    }
+
+    /// Ground truth at this probe's hardware tick (invariant checks).
+    #[must_use]
+    pub fn truth_at_tick(&self, now: SimTime) -> f64 {
+        self.core.truth_at_tick(now)
+    }
+}
+
+impl Probe for MsrProbe {
+    fn spec(&self) -> &ProbeSpec {
+        self.core.spec()
+    }
+
+    fn read_raw(&mut self, now: SimTime) -> u64 {
+        self.core.read_raw(now)
+    }
+
+    fn reads(&self) -> u64 {
+        self.core.reads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use parking_lot::Mutex;
+    use ps3_duts::{CpuModel, CpuPhase, CpuSpec, CpuWorkload};
+
+    use super::*;
+
+    #[test]
+    fn quantisation_is_one_energy_status_unit() {
+        let cpu = Arc::new(Mutex::new(CpuModel::new(
+            CpuSpec::desktop(),
+            CpuWorkload::new(vec![CpuPhase {
+                label: 'c',
+                util: 1.0,
+                work: SimDuration::from_millis(50),
+            }]),
+        )));
+        let mut probe = MsrProbe::new(Arc::clone(&cpu));
+        let raw = probe.read_raw(SimTime::from_micros(20_000));
+        // 20 ms at 80 W = 1.6 J; in units of 2⁻¹⁴ J that is exactly
+        // 26214.4 → quantised down to 26214.
+        assert_eq!(raw, 26_214);
+        let truth = cpu.lock().energy(SimTime::from_micros(20_000)).value();
+        let err_uj = (raw as f64 * ENERGY_STATUS_UNIT_UJ) - truth * 1e6;
+        assert!(
+            err_uj.abs() <= ENERGY_STATUS_UNIT_UJ,
+            "quantisation error {err_uj} µJ exceeds one unit"
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! A RAPL-like CPU package meter with the real interface quirk: a
+//! 32-bit microjoule register that wraps, which the meter unwraps
+//! across reads.
+//!
+//! The hardware-side ledger is kept in *integer* microjoules (a `u64`
+//! whole part plus a fractional remainder), so the wrapping 32-bit
+//! register is an exact truncation of true energy rather than a float
+//! cast — the old float-based ledger drifted from its own wrapped
+//! register, and software-side unwrapped accounting could not be
+//! checked against it bit-for-bit. See `wrap_accounting_is_exact`.
+
+use ps3_units::{Joules, SimDuration, SimTime, Watts};
+
+use crate::meter::PowerMeter;
+
+/// A RAPL-like CPU package meter: the hardware exposes a 32-bit energy
+/// counter in microjoules that wraps every couple of minutes at desktop
+/// power levels; power is the derivative between two reads.
+pub struct RaplMeter {
+    /// Package idle power.
+    idle_w: f64,
+    /// Additional power at full utilisation.
+    dynamic_w: f64,
+    utilization: f64,
+    /// True accumulated energy: whole microjoules…
+    whole_uj: u64,
+    /// …plus the sub-µJ remainder still to be carried (0 ≤ frac < 1).
+    frac_uj: f64,
+    last_tick: SimTime,
+    last_read: Option<(SimTime, u32)>,
+    /// Software-side unwrapped energy, accumulated from wrapping
+    /// 32-bit deltas across reads.
+    unwrapped_uj: u64,
+    held_power: Watts,
+}
+
+impl RaplMeter {
+    /// A desktop-class package: 15 W idle, +65 W at full load.
+    #[must_use]
+    pub fn desktop() -> Self {
+        Self {
+            idle_w: 15.0,
+            dynamic_w: 65.0,
+            utilization: 0.0,
+            whole_uj: 0,
+            frac_uj: 0.0,
+            last_tick: SimTime::ZERO,
+            last_read: None,
+            unwrapped_uj: 0,
+            held_power: Watts::new(15.0),
+        }
+    }
+
+    /// Sets the CPU utilisation (0–1) from this moment on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `util` is outside `[0, 1]`.
+    pub fn set_utilization(&mut self, util: f64, now: SimTime) {
+        assert!((0.0..=1.0).contains(&util), "utilisation out of range");
+        self.accumulate(now);
+        self.utilization = util;
+    }
+
+    fn accumulate(&mut self, now: SimTime) {
+        let dt = now.saturating_duration_since(self.last_tick).as_secs_f64();
+        let p = self.idle_w + self.dynamic_w * self.utilization;
+        let add = p * dt * 1e6 + self.frac_uj;
+        let whole = add.floor();
+        self.whole_uj += whole as u64;
+        self.frac_uj = add - whole;
+        self.last_tick = self.last_tick.max(now);
+    }
+
+    /// The raw wrapping hardware counter (testing/diagnostics).
+    pub fn raw_counter_uj(&mut self, now: SimTime) -> u32 {
+        self.accumulate(now);
+        (self.whole_uj & 0xFFFF_FFFF) as u32
+    }
+
+    /// True accumulated energy since construction (wrap-free ground
+    /// truth the software-side accounting is checked against).
+    pub fn energy(&mut self, now: SimTime) -> Joules {
+        self.accumulate(now);
+        Joules::new((self.whole_uj as f64 + self.frac_uj) / 1e6)
+    }
+
+    /// Energy seen by the software side: wrapping 32-bit deltas summed
+    /// across every [`PowerMeter::read_watts`] call. Matches the true
+    /// ledger exactly as long as reads are less than one wrap period
+    /// (~54 s at 80 W) apart.
+    #[must_use]
+    pub fn unwrapped_energy_uj(&self) -> u64 {
+        self.unwrapped_uj
+    }
+}
+
+impl PowerMeter for RaplMeter {
+    fn name(&self) -> &str {
+        "RAPL (package)"
+    }
+
+    fn read_watts(&mut self, now: SimTime) -> Watts {
+        let raw = self.raw_counter_uj(now);
+        if let Some((t0, raw0)) = self.last_read {
+            // Unwrap the 32-bit counter.
+            let delta = u64::from(raw.wrapping_sub(raw0));
+            self.unwrapped_uj += delta;
+            let dt = now.saturating_duration_since(t0).as_secs_f64();
+            if dt > 0.0 {
+                self.held_power = Watts::new(delta as f64 / 1e6 / dt);
+            }
+        }
+        self.last_read = Some((now, raw));
+        self.held_power
+    }
+
+    fn native_interval(&self) -> SimDuration {
+        SimDuration::from_millis(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rapl_power_follows_utilization() {
+        let mut rapl = RaplMeter::desktop();
+        // Prime the counter.
+        rapl.read_watts(SimTime::ZERO);
+        let idle = rapl.read_watts(SimTime::from_micros(500_000)).value();
+        assert!((idle - 15.0).abs() < 0.5, "idle {idle}");
+        rapl.set_utilization(1.0, SimTime::from_micros(500_000));
+        rapl.read_watts(SimTime::from_micros(600_000));
+        let busy = rapl.read_watts(SimTime::from_micros(1_600_000)).value();
+        assert!((busy - 80.0).abs() < 0.5, "busy {busy}");
+    }
+
+    #[test]
+    fn rapl_counter_wraps_but_power_survives() {
+        let mut rapl = RaplMeter::desktop();
+        rapl.set_utilization(1.0, SimTime::ZERO);
+        // 80 W = 8e7 µJ/s → the 32-bit counter (4.29e9 µJ) wraps every
+        // ~54 s. Read at 20 s intervals across several wraps.
+        let mut last = SimTime::ZERO;
+        rapl.read_watts(last);
+        for k in 1..10u64 {
+            let t = SimTime::from_micros(k * 20_000_000);
+            let w = rapl.read_watts(t).value();
+            assert!((w - 80.0).abs() < 1.0, "read {k}: {w}");
+            last = t;
+        }
+        let _ = last;
+    }
+
+    #[test]
+    fn wrap_accounting_is_exact() {
+        // Regression for the silent mid-interval wrap: with the old
+        // float ledger the wrapped register and the true energy could
+        // disagree, so unwrapped software accounting drifted. Cross at
+        // least two wrap boundaries (80 W wraps every ~53.7 s) and
+        // demand the software-side sum equal the hardware ledger to
+        // the microjoule at every read.
+        let mut rapl = RaplMeter::desktop();
+        rapl.set_utilization(1.0, SimTime::ZERO);
+        rapl.read_watts(SimTime::ZERO);
+        let mut wraps = 0u32;
+        let mut prev_raw = rapl.raw_counter_uj(SimTime::ZERO);
+        for k in 1..=8u64 {
+            let t = SimTime::from_micros(k * 20_000_000);
+            let w = rapl.read_watts(t).value();
+            assert!((w - 80.0).abs() < 1e-6, "read {k}: {w}");
+            let raw = rapl.raw_counter_uj(t);
+            if raw < prev_raw {
+                wraps += 1;
+            }
+            prev_raw = raw;
+            // The software-side unwrapped sum must match the true
+            // integer ledger exactly — not approximately.
+            assert_eq!(
+                rapl.unwrapped_energy_uj(),
+                rapl.whole_uj,
+                "drift at read {k}"
+            );
+        }
+        assert!(wraps >= 2, "test must cross wrap boundaries: {wraps}");
+        // 160 s at 80 W = 12.8e9 µJ, well past two 4.29e9 µJ wraps.
+        assert_eq!(rapl.unwrapped_energy_uj(), 12_800_000_000);
+    }
+
+    #[test]
+    fn true_energy_is_wrap_free() {
+        let mut rapl = RaplMeter::desktop();
+        rapl.set_utilization(1.0, SimTime::ZERO);
+        let t = SimTime::from_micros(100_000_000);
+        let e = rapl.energy(t).value();
+        assert!((e - 8_000.0).abs() < 1e-6, "100 s at 80 W: {e}");
+        // The raw register has wrapped once by then; energy has not.
+        assert!(f64::from(rapl.raw_counter_uj(t)) < e * 1e6);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests of the probe-family contracts: for arbitrary
+//! utilisation schedules and poll cadences, every access path must
+//! (1) accumulate energy monotonically, (2) round-trip its wrapping
+//! counter, (3) stay within its modeled quantisation/staleness bound,
+//! and (4) replay bit-identically from `(probe, schedule)`.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+use ps3_duts::{CpuModel, CpuPhase, CpuSpec, CpuWorkload};
+use ps3_pmt::{unwrap_delta, EnergySession, ProbeKind, SharedCpu};
+use ps3_units::{SimDuration, SimTime};
+
+/// Phase labels cycle through a fixed alphabet (labels don't affect
+/// energy; they only mark transitions).
+const LABELS: [char; 6] = ['a', 'b', 'c', 'd', 'e', 'f'];
+
+fn workload(phases: &[(f64, u64)]) -> CpuWorkload {
+    CpuWorkload::new(
+        phases
+            .iter()
+            .enumerate()
+            .map(|(i, &(util, ms))| CpuPhase {
+                label: LABELS[i % LABELS.len()],
+                util,
+                work: SimDuration::from_millis(ms),
+            })
+            .collect(),
+    )
+}
+
+fn shared(phases: &[(f64, u64)]) -> SharedCpu {
+    Arc::new(Mutex::new(CpuModel::new(
+        CpuSpec::desktop(),
+        workload(phases),
+    )))
+}
+
+fn kind_at(idx: usize) -> ProbeKind {
+    ProbeKind::ALL[idx % ProbeKind::ALL.len()]
+}
+
+/// One full run: polls `kind` over `phases` every `cadence_us` until
+/// past the workload, returning the raw register sequence plus the
+/// session's final energy and the stolen time.
+fn run(kind: ProbeKind, phases: &[(f64, u64)], cadence_us: u64) -> (Vec<u64>, u64, u64) {
+    let cpu = shared(phases);
+    let mut session = EnergySession::over(kind, Arc::clone(&cpu));
+    let total_ms: u64 = phases.iter().map(|&(_, ms)| ms).sum();
+    let end = SimTime::from_micros(total_ms * 1_000 + 2_000);
+    let mut raws = Vec::new();
+    let mut t = SimTime::ZERO;
+    while t <= end {
+        raws.push(session.poll(t));
+        t += SimDuration::from_micros(cadence_us);
+    }
+    let stolen = cpu.lock().stolen_total().as_nanos();
+    (raws, session.energy().value().to_bits(), stolen)
+}
+
+proptest! {
+    #[test]
+    fn energy_is_monotone_for_every_path(
+        kind_idx in 0usize..5,
+        phases in proptest::collection::vec((0.0f64..=1.0, 1u64..40), 1..5),
+        cadence_us in 120u64..20_000,
+    ) {
+        let kind = kind_at(kind_idx);
+        let cpu = shared(&phases);
+        let mut session = EnergySession::over(kind, cpu);
+        let total_ms: u64 = phases.iter().map(|&(_, ms)| ms).sum();
+        let end = SimTime::from_micros(total_ms * 1_000 + 2_000);
+        let mut t = SimTime::ZERO;
+        let mut last = 0.0f64;
+        while t <= end {
+            session.poll(t);
+            let e = session.energy().value();
+            prop_assert!(e >= last, "{}: energy regressed {e} < {last}", kind.label());
+            last = e;
+            t += SimDuration::from_micros(cadence_us);
+        }
+        // Close the session with a poll at `end` (a long cadence can
+        // otherwise leave a single mid-run sample behind).
+        session.poll(end);
+        let e = session.energy().value();
+        prop_assert!(e >= last, "final poll regressed {e} < {last}");
+        // The package is never below idle power, so a finished run has
+        // accumulated a strictly positive energy.
+        prop_assert!(e > 0.0);
+    }
+
+    #[test]
+    fn counter_wrap_round_trips(
+        start in 0u64..u64::MAX / 2,
+        delta in 0u64..1u64 << 31,
+        bits in 10u32..=64,
+    ) {
+        // Simulate the hardware: the register shows the masked value;
+        // unwrap_delta must recover the true delta whenever it fits in
+        // one wrap period.
+        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        prop_assume!(delta <= mask);
+        let a = start & mask;
+        let b = start.wrapping_add(delta) & mask;
+        prop_assert_eq!(unwrap_delta(a, b, bits), delta);
+    }
+
+    #[test]
+    fn quantisation_error_is_bounded_by_the_model(
+        kind_idx in 0usize..5,
+        phases in proptest::collection::vec((0.0f64..=1.0, 1u64..30), 1..4),
+        cadence_us in 500u64..10_000,
+    ) {
+        let kind = kind_at(kind_idx);
+        let cpu = shared(&phases);
+        let mut session = EnergySession::over(kind, Arc::clone(&cpu));
+        let total_ms: u64 = phases.iter().map(|&(_, ms)| ms).sum();
+        let end = SimTime::from_micros(total_ms * 1_000 + 2_000);
+        let mut t = SimTime::ZERO;
+        let mut last_poll = SimTime::ZERO;
+        while t <= end {
+            session.poll(t);
+            last_poll = t;
+            t += SimDuration::from_micros(cadence_us);
+        }
+        // Session energy vs ground truth over the identical tick span.
+        let spec = session.spec();
+        let tick = spec.tick_before(last_poll);
+        let truth = cpu.lock().energy_at(tick).expect("within history").value();
+        let envelope = spec
+            .error_envelope(CpuSpec::desktop().max_power())
+            .value();
+        let err = (session.energy().value() - truth).abs();
+        prop_assert!(
+            err <= envelope + 1e-9,
+            "{}: err {err} > envelope {envelope}",
+            kind.label()
+        );
+    }
+
+    #[test]
+    fn replay_is_bit_identical(
+        kind_idx in 0usize..5,
+        phases in proptest::collection::vec((0.0f64..=1.0, 1u64..25), 1..4),
+        cadence_us in 150u64..15_000,
+    ) {
+        let kind = kind_at(kind_idx);
+        let a = run(kind, &phases, cadence_us);
+        let b = run(kind, &phases, cadence_us);
+        prop_assert_eq!(a.0, b.0, "raw register sequences diverged");
+        prop_assert_eq!(a.1, b.1, "session energy bits diverged");
+        prop_assert_eq!(a.2, b.2, "stolen time diverged");
+    }
+}

@@ -36,6 +36,7 @@
 pub mod inject;
 pub mod invariant;
 pub mod plan;
+pub mod probes;
 pub mod runner;
 pub mod scenario;
 pub mod world;

@@ -1,0 +1,344 @@
+//! The `probes` scenario: a modeled CPU package polled by the whole
+//! RAPL probe family — powercap-sysfs, MSR, perf-event, eBPF — plus
+//! the PS3-external meter, under a seeded fault plan.
+//!
+//! The scenario derives a phase-marked workload from the seed, builds
+//! one poll schedule per probe (each at its own cadence) and merges
+//! them into one global, time-ordered schedule. Plan events index that
+//! schedule (offset modulo the poll count): [`FaultKind::Drop`],
+//! [`FaultKind::BitFlip`] and [`FaultKind::ShortRead`] discard a
+//! corrupted read, [`FaultKind::Duplicate`] issues it twice,
+//! [`FaultKind::Stall`] delays it, and [`FaultKind::Crash`] kills the
+//! owning probe's poller outright. Whatever survives executes in
+//! global time order against the shared [`CpuModel`], so every on-CPU
+//! read steals modeled CPU time from the workload.
+//!
+//! Invariants checked after quiesce:
+//!
+//! * `workload-finished` — the package completes its phases despite
+//!   the measurement perturbation;
+//! * `steal-balance` — runtime inflation over the unperturbed ideal
+//!   equals the stolen time *exactly*, in integer nanoseconds;
+//! * `probe-truth` — ground-truth energy is servable at every polled
+//!   update tick (the history horizon covers every access path);
+//! * `probe-monotone` — each session's wrap-corrected energy never
+//!   decreases, across drops, duplicates, stalls and wraps;
+//! * `probe-envelope` — each probe's energy estimate stays within its
+//!   modeled error envelope of the DUT ground truth over the same
+//!   span.
+//!
+//! Every fact is a pure function of `(seed, plan)` — virtual time
+//! only, no threads, no wall clock.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use ps3_duts::{CpuModel, CpuPhase, CpuSpec, CpuWorkload};
+use ps3_pmt::{EnergySession, ProbeKind, SharedCpu};
+use ps3_units::{SimDuration, SimTime};
+
+use crate::invariant::Checker;
+use crate::plan::{splitmix64, FaultKind, SimPlan};
+use crate::scenario::{finish_report, ScenarioReport};
+
+/// Seed mix for the probes workload ("PROBEFAM").
+const PROBES_SALT: u64 = 0x5052_4F42_4546_414D;
+
+/// Workload phases the seed shapes.
+const PROBES_PHASES: usize = 4;
+
+/// Slack past the ideal runtime that the poll schedules cover. Stolen
+/// time stays far below it, so the workload always finishes inside the
+/// polled window.
+const SCHEDULE_SLACK: SimDuration = SimDuration::from_millis(50);
+
+/// Per-probe polling cadence. Faster paths poll harder — the point of
+/// the scenario is their perturbation under fire, not a fair race.
+fn cadence(kind: ProbeKind) -> SimDuration {
+    SimDuration::from_micros(match kind {
+        ProbeKind::PowercapSysfs => 5_000,
+        ProbeKind::Msr => 1_000,
+        ProbeKind::PerfEvent => 2_000,
+        ProbeKind::Ebpf => 500,
+        ProbeKind::Ps3External => 250,
+    })
+}
+
+/// The seed-derived workload: four phases, utilization quantized to
+/// 64ths (so the facts are exact), 30–79 ms of work each.
+#[must_use]
+pub fn probes_workload(seed: u64) -> CpuWorkload {
+    let mut rng = seed ^ PROBES_SALT;
+    let labels = ['a', 'b', 'c', 'd'];
+    let phases = (0..PROBES_PHASES)
+        .map(|i| {
+            let util_64ths = splitmix64(&mut rng) % 65;
+            let work_ms = 30 + splitmix64(&mut rng) % 50;
+            CpuPhase {
+                label: labels[i],
+                util: util_64ths as f64 / 64.0,
+                work: SimDuration::from_millis(work_ms),
+            }
+        })
+        .collect();
+    CpuWorkload::new(phases)
+}
+
+/// One planned poll: schedule position before faults touch it.
+#[derive(Clone, Copy)]
+struct Poll {
+    /// Index into [`ProbeKind::ALL`].
+    probe: usize,
+    /// Per-probe sequence number (tie-break for stable ordering).
+    seq: u64,
+    /// Scheduled virtual time.
+    at: SimTime,
+}
+
+/// Runs the probes scenario for `(seed, plan)`.
+pub(crate) fn run_probes(seed: u64, plan: &SimPlan) -> ScenarioReport {
+    let mut checker = Checker::new();
+    let mut facts: Vec<(String, String)> = Vec::new();
+
+    let wl = probes_workload(seed);
+    let spec = CpuSpec::desktop();
+    let ideal = wl.ideal_runtime();
+    let max_power = spec.max_power();
+    facts.push((
+        "workload".to_owned(),
+        wl.phases()
+            .iter()
+            .map(|p| {
+                format!(
+                    "{}:{}/64x{}ms",
+                    p.label,
+                    (p.util * 64.0).round() as u64,
+                    p.work.as_nanos() / 1_000_000
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(","),
+    ));
+    facts.push(("ideal_ns".to_owned(), ideal.as_nanos().to_string()));
+
+    // The pristine global schedule: every probe from t=0 at its own
+    // cadence, out to ideal + slack, merged time-major.
+    let horizon = SimTime::ZERO + ideal + SCHEDULE_SLACK;
+    let mut polls: Vec<Poll> = Vec::new();
+    for (probe, kind) in ProbeKind::ALL.iter().enumerate() {
+        let step = cadence(*kind);
+        let mut t = SimTime::ZERO;
+        let mut seq = 0;
+        while t <= horizon {
+            polls.push(Poll { probe, seq, at: t });
+            t += step;
+            seq += 1;
+        }
+    }
+    polls.sort_by_key(|p| (p.at, p.probe, p.seq));
+    let planned = polls.len() as u64;
+
+    // Map plan events onto schedule ordinals of the pristine list, so
+    // the mapping itself never shifts as faults apply.
+    let mut skip = vec![false; polls.len()];
+    let mut extra = vec![0u16; polls.len()];
+    let mut delay = vec![SimDuration::ZERO; polls.len()];
+    let mut crash_at: [Option<SimTime>; 5] = [None; 5];
+    for ev in plan.events() {
+        let idx = (ev.offset % planned) as usize;
+        match ev.kind {
+            // A corrupted or truncated read is discarded by the host.
+            FaultKind::Drop | FaultKind::BitFlip(_) | FaultKind::ShortRead => skip[idx] = true,
+            FaultKind::Duplicate => extra[idx] += 1,
+            FaultKind::Stall(ms) => delay[idx] += SimDuration::from_millis(u64::from(ms)),
+            // The owning probe's poller dies at that scheduled time.
+            FaultKind::Crash => {
+                let p = polls[idx].probe;
+                let t = polls[idx].at;
+                crash_at[p] = Some(crash_at[p].map_or(t, |c| c.min(t)));
+            }
+        }
+    }
+
+    // Apply the faults, then re-sort: stalls can reorder polls across
+    // probes, but execution must stay globally time-monotone.
+    let mut executed: Vec<Poll> = Vec::new();
+    for (idx, poll) in polls.iter().enumerate() {
+        if skip[idx] {
+            continue;
+        }
+        if let Some(c) = crash_at[poll.probe] {
+            if poll.at >= c {
+                continue;
+            }
+        }
+        let at = poll.at + delay[idx];
+        for _ in 0..=extra[idx] {
+            executed.push(Poll { at, ..*poll });
+        }
+    }
+    executed.sort_by_key(|p| (p.at, p.probe, p.seq));
+    let frames = executed.len() as u64;
+
+    // Run it: one shared package, one session per probe kind.
+    let cpu: SharedCpu = Arc::new(Mutex::new(CpuModel::new(spec, wl)));
+    let mut sessions: Vec<EnergySession> = ProbeKind::ALL
+        .iter()
+        .map(|&k| EnergySession::over(k, Arc::clone(&cpu)))
+        .collect();
+    let mut first_truth: [Option<f64>; 5] = [None; 5];
+    let mut last_truth: [Option<f64>; 5] = [None; 5];
+    let mut last_energy = [0.0f64; 5];
+    let mut monotone = [true; 5];
+    let mut truth_known = [true; 5];
+    let mut end = horizon;
+    for poll in &executed {
+        let kind = ProbeKind::ALL[poll.probe];
+        sessions[poll.probe].poll(poll.at);
+        let e = sessions[poll.probe].energy().value();
+        if e < last_energy[poll.probe] {
+            monotone[poll.probe] = false;
+        }
+        last_energy[poll.probe] = e;
+        let tick = kind.spec().tick_before(poll.at);
+        match cpu.lock().energy_at(tick) {
+            Some(truth) => {
+                let t = truth.value();
+                if first_truth[poll.probe].is_none() {
+                    first_truth[poll.probe] = Some(t);
+                }
+                last_truth[poll.probe] = Some(t);
+            }
+            None => truth_known[poll.probe] = false,
+        }
+        end = end.max(poll.at);
+    }
+
+    // Quiesce: run the package past the last poll so stalled reads and
+    // the workload tail both land.
+    let (finished, stolen_before, stolen_total) = {
+        let mut m = cpu.lock();
+        m.advance_to(end + SimDuration::from_millis(10));
+        (m.finished_at(), m.stolen_before_finish(), m.stolen_total())
+    };
+
+    checker.expect("workload-finished", finished.is_some(), || {
+        format!("package never finished {ideal} of work by {end}")
+    });
+    if let Some(done) = finished {
+        let runtime = done - SimTime::ZERO;
+        // The perturbation ledger, exact in integer nanoseconds:
+        // inflation over the unperturbed ideal IS the stolen time.
+        checker.expect("steal-balance", runtime == ideal + stolen_before, || {
+            format!(
+                "runtime {} != ideal {} + stolen {}",
+                runtime.as_nanos(),
+                ideal.as_nanos(),
+                stolen_before.as_nanos()
+            )
+        });
+        facts.push(("finished_ns".to_owned(), runtime.as_nanos().to_string()));
+        facts.push((
+            "inflation_ns".to_owned(),
+            (runtime - ideal).as_nanos().to_string(),
+        ));
+    }
+    facts.push((
+        "stolen_before_ns".to_owned(),
+        stolen_before.as_nanos().to_string(),
+    ));
+    facts.push((
+        "stolen_total_ns".to_owned(),
+        stolen_total.as_nanos().to_string(),
+    ));
+
+    for (i, kind) in ProbeKind::ALL.iter().enumerate() {
+        let slug = kind.slug();
+        let session = &sessions[i];
+        checker.expect("probe-truth", truth_known[i], || {
+            format!("{}: ground truth pruned under a polled tick", kind.label())
+        });
+        checker.expect("probe-monotone", monotone[i], || {
+            format!("{}: session energy decreased", kind.label())
+        });
+        if let (Some(first), Some(last)) = (first_truth[i], last_truth[i]) {
+            let span = last - first;
+            let err = (session.energy().value() - span).abs();
+            let envelope = kind.spec().error_envelope(max_power).value();
+            checker.expect("probe-envelope", err <= envelope + 1e-9, || {
+                format!(
+                    "{}: estimate off truth by {err:.9} J > envelope {envelope:.9} J",
+                    kind.label()
+                )
+            });
+            facts.push((format!("probe.{slug}.err_uj"), format!("{:.3}", err * 1e6)));
+        }
+        facts.push((format!("probe.{slug}.reads"), session.reads().to_string()));
+        facts.push((
+            format!("probe.{slug}.units"),
+            session.total_units().to_string(),
+        ));
+    }
+
+    finish_report("probes", seed, plan, frames, facts, checker)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+
+    #[test]
+    fn healthy_run_is_clean_and_replays_bit_identically() {
+        let plan = SimPlan::empty();
+        let a = run_probes(11, &plan);
+        assert!(a.violations.is_empty(), "{:?}", a.violations);
+        assert!(a.frames > 0);
+        let b = run_probes(11, &plan);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.facts, b.facts);
+    }
+
+    #[test]
+    fn every_fault_kind_maps_onto_the_schedule() {
+        let healthy = run_probes(3, &SimPlan::empty());
+        // drop + flip remove two polls, dup adds one, stall moves one.
+        let plan = SimPlan::parse("drop@3,flip@40:2,dup@10,stall@20:7").unwrap();
+        let faulted = run_probes(3, &plan);
+        assert!(faulted.violations.is_empty(), "{:?}", faulted.violations);
+        assert_eq!(faulted.frames, healthy.frames - 1);
+        assert_ne!(faulted.fingerprint, healthy.fingerprint);
+    }
+
+    #[test]
+    fn a_crash_silences_one_probe_without_tripping_invariants() {
+        let plan = SimPlan::parse("crash@2").unwrap();
+        let report = run_probes(5, &plan);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        // Some probe lost most of its schedule.
+        let healthy = run_probes(5, &SimPlan::empty());
+        assert!(report.frames < healthy.frames - 10);
+    }
+
+    #[test]
+    fn generated_plans_pass_the_invariant_catalogue() {
+        for seed in 0..8 {
+            let plan = SimPlan::generate(seed, &scenario::default_options("probes"));
+            let report = run_probes(seed, &plan);
+            assert!(
+                report.violations.is_empty(),
+                "seed {seed} plan {}: {:?}",
+                plan.to_compact(),
+                report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_registry_routes_probes() {
+        let plan = SimPlan::generate(1, &scenario::default_options("probes"));
+        let report = scenario::run("probes", 1, &plan, scenario::Sabotage::None).unwrap();
+        assert_eq!(report.scenario, "probes");
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+}

@@ -39,7 +39,7 @@ use crate::plan::{splitmix64, FaultKind, PlanOptions, SimPlan};
 use crate::world::{quiesce, sim_eeprom, SimDevice};
 
 /// Every scenario the harness knows, in sweep order.
-pub const SCENARIOS: [&str; 7] = [
+pub const SCENARIOS: [&str; 8] = [
     "pipeline",
     "device-crash",
     "tcp-faults",
@@ -47,6 +47,7 @@ pub const SCENARIOS: [&str; 7] = [
     "tsdb",
     "fleet",
     "c10k",
+    "probes",
 ];
 
 /// Virtual time the streaming scenarios run for: 250 ms at 20 kHz is
@@ -193,6 +194,15 @@ pub fn default_options(scenario: &str) -> PlanOptions {
             allow_crash: false,
             ..PlanOptions::default()
         },
+        // Offsets index the scenario's poll schedule (taken modulo the
+        // poll count), so the byte guard is meaningless; a crash maps
+        // to one probe going silent, which the invariants tolerate.
+        "probes" => PlanOptions {
+            guard: 0,
+            horizon: 1 << 14,
+            max_events: 4,
+            allow_crash: true,
+        },
         _ => PlanOptions::default(),
     }
 }
@@ -216,6 +226,7 @@ pub fn run(
         "tsdb" => Ok(run_tsdb(seed, plan)),
         "fleet" => Ok(run_fleet(seed, plan)),
         "c10k" => Ok(run_c10k(seed, plan)),
+        "probes" => Ok(crate::probes::run_probes(seed, plan)),
         other => Err(format!(
             "unknown scenario '{other}' (known: {})",
             SCENARIOS.join(", ")
@@ -268,7 +279,7 @@ fn wait_for(timeout: Duration, mut done: impl FnMut() -> bool) -> bool {
     }
 }
 
-fn finish_report(
+pub(crate) fn finish_report(
     scenario: &'static str,
     seed: u64,
     plan: &SimPlan,

@@ -18,7 +18,8 @@
 //!   list     print known scenarios and sabotage modes
 //!
 //! options:
-//!   --scenario NAME   pipeline | device-crash | tcp-faults | archive-crash | fleet
+//!   --scenario NAME   pipeline | device-crash | tcp-faults | archive-crash |
+//!                     tsdb | fleet | c10k | probes
 //!   --plan P          compact plan, e.g. drop@4096,flip@5000:3 (- = empty)
 //!   --sabotage X      none | uncounted-drop | unsealed-tail
 //!   --out DIR         where sweep writes failure-*.json + summary.json
